@@ -1,0 +1,30 @@
+//! Criterion bench for experiment E7: index-construction cost of the five
+//! build methods.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use nnq_bench::datasets::Dataset;
+use nnq_bench::harness::{build_tree, BuildMethod, QUERY_POOL_FRAMES};
+use std::hint::black_box;
+
+fn bench_builds(c: &mut Criterion) {
+    let dataset = Dataset::tiger(10_000, 23);
+    let mut group = c.benchmark_group("builds");
+    group.sample_size(10);
+    for method in BuildMethod::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.label()),
+            &method,
+            |b, &method| {
+                b.iter_batched(
+                    || dataset.items.clone(),
+                    |items| black_box(build_tree(&items, method, QUERY_POOL_FRAMES)),
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds);
+criterion_main!(benches);

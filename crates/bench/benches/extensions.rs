@@ -1,0 +1,66 @@
+//! Criterion bench for the extension queries: radius, metric kNN,
+//! farthest, incremental, and the kNN join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nnq_bench::datasets::Dataset;
+use nnq_bench::harness::{default_build, queries_for};
+use nnq_core::{
+    farthest_knn, metric_knn, within_radius, IncrementalNn, MbrRefiner,
+};
+use nnq_geom::Metric;
+use std::hint::black_box;
+
+fn bench_extensions(c: &mut Criterion) {
+    let dataset = Dataset::uniform(20_000, 19);
+    let built = default_build(&dataset);
+    let tree = &built.tree;
+    let queries = queries_for(64, 21);
+    let mut group = c.benchmark_group("extensions");
+
+    group.bench_function("radius_2km", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(within_radius(tree, q, 2_000.0, &MbrRefiner).unwrap())
+        })
+    });
+
+    for (name, metric) in [("l1", Metric::Manhattan), ("linf", Metric::Chebyshev)] {
+        group.bench_with_input(BenchmarkId::new("metric_knn", name), &metric, |b, &m| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(metric_knn(tree, q, 10, m).unwrap())
+            })
+        });
+    }
+
+    group.bench_function("farthest_k3", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(farthest_knn(tree, q, 3, &MbrRefiner).unwrap())
+        })
+    });
+
+    group.bench_function("incremental_take20", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            let items: Vec<_> = IncrementalNn::new(tree, q, MbrRefiner)
+                .take(20)
+                .collect::<nnq_core::Result<_>>()
+                .unwrap();
+            black_box(items)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

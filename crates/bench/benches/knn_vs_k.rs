@@ -1,0 +1,38 @@
+//! Criterion bench for experiment E1: query latency as a function of k on
+//! the three standard datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nnq_bench::datasets::Dataset;
+use nnq_bench::harness::{default_build, queries_for, SegmentRefiner};
+use nnq_core::NnSearch;
+use std::hint::black_box;
+
+fn bench_knn_vs_k(c: &mut Criterion) {
+    let n = 20_000;
+    let queries = queries_for(64, 7);
+    let mut group = c.benchmark_group("knn_vs_k");
+    for dataset in Dataset::standard_trio(n, 11) {
+        let built = default_build(&dataset);
+        let search = NnSearch::new(&built.tree);
+        for k in [1usize, 5, 10, 25] {
+            group.bench_with_input(BenchmarkId::new(dataset.name, k), &k, |b, &k| {
+                let mut i = 0;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    match dataset.segments.as_deref() {
+                        Some(segs) => {
+                            let refiner = SegmentRefiner { segments: segs };
+                            black_box(search.query_refined(q, k, &refiner).unwrap())
+                        }
+                        None => black_box(search.query_with_stats(q, k).unwrap()),
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn_vs_k);
+criterion_main!(benches);

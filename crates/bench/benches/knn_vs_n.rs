@@ -1,0 +1,36 @@
+//! Criterion bench for experiment E4: query latency vs dataset size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nnq_bench::datasets::Dataset;
+use nnq_bench::harness::{build_tree, queries_for, BuildMethod, QUERY_POOL_FRAMES};
+use nnq_core::NnSearch;
+use nnq_rtree::BulkMethod;
+use std::hint::black_box;
+
+fn bench_knn_vs_n(c: &mut Criterion) {
+    let queries = queries_for(64, 13);
+    let mut group = c.benchmark_group("knn_vs_n");
+    for exp in [12u32, 14, 16, 18] {
+        let n = 1usize << exp;
+        let dataset = Dataset::uniform(n, u64::from(exp));
+        let built = build_tree(
+            &dataset.items,
+            BuildMethod::Bulk(BulkMethod::Str),
+            QUERY_POOL_FRAMES,
+        );
+        let search = NnSearch::new(&built.tree);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(search.query(q, 10).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn_vs_n);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for experiment E2: MINDIST vs MINMAXDIST ABL ordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nnq_bench::datasets::Dataset;
+use nnq_bench::harness::{default_build, queries_for};
+use nnq_core::{AblOrdering, NnOptions, NnSearch};
+use std::hint::black_box;
+
+fn bench_orderings(c: &mut Criterion) {
+    let dataset = Dataset::clustered(20_000, 3);
+    let built = default_build(&dataset);
+    let queries = queries_for(64, 5);
+    let mut group = c.benchmark_group("abl_ordering");
+    for (name, ordering) in [
+        ("mindist", AblOrdering::MinDist),
+        ("minmaxdist", AblOrdering::MinMaxDist),
+    ] {
+        let search = NnSearch::with_options(&built.tree, NnOptions::with_ordering(ordering));
+        for k in [1usize, 10] {
+            group.bench_with_input(BenchmarkId::new(name, k), &k, |b, &k| {
+                let mut i = 0;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    black_box(search.query(q, k).unwrap())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion bench: index-maintenance cost (inserts and deletes) per
+//! split strategy — the price a dynamic R-tree pays for its query quality.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use nnq_bench::datasets::Dataset;
+use nnq_geom::{Point, Rect};
+use nnq_rtree::{RTree, RTreeConfig, RecordId, SplitStrategy};
+use nnq_storage::{BufferPool, MemDisk, PAGE_SIZE};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_updates(c: &mut Criterion) {
+    let dataset = Dataset::uniform(10_000, 29);
+    let extra = Dataset::uniform(1_000, 31);
+    let mut group = c.benchmark_group("updates");
+    group.sample_size(10);
+    for split in [
+        SplitStrategy::Linear,
+        SplitStrategy::Quadratic,
+        SplitStrategy::RStar,
+    ] {
+        // Insert throughput into a pre-populated tree.
+        group.bench_with_input(
+            BenchmarkId::new("insert_1k", format!("{split:?}")),
+            &split,
+            |b, &split| {
+                b.iter_batched(
+                    || {
+                        let pool = Arc::new(BufferPool::new(
+                            Box::new(MemDisk::new(PAGE_SIZE)),
+                            1 << 15,
+                        ));
+                        let mut tree =
+                            RTree::<2>::create(pool, RTreeConfig::with_split(split)).unwrap();
+                        for (mbr, rid) in &dataset.items {
+                            tree.insert(*mbr, *rid).unwrap();
+                        }
+                        tree
+                    },
+                    |mut tree| {
+                        for (i, (mbr, _)) in extra.items.iter().enumerate() {
+                            tree.insert(*mbr, RecordId(1_000_000 + i as u64)).unwrap();
+                        }
+                        black_box(tree)
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+        // Delete throughput.
+        group.bench_with_input(
+            BenchmarkId::new("delete_1k", format!("{split:?}")),
+            &split,
+            |b, &split| {
+                b.iter_batched(
+                    || {
+                        let pool = Arc::new(BufferPool::new(
+                            Box::new(MemDisk::new(PAGE_SIZE)),
+                            1 << 15,
+                        ));
+                        let mut tree =
+                            RTree::<2>::create(pool, RTreeConfig::with_split(split)).unwrap();
+                        for (mbr, rid) in &dataset.items {
+                            tree.insert(*mbr, *rid).unwrap();
+                        }
+                        tree
+                    },
+                    |mut tree| {
+                        for (mbr, rid) in dataset.items.iter().take(1_000) {
+                            tree.delete(mbr, *rid).unwrap();
+                        }
+                        black_box(tree)
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    // Update (move) as a single op.
+    group.bench_function("update_move", |b| {
+        let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1 << 15));
+        let mut tree = RTree::<2>::create(pool, RTreeConfig::default()).unwrap();
+        for (mbr, rid) in &dataset.items {
+            tree.insert(*mbr, *rid).unwrap();
+        }
+        let mut i = 0usize;
+        let mut positions: Vec<Rect<2>> =
+            dataset.items.iter().map(|(mbr, _)| *mbr).collect();
+        b.iter(|| {
+            let idx = i % positions.len();
+            let old = positions[idx];
+            let c = old.center();
+            let new = Rect::from_point(Point::new([
+                (c[0] + 97.0) % 100_000.0,
+                (c[1] + 211.0) % 100_000.0,
+            ]));
+            tree.update(&old, RecordId(idx as u64), new).unwrap();
+            positions[idx] = new;
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

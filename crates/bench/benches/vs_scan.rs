@@ -1,0 +1,37 @@
+//! Criterion bench for experiment E6: branch-and-bound vs sequential scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nnq_bench::datasets::Dataset;
+use nnq_bench::harness::{default_build, queries_for};
+use nnq_core::{linear_scan_knn, MbrRefiner, NnSearch};
+use std::hint::black_box;
+
+fn bench_vs_scan(c: &mut Criterion) {
+    let queries = queries_for(64, 17);
+    let mut group = c.benchmark_group("vs_scan");
+    for n in [4_096usize, 32_768] {
+        let dataset = Dataset::uniform(n, n as u64);
+        let built = default_build(&dataset);
+        let search = NnSearch::new(&built.tree);
+        group.bench_with_input(BenchmarkId::new("branch_bound", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(search.query(q, 10).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(linear_scan_knn(&built.tree, q, 10, &MbrRefiner).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_scan);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Runs all reproduction experiments E1–E8 in sequence.
+//!
+//! Use `NNQ_SCALE=0.1` for a quick smoke run.
+fn main() {
+    nnq_bench::experiments::run_all();
+}

@@ -1,0 +1,4 @@
+//! Reproduces experiment E11; see DESIGN.md §5.
+fn main() {
+    nnq_bench::experiments::e11();
+}

@@ -1,0 +1,4 @@
+//! Reproduces experiment E3; see DESIGN.md §5.
+fn main() {
+    nnq_bench::experiments::e3();
+}

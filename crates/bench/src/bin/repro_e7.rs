@@ -1,0 +1,4 @@
+//! Reproduces experiment E7; see DESIGN.md §5.
+fn main() {
+    nnq_bench::experiments::e7();
+}

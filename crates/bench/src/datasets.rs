@@ -1,0 +1,95 @@
+//! Experiment datasets: uniform points, clustered points, and the
+//! TIGER-like road network (the stand-in for the paper's real map data).
+
+use nnq_geom::{Rect, Segment};
+use nnq_rtree::RecordId;
+use nnq_workloads::{
+    default_bounds, gaussian_clusters, points_to_items, segments_to_items, tiger_like_segments,
+    uniform_points, TigerParams,
+};
+
+/// A named dataset of `(MBR, record)` items, plus the exact segment
+/// geometry when the objects are road segments.
+pub struct Dataset {
+    /// Short name used in table headers.
+    pub name: &'static str,
+    /// Items to index.
+    pub items: Vec<(Rect<2>, RecordId)>,
+    /// Exact geometry for refinement (`None` for point data).
+    pub segments: Option<Vec<Segment>>,
+}
+
+impl Dataset {
+    /// `n` uniform random points over the default world.
+    pub fn uniform(n: usize, seed: u64) -> Self {
+        Self {
+            name: "uniform",
+            items: points_to_items(&uniform_points(n, &default_bounds(), seed)),
+            segments: None,
+        }
+    }
+
+    /// `n` points in Gaussian clusters (64 clusters, σ = 1.5 km on the
+    /// 100 km world) — the skewed synthetic workload.
+    pub fn clustered(n: usize, seed: u64) -> Self {
+        Self {
+            name: "clustered",
+            items: points_to_items(&gaussian_clusters(
+                n,
+                64,
+                1_500.0,
+                &default_bounds(),
+                seed,
+            )),
+            segments: None,
+        }
+    }
+
+    /// `n` TIGER-like road segments (see `nnq-workloads`); indexes segment
+    /// MBRs and keeps exact geometry for refinement, as RKV'95 does with
+    /// real TIGER data.
+    pub fn tiger(n: usize, seed: u64) -> Self {
+        let segments = tiger_like_segments(&TigerParams {
+            segments: n,
+            seed,
+            ..TigerParams::default()
+        });
+        Self {
+            name: "tiger-like",
+            items: segments_to_items(&segments),
+            segments: Some(segments),
+        }
+    }
+
+    /// The standard trio used by experiments E1–E3.
+    pub fn standard_trio(n: usize, seed: u64) -> Vec<Dataset> {
+        vec![
+            Self::uniform(n, seed),
+            Self::clustered(n, seed + 1),
+            Self::tiger(n, seed + 2),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_have_requested_sizes() {
+        for d in Dataset::standard_trio(1000, 5) {
+            assert_eq!(d.items.len(), 1000, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn tiger_carries_geometry() {
+        let d = Dataset::tiger(500, 1);
+        let segs = d.segments.as_ref().unwrap();
+        assert_eq!(segs.len(), d.items.len());
+        // Record ids index the segment slice.
+        for (mbr, rid) in &d.items {
+            assert_eq!(segs[rid.0 as usize].mbr(), *mbr);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! The subcommands: gen, build, stats, query, bench, explain, join.
+
+use crate::args::{Args, CliError};
+use nnq_core::{metric_knn, within_radius, FnRefiner, JoinOrder, MbrRefiner, NnSearch};
+use nnq_geom::{Metric, Point, Segment};
+use nnq_rtree::{BulkMethod, RTree, RTreeConfig, RecordId, SplitStrategy};
+use nnq_storage::{BufferPool, FileDisk, PageId, PAGE_SIZE};
+use nnq_workloads::{
+    default_bounds, gaussian_clusters, load_segments_csv, save_segments_csv,
+    segments_to_items, tiger_like_segments, uniform_points, TigerParams,
+};
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// `nnq gen` — write a synthetic dataset as a segment CSV.
+pub fn generate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let kind = args.req("kind")?;
+    let n: usize = args.num("n", 10_000)?;
+    let seed: u64 = args.num("seed", 0)?;
+    let path = args.req("out")?;
+    let bounds = default_bounds();
+    let segments: Vec<Segment> = match kind {
+        "tiger" => tiger_like_segments(&TigerParams {
+            segments: n,
+            seed,
+            ..TigerParams::default()
+        }),
+        "uniform" => uniform_points(n, &bounds, seed)
+            .into_iter()
+            .map(|p| Segment::new(p, p))
+            .collect(),
+        "clustered" => gaussian_clusters(n, 32, 1_500.0, &bounds, seed)
+            .into_iter()
+            .map(|p| Segment::new(p, p))
+            .collect(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --kind `{other}` (want tiger, uniform, or clustered)"
+            )))
+        }
+    };
+    save_segments_csv(path, &segments)?;
+    writeln!(out, "wrote {} {kind} segments to {path}", segments.len())?;
+    Ok(())
+}
+
+fn parse_build_method(name: &str) -> Result<Result<SplitStrategy, BulkMethod>, CliError> {
+    Ok(match name {
+        "linear" => Ok(SplitStrategy::Linear),
+        "quadratic" => Ok(SplitStrategy::Quadratic),
+        "rstar" => Ok(SplitStrategy::RStar),
+        "str" => Err(BulkMethod::Str),
+        "hilbert" => Err(BulkMethod::Hilbert),
+        "lowx" => Err(BulkMethod::LowX),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --method `{other}` (want linear, quadratic, rstar, str, hilbert, or lowx)"
+            )))
+        }
+    })
+}
+
+/// `nnq build` — build a persistent index file from a dataset.
+pub fn build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.req("input")?;
+    let index = args.req("index")?;
+    let method = parse_build_method(args.opt("method").unwrap_or("quadratic"))?;
+
+    let segments = load_segments_csv(input)?;
+    let items = segments_to_items(&segments);
+
+    let disk = FileDisk::create(index, PAGE_SIZE)?;
+    let pool = Arc::new(BufferPool::new(Box::new(disk), 4096));
+    let start = Instant::now();
+    let tree = match method {
+        Ok(split) => {
+            let mut tree =
+                RTree::<2>::create(Arc::clone(&pool), RTreeConfig::with_split(split))?;
+            for (mbr, rid) in &items {
+                tree.insert(*mbr, *rid)?;
+            }
+            tree
+        }
+        Err(bulk) => RTree::<2>::bulk_load(
+            Arc::clone(&pool),
+            RTreeConfig::default(),
+            items,
+            bulk,
+            1.0,
+        )?,
+    };
+    pool.flush_all()?;
+    let elapsed = start.elapsed();
+    debug_assert_eq!(tree.meta_page(), PageId(0), "meta page is page 0 by construction");
+    let stats = tree.stats()?;
+    writeln!(
+        out,
+        "built {index}: {} entries, height {}, {} pages, avg fill {:.2}, {:.0} ms",
+        tree.len(),
+        tree.height(),
+        stats.nodes,
+        stats.avg_fill,
+        elapsed.as_secs_f64() * 1e3
+    )?;
+    Ok(())
+}
+
+fn open_index(path: &str) -> Result<(RTree<2>, Arc<BufferPool>), CliError> {
+    let disk = FileDisk::open(path, PAGE_SIZE)?;
+    let pool = Arc::new(BufferPool::new(Box::new(disk), 4096));
+    let tree = RTree::<2>::open(Arc::clone(&pool), PageId(0))?;
+    Ok((tree, pool))
+}
+
+/// `nnq stats` — print the structure of an index file.
+pub fn stats(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let (tree, _pool) = open_index(args.req("index")?)?;
+    let s = tree.stats()?;
+    writeln!(out, "entries:      {}", tree.len())?;
+    writeln!(out, "height:       {}", tree.height())?;
+    writeln!(out, "nodes:        {} ({} leaves)", s.nodes, s.leaves)?;
+    writeln!(out, "avg fill:     {:.2}", s.avg_fill)?;
+    writeln!(out, "split:        {:?}", tree.config().split)?;
+    writeln!(out, "nodes/level:  {:?}", s.nodes_per_level)?;
+    let b = tree.bounds()?;
+    if !b.is_empty() {
+        writeln!(
+            out,
+            "bounds:       ({:.0}, {:.0}) .. ({:.0}, {:.0})",
+            b.lo()[0],
+            b.lo()[1],
+            b.hi()[0],
+            b.hi()[1]
+        )?;
+    }
+    Ok(())
+}
+
+/// `nnq query` — kNN or radius query against an index + its dataset.
+pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let (tree, _pool) = open_index(args.req("index")?)?;
+    let segments = load_segments_csv(args.req("data")?)?;
+    if segments.len() as u64 != tree.len() {
+        return Err(CliError::Run(format!(
+            "index has {} entries but data file has {} segments — wrong pairing?",
+            tree.len(),
+            segments.len()
+        )));
+    }
+    let (x, y) = args.coords("at")?;
+    let q = Point::new([x, y]);
+    let refiner = FnRefiner::new(|rid: RecordId, _: &nnq_geom::Rect<2>, p: &Point<2>| {
+        segments[rid.0 as usize].dist_sq_to_point(p)
+    });
+
+    let start = Instant::now();
+    let (hits, search_stats) = if let Some(radius) = args.opt("radius") {
+        let radius: f64 = radius
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --radius `{radius}`")))?;
+        within_radius(&tree, &q, radius, &refiner)?
+    } else if let Some(metric) = args.opt("metric") {
+        // Generalized metrics rank segment MBRs (centers for points); the
+        // exact-geometry refiner is Euclidean-only.
+        let metric = match metric {
+            "l2" | "euclidean" => Metric::Euclidean,
+            "l1" | "manhattan" => Metric::Manhattan,
+            "linf" | "chebyshev" => Metric::Chebyshev,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown --metric `{other}` (want l1, l2, or linf)"
+                )))
+            }
+        };
+        let k: usize = args.num("k", 1)?;
+        metric_knn(&tree, &q, k, metric)?
+    } else {
+        let k: usize = args.num("k", 1)?;
+        NnSearch::new(&tree).query_refined(&q, k, &refiner)?
+    };
+    let elapsed = start.elapsed();
+
+    for (rank, n) in hits.iter().enumerate() {
+        let s = &segments[n.record.0 as usize];
+        writeln!(
+            out,
+            "{:>3}. segment #{:<8} [{:.1},{:.1}]->[{:.1},{:.1}]  dist {:.1}",
+            rank + 1,
+            n.record.0,
+            s.a[0],
+            s.a[1],
+            s.b[0],
+            s.b[1],
+            n.dist()
+        )?;
+    }
+    writeln!(
+        out,
+        "({} results, {} nodes read, {:.1} µs)",
+        hits.len(),
+        search_stats.nodes_visited,
+        elapsed.as_secs_f64() * 1e6
+    )?;
+    Ok(())
+}
+
+/// `nnq bench` — average query latency and page accesses over a batch of
+/// random query points.
+pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let (tree, pool) = open_index(args.req("index")?)?;
+    let segments = load_segments_csv(args.req("data")?)?;
+    let n_queries: usize = args.num("queries", 1000)?;
+    let k: usize = args.num("k", 10)?;
+    let seed: u64 = args.num("seed", 1)?;
+    let queries = nnq_workloads::uniform_queries(n_queries, &default_bounds(), seed);
+    let refiner = FnRefiner::new(|rid: RecordId, _: &nnq_geom::Rect<2>, p: &Point<2>| {
+        segments[rid.0 as usize].dist_sq_to_point(p)
+    });
+    let search = NnSearch::new(&tree);
+
+    pool.reset_stats();
+    let mut nodes = 0u64;
+    let start = Instant::now();
+    for q in &queries {
+        let (_, s) = search.query_refined(q, k, &refiner)?;
+        nodes += s.nodes_visited;
+    }
+    let elapsed = start.elapsed();
+    let pstats = pool.stats();
+    writeln!(
+        out,
+        "{} queries (k = {k}): {:.1} µs/query, {:.1} pages/query, {:.1} physical reads/query, hit rate {:.1}%",
+        n_queries,
+        elapsed.as_secs_f64() * 1e6 / n_queries as f64,
+        nodes as f64 / n_queries as f64,
+        pstats.physical_reads as f64 / n_queries as f64,
+        pstats.hit_rate() * 100.0
+    )?;
+    Ok(())
+}
+
+/// `nnq explain` — print the branch-and-bound decision trace for one
+/// query.
+pub fn explain(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let (tree, _pool) = open_index(args.req("index")?)?;
+    let (x, y) = args.coords("at")?;
+    let k: usize = args.num("k", 1)?;
+    let q = Point::new([x, y]);
+    let (hits, stats, trace) = NnSearch::new(&tree).query_traced(&q, k, &MbrRefiner)?;
+    writeln!(out, "{}", trace.render())?;
+    writeln!(
+        out,
+        "result: {} neighbors; {} nodes visited, {} branches/objects pruned",
+        hits.len(),
+        stats.nodes_visited,
+        stats.pruned_total()
+    )?;
+    Ok(())
+}
+
+/// `nnq join` — for each point of a query CSV (degenerate segments), find
+/// the k nearest indexed objects; reports throughput for both outer
+/// orderings.
+pub fn join(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let (tree, pool) = open_index(args.req("index")?)?;
+    let segments = load_segments_csv(args.req("data")?)?;
+    let outer_segments = load_segments_csv(args.req("outer")?)?;
+    let outer: Vec<Point<2>> = outer_segments.iter().map(Segment::midpoint).collect();
+    let k: usize = args.num("k", 4)?;
+    let refiner = FnRefiner::new(|rid: nnq_rtree::RecordId, _: &nnq_geom::Rect<2>, p: &Point<2>| {
+        segments[rid.0 as usize].dist_sq_to_point(p)
+    });
+    for (label, order) in [("as-given", JoinOrder::AsGiven), ("hilbert", JoinOrder::Hilbert)] {
+        pool.reset_stats();
+        let start = Instant::now();
+        let results = nnq_core::knn_join(
+            &tree,
+            &outer,
+            k,
+            nnq_core::NnOptions::default(),
+            &refiner,
+            order,
+        )?;
+        let secs = start.elapsed().as_secs_f64();
+        let pstats = pool.stats();
+        let produced: usize = results.iter().map(Vec::len).sum();
+        writeln!(
+            out,
+            "{label:>9}: {} pairs in {:.0} ms ({:.0} outer/s), {} physical reads, hit rate {:.1}%",
+            produced,
+            secs * 1e3,
+            outer.len() as f64 / secs,
+            pstats.physical_reads,
+            pstats.hit_rate() * 100.0
+        )?;
+    }
+    Ok(())
+}

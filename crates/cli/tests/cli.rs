@@ -1,0 +1,187 @@
+//! End-to-end tests of the `nnq` tool, driving [`nnq_cli::run`] directly.
+
+use nnq_cli::{run, CliError};
+
+fn argv(s: &[&str]) -> Vec<String> {
+    s.iter().map(|s| s.to_string()).collect()
+}
+
+fn run_ok(s: &[&str]) -> String {
+    let mut out = Vec::new();
+    run(&argv(s), &mut out).unwrap_or_else(|e| panic!("command {s:?} failed: {e}"));
+    String::from_utf8(out).unwrap()
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("nnq-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_str().unwrap().to_string()
+}
+
+#[test]
+fn full_workflow_gen_build_stats_query_bench() {
+    let data = tmp("roads.csv");
+    let index = tmp("roads.rtree");
+
+    let out = run_ok(&["gen", "--kind", "tiger", "--n", "5000", "--seed", "3", "--out", &data]);
+    assert!(out.contains("5000 tiger segments"), "{out}");
+
+    let out = run_ok(&["build", "--input", &data, "--index", &index, "--method", "str"]);
+    assert!(out.contains("5000 entries"), "{out}");
+
+    let out = run_ok(&["stats", "--index", &index]);
+    assert!(out.contains("entries:      5000"), "{out}");
+    assert!(out.contains("height:"), "{out}");
+
+    let out = run_ok(&[
+        "query", "--index", &index, "--data", &data, "--at", "50000,50000", "-k", "3",
+    ]);
+    assert!(out.contains("3 results"), "{out}");
+    assert!(out.contains("segment #"), "{out}");
+
+    // Radius query.
+    let out = run_ok(&[
+        "query", "--index", &index, "--data", &data, "--at", "50000,50000", "--radius",
+        "5000",
+    ]);
+    assert!(out.contains("results"), "{out}");
+
+    let out = run_ok(&[
+        "bench", "--index", &index, "--data", &data, "--queries", "50", "-k", "5",
+    ]);
+    assert!(out.contains("µs/query"), "{out}");
+
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&index).ok();
+}
+
+#[test]
+fn dynamic_builds_work_too() {
+    let data = tmp("pts.csv");
+    let index = tmp("pts.rtree");
+    run_ok(&["gen", "--kind", "uniform", "--n", "2000", "--out", &data]);
+    for method in ["linear", "quadratic", "rstar", "hilbert"] {
+        let out = run_ok(&["build", "--input", &data, "--index", &index, "--method", method]);
+        assert!(out.contains("2000 entries"), "{method}: {out}");
+    }
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&index).ok();
+}
+
+#[test]
+fn knn_results_are_sorted_and_k_limited() {
+    let data = tmp("clustered.csv");
+    let index = tmp("clustered.rtree");
+    run_ok(&["gen", "--kind", "clustered", "--n", "3000", "--out", &data]);
+    run_ok(&["build", "--input", &data, "--index", &index]);
+    let out = run_ok(&[
+        "query", "--index", &index, "--data", &data, "--at", "1000,1000", "-k", "7",
+    ]);
+    let dists: Vec<f64> = out
+        .lines()
+        .filter_map(|l| l.split("dist ").nth(1))
+        .map(|d| d.trim().parse().unwrap())
+        .collect();
+    assert_eq!(dists.len(), 7, "{out}");
+    assert!(dists.windows(2).all(|w| w[0] <= w[1]), "{out}");
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&index).ok();
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    // Unknown command.
+    let mut out = Vec::new();
+    assert!(matches!(
+        run(&argv(&["frobnicate"]), &mut out),
+        Err(CliError::Usage(_))
+    ));
+    // Missing flags.
+    assert!(matches!(
+        run(&argv(&["gen", "--kind", "tiger"]), &mut out),
+        Err(CliError::Usage(_))
+    ));
+    // Bad kind.
+    assert!(matches!(
+        run(
+            &argv(&["gen", "--kind", "volcanic", "--out", "/tmp/x"]),
+            &mut out
+        ),
+        Err(CliError::Usage(_))
+    ));
+    // Nonexistent index file.
+    assert!(matches!(
+        run(&argv(&["stats", "--index", "/nonexistent/idx"]), &mut out),
+        Err(CliError::Run(_))
+    ));
+    // Help prints usage.
+    let mut out = Vec::new();
+    run(&argv(&["help"]), &mut out).unwrap();
+    assert!(String::from_utf8(out).unwrap().contains("USAGE"));
+    // No command at all.
+    assert!(matches!(run(&[], &mut Vec::new()), Err(CliError::Usage(_))));
+}
+
+#[test]
+fn query_rejects_mismatched_data_file() {
+    let data = tmp("a.csv");
+    let other = tmp("b.csv");
+    let index = tmp("a.rtree");
+    run_ok(&["gen", "--kind", "uniform", "--n", "500", "--out", &data]);
+    run_ok(&["gen", "--kind", "uniform", "--n", "400", "--out", &other]);
+    run_ok(&["build", "--input", &data, "--index", &index]);
+    let mut out = Vec::new();
+    let err = run(
+        &argv(&["query", "--index", &index, "--data", &other, "--at", "0,0"]),
+        &mut out,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("wrong pairing"), "{err}");
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&other).ok();
+    std::fs::remove_file(&index).ok();
+}
+
+#[test]
+fn explain_join_and_metric_queries() {
+    let data = tmp("ext.csv");
+    let outer = tmp("ext-outer.csv");
+    let index = tmp("ext.rtree");
+    run_ok(&["gen", "--kind", "tiger", "--n", "3000", "--out", &data]);
+    run_ok(&["gen", "--kind", "uniform", "--n", "200", "--seed", "9", "--out", &outer]);
+    run_ok(&["build", "--input", &data, "--index", &index]);
+
+    // Explain shows the decision trace.
+    let out = run_ok(&["explain", "--index", &index, "--at", "50000,50000", "-k", "2"]);
+    assert!(out.contains("node page#"), "{out}");
+    assert!(out.contains("pruned"), "{out}");
+
+    // Metric queries rank by the chosen metric.
+    for metric in ["l1", "l2", "linf"] {
+        let out = run_ok(&[
+            "query", "--index", &index, "--data", &data, "--at", "50000,50000", "-k", "3",
+            "--metric", metric,
+        ]);
+        assert!(out.contains("3 results"), "{metric}: {out}");
+    }
+    // Unknown metric is a usage error.
+    let mut sink = Vec::new();
+    assert!(matches!(
+        run(
+            &argv(&["query", "--index", &index, "--data", &data, "--at", "0,0",
+                    "--metric", "cosine"]),
+            &mut sink
+        ),
+        Err(CliError::Usage(_))
+    ));
+
+    // Join runs both orderings and reports pairs.
+    let out = run_ok(&["join", "--index", &index, "--data", &data, "--outer", &outer, "-k", "2"]);
+    assert!(out.contains("as-given"), "{out}");
+    assert!(out.contains("hilbert"), "{out}");
+    assert!(out.contains("400 pairs"), "{out}"); // 200 outer * k=2
+
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&outer).ok();
+    std::fs::remove_file(&index).ok();
+}

@@ -1,0 +1,519 @@
+//! The RKV'95 branch-and-bound nearest-neighbor search.
+//!
+//! An ordered depth-first traversal of the R-tree. At each internal node
+//! the child entries form the **Active Branch List (ABL)**; the list is
+//! sorted by `MINDIST` or `MINMAXDIST`, pruned by the paper's three
+//! strategies, and visited in order, re-applying upward pruning whenever
+//! control returns from a subtree (the re-check happens naturally because
+//! the candidate bound is consulted immediately before each descent).
+//!
+//! ## Soundness of the pruning bounds for k > 1
+//!
+//! Strategy 1 and 2 use the k-th smallest `MINMAXDIST` *within one node's
+//! entry list* as an upper bound on the k-th nearest-neighbor distance.
+//! This is sound because the entries of a single node describe pairwise
+//! disjoint subtrees (internal node) or distinct objects (leaf), so k
+//! distinct entries guarantee k *distinct* objects within their respective
+//! `MINMAXDIST`s. Mixing bounds across different tree levels would not be
+//! sound — an ancestor's guaranteed object may be the same object as a
+//! descendant's — so bounds are kept node-local, exactly as in the paper.
+
+use crate::explain::{Decision, Trace, TraceEvent};
+use crate::heap::KnnHeap;
+use crate::options::{AblOrdering, Neighbor, NnOptions, SearchStats};
+use crate::refine::{MbrRefiner, Refiner};
+use crate::Result;
+use nnq_geom::{mindist_sq, minmaxdist_sq, Point, Rect};
+use nnq_rtree::{NodeRef, RTree, TreeAccess};
+use nnq_storage::PageId;
+
+/// A nearest-neighbor query engine over an [`RTree`].
+///
+/// Cheap to construct; borrow one per query batch. See the crate docs for
+/// an end-to-end example.
+pub struct NnSearch<'t, const D: usize, T: TreeAccess<D> + ?Sized = RTree<D>> {
+    tree: &'t T,
+    opts: NnOptions,
+}
+
+impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
+    /// Creates a search engine with the paper's full algorithm
+    /// (MINDIST ordering, all pruning strategies on).
+    pub fn new(tree: &'t T) -> Self {
+        Self {
+            tree,
+            opts: NnOptions::default(),
+        }
+    }
+
+    /// Creates a search engine with explicit options.
+    pub fn with_options(tree: &'t T, opts: NnOptions) -> Self {
+        Self { tree, opts }
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &NnOptions {
+        &self.opts
+    }
+
+    /// Finds the `k` records nearest to `q`, treating each record's MBR as
+    /// the object itself (exact for point and rectangle data).
+    pub fn query(&self, q: &Point<D>, k: usize) -> Result<Vec<Neighbor<D>>> {
+        self.query_refined(q, k, &MbrRefiner).map(|(n, _)| n)
+    }
+
+    /// Like [`NnSearch::query`], also returning per-query work counters.
+    pub fn query_with_stats(
+        &self,
+        q: &Point<D>,
+        k: usize,
+    ) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
+        self.query_refined(q, k, &MbrRefiner)
+    }
+
+    /// Finds the `k` objects nearest to `q`, using `refiner` for exact
+    /// object distances (filter-refine; see [`Refiner`]).
+    pub fn query_refined<R: Refiner<D>>(
+        &self,
+        q: &Point<D>,
+        k: usize,
+        refiner: &R,
+    ) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
+        self.run(q, k, refiner, None)
+    }
+
+    /// Finds the `k` nearest objects whose MBR intersects `region` — the
+    /// "nearest POIs inside the visible map area" query. Subtrees disjoint
+    /// from the region are skipped before any metric is computed.
+    ///
+    /// Note: with a region constraint, `MINMAXDIST` no longer guarantees
+    /// an *eligible* object in every face-touching position, so strategies
+    /// 1 and 2 are suspended for constrained queries; upward pruning (by
+    /// candidate distance) remains in force.
+    pub fn query_in_region<R: Refiner<D>>(
+        &self,
+        q: &Point<D>,
+        k: usize,
+        region: &Rect<D>,
+        refiner: &R,
+    ) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
+        self.run(q, k, refiner, Some(*region))
+    }
+
+    /// Like [`NnSearch::query_refined`], additionally recording a full
+    /// decision [`Trace`] of the traversal (see `explain.rs`).
+    pub fn query_traced<R: Refiner<D>>(
+        &self,
+        q: &Point<D>,
+        k: usize,
+        refiner: &R,
+    ) -> Result<(Vec<Neighbor<D>>, SearchStats, Trace)> {
+        assert!(k > 0, "k must be at least 1");
+        let mut trace = Trace::default();
+        let mut ctx = Ctx {
+            tree: self.tree,
+            opts: self.opts,
+            q: *q,
+            refiner,
+            region: None,
+            heap: KnnHeap::new(k),
+            stats: SearchStats::default(),
+            trace: Some(&mut trace),
+        };
+        if let Some(root) = self.tree.access_root() {
+            ctx.visit(root)?;
+        }
+        let stats = ctx.stats;
+        Ok((ctx.heap.into_sorted(), stats, trace))
+    }
+
+    fn run<R: Refiner<D>>(
+        &self,
+        q: &Point<D>,
+        k: usize,
+        refiner: &R,
+        region: Option<Rect<D>>,
+    ) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
+        assert!(k > 0, "k must be at least 1");
+        let mut opts = self.opts;
+        if region.is_some() {
+            // MINMAXDIST's object guarantee does not survive filtering, so
+            // the bounds of strategies 1 and 2 are unsound here.
+            opts.prune_downward = false;
+            opts.prune_object = false;
+        }
+        let mut ctx = Ctx {
+            tree: self.tree,
+            opts,
+            q: *q,
+            refiner,
+            region,
+            heap: KnnHeap::new(k),
+            stats: SearchStats::default(),
+            trace: None,
+        };
+        if let Some(root) = self.tree.access_root() {
+            ctx.visit(root)?;
+        }
+        Ok((ctx.heap.into_sorted(), ctx.stats))
+    }
+}
+
+struct Ctx<'t, 'r, const D: usize, T: ?Sized, R> {
+    tree: &'t T,
+    opts: NnOptions,
+    q: Point<D>,
+    refiner: &'r R,
+    region: Option<Rect<D>>,
+    heap: KnnHeap<D>,
+    stats: SearchStats,
+    trace: Option<&'r mut Trace>,
+}
+
+/// k-th smallest value of `values` (`+∞` when fewer than k values).
+fn kth_smallest(values: &mut [f64], k: usize) -> f64 {
+    if values.len() < k {
+        return f64::INFINITY;
+    }
+    let (_, kth, _) = values.select_nth_unstable_by(k - 1, f64::total_cmp);
+    *kth
+}
+
+impl<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>> Ctx<'_, '_, D, T, R> {
+    fn visit(&mut self, page: PageId) -> Result<()> {
+        let node = self.tree.access_node(page)?;
+        self.stats.nodes_visited += 1;
+        if let Some(trace) = self.trace.as_deref_mut() {
+            trace.events.push(TraceEvent::EnterNode {
+                page,
+                level: node.level,
+                bound_sq: self.heap.bound_sq(),
+            });
+        }
+        if node.is_leaf() {
+            self.visit_leaf(&node);
+            Ok(())
+        } else {
+            self.visit_internal(&node)
+        }
+    }
+
+    fn visit_leaf(&mut self, node: &NodeRef<D>) {
+        self.stats.leaves_visited += 1;
+        // Strategy 2 bound: the k-th smallest MINMAXDIST among this leaf's
+        // entries guarantees k objects within that distance.
+        let object_bound = if self.opts.prune_object {
+            let mut minmax: Vec<f64> = node
+                .entries
+                .iter()
+                .map(|e| minmaxdist_sq(&self.q, &e.mbr))
+                .collect();
+            kth_smallest(&mut minmax, self.heap.k())
+        } else {
+            f64::INFINITY
+        };
+        for e in &node.entries {
+            if let Some(region) = &self.region {
+                if !e.mbr.intersects(region) {
+                    self.trace_object(e.record(), f64::NAN, None, Decision::OutsideRegion, false);
+                    continue;
+                }
+            }
+            let filter = mindist_sq(&self.q, &e.mbr);
+            if self.opts.prune_object && filter > object_bound {
+                self.stats.pruned_object += 1;
+                self.trace_object(e.record(), filter, None, Decision::PrunedObject, false);
+                continue;
+            }
+            if self.opts.prune_upward && filter >= self.pruning_bound_sq() {
+                self.stats.pruned_upward += 1;
+                self.trace_object(e.record(), filter, None, Decision::PrunedUpward, false);
+                continue;
+            }
+            let exact = self.refiner.dist_sq(e.record(), &e.mbr, &self.q);
+            debug_assert!(
+                exact + 1e-9 >= filter,
+                "refiner returned a distance below the MBR filter bound"
+            );
+            self.stats.dist_computations += 1;
+            let accepted = self.heap.offer(e.record(), e.mbr, exact);
+            self.trace_object(e.record(), filter, Some(exact), Decision::Visited, accepted);
+        }
+    }
+
+    /// The strategy-3 comparison bound: the k-th candidate's squared
+    /// distance, shrunk by (1+ε)² for approximate queries (a branch whose
+    /// MINDIST is within ε of the candidate bound may be skipped).
+    fn pruning_bound_sq(&self) -> f64 {
+        let bound = self.heap.bound_sq();
+        if self.opts.epsilon > 0.0 {
+            let f = 1.0 + self.opts.epsilon;
+            bound / (f * f)
+        } else {
+            bound
+        }
+    }
+
+    fn trace_object(
+        &mut self,
+        record: nnq_rtree::RecordId,
+        filter_sq: f64,
+        exact_sq: Option<f64>,
+        decision: Decision,
+        accepted: bool,
+    ) {
+        if let Some(trace) = self.trace.as_deref_mut() {
+            trace.events.push(TraceEvent::Object {
+                record,
+                filter_sq,
+                exact_sq,
+                decision,
+                accepted,
+            });
+        }
+    }
+
+    fn trace_branch(&mut self, child: PageId, mindist: f64, minmaxdist: f64, decision: Decision) {
+        if let Some(trace) = self.trace.as_deref_mut() {
+            trace.events.push(TraceEvent::Branch {
+                child,
+                mindist_sq: mindist,
+                minmaxdist_sq: minmaxdist,
+                decision,
+            });
+        }
+    }
+
+    fn visit_internal(&mut self, node: &NodeRef<D>) -> Result<()> {
+        // Generate the Active Branch List.
+        let mut abl: Vec<AblEntry<D>> = node
+            .entries
+            .iter()
+            .filter(|e| {
+                self.region
+                    .as_ref()
+                    .is_none_or(|region| e.mbr.intersects(region))
+            })
+            .map(|e| AblEntry {
+                mindist: mindist_sq(&self.q, &e.mbr),
+                minmaxdist: minmaxdist_sq(&self.q, &e.mbr),
+                child: e.child(),
+            })
+            .collect();
+        self.stats.abl_entries += abl.len() as u64;
+
+        // Strategy 1 bound: k-th smallest MINMAXDIST within this ABL.
+        let downward_bound = if self.opts.prune_downward {
+            let mut minmax: Vec<f64> = abl.iter().map(|a| a.minmaxdist).collect();
+            kth_smallest(&mut minmax, self.heap.k())
+        } else {
+            f64::INFINITY
+        };
+
+        // Sort by the configured metric (the paper's E2 comparison).
+        match self.opts.ordering {
+            AblOrdering::MinDist => {
+                abl.sort_by(|a, b| a.mindist.total_cmp(&b.mindist));
+            }
+            AblOrdering::MinMaxDist => {
+                abl.sort_by(|a, b| a.minmaxdist.total_cmp(&b.minmaxdist));
+            }
+        }
+
+        for a in &abl {
+            if self.opts.prune_downward && a.mindist > downward_bound {
+                self.stats.pruned_downward += 1;
+                self.trace_branch(a.child, a.mindist, a.minmaxdist, Decision::PrunedDownward);
+                continue;
+            }
+            // Strategy 3, consulted immediately before each descent — this
+            // covers both the initial prune and the re-prune after control
+            // returns from earlier siblings (the heap bound only shrinks).
+            if self.opts.prune_upward && a.mindist >= self.pruning_bound_sq() {
+                self.stats.pruned_upward += 1;
+                self.trace_branch(a.child, a.mindist, a.minmaxdist, Decision::PrunedUpward);
+                continue;
+            }
+            self.trace_branch(a.child, a.mindist, a.minmaxdist, Decision::Visited);
+            self.visit(a.child)?;
+        }
+        Ok(())
+    }
+}
+
+struct AblEntry<const D: usize> {
+    mindist: f64,
+    minmaxdist: f64,
+    child: PageId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnq_geom::Rect;
+    use nnq_rtree::{RTreeConfig, RecordId};
+    use nnq_storage::{BufferPool, MemDisk, PAGE_SIZE};
+    use std::sync::Arc;
+
+    fn grid_tree(n_side: u64, fanout: usize) -> RTree<2> {
+        let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 4096));
+        let mut tree =
+            RTree::<2>::create(pool, RTreeConfig::for_testing(fanout)).unwrap();
+        for x in 0..n_side {
+            for y in 0..n_side {
+                let p = Point::new([x as f64, y as f64]);
+                tree.insert(Rect::from_point(p), RecordId(x * n_side + y)).unwrap();
+            }
+        }
+        tree
+    }
+
+    #[test]
+    fn empty_tree_returns_nothing() {
+        let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 16));
+        let tree = RTree::<2>::create(pool, RTreeConfig::default()).unwrap();
+        let nn = NnSearch::new(&tree);
+        assert!(nn.query(&Point::new([0.0, 0.0]), 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_dataset_returns_everything_sorted() {
+        let tree = grid_tree(3, 4); // 9 points
+        let nn = NnSearch::new(&tree);
+        let out = nn.query(&Point::new([0.0, 0.0]), 100).unwrap();
+        assert_eq!(out.len(), 9);
+        for w in out.windows(2) {
+            assert!(w[0].dist_sq <= w[1].dist_sq);
+        }
+    }
+
+    #[test]
+    fn exact_nearest_on_grid() {
+        let tree = grid_tree(20, 6);
+        let nn = NnSearch::new(&tree);
+        let out = nn.query(&Point::new([7.3, 11.8]), 1).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].record, RecordId(7 * 20 + 12));
+        let expected = 0.3f64 * 0.3 + 0.2 * 0.2;
+        assert!((out[0].dist_sq - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_at_a_data_point_returns_it_first() {
+        let tree = grid_tree(10, 5);
+        let nn = NnSearch::new(&tree);
+        let out = nn.query(&Point::new([4.0, 4.0]), 3).unwrap();
+        assert_eq!(out[0].record, RecordId(44));
+        assert_eq!(out[0].dist_sq, 0.0);
+        assert_eq!(out[1].dist_sq, 1.0);
+        assert_eq!(out[2].dist_sq, 1.0);
+    }
+
+    #[test]
+    fn all_option_combinations_agree() {
+        let tree = grid_tree(16, 5);
+        let q = Point::new([3.7, 12.2]);
+        let reference = NnSearch::with_options(&tree, NnOptions::no_pruning())
+            .query(&q, 7)
+            .unwrap();
+        for ordering in [AblOrdering::MinDist, AblOrdering::MinMaxDist] {
+            for s1 in [false, true] {
+                for s2 in [false, true] {
+                    for s3 in [false, true] {
+                        let opts = NnOptions {
+                            ordering,
+                            prune_downward: s1,
+                            prune_object: s2,
+                            prune_upward: s3,
+                            ..NnOptions::default()
+                        };
+                        let got = NnSearch::with_options(&tree, opts).query(&q, 7).unwrap();
+                        let gd: Vec<f64> = got.iter().map(|n| n.dist_sq).collect();
+                        let rd: Vec<f64> = reference.iter().map(|n| n.dist_sq).collect();
+                        assert_eq!(gd, rd, "options {opts:?} changed the result");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_nodes_visited() {
+        let tree = grid_tree(32, 6); // 1024 points, deep tree
+        let q = Point::new([10.1, 20.3]);
+        let (_, none) = NnSearch::with_options(&tree, NnOptions::no_pruning())
+            .query_with_stats(&q, 4)
+            .unwrap();
+        let (_, full) = NnSearch::new(&tree).query_with_stats(&q, 4).unwrap();
+        assert!(
+            full.nodes_visited * 4 < none.nodes_visited,
+            "pruned {} vs unpruned {}",
+            full.nodes_visited,
+            none.nodes_visited
+        );
+        assert!(full.pruned_total() > 0);
+        // Unpruned traversal visits the whole tree.
+        let total_nodes = tree.stats().unwrap().nodes;
+        assert_eq!(none.nodes_visited, total_nodes);
+    }
+
+    #[test]
+    fn stats_count_distance_computations() {
+        let tree = grid_tree(8, 4);
+        let (out, stats) = NnSearch::new(&tree)
+            .query_with_stats(&Point::new([4.0, 4.0]), 2)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(stats.dist_computations >= 2);
+        assert!(stats.nodes_visited >= stats.leaves_visited);
+        assert!(stats.leaves_visited >= 1);
+    }
+
+    #[test]
+    fn refined_query_ranks_by_exact_distance() {
+        // Two horizontal segments; the query is closer to segment 1's MBR
+        // but closer to segment 0's geometry.
+        use nnq_geom::Segment;
+        let segments = [Segment::new(Point::new([0.0, 1.0]), Point::new([10.0, 1.0])),
+            Segment::new(Point::new([4.0, -10.0]), Point::new([6.0, 10.0]))];
+        let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 64));
+        let mut tree = RTree::<2>::create(pool, RTreeConfig::default()).unwrap();
+        for (i, s) in segments.iter().enumerate() {
+            tree.insert(s.mbr(), RecordId(i as u64)).unwrap();
+        }
+        let refiner = crate::FnRefiner::new(|rid: RecordId, _: &Rect<2>, q: &Point<2>| {
+            segments[rid.0 as usize].dist_sq_to_point(q)
+        });
+        let q = Point::new([1.0, 0.0]);
+        let (out, _) = NnSearch::new(&tree).query_refined(&q, 2, &refiner).unwrap();
+        // The query sits inside segment 1's (large) MBR but its exact
+        // geometric distance to segment 0 is smaller: refinement must rank
+        // by exact distance, not by MBR distance.
+        assert_eq!(out[0].record, RecordId(0));
+        assert_eq!(out[0].dist_sq, 1.0);
+        assert_eq!(out[1].record, RecordId(1));
+        assert_eq!(out[1].dist_sq, segments[1].dist_sq_to_point(&q));
+        assert!(out[1].dist_sq > out[0].dist_sq);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        let tree = grid_tree(2, 4);
+        let _ = NnSearch::new(&tree).query(&Point::new([0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn kth_smallest_helper() {
+        let mut v = [5.0, 1.0, 3.0];
+        assert_eq!(kth_smallest(&mut v, 1), 1.0);
+        let mut v = [5.0, 1.0, 3.0];
+        assert_eq!(kth_smallest(&mut v, 2), 3.0);
+        let mut v = [5.0, 1.0, 3.0];
+        assert_eq!(kth_smallest(&mut v, 3), 5.0);
+        let mut v = [5.0, 1.0, 3.0];
+        assert_eq!(kth_smallest(&mut v, 4), f64::INFINITY);
+        let mut v: [f64; 0] = [];
+        assert_eq!(kth_smallest(&mut v, 1), f64::INFINITY);
+    }
+}

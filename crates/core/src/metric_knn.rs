@@ -1,0 +1,165 @@
+//! k-nearest-neighbor search under generalized Minkowski metrics.
+//!
+//! RKV'95 points out that its framework only requires a lower-bounding
+//! point-to-rectangle distance, so the algorithm generalizes beyond L2.
+//! `MINMAXDIST` (and with it strategies 1 and 2) is Euclidean-specific,
+//! so the generalized search is a best-first traversal pruned by the
+//! metric's `MINDIST` analogue alone — still exact, still reading only the
+//! nodes whose bound beats the current k-th candidate.
+
+use crate::heap::KnnHeap;
+use crate::options::{Neighbor, SearchStats};
+use crate::Result;
+use nnq_geom::{Metric, Point};
+use nnq_rtree::TreeAccess;
+use nnq_storage::PageId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq)]
+struct Key(f64);
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Finds the `k` records nearest to `q` under `metric`, treating each
+/// record's MBR as the object. Distances in the result are **linear**
+/// (metric units), carried in the `dist_sq` field squared for type
+/// uniformity — use [`Neighbor::dist`] for the metric distance.
+///
+/// ```
+/// use nnq_core::metric_knn;
+/// use nnq_geom::{Metric, Point, Rect};
+/// use nnq_rtree::{MemRTree, RecordId};
+///
+/// let mut tree = MemRTree::<2>::new();
+/// tree.insert(Rect::from_point(Point::new([3.0, 0.0])), RecordId(0)).unwrap();
+/// tree.insert(Rect::from_point(Point::new([2.0, 2.0])), RecordId(1)).unwrap();
+/// // Under L1, (2,2) is at distance 4 and (3,0) at 3; under L∞ they swap.
+/// let (l1, _) = metric_knn(&tree, &Point::new([0.0, 0.0]), 1, Metric::Manhattan).unwrap();
+/// assert_eq!(l1[0].record, RecordId(0));
+/// let (linf, _) = metric_knn(&tree, &Point::new([0.0, 0.0]), 1, Metric::Chebyshev).unwrap();
+/// assert_eq!(linf[0].record, RecordId(1));
+/// ```
+pub fn metric_knn<const D: usize, T: TreeAccess<D> + ?Sized>(
+    tree: &T,
+    q: &Point<D>,
+    k: usize,
+    metric: Metric,
+) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
+    assert!(k > 0, "k must be at least 1");
+    let mut heap = KnnHeap::new(k);
+    let mut stats = SearchStats::default();
+    let mut queue: BinaryHeap<Reverse<(Key, PageId)>> = BinaryHeap::new();
+    if let Some(root) = tree.access_root() {
+        queue.push(Reverse((Key(0.0), root)));
+    }
+    while let Some(Reverse((Key(dist), page))) = queue.pop() {
+        if dist * dist >= heap.bound_sq() {
+            break;
+        }
+        let node = tree.access_node(page)?;
+        stats.nodes_visited += 1;
+        if node.is_leaf() {
+            stats.leaves_visited += 1;
+            for e in &node.entries {
+                // The object is its MBR: the metric distance to the
+                // nearest point of the box is exact for points/rects.
+                let d = metric.rect_mindist(q, &e.mbr);
+                stats.dist_computations += 1;
+                heap.offer(e.record(), e.mbr, d * d);
+            }
+        } else {
+            for e in &node.entries {
+                let d = metric.rect_mindist(q, &e.mbr);
+                if d * d < heap.bound_sq() {
+                    queue.push(Reverse((Key(d), e.child())));
+                }
+            }
+        }
+    }
+    Ok((heap.into_sorted(), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnq_geom::Rect;
+    use nnq_rtree::{MemRTree, RecordId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_setup(n: usize, seed: u64) -> (MemRTree<2>, Vec<Point<2>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = MemRTree::new();
+        let mut pts = Vec::new();
+        for i in 0..n {
+            let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
+            tree.insert(Rect::from_point(p), RecordId(i as u64)).unwrap();
+            pts.push(p);
+        }
+        (tree, pts)
+    }
+
+    #[test]
+    fn all_metrics_match_brute_force() {
+        let (tree, pts) = random_setup(3_000, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            for _ in 0..20 {
+                let q =
+                    Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
+                let (got, _) = metric_knn(&tree, &q, 8, metric).unwrap();
+                let mut want: Vec<f64> =
+                    pts.iter().map(|p| metric.point_dist(&q, p)).collect();
+                want.sort_by(f64::total_cmp);
+                let gd: Vec<f64> = got.iter().map(Neighbor::dist).collect();
+                for (g, w) in gd.iter().zip(&want[..8]) {
+                    assert!((g - w).abs() < 1e-9, "{metric:?}: {gd:?} vs {want:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn euclidean_metric_agrees_with_main_search() {
+        let (tree, _) = random_setup(2_000, 7);
+        let q = Point::new([40.0, 60.0]);
+        let (a, _) = metric_knn(&tree, &q, 10, Metric::Euclidean).unwrap();
+        let b = crate::NnSearch::new(&tree).query(&q, 10).unwrap();
+        let da: Vec<f64> = a.iter().map(Neighbor::dist).collect();
+        let db: Vec<f64> = b.iter().map(Neighbor::dist).collect();
+        for (x, y) in da.iter().zip(&db) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pruning_still_skips_most_nodes() {
+        let (tree, _) = random_setup(30_000, 8);
+        let total = tree.stats().unwrap().nodes;
+        for metric in [Metric::Manhattan, Metric::Chebyshev] {
+            let (_, stats) = metric_knn(&tree, &Point::new([50.0, 50.0]), 5, metric).unwrap();
+            assert!(
+                stats.nodes_visited * 10 < total,
+                "{metric:?}: visited {} of {total}",
+                stats.nodes_visited
+            );
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = MemRTree::<2>::new();
+        let (out, _) = metric_knn(&tree, &Point::new([0.0, 0.0]), 3, Metric::Manhattan).unwrap();
+        assert!(out.is_empty());
+    }
+}

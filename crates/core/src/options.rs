@@ -1,0 +1,178 @@
+//! Query options, results, and per-query statistics.
+
+use nnq_geom::Rect;
+use nnq_rtree::RecordId;
+
+/// How the Active Branch List is ordered before descending — the paper's
+/// central experimental knob (experiment E2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AblOrdering {
+    /// Sort child entries by `MINDIST` (optimistic). The paper found this
+    /// ordering superior on average, and it is the default.
+    #[default]
+    MinDist,
+    /// Sort child entries by `MINMAXDIST` (pessimistic).
+    MinMaxDist,
+}
+
+/// Options controlling the branch-and-bound search.
+///
+/// The defaults enable everything, matching the paper's full algorithm;
+/// individual pruning strategies can be disabled for ablation studies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NnOptions {
+    /// Active-branch-list ordering.
+    pub ordering: AblOrdering,
+    /// Strategy 1 — downward pruning: discard ABL entries whose `MINDIST`
+    /// exceeds the k-th smallest `MINMAXDIST` bound discovered so far.
+    pub prune_downward: bool,
+    /// Strategy 2 — object pruning: skip exact distance computations (and
+    /// candidate insertion) for objects whose filter distance exceeds the
+    /// `MINMAXDIST` bound.
+    pub prune_object: bool,
+    /// Strategy 3 — upward pruning: discard ABL entries whose `MINDIST` is
+    /// at least the distance to the current k-th nearest candidate.
+    pub prune_upward: bool,
+    /// Approximation slack ε ≥ 0 (extension; libspatialindex-style
+    /// (1+ε)-approximate kNN). Branches are pruned as if they were a
+    /// factor (1+ε) closer, so every reported distance is at most (1+ε)
+    /// times the true k-th nearest distance. `0.0` (the default) is the
+    /// exact algorithm.
+    pub epsilon: f64,
+}
+
+impl Default for NnOptions {
+    fn default() -> Self {
+        Self {
+            ordering: AblOrdering::MinDist,
+            prune_downward: true,
+            prune_object: true,
+            prune_upward: true,
+            epsilon: 0.0,
+        }
+    }
+}
+
+impl NnOptions {
+    /// The paper's full algorithm with the given ordering.
+    pub fn with_ordering(ordering: AblOrdering) -> Self {
+        Self {
+            ordering,
+            ..Self::default()
+        }
+    }
+
+    /// All pruning disabled — exhaustive traversal, the ablation baseline.
+    pub fn no_pruning() -> Self {
+        Self {
+            ordering: AblOrdering::MinDist,
+            prune_downward: false,
+            prune_object: false,
+            prune_upward: false,
+            epsilon: 0.0,
+        }
+    }
+
+    /// The exact algorithm relaxed to (1+ε)-approximate answers.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is negative or not finite.
+    pub fn approximate(epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be finite and nonnegative"
+        );
+        Self {
+            epsilon,
+            ..Self::default()
+        }
+    }
+}
+
+/// One result of a nearest-neighbor query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor<const D: usize> {
+    /// The record found.
+    pub record: RecordId,
+    /// Its indexed bounding rectangle.
+    pub mbr: Rect<D>,
+    /// Its exact squared distance from the query point.
+    pub dist_sq: f64,
+}
+
+impl<const D: usize> Neighbor<D> {
+    /// The linear (square-rooted) distance.
+    pub fn dist(&self) -> f64 {
+        self.dist_sq.sqrt()
+    }
+}
+
+/// Work counters for a single query.
+///
+/// `nodes_visited` (and the page counters kept by the buffer pool) are the
+/// paper's cost unit; the pruning counters feed the E3 ablation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Tree nodes read (internal + leaf).
+    pub nodes_visited: u64,
+    /// Leaf nodes read.
+    pub leaves_visited: u64,
+    /// ABL entries generated across all visited internal nodes.
+    pub abl_entries: u64,
+    /// Entries discarded by downward pruning (strategy 1).
+    pub pruned_downward: u64,
+    /// Objects skipped by object pruning (strategy 2).
+    pub pruned_object: u64,
+    /// Entries discarded by upward pruning (strategy 3), whether before
+    /// the first descent or when control returned.
+    pub pruned_upward: u64,
+    /// Exact object distance computations performed.
+    pub dist_computations: u64,
+}
+
+impl SearchStats {
+    /// Total entries discarded by any strategy.
+    pub fn pruned_total(&self) -> u64 {
+        self.pruned_downward + self.pruned_object + self.pruned_upward
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnq_geom::Point;
+
+    #[test]
+    fn defaults_enable_full_algorithm() {
+        let o = NnOptions::default();
+        assert_eq!(o.ordering, AblOrdering::MinDist);
+        assert!(o.prune_downward && o.prune_object && o.prune_upward);
+    }
+
+    #[test]
+    fn no_pruning_disables_all() {
+        let o = NnOptions::no_pruning();
+        assert!(!o.prune_downward && !o.prune_object && !o.prune_upward);
+    }
+
+    #[test]
+    fn neighbor_distance_is_sqrt() {
+        let n = Neighbor::<2> {
+            record: RecordId(1),
+            mbr: Rect::from_point(Point::new([0.0, 0.0])),
+            dist_sq: 9.0,
+        };
+        assert_eq!(n.dist(), 3.0);
+    }
+
+    #[test]
+    fn pruned_total_sums_strategies() {
+        let s = SearchStats {
+            pruned_downward: 2,
+            pruned_object: 3,
+            pruned_upward: 5,
+            ..SearchStats::default()
+        };
+        assert_eq!(s.pruned_total(), 10);
+    }
+}

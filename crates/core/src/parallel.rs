@@ -1,0 +1,140 @@
+//! Parallel batch queries.
+//!
+//! The paper's conclusion lists parallel nearest-neighbor search as future
+//! work; this module provides the embarrassingly-parallel form: a batch of
+//! independent queries fanned out over scoped worker threads. Both tree
+//! backends are internally synchronized for reads (`&self` queries), so
+//! workers share one tree.
+
+use crate::branch_bound::NnSearch;
+use crate::options::{Neighbor, NnOptions};
+use crate::refine::Refiner;
+use crate::Result;
+use nnq_geom::Point;
+use nnq_rtree::TreeAccess;
+
+/// Runs a kNN query for every point in `queries`, fanning the batch out
+/// over `threads` worker threads. Results are returned in query order.
+///
+/// `threads = 1` degenerates to a sequential loop (no threads spawned).
+///
+/// ```
+/// use nnq_core::{par_knn_batch, NnOptions, MbrRefiner};
+/// use nnq_rtree::{MemRTree, RecordId};
+/// use nnq_geom::{Point, Rect};
+///
+/// let mut tree = MemRTree::<2>::new();
+/// for i in 0..1000u64 {
+///     let p = Point::new([(i % 50) as f64, (i / 50) as f64]);
+///     tree.insert(Rect::from_point(p), RecordId(i)).unwrap();
+/// }
+/// let queries: Vec<_> = (0..64).map(|i| Point::new([i as f64, i as f64])).collect();
+/// let results = par_knn_batch(&tree, &queries, 3, NnOptions::default(), &MbrRefiner, 4).unwrap();
+/// assert_eq!(results.len(), 64);
+/// assert!(results.iter().all(|r| r.len() == 3));
+/// ```
+pub fn par_knn_batch<const D: usize, T, R>(
+    tree: &T,
+    queries: &[Point<D>],
+    k: usize,
+    opts: NnOptions,
+    refiner: &R,
+    threads: usize,
+) -> Result<Vec<Vec<Neighbor<D>>>>
+where
+    T: TreeAccess<D> + Sync + ?Sized,
+    R: Refiner<D> + Sync,
+{
+    assert!(threads > 0, "need at least one worker");
+    if queries.is_empty() {
+        return Ok(Vec::new());
+    }
+    if threads == 1 || queries.len() == 1 {
+        let search = NnSearch::with_options(tree, opts);
+        return queries
+            .iter()
+            .map(|q| search.query_refined(q, k, refiner).map(|(n, _)| n))
+            .collect();
+    }
+
+    let chunk = queries.len().div_ceil(threads);
+    let mut results: Vec<Vec<Neighbor<D>>> = vec![Vec::new(); queries.len()];
+    let out_chunks: Vec<&mut [Vec<Neighbor<D>>]> = results.chunks_mut(chunk).collect();
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (qs, outs) in queries.chunks(chunk).zip(out_chunks) {
+            handles.push(scope.spawn(move |_| -> Result<()> {
+                let search = NnSearch::with_options(tree, opts);
+                for (q, out) in qs.iter().zip(outs.iter_mut()) {
+                    let (found, _) = search.query_refined(q, k, refiner)?;
+                    *out = found;
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked")?;
+        }
+        Ok::<(), crate::Error>(())
+    })
+    .expect("scope panicked")?;
+
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refine::MbrRefiner;
+    use nnq_geom::Rect;
+    use nnq_rtree::{MemRTree, RecordId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tree_and_queries(n: usize, nq: usize) -> (MemRTree<2>, Vec<Point<2>>) {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut tree = MemRTree::new();
+        for i in 0..n {
+            let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
+            tree.insert(Rect::from_point(p), RecordId(i as u64)).unwrap();
+        }
+        let queries = (0..nq)
+            .map(|_| Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]))
+            .collect();
+        (tree, queries)
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let (tree, queries) = tree_and_queries(5_000, 200);
+        let seq = par_knn_batch(&tree, &queries, 5, NnOptions::default(), &MbrRefiner, 1).unwrap();
+        for threads in [2, 4, 7] {
+            let par =
+                par_knn_batch(&tree, &queries, 5, NnOptions::default(), &MbrRefiner, threads)
+                    .unwrap();
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(
+                    a.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+                    b.iter().map(|n| n.dist_sq).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (tree, _) = tree_and_queries(100, 0);
+        let out = par_knn_batch(&tree, &[], 3, NnOptions::default(), &MbrRefiner, 4).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_queries() {
+        let (tree, queries) = tree_and_queries(500, 3);
+        let out = par_knn_batch(&tree, &queries, 2, NnOptions::default(), &MbrRefiner, 16).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|r| r.len() == 2));
+    }
+}

@@ -1,0 +1,92 @@
+//! Filter-refine distance computation.
+//!
+//! The R-tree stores only bounding rectangles; exact object geometry lives
+//! with the caller. A [`Refiner`] turns a leaf entry into an exact squared
+//! distance. Correctness requirement: the exact distance must never be
+//! *smaller* than `MINDIST` to the entry's MBR (true for any object
+//! enclosed by its MBR), which is what lets the search use `MINDIST` as a
+//! filter bound.
+
+use nnq_geom::{mindist_sq, Point, Rect};
+use nnq_rtree::RecordId;
+
+/// Supplies the exact squared distance from a query point to an object.
+pub trait Refiner<const D: usize> {
+    /// Exact squared distance from `q` to the object `record` whose indexed
+    /// MBR is `mbr`.
+    fn dist_sq(&self, record: RecordId, mbr: &Rect<D>, q: &Point<D>) -> f64;
+}
+
+impl<const D: usize, R: Refiner<D> + ?Sized> Refiner<D> for &R {
+    #[inline]
+    fn dist_sq(&self, record: RecordId, mbr: &Rect<D>, q: &Point<D>) -> f64 {
+        (**self).dist_sq(record, mbr, q)
+    }
+}
+
+/// The identity refiner: the object *is* its rectangle, so the exact
+/// distance is `MINDIST` to the MBR. Exact for point and rectangle data.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MbrRefiner;
+
+impl<const D: usize> Refiner<D> for MbrRefiner {
+    #[inline]
+    fn dist_sq(&self, _record: RecordId, mbr: &Rect<D>, q: &Point<D>) -> f64 {
+        mindist_sq(q, mbr)
+    }
+}
+
+/// Adapts a closure into a [`Refiner`] — the usual way to look exact object
+/// geometry up in caller-side storage:
+///
+/// ```
+/// use nnq_core::{FnRefiner, Refiner};
+/// use nnq_geom::{Point, Rect, Segment};
+/// use nnq_rtree::RecordId;
+///
+/// let segments = vec![Segment::new(Point::new([0.0, 0.0]), Point::new([10.0, 0.0]))];
+/// let refiner = FnRefiner::new(|rid: RecordId, _mbr: &Rect<2>, q: &Point<2>| {
+///     segments[rid.0 as usize].dist_sq_to_point(q)
+/// });
+/// let d = refiner.dist_sq(RecordId(0), &segments[0].mbr(), &Point::new([5.0, 3.0]));
+/// assert_eq!(d, 9.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct FnRefiner<F>(F);
+
+impl<F> FnRefiner<F> {
+    /// Wraps the closure.
+    pub fn new(f: F) -> Self {
+        Self(f)
+    }
+}
+
+impl<const D: usize, F> Refiner<D> for FnRefiner<F>
+where
+    F: Fn(RecordId, &Rect<D>, &Point<D>) -> f64,
+{
+    #[inline]
+    fn dist_sq(&self, record: RecordId, mbr: &Rect<D>, q: &Point<D>) -> f64 {
+        (self.0)(record, mbr, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbr_refiner_equals_mindist() {
+        let r = Rect::new(Point::new([1.0, 1.0]), Point::new([2.0, 2.0]));
+        let q = Point::new([0.0, 1.5]);
+        let d = MbrRefiner.dist_sq(RecordId(0), &r, &q);
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn fn_refiner_delegates() {
+        let refiner = FnRefiner::new(|rid: RecordId, _: &Rect<2>, _: &Point<2>| rid.0 as f64);
+        let r = Rect::from_point(Point::new([0.0, 0.0]));
+        assert_eq!(refiner.dist_sq(RecordId(7), &r, &Point::new([0.0, 0.0])), 7.0);
+    }
+}

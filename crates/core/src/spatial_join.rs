@@ -1,0 +1,290 @@
+//! Tree-to-tree spatial intersection join.
+//!
+//! The paper's conclusion points at spatial joins as a companion
+//! operation; this is the classical synchronized-traversal R-tree join
+//! (Brinkhoff, Kriegel & Seeger, SIGMOD 1993): descend both trees in
+//! lockstep, visiting only node pairs whose MBRs intersect. Trees of
+//! different heights are handled by descending the taller side until the
+//! levels meet.
+
+use crate::Result;
+use nnq_geom::Rect;
+use nnq_rtree::{NodeRef, RecordId, TreeAccess};
+
+/// Work counters for one join.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Node reads from the left tree.
+    pub nodes_left: u64,
+    /// Node reads from the right tree.
+    pub nodes_right: u64,
+    /// Result pairs produced.
+    pub pairs: u64,
+}
+
+/// Computes all pairs `(a, b)` of records whose MBRs intersect, where `a`
+/// comes from `left` and `b` from `right`.
+///
+/// Works across backends (both trees only need [`TreeAccess`]); a
+/// self-join (`left` and `right` the same tree) reports each symmetric
+/// pair twice plus every record paired with itself, as the raw
+/// definition implies — filter `a < b` on the output for the distinct
+/// unordered pairs.
+pub fn intersection_join<const D: usize, L, R>(
+    left: &L,
+    right: &R,
+) -> Result<(Vec<(RecordId, RecordId)>, JoinStats)>
+where
+    L: TreeAccess<D> + ?Sized,
+    R: TreeAccess<D> + ?Sized,
+{
+    let mut out = Vec::new();
+    let mut stats = JoinStats::default();
+    let (Some(lroot), Some(rroot)) = (left.access_root(), right.access_root()) else {
+        return Ok((out, stats));
+    };
+    let lnode = read_left(left, lroot, &mut stats)?;
+    let rnode = read_right(right, rroot, &mut stats)?;
+    // The roots' MBRs must themselves intersect for any result to exist.
+    if lnode.mbr().intersects(&rnode.mbr()) {
+        join(left, right, &lnode, &rnode, &mut out, &mut stats)?;
+    }
+    stats.pairs = out.len() as u64;
+    Ok((out, stats))
+}
+
+fn read_left<const D: usize, L: TreeAccess<D> + ?Sized>(
+    tree: &L,
+    page: nnq_storage::PageId,
+    stats: &mut JoinStats,
+) -> Result<NodeRef<D>> {
+    stats.nodes_left += 1;
+    tree.access_node(page)
+}
+
+fn read_right<const D: usize, R: TreeAccess<D> + ?Sized>(
+    tree: &R,
+    page: nnq_storage::PageId,
+    stats: &mut JoinStats,
+) -> Result<NodeRef<D>> {
+    stats.nodes_right += 1;
+    tree.access_node(page)
+}
+
+fn join<const D: usize, L, R>(
+    left: &L,
+    right: &R,
+    a: &NodeRef<D>,
+    b: &NodeRef<D>,
+    out: &mut Vec<(RecordId, RecordId)>,
+    stats: &mut JoinStats,
+) -> Result<()>
+where
+    L: TreeAccess<D> + ?Sized,
+    R: TreeAccess<D> + ?Sized,
+{
+    match (a.is_leaf(), b.is_leaf()) {
+        (true, true) => {
+            // Emit intersecting record pairs.
+            for ea in &a.entries {
+                for eb in &b.entries {
+                    if ea.mbr.intersects(&eb.mbr) {
+                        out.push((ea.record(), eb.record()));
+                    }
+                }
+            }
+        }
+        (true, false) => {
+            let a_mbr = a.mbr();
+            for eb in entries_intersecting(b, &a_mbr) {
+                let child = read_right(right, eb, stats)?;
+                join(left, right, a, &child, out, stats)?;
+            }
+        }
+        (false, true) => {
+            let b_mbr = b.mbr();
+            for ea in entries_intersecting(a, &b_mbr) {
+                let child = read_left(left, ea, stats)?;
+                join(left, right, &child, b, out, stats)?;
+            }
+        }
+        (false, false) => {
+            if a.level > b.level {
+                let b_mbr = b.mbr();
+                for ea in entries_intersecting(a, &b_mbr) {
+                    let child = read_left(left, ea, stats)?;
+                    join(left, right, &child, b, out, stats)?;
+                }
+            } else if b.level > a.level {
+                let a_mbr = a.mbr();
+                for eb in entries_intersecting(b, &a_mbr) {
+                    let child = read_right(right, eb, stats)?;
+                    join(left, right, a, &child, out, stats)?;
+                }
+            } else {
+                // Same level: pairwise descent into intersecting children.
+                for ea in &a.entries {
+                    for eb in &b.entries {
+                        if ea.mbr.intersects(&eb.mbr) {
+                            let ca = read_left(left, ea.child(), stats)?;
+                            let cb = read_right(right, eb.child(), stats)?;
+                            join(left, right, &ca, &cb, out, stats)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn entries_intersecting<const D: usize>(
+    node: &NodeRef<D>,
+    window: &Rect<D>,
+) -> Vec<nnq_storage::PageId> {
+    node.entries
+        .iter()
+        .filter(|e| e.mbr.intersects(window))
+        .map(|e| e.child())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnq_geom::Point;
+    use nnq_rtree::{MemRTree, RTreeConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    fn random_rects(n: usize, seed: u64, size: f64) -> Vec<(Rect<2>, RecordId)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let x = rng.random_range(0.0..100.0);
+                let y = rng.random_range(0.0..100.0);
+                let w = rng.random_range(0.0..size);
+                let h = rng.random_range(0.0..size);
+                (
+                    Rect::new(Point::new([x, y]), Point::new([x + w, y + h])),
+                    RecordId(i as u64),
+                )
+            })
+            .collect()
+    }
+
+    fn build(items: &[(Rect<2>, RecordId)], fanout: usize) -> MemRTree<2> {
+        let mut tree = MemRTree::with_config(RTreeConfig::default(), fanout);
+        for (r, id) in items {
+            tree.insert(*r, *id).unwrap();
+        }
+        tree
+    }
+
+    fn brute(
+        a: &[(Rect<2>, RecordId)],
+        b: &[(Rect<2>, RecordId)],
+    ) -> BTreeSet<(u64, u64)> {
+        let mut out = BTreeSet::new();
+        for (ra, ia) in a {
+            for (rb, ib) in b {
+                if ra.intersects(rb) {
+                    out.insert((ia.0, ib.0));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn join_matches_brute_force() {
+        let a_items = random_rects(800, 1, 3.0);
+        let b_items = random_rects(600, 2, 3.0);
+        let a = build(&a_items, 8);
+        let b = build(&b_items, 12); // different fanout → different heights
+        let (pairs, stats) = intersection_join(&a, &b).unwrap();
+        let got: BTreeSet<(u64, u64)> = pairs.iter().map(|(x, y)| (x.0, y.0)).collect();
+        assert_eq!(got, brute(&a_items, &b_items));
+        assert_eq!(stats.pairs as usize, pairs.len());
+        assert!(stats.nodes_left > 0 && stats.nodes_right > 0);
+    }
+
+    #[test]
+    fn join_is_symmetric() {
+        let a_items = random_rects(400, 3, 4.0);
+        let b_items = random_rects(400, 4, 4.0);
+        let a = build(&a_items, 6);
+        let b = build(&b_items, 6);
+        let (ab, _) = intersection_join(&a, &b).unwrap();
+        let (ba, _) = intersection_join(&b, &a).unwrap();
+        let ab: BTreeSet<(u64, u64)> = ab.iter().map(|(x, y)| (x.0, y.0)).collect();
+        let ba: BTreeSet<(u64, u64)> = ba.iter().map(|(x, y)| (y.0, x.0)).collect();
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn disjoint_datasets_join_empty_cheaply() {
+        let mut a_items = random_rects(500, 5, 2.0);
+        let b_items = random_rects(500, 6, 2.0);
+        // Shift A far away.
+        for (r, _) in &mut a_items {
+            *r = Rect::new(
+                Point::new([r.lo()[0] + 10_000.0, r.lo()[1] + 10_000.0]),
+                Point::new([r.hi()[0] + 10_000.0, r.hi()[1] + 10_000.0]),
+            );
+        }
+        let a = build(&a_items, 8);
+        let b = build(&b_items, 8);
+        let (pairs, stats) = intersection_join(&a, &b).unwrap();
+        assert!(pairs.is_empty());
+        // Only the roots were read.
+        assert_eq!(stats.nodes_left, 1);
+        assert_eq!(stats.nodes_right, 1);
+    }
+
+    #[test]
+    fn self_join_includes_the_diagonal() {
+        let items = random_rects(300, 7, 3.0);
+        let tree = build(&items, 8);
+        let (pairs, _) = intersection_join(&tree, &tree).unwrap();
+        let got: BTreeSet<(u64, u64)> = pairs.iter().map(|(x, y)| (x.0, y.0)).collect();
+        // Every record intersects itself.
+        for (_, id) in &items {
+            assert!(got.contains(&(id.0, id.0)));
+        }
+        assert_eq!(got, brute(&items, &items));
+    }
+
+    #[test]
+    fn empty_trees_join_empty() {
+        let empty = MemRTree::<2>::new();
+        let full = build(&random_rects(50, 8, 2.0), 8);
+        assert!(intersection_join(&empty, &full).unwrap().0.is_empty());
+        assert!(intersection_join(&full, &empty).unwrap().0.is_empty());
+        assert!(intersection_join(&empty, &empty).unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn join_beats_nested_loop_on_node_reads() {
+        // Selective data: tiny rectangles, so few pairs intersect and the
+        // synchronized traversal skips most node pairs.
+        let a_items = random_rects(5_000, 9, 0.1);
+        let b_items = random_rects(5_000, 10, 0.1);
+        let a = build(&a_items, 16);
+        let b = build(&b_items, 16);
+        let (pairs, stats) = intersection_join(&a, &b).unwrap();
+        let a_nodes = a.stats().unwrap().nodes;
+        let b_leaves = b.stats().unwrap().leaves;
+        // A nested-loop join would read every A node once per B leaf.
+        let nested_loop_reads = a_nodes * b_leaves;
+        assert!(
+            stats.nodes_left + stats.nodes_right < nested_loop_reads / 10,
+            "join read {} nodes, nested loop would read {nested_loop_reads}",
+            stats.nodes_left + stats.nodes_right
+        );
+        // Sanity: result matches brute force.
+        let got: BTreeSet<(u64, u64)> = pairs.iter().map(|(x, y)| (x.0, y.0)).collect();
+        assert_eq!(got, brute(&a_items, &b_items));
+    }
+}

@@ -1,0 +1,120 @@
+//! The (1+ε)-approximation guarantee: every reported distance is within
+//! (1+ε) of the corresponding exact distance, and larger ε visits no more
+//! nodes.
+
+use nnq_core::{scan_items_knn, MbrRefiner, NnOptions, NnSearch};
+use nnq_geom::{Point, Rect};
+use nnq_rtree::{MemRTree, RecordId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build(n: usize, seed: u64) -> (MemRTree<2>, Vec<(Rect<2>, RecordId)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tree = MemRTree::with_config(nnq_rtree::RTreeConfig::default(), 8);
+    let mut items = Vec::new();
+    for i in 0..n {
+        let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
+        let r = Rect::from_point(p);
+        tree.insert(r, RecordId(i as u64)).unwrap();
+        items.push((r, RecordId(i as u64)));
+    }
+    (tree, items)
+}
+
+#[test]
+fn epsilon_zero_is_exact() {
+    let (tree, items) = build(5_000, 1);
+    let search = NnSearch::with_options(&tree, NnOptions::approximate(0.0));
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..30 {
+        let q = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
+        let got = search.query(&q, 7).unwrap();
+        let want = scan_items_knn(&items, &q, 7, &MbrRefiner);
+        assert_eq!(
+            got.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+            want.iter().map(|n| n.dist_sq).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn guarantee_holds_for_various_epsilons() {
+    let (tree, items) = build(10_000, 3);
+    let mut rng = StdRng::seed_from_u64(4);
+    for eps in [0.1, 0.5, 1.0, 4.0] {
+        let search = NnSearch::with_options(&tree, NnOptions::approximate(eps));
+        for _ in 0..25 {
+            let q = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
+            let k = 5;
+            let got = search.query(&q, k).unwrap();
+            let exact = scan_items_knn(&items, &q, k, &MbrRefiner);
+            assert_eq!(got.len(), k);
+            // Rank-by-rank guarantee: the i-th reported distance is within
+            // (1+eps) of the i-th exact distance.
+            for (g, e) in got.iter().zip(&exact) {
+                let bound = e.dist() * (1.0 + eps) + 1e-9;
+                assert!(
+                    g.dist() <= bound,
+                    "eps {eps}: reported {} > (1+eps) * exact {}",
+                    g.dist(),
+                    e.dist()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn larger_epsilon_visits_no_more_nodes() {
+    let (tree, _) = build(30_000, 5);
+    let q = Point::new([50.0, 50.0]);
+    let mut prev = u64::MAX;
+    for eps in [0.0, 0.25, 1.0, 4.0] {
+        let search = NnSearch::with_options(&tree, NnOptions::approximate(eps));
+        let (_, stats) = search.query_with_stats(&q, 10).unwrap();
+        assert!(
+            stats.nodes_visited <= prev,
+            "eps {eps}: {} nodes > previous {prev}",
+            stats.nodes_visited
+        );
+        prev = stats.nodes_visited;
+    }
+}
+
+#[test]
+#[should_panic(expected = "epsilon must be finite and nonnegative")]
+fn negative_epsilon_is_rejected() {
+    NnOptions::approximate(-0.5);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_approximation_guarantee(
+        pts in proptest::collection::vec((0.0..50.0f64, 0.0..50.0f64), 1..300),
+        (qx, qy) in (0.0..50.0f64, 0.0..50.0f64),
+        k in 1usize..8,
+        eps in 0.0..3.0f64,
+    ) {
+        let items: Vec<(Rect<2>, RecordId)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Rect::from_point(Point::new([x, y])), RecordId(i as u64)))
+            .collect();
+        let mut tree = MemRTree::with_config(nnq_rtree::RTreeConfig::default(), 6);
+        for (r, id) in &items {
+            tree.insert(*r, *id).unwrap();
+        }
+        let q = Point::new([qx, qy]);
+        let got = NnSearch::with_options(&tree, NnOptions::approximate(eps))
+            .query(&q, k)
+            .unwrap();
+        let exact = scan_items_knn(&items, &q, k, &MbrRefiner);
+        prop_assert_eq!(got.len(), exact.len());
+        for (g, e) in got.iter().zip(&exact) {
+            prop_assert!(g.dist() <= e.dist() * (1.0 + eps) + 1e-9);
+        }
+    }
+}

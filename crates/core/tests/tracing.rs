@@ -1,0 +1,146 @@
+//! The explain trace must agree exactly with the search statistics and
+//! with the untraced query's results.
+
+use nnq_core::{Decision, MbrRefiner, NnSearch, TraceEvent};
+use nnq_geom::{Point, Rect};
+use nnq_rtree::{MemRTree, RecordId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn tree(n: usize, seed: u64) -> MemRTree<2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tree = MemRTree::with_config(nnq_rtree::RTreeConfig::default(), 8);
+    for i in 0..n {
+        let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
+        tree.insert(Rect::from_point(p), RecordId(i as u64)).unwrap();
+    }
+    tree
+}
+
+#[test]
+fn trace_counts_match_stats() {
+    let t = tree(3_000, 3);
+    let search = NnSearch::new(&t);
+    let q = Point::new([37.0, 59.0]);
+    let (found, stats, trace) = search.query_traced(&q, 6, &MbrRefiner).unwrap();
+    assert_eq!(found.len(), 6);
+
+    let nodes = trace.nodes_entered() as u64;
+    assert_eq!(nodes, stats.nodes_visited);
+
+    let mut pruned_down = 0;
+    let mut pruned_up = 0;
+    let mut pruned_obj = 0;
+    let mut dist_comps = 0;
+    for e in &trace.events {
+        match e {
+            TraceEvent::Branch { decision, .. } => match decision {
+                Decision::PrunedDownward => pruned_down += 1,
+                Decision::PrunedUpward => pruned_up += 1,
+                _ => {}
+            },
+            TraceEvent::Object {
+                decision, exact_sq, ..
+            } => {
+                match decision {
+                    Decision::PrunedObject => pruned_obj += 1,
+                    Decision::PrunedUpward => pruned_up += 1,
+                    _ => {}
+                }
+                if exact_sq.is_some() {
+                    dist_comps += 1;
+                }
+            }
+            TraceEvent::EnterNode { .. } => {}
+        }
+    }
+    assert_eq!(pruned_down, stats.pruned_downward);
+    assert_eq!(pruned_up, stats.pruned_upward);
+    assert_eq!(pruned_obj, stats.pruned_object);
+    assert_eq!(dist_comps, stats.dist_computations);
+}
+
+#[test]
+fn traced_and_untraced_results_agree() {
+    let t = tree(2_000, 5);
+    let search = NnSearch::new(&t);
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..20 {
+        let q = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
+        let plain = search.query(&q, 5).unwrap();
+        let (traced, _, _) = search.query_traced(&q, 5, &MbrRefiner).unwrap();
+        assert_eq!(
+            plain.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+            traced.iter().map(|n| n.dist_sq).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn trace_bounds_are_monotone_nonincreasing() {
+    // The candidate bound recorded at each node entry can only shrink as
+    // the search progresses.
+    let t = tree(3_000, 7);
+    let search = NnSearch::new(&t);
+    let (_, _, trace) = search
+        .query_traced(&Point::new([50.0, 50.0]), 4, &MbrRefiner)
+        .unwrap();
+    let bounds: Vec<f64> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::EnterNode { bound_sq, .. } => Some(*bound_sq),
+            _ => None,
+        })
+        .collect();
+    assert!(bounds.len() >= 2);
+    for w in bounds.windows(2) {
+        assert!(w[0] >= w[1], "bound grew: {} -> {}", w[0], w[1]);
+    }
+}
+
+#[test]
+fn visited_branches_respect_mindist_order_per_node() {
+    // Within one internal node, visited branches appear in nondecreasing
+    // MINDIST order (the ABL was sorted).
+    let t = tree(3_000, 9);
+    let search = NnSearch::new(&t);
+    let (_, _, trace) = search
+        .query_traced(&Point::new([20.0, 80.0]), 3, &MbrRefiner)
+        .unwrap();
+    // Trace events interleave across stack levels once subtrees return, so
+    // the cleanly attributable window is the root's ABL prefix: everything
+    // between the first EnterNode and the second one belongs to the root.
+    let mut seen_nodes = 0;
+    let mut root_prefix: Vec<f64> = Vec::new();
+    for e in &trace.events {
+        match e {
+            TraceEvent::EnterNode { .. } => {
+                seen_nodes += 1;
+                if seen_nodes == 2 {
+                    break;
+                }
+            }
+            TraceEvent::Branch { mindist_sq, .. } if seen_nodes == 1 => {
+                root_prefix.push(*mindist_sq);
+            }
+            _ => {}
+        }
+    }
+    assert!(!root_prefix.is_empty());
+    for w in root_prefix.windows(2) {
+        assert!(w[0] <= w[1], "root ABL out of MINDIST order: {root_prefix:?}");
+    }
+}
+
+#[test]
+fn render_is_nonempty_and_mentions_the_root() {
+    let t = tree(500, 11);
+    let search = NnSearch::new(&t);
+    let (_, _, trace) = search
+        .query_traced(&Point::new([1.0, 1.0]), 2, &MbrRefiner)
+        .unwrap();
+    let text = trace.render();
+    assert!(text.contains("node page#"));
+    assert!(text.lines().count() >= trace.events.len());
+}

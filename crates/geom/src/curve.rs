@@ -1,0 +1,133 @@
+//! Space-filling-curve keys for packed (bulk-loaded) R-trees.
+//!
+//! Sorting rectangle centers along a Hilbert curve before packing them into
+//! leaves is the classic "Hilbert-packed R-tree" construction; Z-order
+//! (Morton) keys are a cheaper alternative with slightly worse clustering.
+//! Both operate on a `2^order × 2^order` integer grid, so callers first
+//! normalize world coordinates into grid cells.
+
+/// Curve order used by the helpers below: coordinates are quantized to a
+/// `2^16 × 2^16` grid, and keys fit in a `u32`-pair folded into a `u64`.
+pub const HILBERT_ORDER: u32 = 16;
+
+/// Maps a cell `(x, y)` on the `2^order × 2^order` grid to its index along
+/// the Hilbert curve of that order.
+///
+/// Adjacent indices are adjacent cells, which is what gives Hilbert-packed
+/// R-trees their good leaf clustering.
+///
+/// # Panics
+/// Panics in debug builds if `x` or `y` does not fit in `order` bits.
+pub fn hilbert_index(mut x: u32, mut y: u32, order: u32) -> u64 {
+    debug_assert!(order <= 31);
+    debug_assert!(x < (1 << order) && y < (1 << order));
+    let mut rx: u32;
+    let mut ry: u32;
+    let mut d: u64 = 0;
+    let mut s: u32 = 1 << (order - 1);
+    while s > 0 {
+        rx = u32::from((x & s) > 0);
+        ry = u32::from((y & s) > 0);
+        d += (s as u64) * (s as u64) * u64::from((3 * rx) ^ ry);
+        // Rotate the quadrant.
+        if ry == 0 {
+            if rx == 1 {
+                x = s.wrapping_sub(1).wrapping_sub(x) & (s.wrapping_mul(2).wrapping_sub(1));
+                y = s.wrapping_sub(1).wrapping_sub(y) & (s.wrapping_mul(2).wrapping_sub(1));
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// Maps a cell `(x, y)` to its Z-order (Morton) index by bit interleaving.
+pub fn zorder_index(x: u32, y: u32) -> u64 {
+    fn spread(v: u32) -> u64 {
+        let mut v = u64::from(v);
+        v = (v | (v << 16)) & 0x0000_FFFF_0000_FFFF;
+        v = (v | (v << 8)) & 0x00FF_00FF_00FF_00FF;
+        v = (v | (v << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+        v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+        v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+        v
+    }
+    spread(x) | (spread(y) << 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hilbert_order_1_visits_the_four_cells_once() {
+        let mut seen = [false; 4];
+        for x in 0..2u32 {
+            for y in 0..2u32 {
+                let d = hilbert_index(x, y, 1) as usize;
+                assert!(d < 4);
+                assert!(!seen[d], "index {d} visited twice");
+                seen[d] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hilbert_is_a_bijection_on_small_grids() {
+        for order in 1..=4u32 {
+            let n = 1u32 << order;
+            let mut seen = vec![false; (n as usize) * (n as usize)];
+            for x in 0..n {
+                for y in 0..n {
+                    let d = hilbert_index(x, y, order) as usize;
+                    assert!(!seen[d], "order {order}: index {d} repeated");
+                    seen[d] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "order {order}: not surjective");
+        }
+    }
+
+    #[test]
+    fn hilbert_consecutive_indices_are_grid_neighbors() {
+        // The defining property of the Hilbert curve: cells with consecutive
+        // indices share an edge.
+        let order = 4u32;
+        let n = 1u32 << order;
+        let mut by_index = vec![(0u32, 0u32); (n as usize) * (n as usize)];
+        for x in 0..n {
+            for y in 0..n {
+                by_index[hilbert_index(x, y, order) as usize] = (x, y);
+            }
+        }
+        for w in by_index.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let manhattan = x0.abs_diff(x1) + y0.abs_diff(y1);
+            assert_eq!(manhattan, 1, "({x0},{y0}) -> ({x1},{y1}) not adjacent");
+        }
+    }
+
+    #[test]
+    fn zorder_interleaves_bits() {
+        assert_eq!(zorder_index(0, 0), 0);
+        assert_eq!(zorder_index(1, 0), 0b01);
+        assert_eq!(zorder_index(0, 1), 0b10);
+        assert_eq!(zorder_index(1, 1), 0b11);
+        assert_eq!(zorder_index(0b11, 0b00), 0b0101);
+        assert_eq!(zorder_index(u32::MAX, u32::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn zorder_is_injective_on_a_small_grid() {
+        let n = 32u32;
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..n {
+            for y in 0..n {
+                assert!(seen.insert(zorder_index(x, y)));
+            }
+        }
+    }
+}

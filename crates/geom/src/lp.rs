@@ -1,0 +1,140 @@
+//! Generalized Minkowski metrics (L1, L2, L∞).
+//!
+//! RKV'95 notes that its search framework only needs a *lower-bounding*
+//! point-to-rectangle distance, so it generalizes beyond the Euclidean
+//! metric. This module provides the three classical Minkowski metrics with
+//! their exact point-to-rectangle `MINDIST` analogues (all *linear*, not
+//! squared, since squaring is only an optimization for L2).
+//!
+//! `MINMAXDIST` is Euclidean-specific in the paper; searches under other
+//! metrics therefore rely on `MINDIST` pruning only (the paper's strategy
+//! 3), which `nnq-core`'s best-first search does.
+
+use crate::{Point, Rect};
+
+/// A Minkowski distance metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Metric {
+    /// L2, the Euclidean metric (the paper's default).
+    #[default]
+    Euclidean,
+    /// L1, the Manhattan / taxicab metric.
+    Manhattan,
+    /// L∞, the Chebyshev / maximum metric.
+    Chebyshev,
+}
+
+impl Metric {
+    /// Distance between two points under this metric (linear units).
+    pub fn point_dist<const D: usize>(&self, a: &Point<D>, b: &Point<D>) -> f64 {
+        match self {
+            Metric::Euclidean => a.dist(b),
+            Metric::Manhattan => (0..D).map(|i| (a[i] - b[i]).abs()).sum(),
+            Metric::Chebyshev => (0..D)
+                .map(|i| (a[i] - b[i]).abs())
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// `MINDIST` analogue: the distance from `p` to the nearest point of
+    /// `r` under this metric (zero if `p ∈ r`, `+∞` for empty rectangles).
+    ///
+    /// For every object `O ⊆ r`, `rect_mindist(p, r) ≤ point_dist(p, o)`
+    /// for all `o ∈ O` — the lower-bound property branch-and-bound needs.
+    pub fn rect_mindist<const D: usize>(&self, p: &Point<D>, r: &Rect<D>) -> f64 {
+        if r.is_empty() {
+            return f64::INFINITY;
+        }
+        let axis_gap = |i: usize| -> f64 {
+            if p[i] < r.lo()[i] {
+                r.lo()[i] - p[i]
+            } else if p[i] > r.hi()[i] {
+                p[i] - r.hi()[i]
+            } else {
+                0.0
+            }
+        };
+        match self {
+            Metric::Euclidean => (0..D)
+                .map(|i| {
+                    let g = axis_gap(i);
+                    g * g
+                })
+                .sum::<f64>()
+                .sqrt(),
+            Metric::Manhattan => (0..D).map(axis_gap).sum(),
+            Metric::Chebyshev => (0..D).map(axis_gap).fold(0.0, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point<2> {
+        Point::new([x, y])
+    }
+
+    #[test]
+    fn point_distances_match_hand_values() {
+        let a = p(0.0, 0.0);
+        let b = p(3.0, 4.0);
+        assert_eq!(Metric::Euclidean.point_dist(&a, &b), 5.0);
+        assert_eq!(Metric::Manhattan.point_dist(&a, &b), 7.0);
+        assert_eq!(Metric::Chebyshev.point_dist(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn metric_ordering_linf_le_l2_le_l1() {
+        let a = p(1.0, -2.0);
+        let b = p(-3.5, 4.0);
+        let l1 = Metric::Manhattan.point_dist(&a, &b);
+        let l2 = Metric::Euclidean.point_dist(&a, &b);
+        let linf = Metric::Chebyshev.point_dist(&a, &b);
+        assert!(linf <= l2 && l2 <= l1);
+    }
+
+    #[test]
+    fn rect_mindist_zero_inside_positive_outside() {
+        let r = Rect::new(p(0.0, 0.0), p(2.0, 2.0));
+        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            assert_eq!(m.rect_mindist(&p(1.0, 1.0), &r), 0.0, "{m:?}");
+            assert!(m.rect_mindist(&p(3.0, 3.0), &r) > 0.0, "{m:?}");
+        }
+        // Corner distances differ by metric.
+        let q = p(3.0, 4.0); // gaps (1, 2)
+        assert_eq!(Metric::Euclidean.rect_mindist(&q, &r), 5.0f64.sqrt());
+        assert_eq!(Metric::Manhattan.rect_mindist(&q, &r), 3.0);
+        assert_eq!(Metric::Chebyshev.rect_mindist(&q, &r), 2.0);
+    }
+
+    #[test]
+    fn rect_mindist_lower_bounds_contained_points() {
+        let r = Rect::new(p(1.0, 1.0), p(5.0, 3.0));
+        let q = p(-2.0, 7.0);
+        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            for inside in [p(1.0, 1.0), p(3.0, 2.0), p(5.0, 3.0)] {
+                assert!(
+                    m.rect_mindist(&q, &r) <= m.point_dist(&q, &inside) + 1e-12,
+                    "{m:?} violated at {inside:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rect_is_infinitely_far() {
+        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            assert_eq!(m.rect_mindist(&p(0.0, 0.0), &Rect::empty()), f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn euclidean_agrees_with_mindist_sq() {
+        let r = Rect::new(p(1.0, 1.0), p(2.0, 2.0));
+        let q = p(-1.0, 0.0);
+        let d = Metric::Euclidean.rect_mindist(&q, &r);
+        assert!((d * d - crate::mindist_sq(&q, &r)).abs() < 1e-12);
+    }
+}

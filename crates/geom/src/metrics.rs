@@ -1,0 +1,277 @@
+//! The point-to-rectangle metrics of RKV'95.
+//!
+//! For a query point `P` and an MBR `R`, the paper defines:
+//!
+//! * **MINDIST(P, R)** — the distance from `P` to the nearest point of `R`
+//!   (zero when `P ∈ R`). For any object `O` enclosed by `R`,
+//!   `MINDIST(P, R) ≤ dist(P, O)`: an *optimistic* lower bound
+//!   (Theorem 1 of the paper).
+//! * **MINMAXDIST(P, R)** — the minimum over all dimensions of the maximum
+//!   distance from `P` to the *farther corner of the nearer face*. Because an
+//!   R-tree MBR is minimal, every one of its faces touches at least one
+//!   enclosed object, so there is guaranteed to be an object within
+//!   `MINMAXDIST(P, R)` of `P`: a *pessimistic* upper bound on the
+//!   nearest-neighbor distance inside `R` (Theorem 2).
+//! * **MAXDIST(P, R)** — the distance to the farthest corner; an upper bound
+//!   on the distance to any object in `R` (not needed by the search
+//!   algorithm but useful for testing and for workloads with non-minimal
+//!   boxes).
+//!
+//! These bounds justify the paper's three pruning strategies; see
+//! `nnq-core` for the search algorithm that applies them.
+//!
+//! All functions return **squared** distances, so they are directly
+//! comparable with [`Point::dist_sq`]. Squared distances preserve ordering
+//! (`sqrt` is monotone), which is all branch-and-bound needs, and avoid a
+//! square root per entry on the hot path.
+
+use crate::{Point, Rect};
+
+/// A squared distance together with ergonomic conversion helpers.
+///
+/// Thin newtype used at API boundaries where confusing squared and linear
+/// distances would be an easy mistake.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Dist(f64);
+
+impl Dist {
+    /// Wraps a squared distance.
+    #[inline]
+    pub const fn from_sq(sq: f64) -> Self {
+        Dist(sq)
+    }
+
+    /// Wraps a linear distance.
+    #[inline]
+    pub fn from_linear(d: f64) -> Self {
+        Dist(d * d)
+    }
+
+    /// The squared distance.
+    #[inline]
+    pub const fn sq(self) -> f64 {
+        self.0
+    }
+
+    /// The linear (square-rooted) distance.
+    #[inline]
+    pub fn linear(self) -> f64 {
+        self.0.sqrt()
+    }
+
+    /// Positive infinity; the identity for `min`.
+    pub const INFINITY: Dist = Dist(f64::INFINITY);
+    /// Zero distance.
+    pub const ZERO: Dist = Dist(0.0);
+}
+
+/// `MINDIST(P, R)²`: squared distance from `p` to the nearest point of `r`.
+///
+/// Returns `0.0` when `p` lies inside `r` and `+∞` for the
+/// [`Rect::empty`] identity rectangle.
+///
+/// ```
+/// use nnq_geom::{Point, Rect, mindist_sq};
+/// let r = Rect::new(Point::new([1.0, 1.0]), Point::new([2.0, 2.0]));
+/// assert_eq!(mindist_sq(&Point::new([1.5, 1.5]), &r), 0.0); // inside
+/// assert_eq!(mindist_sq(&Point::new([0.0, 1.5]), &r), 1.0); // left of box
+/// assert_eq!(mindist_sq(&Point::new([0.0, 0.0]), &r), 2.0); // corner
+/// ```
+#[inline]
+pub fn mindist_sq<const D: usize>(p: &Point<D>, r: &Rect<D>) -> f64 {
+    if r.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut acc = 0.0;
+    for i in 0..D {
+        let c = p[i];
+        let d = if c < r.lo()[i] {
+            r.lo()[i] - c
+        } else if c > r.hi()[i] {
+            c - r.hi()[i]
+        } else {
+            0.0
+        };
+        acc += d * d;
+    }
+    acc
+}
+
+/// `MINMAXDIST(P, R)²`: the squared pessimistic bound of RKV'95.
+///
+/// For each dimension `k`, consider travelling to the *nearer* face of `r`
+/// along `k` but to the *farther* corner in every other dimension; take the
+/// minimum over `k`. Because each face of a minimum bounding rectangle
+/// touches at least one enclosed object, some object is guaranteed to lie
+/// within this distance.
+///
+/// Returns `+∞` for empty rectangles. For a degenerate (point) rectangle it
+/// equals `MINDIST`.
+///
+/// Implementation note: computed in `O(D)` using the standard
+/// running-sum decomposition — precompute `S = Σ_i |p_i − rM_i|²` over the
+/// farther corners, then each candidate `k` is
+/// `S − |p_k − rM_k|² + |p_k − rm_k|²`.
+#[inline]
+pub fn minmaxdist_sq<const D: usize>(p: &Point<D>, r: &Rect<D>) -> f64 {
+    if r.is_empty() {
+        return f64::INFINITY;
+    }
+    // rm_k: coordinate of the nearer face along k.
+    // rM_i: coordinate of the farther face along i.
+    let mut far_sum = 0.0;
+    let mut far_sq = [0.0; D];
+    let mut near_sq = [0.0; D];
+    for i in 0..D {
+        let c = p[i];
+        let mid = (r.lo()[i] + r.hi()[i]) * 0.5;
+        let (near, far) = if c <= mid {
+            (r.lo()[i], r.hi()[i])
+        } else {
+            (r.hi()[i], r.lo()[i])
+        };
+        let dn = c - near;
+        let df = c - far;
+        near_sq[i] = dn * dn;
+        far_sq[i] = df * df;
+        far_sum += far_sq[i];
+    }
+    let mut best = f64::INFINITY;
+    for k in 0..D {
+        let cand = far_sum - far_sq[k] + near_sq[k];
+        if cand < best {
+            best = cand;
+        }
+    }
+    best
+}
+
+/// `MAXDIST(P, R)²`: squared distance from `p` to the farthest corner of
+/// `r`. Returns `+∞` for empty rectangles.
+#[inline]
+pub fn maxdist_sq<const D: usize>(p: &Point<D>, r: &Rect<D>) -> f64 {
+    if r.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut acc = 0.0;
+    for i in 0..D {
+        let dl = (p[i] - r.lo()[i]).abs();
+        let dh = (p[i] - r.hi()[i]).abs();
+        let d = dl.max(dh);
+        acc += d * d;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r2(lo: [f64; 2], hi: [f64; 2]) -> Rect<2> {
+        Rect::new(Point::new(lo), Point::new(hi))
+    }
+
+    #[test]
+    fn mindist_inside_is_zero() {
+        let r = r2([0.0, 0.0], [4.0, 4.0]);
+        assert_eq!(mindist_sq(&Point::new([2.0, 2.0]), &r), 0.0);
+        // boundary counts as inside
+        assert_eq!(mindist_sq(&Point::new([0.0, 2.0]), &r), 0.0);
+        assert_eq!(mindist_sq(&Point::new([4.0, 4.0]), &r), 0.0);
+    }
+
+    #[test]
+    fn mindist_face_and_corner_cases() {
+        let r = r2([1.0, 1.0], [3.0, 3.0]);
+        // directly left: distance 1 along x only
+        assert_eq!(mindist_sq(&Point::new([0.0, 2.0]), &r), 1.0);
+        // diagonal from the (1,1) corner
+        assert_eq!(mindist_sq(&Point::new([0.0, 0.0]), &r), 2.0);
+        // above: distance 2 along y
+        assert_eq!(mindist_sq(&Point::new([2.0, 5.0]), &r), 4.0);
+    }
+
+    #[test]
+    fn minmaxdist_square_from_outside() {
+        // Unit square [0,1]^2, query at (-1, 0.5): the near face is x=0.
+        // Candidate k=x: |p_x-0|^2 + |p_y - far_y|^2 = 1 + 0.25 = 1.25
+        // Candidate k=y: near face y=0 (p_y=0.5 <= mid? p_y == mid -> lo),
+        //   |p_y-0|^2 + |p_x - far_x(=1)|^2 = 0.25 + 4 = 4.25
+        let r = r2([0.0, 0.0], [1.0, 1.0]);
+        let p = Point::new([-1.0, 0.5]);
+        assert_eq!(minmaxdist_sq(&p, &r), 1.25);
+    }
+
+    #[test]
+    fn minmaxdist_point_rect_equals_mindist() {
+        let r = Rect::from_point(Point::new([3.0, 4.0]));
+        let p = Point::new([0.0, 0.0]);
+        assert_eq!(minmaxdist_sq(&p, &r), 25.0);
+        assert_eq!(mindist_sq(&p, &r), 25.0);
+        assert_eq!(maxdist_sq(&p, &r), 25.0);
+    }
+
+    #[test]
+    fn metric_ordering_mindist_le_minmaxdist_le_maxdist() {
+        let r = r2([2.0, -1.0], [5.0, 7.0]);
+        for p in [
+            Point::new([0.0, 0.0]),
+            Point::new([3.0, 3.0]),
+            Point::new([10.0, -5.0]),
+            Point::new([2.0, -1.0]),
+        ] {
+            let lo = mindist_sq(&p, &r);
+            let mid = minmaxdist_sq(&p, &r);
+            let hi = maxdist_sq(&p, &r);
+            assert!(lo <= mid, "mindist {lo} > minmaxdist {mid} at {p:?}");
+            assert!(mid <= hi, "minmaxdist {mid} > maxdist {hi} at {p:?}");
+        }
+    }
+
+    #[test]
+    fn empty_rect_metrics_are_infinite() {
+        let e = Rect::<2>::empty();
+        let p = Point::new([0.0, 0.0]);
+        assert_eq!(mindist_sq(&p, &e), f64::INFINITY);
+        assert_eq!(minmaxdist_sq(&p, &e), f64::INFINITY);
+        assert_eq!(maxdist_sq(&p, &e), f64::INFINITY);
+    }
+
+    #[test]
+    fn maxdist_is_farthest_corner() {
+        let r = r2([0.0, 0.0], [2.0, 2.0]);
+        // From (-1,-1), the farthest corner is (2,2): squared distance 18.
+        assert_eq!(maxdist_sq(&Point::new([-1.0, -1.0]), &r), 18.0);
+        // From the center, all corners are equidistant: 2.
+        assert_eq!(maxdist_sq(&Point::new([1.0, 1.0]), &r), 2.0);
+    }
+
+    #[test]
+    fn minmaxdist_inside_query() {
+        // Query at center of unit square: near face at distance 0.5 in each
+        // dim, far face at 0.5 too; every candidate is 0.25 + 0.25 = 0.5.
+        let r = r2([0.0, 0.0], [1.0, 1.0]);
+        let p = Point::new([0.5, 0.5]);
+        assert_eq!(minmaxdist_sq(&p, &r), 0.5);
+    }
+
+    #[test]
+    fn works_in_three_dimensions() {
+        let r = Rect::new(Point::new([0.0, 0.0, 0.0]), Point::new([2.0, 2.0, 2.0]));
+        let p = Point::new([-1.0, 1.0, 1.0]);
+        assert_eq!(mindist_sq(&p, &r), 1.0);
+        // near face x=0 (dist 1), far corners y,z at dist 1 each: 1+1+1=3
+        // candidates along y/z: near 1, far x dist 3^2=9 ... k=x wins.
+        assert_eq!(minmaxdist_sq(&p, &r), 3.0);
+        assert_eq!(maxdist_sq(&p, &r), 9.0 + 1.0 + 1.0);
+    }
+
+    #[test]
+    fn dist_newtype_round_trips() {
+        let d = Dist::from_linear(3.0);
+        assert_eq!(d.sq(), 9.0);
+        assert_eq!(d.linear(), 3.0);
+        assert_eq!(Dist::from_sq(16.0).linear(), 4.0);
+        assert!(Dist::ZERO < Dist::INFINITY);
+    }
+}

@@ -1,0 +1,194 @@
+//! Fixed-dimension points with `f64` coordinates.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A point in `D`-dimensional Euclidean space.
+///
+/// Coordinates are `f64`. The type is `Copy` for small `D`, which keeps
+/// R-tree node entries flat and cache-friendly.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Point<const D: usize> {
+    coords: [f64; D],
+}
+
+impl<const D: usize> Point<D> {
+    /// Creates a point from its coordinate array.
+    #[inline]
+    pub const fn new(coords: [f64; D]) -> Self {
+        Self { coords }
+    }
+
+    /// The origin (all coordinates zero).
+    #[inline]
+    pub const fn origin() -> Self {
+        Self { coords: [0.0; D] }
+    }
+
+    /// Returns the coordinate array.
+    #[inline]
+    pub const fn coords(&self) -> &[f64; D] {
+        &self.coords
+    }
+
+    /// Returns the coordinate along dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim >= D`.
+    #[inline]
+    pub fn coord(&self, dim: usize) -> f64 {
+        self.coords[dim]
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist_sq(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = self.coords[i] - other.coords[i];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Self) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Component-wise minimum of two points.
+    #[inline]
+    pub fn min(&self, other: &Self) -> Self {
+        let mut coords = [0.0; D];
+        for (i, c) in coords.iter_mut().enumerate() {
+            *c = self.coords[i].min(other.coords[i]);
+        }
+        Self { coords }
+    }
+
+    /// Component-wise maximum of two points.
+    #[inline]
+    pub fn max(&self, other: &Self) -> Self {
+        let mut coords = [0.0; D];
+        for (i, c) in coords.iter_mut().enumerate() {
+            *c = self.coords[i].max(other.coords[i]);
+        }
+        Self { coords }
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    #[inline]
+    pub fn lerp(&self, other: &Self, t: f64) -> Self {
+        let mut coords = [0.0; D];
+        for (i, c) in coords.iter_mut().enumerate() {
+            *c = self.coords[i] + t * (other.coords[i] - self.coords[i]);
+        }
+        Self { coords }
+    }
+
+    /// Returns `true` if every coordinate is finite (no NaN or ±∞).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.coords.iter().all(|c| c.is_finite())
+    }
+}
+
+impl<const D: usize> Default for Point<D> {
+    fn default() -> Self {
+        Self::origin()
+    }
+}
+
+impl<const D: usize> Index<usize> for Point<D> {
+    type Output = f64;
+    #[inline]
+    fn index(&self, dim: usize) -> &f64 {
+        &self.coords[dim]
+    }
+}
+
+impl<const D: usize> IndexMut<usize> for Point<D> {
+    #[inline]
+    fn index_mut(&mut self, dim: usize) -> &mut f64 {
+        &mut self.coords[dim]
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    #[inline]
+    fn from(coords: [f64; D]) -> Self {
+        Self { coords }
+    }
+}
+
+impl<const D: usize> fmt::Debug for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_sq_matches_hand_computation() {
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([3.0, 4.0]);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let a = Point::new([1.5, -2.0, 7.0]);
+        let b = Point::new([-3.0, 0.25, 2.0]);
+        assert_eq!(a.dist_sq(&b), b.dist_sq(&a));
+    }
+
+    #[test]
+    fn dist_to_self_is_zero() {
+        let a = Point::new([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.dist_sq(&a), 0.0);
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point::new([1.0, 5.0]);
+        let b = Point::new([3.0, 2.0]);
+        assert_eq!(a.min(&b), Point::new([1.0, 2.0]));
+        assert_eq!(a.max(&b), Point::new([3.0, 5.0]));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new([0.0, 10.0]);
+        let b = Point::new([4.0, 20.0]);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::new([2.0, 15.0]));
+    }
+
+    #[test]
+    fn indexing_reads_and_writes() {
+        let mut p = Point::new([1.0, 2.0]);
+        p[0] = 9.0;
+        assert_eq!(p[0], 9.0);
+        assert_eq!(p[1], 2.0);
+    }
+
+    #[test]
+    fn is_finite_detects_nan_and_inf() {
+        assert!(Point::new([1.0, 2.0]).is_finite());
+        assert!(!Point::new([f64::NAN, 0.0]).is_finite());
+        assert!(!Point::new([0.0, f64::INFINITY]).is_finite());
+    }
+}

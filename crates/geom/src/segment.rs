@@ -1,0 +1,147 @@
+//! 2-D line segments.
+//!
+//! The RKV'95 experiments index *map segments* (road fragments from TIGER
+//! files), not points. An R-tree stores each segment's MBR; exact distances
+//! are computed by point-to-segment distance during refinement. This module
+//! provides that geometry.
+
+use crate::{Point, Rect};
+
+/// A 2-D line segment between two endpoints.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point<2>,
+    /// Second endpoint.
+    pub b: Point<2>,
+}
+
+impl Segment {
+    /// Creates a segment from its endpoints.
+    #[inline]
+    pub const fn new(a: Point<2>, b: Point<2>) -> Self {
+        Self { a, b }
+    }
+
+    /// The segment's minimum bounding rectangle.
+    #[inline]
+    pub fn mbr(&self) -> Rect<2> {
+        Rect::new(self.a, self.b)
+    }
+
+    /// The segment's length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.dist(&self.b)
+    }
+
+    /// The midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Point<2> {
+        self.a.lerp(&self.b, 0.5)
+    }
+
+    /// Squared distance from `p` to the closest point on the segment.
+    ///
+    /// Degenerate segments (`a == b`) are handled as points.
+    pub fn dist_sq_to_point(&self, p: &Point<2>) -> f64 {
+        let abx = self.b[0] - self.a[0];
+        let aby = self.b[1] - self.a[1];
+        let apx = p[0] - self.a[0];
+        let apy = p[1] - self.a[1];
+        let len_sq = abx * abx + aby * aby;
+        if len_sq == 0.0 {
+            return self.a.dist_sq(p);
+        }
+        let t = ((apx * abx + apy * aby) / len_sq).clamp(0.0, 1.0);
+        let cx = self.a[0] + t * abx;
+        let cy = self.a[1] + t * aby;
+        let dx = p[0] - cx;
+        let dy = p[1] - cy;
+        dx * dx + dy * dy
+    }
+
+    /// The closest point on the segment to `p`.
+    pub fn closest_point(&self, p: &Point<2>) -> Point<2> {
+        let abx = self.b[0] - self.a[0];
+        let aby = self.b[1] - self.a[1];
+        let len_sq = abx * abx + aby * aby;
+        if len_sq == 0.0 {
+            return self.a;
+        }
+        let apx = p[0] - self.a[0];
+        let apy = p[1] - self.a[1];
+        let t = ((apx * abx + apy * aby) / len_sq).clamp(0.0, 1.0);
+        Point::new([self.a[0] + t * abx, self.a[1] + t * aby])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mindist_sq;
+
+    fn p(x: f64, y: f64) -> Point<2> {
+        Point::new([x, y])
+    }
+
+    #[test]
+    fn mbr_covers_endpoints() {
+        let s = Segment::new(p(3.0, 1.0), p(0.0, 2.0));
+        let m = s.mbr();
+        assert!(m.contains_point(&s.a));
+        assert!(m.contains_point(&s.b));
+        assert_eq!(*m.lo(), p(0.0, 1.0));
+        assert_eq!(*m.hi(), p(3.0, 2.0));
+    }
+
+    #[test]
+    fn distance_to_interior_projection() {
+        // Horizontal segment; query directly above the middle.
+        let s = Segment::new(p(0.0, 0.0), p(4.0, 0.0));
+        assert_eq!(s.dist_sq_to_point(&p(2.0, 3.0)), 9.0);
+        assert_eq!(s.closest_point(&p(2.0, 3.0)), p(2.0, 0.0));
+    }
+
+    #[test]
+    fn distance_clamps_to_endpoints() {
+        let s = Segment::new(p(0.0, 0.0), p(4.0, 0.0));
+        // Beyond endpoint a.
+        assert_eq!(s.dist_sq_to_point(&p(-3.0, 4.0)), 25.0);
+        assert_eq!(s.closest_point(&p(-3.0, 4.0)), p(0.0, 0.0));
+        // Beyond endpoint b.
+        assert_eq!(s.dist_sq_to_point(&p(7.0, -4.0)), 25.0);
+        assert_eq!(s.closest_point(&p(7.0, -4.0)), p(4.0, 0.0));
+    }
+
+    #[test]
+    fn degenerate_segment_acts_as_point() {
+        let s = Segment::new(p(1.0, 1.0), p(1.0, 1.0));
+        assert_eq!(s.length(), 0.0);
+        assert_eq!(s.dist_sq_to_point(&p(4.0, 5.0)), 25.0);
+        assert_eq!(s.closest_point(&p(4.0, 5.0)), p(1.0, 1.0));
+    }
+
+    #[test]
+    fn point_on_segment_has_zero_distance() {
+        let s = Segment::new(p(0.0, 0.0), p(2.0, 2.0));
+        assert_eq!(s.dist_sq_to_point(&p(1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn mbr_mindist_lower_bounds_exact_distance() {
+        // Filter-refine correctness: MINDIST to the MBR never exceeds the
+        // exact distance to the segment.
+        let s = Segment::new(p(0.0, 0.0), p(4.0, 4.0));
+        for q in [p(5.0, 0.0), p(-1.0, 2.0), p(2.0, 2.0), p(10.0, 10.0)] {
+            assert!(mindist_sq(&q, &s.mbr()) <= s.dist_sq_to_point(&q) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn midpoint_and_length() {
+        let s = Segment::new(p(0.0, 0.0), p(6.0, 8.0));
+        assert_eq!(s.length(), 10.0);
+        assert_eq!(s.midpoint(), p(3.0, 4.0));
+    }
+}

@@ -1,0 +1,191 @@
+//! kd-tree correctness: brute-force agreement, FBF pruning behaviour, and
+//! agreement with the R-tree search it inspired.
+
+use nnq_core::{scan_items_knn, MbrRefiner, NnSearch};
+use nnq_geom::{Point, Rect};
+use nnq_kdtree::KdTree;
+use nnq_rtree::{MemRTree, RecordId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_points(n: usize, seed: u64) -> Vec<(Point<2>, RecordId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            (
+                Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]),
+                RecordId(i as u64),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn empty_and_single_point_trees() {
+    let tree = KdTree::<2>::build(Vec::new(), 8);
+    assert!(tree.is_empty());
+    assert!(tree.knn(&Point::new([0.0, 0.0]), 3).0.is_empty());
+
+    let tree = KdTree::build(vec![(Point::new([1.0, 2.0]), RecordId(7))], 8);
+    let (nn, _) = tree.knn(&Point::new([0.0, 0.0]), 3);
+    assert_eq!(nn.len(), 1);
+    assert_eq!(nn[0].record, RecordId(7));
+    assert_eq!(nn[0].dist_sq, 5.0);
+}
+
+#[test]
+fn knn_matches_brute_force_on_random_data() {
+    let pts = random_points(5_000, 3);
+    let items: Vec<(Rect<2>, RecordId)> = pts
+        .iter()
+        .map(|(p, id)| (Rect::from_point(*p), *id))
+        .collect();
+    let tree = KdTree::build(pts, 16);
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..50 {
+        let q = Point::new([rng.random_range(-10.0..110.0), rng.random_range(-10.0..110.0)]);
+        for k in [1usize, 5, 20] {
+            let (got, _) = tree.knn(&q, k);
+            let want = scan_items_knn(&items, &q, k, &MbrRefiner);
+            assert_eq!(
+                got.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+                want.iter().map(|n| n.dist_sq).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_points_are_handled() {
+    let pts: Vec<(Point<2>, RecordId)> = (0..100u64)
+        .map(|i| (Point::new([5.0, 5.0]), RecordId(i)))
+        .collect();
+    let tree = KdTree::build(pts, 4);
+    let (nn, _) = tree.knn(&Point::new([5.0, 5.0]), 10);
+    assert_eq!(nn.len(), 10);
+    assert!(nn.iter().all(|n| n.dist_sq == 0.0));
+}
+
+#[test]
+fn pruning_skips_most_of_the_tree() {
+    let pts = random_points(50_000, 9);
+    let tree = KdTree::build(pts, 16);
+    let total = tree.node_count() as u64;
+    let (_, stats) = tree.knn(&Point::new([50.0, 50.0]), 5);
+    assert!(
+        stats.nodes_visited * 20 < total,
+        "visited {} of {total} nodes",
+        stats.nodes_visited
+    );
+    assert!(stats.pruned_upward > 0);
+}
+
+#[test]
+fn agrees_with_rtree_search() {
+    // The paper's R-tree algorithm and its kd-tree ancestor must return
+    // identical distance sequences.
+    let pts = random_points(8_000, 11);
+    let kd = KdTree::build(pts.clone(), 16);
+    let mut rtree = MemRTree::<2>::new();
+    for (p, id) in &pts {
+        rtree.insert(Rect::from_point(*p), *id).unwrap();
+    }
+    let search = NnSearch::new(&rtree);
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..30 {
+        let q = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
+        let (a, _) = kd.knn(&q, 8);
+        let b = search.query(&q, 8).unwrap();
+        assert_eq!(
+            a.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+            b.iter().map(|n| n.dist_sq).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn three_dimensional_tree() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let pts: Vec<(Point<3>, RecordId)> = (0..2_000)
+        .map(|i| {
+            (
+                Point::new([
+                    rng.random_range(0.0..10.0),
+                    rng.random_range(0.0..10.0),
+                    rng.random_range(0.0..10.0),
+                ]),
+                RecordId(i),
+            )
+        })
+        .collect();
+    let items: Vec<(Rect<3>, RecordId)> = pts
+        .iter()
+        .map(|(p, id)| (Rect::from_point(*p), *id))
+        .collect();
+    let tree = KdTree::build(pts, 8);
+    let q = Point::new([5.0, 5.0, 5.0]);
+    let (got, _) = tree.knn(&q, 6);
+    let want = scan_items_knn(&items, &q, 6, &MbrRefiner);
+    assert_eq!(
+        got.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+        want.iter().map(|n| n.dist_sq).collect::<Vec<_>>()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_knn_equals_brute_force(
+        pts in proptest::collection::vec((0.0..50.0f64, 0.0..50.0f64), 1..400),
+        (qx, qy) in (-10.0..60.0f64, -10.0..60.0f64),
+        k in 1usize..10,
+        bucket in 1usize..20,
+    ) {
+        let items: Vec<(Point<2>, RecordId)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Point::new([x, y]), RecordId(i as u64)))
+            .collect();
+        let rect_items: Vec<(Rect<2>, RecordId)> = items
+            .iter()
+            .map(|(p, id)| (Rect::from_point(*p), *id))
+            .collect();
+        let tree = KdTree::build(items, bucket);
+        let q = Point::new([qx, qy]);
+        let (got, _) = tree.knn(&q, k);
+        let want = scan_items_knn(&rect_items, &q, k, &MbrRefiner);
+        let gd: Vec<f64> = got.iter().map(|n| n.dist_sq).collect();
+        let wd: Vec<f64> = want.iter().map(|n| n.dist_sq).collect();
+        prop_assert_eq!(gd, wd);
+    }
+}
+
+#[test]
+fn range_query_matches_brute_force() {
+    let pts = random_points(3_000, 17);
+    let tree = KdTree::build(pts.clone(), 12);
+    let mut rng = StdRng::seed_from_u64(18);
+    for _ in 0..30 {
+        let x = rng.random_range(0.0..80.0);
+        let y = rng.random_range(0.0..80.0);
+        let w = Rect::new(Point::new([x, y]), Point::new([x + 20.0, y + 15.0]));
+        let mut got: Vec<u64> = tree.range(&w).iter().map(|(_, id)| id.0).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = pts
+            .iter()
+            .filter(|(p, _)| w.contains_point(p))
+            .map(|(_, id)| id.0)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn range_query_on_empty_tree() {
+    let tree = KdTree::<2>::build(Vec::new(), 8);
+    let w = Rect::new(Point::new([0.0, 0.0]), Point::new([1.0, 1.0]));
+    assert!(tree.range(&w).is_empty());
+}

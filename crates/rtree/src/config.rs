@@ -1,0 +1,140 @@
+//! Tree configuration.
+
+/// Node-split algorithm used on overflow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SplitStrategy {
+    /// Guttman's linear split: O(n) seed picking by normalized separation.
+    Linear = 0,
+    /// Guttman's quadratic split: O(n²) seed picking by wasted area. This
+    /// is the split RKV'95-era systems used by default.
+    Quadratic = 1,
+    /// The R\*-tree split (margin-driven axis choice, overlap-driven
+    /// distribution) with forced reinsertion on first overflow per level.
+    RStar = 2,
+}
+
+/// Configuration of an [`crate::RTree`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RTreeConfig {
+    /// Split algorithm for dynamic inserts.
+    pub split: SplitStrategy,
+    /// Minimum node fill as a fraction of the maximum (Guttman's `m/M`).
+    /// The classical choice is 0.4; must lie in `(0, 0.5]`.
+    pub min_fill: f64,
+    /// Fraction of entries to reinsert on R\* forced reinsertion
+    /// (ignored by the other strategies). The R\*-tree paper recommends 0.3.
+    pub reinsert_fraction: f64,
+    /// Caps the node fanout below the page capacity. Useful in tests to
+    /// force deep trees with few entries; `None` uses the full page.
+    pub max_entries_override: Option<usize>,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        Self {
+            split: SplitStrategy::Quadratic,
+            min_fill: 0.4,
+            reinsert_fraction: 0.3,
+            max_entries_override: None,
+        }
+    }
+}
+
+impl RTreeConfig {
+    /// A configuration with the given split strategy and defaults otherwise.
+    pub fn with_split(split: SplitStrategy) -> Self {
+        Self {
+            split,
+            ..Self::default()
+        }
+    }
+
+    /// A small-fanout configuration for tests (forces multi-level trees on
+    /// small datasets).
+    pub fn for_testing(max_entries: usize) -> Self {
+        Self {
+            max_entries_override: Some(max_entries),
+            ..Self::default()
+        }
+    }
+
+    /// The effective maximum entries per node for a page of `page_size`
+    /// bytes and dimensionality `dims` (paged trees).
+    pub fn max_entries(&self, page_size: usize, dims: usize) -> usize {
+        self.effective_max(crate::codec::node_capacity(page_size, dims))
+    }
+
+    /// The effective maximum entries per node given a backend capacity.
+    pub fn effective_max(&self, capacity: usize) -> usize {
+        let m = self.max_entries_override.map_or(capacity, |o| o.min(capacity));
+        assert!(m >= 4, "node fanout must be at least 4, got {m}");
+        m
+    }
+
+    /// The minimum entries per non-root node derived from
+    /// [`RTreeConfig::min_fill`]. At least 2, at most half the maximum.
+    pub fn min_entries(&self, max_entries: usize) -> usize {
+        ((max_entries as f64 * self.min_fill).floor() as usize)
+            .clamp(2, max_entries / 2)
+    }
+
+    /// Number of entries the R\* forced-reinsert pass removes.
+    pub fn reinsert_count(&self, max_entries: usize) -> usize {
+        ((max_entries as f64 * self.reinsert_fraction).floor() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quadratic_forty_percent() {
+        let c = RTreeConfig::default();
+        assert_eq!(c.split, SplitStrategy::Quadratic);
+        assert_eq!(c.min_fill, 0.4);
+        assert_eq!(c.max_entries(4096, 2), 102);
+        assert_eq!(c.min_entries(102), 40);
+    }
+
+    #[test]
+    fn override_caps_fanout() {
+        let c = RTreeConfig::for_testing(8);
+        assert_eq!(c.max_entries(4096, 2), 8);
+        assert_eq!(c.min_entries(8), 3);
+    }
+
+    #[test]
+    fn override_cannot_exceed_page_capacity() {
+        let c = RTreeConfig {
+            max_entries_override: Some(10_000),
+            ..RTreeConfig::default()
+        };
+        assert_eq!(c.max_entries(4096, 2), 102);
+    }
+
+    #[test]
+    fn min_entries_never_exceeds_half() {
+        let c = RTreeConfig {
+            min_fill: 0.5,
+            ..RTreeConfig::default()
+        };
+        assert_eq!(c.min_entries(7), 3);
+        assert_eq!(c.min_entries(4), 2);
+    }
+
+    #[test]
+    fn reinsert_count_is_thirty_percent() {
+        let c = RTreeConfig::default();
+        assert_eq!(c.reinsert_count(102), 30);
+        assert_eq!(c.reinsert_count(10), 3);
+        assert_eq!(c.reinsert_count(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_fanout_is_rejected() {
+        RTreeConfig::for_testing(3).max_entries(4096, 2);
+    }
+}

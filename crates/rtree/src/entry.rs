@@ -1,0 +1,90 @@
+//! Node entries: the `(MBR, pointer)` pairs R-tree nodes are made of.
+
+use nnq_geom::Rect;
+use nnq_storage::PageId;
+
+/// Identifier of an indexed record.
+///
+/// The R-tree stores no payloads; a leaf entry carries the record's MBR and
+/// this opaque id, which callers resolve against their own record storage
+/// (e.g. an array of segments).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RecordId(pub u64);
+
+/// An entry of an R-tree node.
+///
+/// In an internal node, `ptr` is the page id of the child node and `mbr`
+/// tightly bounds everything below it. In a leaf, `ptr` is the
+/// [`RecordId`] of the indexed object and `mbr` is the object's bounding
+/// rectangle (degenerate for points).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Entry<const D: usize> {
+    /// Minimum bounding rectangle of the child subtree or data object.
+    pub mbr: Rect<D>,
+    /// Child page id (internal nodes) or record id (leaves), as raw bits.
+    pub ptr: u64,
+}
+
+impl<const D: usize> Entry<D> {
+    /// Creates an internal-node entry pointing at a child page.
+    #[inline]
+    pub fn for_child(mbr: Rect<D>, child: PageId) -> Self {
+        Self { mbr, ptr: child.0 }
+    }
+
+    /// Creates a leaf entry pointing at a data record.
+    #[inline]
+    pub fn for_record(mbr: Rect<D>, rid: RecordId) -> Self {
+        Self { mbr, ptr: rid.0 }
+    }
+
+    /// Interprets the pointer as a child page id.
+    #[inline]
+    pub fn child(&self) -> PageId {
+        PageId(self.ptr)
+    }
+
+    /// Interprets the pointer as a record id.
+    #[inline]
+    pub fn record(&self) -> RecordId {
+        RecordId(self.ptr)
+    }
+}
+
+/// Computes the tight MBR of a slice of entries
+/// ([`Rect::empty`] if the slice is empty).
+pub(crate) fn entries_mbr<const D: usize>(entries: &[Entry<D>]) -> Rect<D> {
+    let mut mbr = Rect::empty();
+    for e in entries {
+        mbr.union_in_place(&e.mbr);
+    }
+    mbr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnq_geom::Point;
+
+    fn rect(lo: [f64; 2], hi: [f64; 2]) -> Rect<2> {
+        Rect::new(Point::new(lo), Point::new(hi))
+    }
+
+    #[test]
+    fn entry_pointer_views() {
+        let e = Entry::for_child(rect([0.0, 0.0], [1.0, 1.0]), PageId(7));
+        assert_eq!(e.child(), PageId(7));
+        let e = Entry::for_record(rect([0.0, 0.0], [1.0, 1.0]), RecordId(9));
+        assert_eq!(e.record(), RecordId(9));
+    }
+
+    #[test]
+    fn entries_mbr_is_tight_union() {
+        let es = [
+            Entry::for_record(rect([0.0, 0.0], [1.0, 1.0]), RecordId(0)),
+            Entry::for_record(rect([5.0, -2.0], [6.0, 0.5]), RecordId(1)),
+        ];
+        assert_eq!(entries_mbr(&es), rect([0.0, -2.0], [6.0, 1.0]));
+        assert!(entries_mbr::<2>(&[]).is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Streaming queries: iterate window-query results without materializing
+//! the full result vector, plus whole-tree entry iteration.
+
+use crate::entry::{Entry, RecordId};
+use crate::store::NodeStore;
+use crate::tree::RTree;
+use crate::Result;
+use nnq_geom::{Point, Rect};
+use nnq_storage::PageId;
+
+/// A lazy window-query iterator: nodes are read as the iterator advances,
+/// so taking only the first few matches touches only the pages needed to
+/// produce them.
+///
+/// Yields `Result` items because each step may read a page.
+pub struct WindowIter<'t, const D: usize, S> {
+    tree: &'t RTree<D, S>,
+    window: Rect<D>,
+    /// Nodes still to visit.
+    stack: Vec<PageId>,
+    /// Matching entries of the current leaf, pending emission.
+    pending: Vec<Entry<D>>,
+    /// Nodes read so far (page accesses attributable to this iterator).
+    nodes_read: u64,
+}
+
+impl<'t, const D: usize, S: NodeStore<D>> WindowIter<'t, D, S> {
+    pub(crate) fn new(tree: &'t RTree<D, S>, window: Rect<D>) -> Self {
+        let stack = match tree.root() {
+            root if root.is_valid() => vec![root],
+            _ => Vec::new(),
+        };
+        Self {
+            tree,
+            window,
+            stack,
+            pending: Vec::new(),
+            nodes_read: 0,
+        }
+    }
+
+    /// Number of tree nodes this iterator has read so far.
+    pub fn nodes_read(&self) -> u64 {
+        self.nodes_read
+    }
+}
+
+impl<const D: usize, S: NodeStore<D>> Iterator for WindowIter<'_, D, S> {
+    type Item = Result<(Rect<D>, RecordId)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(e) = self.pending.pop() {
+                return Some(Ok((e.mbr, e.record())));
+            }
+            let page = self.stack.pop()?;
+            let node = match self.tree.read_node(page) {
+                Ok(n) => n,
+                Err(e) => return Some(Err(e)),
+            };
+            self.nodes_read += 1;
+            if node.is_leaf() {
+                self.pending.extend(
+                    node.entries
+                        .iter()
+                        .filter(|e| e.mbr.intersects(&self.window))
+                        .copied(),
+                );
+            } else {
+                for e in &node.entries {
+                    if e.mbr.intersects(&self.window) {
+                        self.stack.push(e.child());
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
+    /// Returns a lazy iterator over all entries intersecting `window`
+    /// (see [`WindowIter`]). [`RTree::window`] is the materializing
+    /// equivalent.
+    pub fn window_iter(&self, window: Rect<D>) -> WindowIter<'_, D, S> {
+        WindowIter::new(self, window)
+    }
+
+    /// Returns a lazy iterator over every entry in the tree.
+    pub fn iter(&self) -> WindowIter<'_, D, S> {
+        self.window_iter(Rect::from_sorted(
+            Point::new([f64::NEG_INFINITY; D]),
+            Point::new([f64::INFINITY; D]),
+        ))
+    }
+
+    /// Moves a record to a new bounding rectangle
+    /// (delete + insert; the classical R-tree update).
+    pub fn update(&mut self, old_mbr: &Rect<D>, rid: RecordId, new_mbr: Rect<D>) -> Result<()> {
+        self.delete(old_mbr, rid)?;
+        self.insert(new_mbr, rid)
+    }
+
+    /// Removes every entry, freeing all node pages. The tree remains
+    /// usable (equivalent to a freshly created one).
+    pub fn clear(&mut self) -> Result<()> {
+        if !self.root().is_valid() {
+            return Ok(());
+        }
+        // Free bottom-up via a simple stack walk.
+        let mut stack = vec![self.root()];
+        let mut pages = Vec::new();
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page)?;
+            if !node.is_leaf() {
+                for e in &node.entries {
+                    stack.push(e.child());
+                }
+            }
+            pages.push(page);
+        }
+        for page in pages {
+            self.store().free(page)?;
+        }
+        self.set_meta_after_bulk(PageId::INVALID, 0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RTreeConfig;
+    use crate::tree::MemRTree;
+    use nnq_geom::Point;
+
+    fn grid(n: u64) -> MemRTree<2> {
+        let mut tree = MemRTree::with_config(RTreeConfig::default(), 8);
+        for x in 0..n {
+            for y in 0..n {
+                tree.insert(
+                    Rect::from_point(Point::new([x as f64, y as f64])),
+                    RecordId(x * n + y),
+                )
+                .unwrap();
+            }
+        }
+        tree
+    }
+
+    #[test]
+    fn window_iter_matches_materialized_query() {
+        let tree = grid(20);
+        let w = Rect::new(Point::new([3.0, 5.0]), Point::new([11.0, 9.0]));
+        let mut lazy: Vec<u64> = tree
+            .window_iter(w)
+            .map(|r| r.unwrap().1 .0)
+            .collect();
+        lazy.sort_unstable();
+        let mut eager: Vec<u64> = tree.window(&w).unwrap().iter().map(|(_, id)| id.0).collect();
+        eager.sort_unstable();
+        assert_eq!(lazy, eager);
+    }
+
+    #[test]
+    fn taking_a_prefix_reads_fewer_nodes() {
+        let tree = grid(40); // 1600 points
+        let total = tree.stats().unwrap().nodes;
+        let everything = Rect::new(Point::new([0.0, 0.0]), Point::new([40.0, 40.0]));
+        let mut iter = tree.window_iter(everything);
+        for _ in 0..3 {
+            iter.next().unwrap().unwrap();
+        }
+        assert!(
+            iter.nodes_read() * 5 < total,
+            "read {} of {total} nodes for 3 results",
+            iter.nodes_read()
+        );
+    }
+
+    #[test]
+    fn iter_visits_every_entry_once() {
+        let tree = grid(15);
+        let mut ids: Vec<u64> = tree.iter().map(|r| r.unwrap().1 .0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..225).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_tree_iterates_nothing() {
+        let tree = MemRTree::<2>::new();
+        assert_eq!(tree.iter().count(), 0);
+    }
+
+    #[test]
+    fn update_moves_a_record() {
+        let mut tree = grid(5);
+        let old = Rect::from_point(Point::new([2.0, 2.0]));
+        let new = Rect::from_point(Point::new([100.0, 100.0]));
+        tree.update(&old, RecordId(2 * 5 + 2), new).unwrap();
+        tree.validate_strict().unwrap();
+        assert!(tree.point_query(&Point::new([2.0, 2.0])).unwrap().is_empty());
+        let hits = tree.point_query(&Point::new([100.0, 100.0])).unwrap();
+        assert_eq!(hits, vec![(new, RecordId(12))]);
+        assert_eq!(tree.len(), 25);
+    }
+
+    #[test]
+    fn clear_frees_everything_and_tree_is_reusable() {
+        let mut tree = grid(12);
+        assert!(tree.store().live_nodes() > 1);
+        tree.clear().unwrap();
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 0);
+        assert_eq!(tree.store().live_nodes(), 0);
+        tree.validate().unwrap();
+        tree.insert(Rect::from_point(Point::new([1.0, 1.0])), RecordId(0))
+            .unwrap();
+        assert_eq!(tree.len(), 1);
+        tree.validate_strict().unwrap();
+    }
+}

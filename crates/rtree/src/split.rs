@@ -1,0 +1,482 @@
+//! Node-split algorithms: Guttman linear, Guttman quadratic, and R\*.
+//!
+//! A split receives the `M + 1` entries of an overflowing node and
+//! partitions them into two groups, each holding at least `m` entries.
+//! The algorithms differ only in how they pick the partition:
+//!
+//! * **Linear** — cheap seed choice by normalized separation, then greedy
+//!   least-enlargement assignment.
+//! * **Quadratic** — seed pair maximizing dead area, then repeatedly assign
+//!   the entry with the greatest preference for one group.
+//! * **R\*** — choose the split *axis* by minimum margin sum, then the
+//!   distribution on that axis by minimum overlap (ties: minimum area).
+
+use crate::config::SplitStrategy;
+use crate::entry::{entries_mbr, Entry};
+use nnq_geom::Rect;
+
+/// Splits `entries` (length `M + 1`) into two groups of at least
+/// `min_entries` each, using the given strategy.
+pub(crate) fn split_entries<const D: usize>(
+    strategy: SplitStrategy,
+    entries: Vec<Entry<D>>,
+    min_entries: usize,
+) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
+    debug_assert!(entries.len() >= 2 * min_entries);
+    let (a, b) = match strategy {
+        SplitStrategy::Linear => linear_split(entries, min_entries),
+        SplitStrategy::Quadratic => quadratic_split(entries, min_entries),
+        SplitStrategy::RStar => rstar_split(entries, min_entries),
+    };
+    debug_assert!(a.len() >= min_entries && b.len() >= min_entries);
+    (a, b)
+}
+
+// ---------------------------------------------------------------------------
+// Guttman linear split
+// ---------------------------------------------------------------------------
+
+fn linear_split<const D: usize>(
+    entries: Vec<Entry<D>>,
+    min_entries: usize,
+) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
+    // PickSeeds (linear): per dimension, the entry with the highest low side
+    // and the one with the lowest high side; normalize their separation by
+    // the total width; take the dimension with the greatest value.
+    let total = entries_mbr(&entries);
+    let mut best_dim = 0;
+    let mut best_sep = f64::NEG_INFINITY;
+    let mut best_pair = (0usize, 1usize);
+    for dim in 0..D {
+        let width = total.extent(dim).max(f64::MIN_POSITIVE);
+        let (mut hi_lo_idx, mut lo_hi_idx) = (0usize, 0usize);
+        for (i, e) in entries.iter().enumerate() {
+            if e.mbr.lo()[dim] > entries[hi_lo_idx].mbr.lo()[dim] {
+                hi_lo_idx = i;
+            }
+            if e.mbr.hi()[dim] < entries[lo_hi_idx].mbr.hi()[dim] {
+                lo_hi_idx = i;
+            }
+        }
+        let sep =
+            (entries[hi_lo_idx].mbr.lo()[dim] - entries[lo_hi_idx].mbr.hi()[dim]) / width;
+        if sep > best_sep && hi_lo_idx != lo_hi_idx {
+            best_sep = sep;
+            best_dim = dim;
+            best_pair = (hi_lo_idx, lo_hi_idx);
+        }
+    }
+    let _ = best_dim;
+    let (s1, s2) = if best_pair.0 == best_pair.1 {
+        (0, 1) // degenerate data: any two distinct entries
+    } else {
+        best_pair
+    };
+    distribute_greedy(entries, s1, s2, min_entries)
+}
+
+// ---------------------------------------------------------------------------
+// Guttman quadratic split
+// ---------------------------------------------------------------------------
+
+fn quadratic_split<const D: usize>(
+    entries: Vec<Entry<D>>,
+    min_entries: usize,
+) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
+    // PickSeeds (quadratic): the pair wasting the most area if grouped.
+    let mut best = f64::NEG_INFINITY;
+    let (mut s1, mut s2) = (0usize, 1usize);
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let waste = entries[i].mbr.union(&entries[j].mbr).area()
+                - entries[i].mbr.area()
+                - entries[j].mbr.area();
+            if waste > best {
+                best = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    distribute_quadratic(entries, s1, s2, min_entries)
+}
+
+/// Guttman's PickNext loop: repeatedly assign the entry with the greatest
+/// preference (difference of enlargements) to its preferred group.
+fn distribute_quadratic<const D: usize>(
+    entries: Vec<Entry<D>>,
+    s1: usize,
+    s2: usize,
+    min_entries: usize,
+) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
+    let n = entries.len();
+    let mut remaining: Vec<Entry<D>> = Vec::with_capacity(n - 2);
+    let mut g1 = Vec::with_capacity(n);
+    let mut g2 = Vec::with_capacity(n);
+    for (i, e) in entries.into_iter().enumerate() {
+        if i == s1 {
+            g1.push(e);
+        } else if i == s2 {
+            g2.push(e);
+        } else {
+            remaining.push(e);
+        }
+    }
+    let mut mbr1 = g1[0].mbr;
+    let mut mbr2 = g2[0].mbr;
+
+    while !remaining.is_empty() {
+        // If one group must absorb everything left to reach min fill, do so.
+        if g1.len() + remaining.len() == min_entries {
+            for e in remaining.drain(..) {
+                mbr1.union_in_place(&e.mbr);
+                g1.push(e);
+            }
+            break;
+        }
+        if g2.len() + remaining.len() == min_entries {
+            for e in remaining.drain(..) {
+                mbr2.union_in_place(&e.mbr);
+                g2.push(e);
+            }
+            break;
+        }
+        // PickNext: maximize |d1 - d2|.
+        let mut best_idx = 0;
+        let mut best_pref = f64::NEG_INFINITY;
+        let mut best_d = (0.0, 0.0);
+        for (i, e) in remaining.iter().enumerate() {
+            let d1 = mbr1.enlargement(&e.mbr);
+            let d2 = mbr2.enlargement(&e.mbr);
+            let pref = (d1 - d2).abs();
+            if pref > best_pref {
+                best_pref = pref;
+                best_idx = i;
+                best_d = (d1, d2);
+            }
+        }
+        let e = remaining.swap_remove(best_idx);
+        let to_first = pick_group(best_d, &mbr1, &mbr2, g1.len(), g2.len());
+        if to_first {
+            mbr1.union_in_place(&e.mbr);
+            g1.push(e);
+        } else {
+            mbr2.union_in_place(&e.mbr);
+            g2.push(e);
+        }
+    }
+    (g1, g2)
+}
+
+/// Linear-split distribution: entries are assigned in input order by least
+/// enlargement, with the same min-fill backstop as the quadratic loop.
+fn distribute_greedy<const D: usize>(
+    entries: Vec<Entry<D>>,
+    s1: usize,
+    s2: usize,
+    min_entries: usize,
+) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
+    let n = entries.len();
+    let mut remaining: Vec<Entry<D>> = Vec::with_capacity(n - 2);
+    let mut g1 = Vec::with_capacity(n);
+    let mut g2 = Vec::with_capacity(n);
+    for (i, e) in entries.into_iter().enumerate() {
+        if i == s1 {
+            g1.push(e);
+        } else if i == s2 {
+            g2.push(e);
+        } else {
+            remaining.push(e);
+        }
+    }
+    let mut mbr1 = g1[0].mbr;
+    let mut mbr2 = g2[0].mbr;
+    for e in remaining.into_iter() {
+        // Min-fill backstop is handled by counting what's left implicitly:
+        // greedy assignment plus a final rebalance below keeps it simpler
+        // for the linear variant.
+        let d1 = mbr1.enlargement(&e.mbr);
+        let d2 = mbr2.enlargement(&e.mbr);
+        if pick_group((d1, d2), &mbr1, &mbr2, g1.len(), g2.len()) {
+            mbr1.union_in_place(&e.mbr);
+            g1.push(e);
+        } else {
+            mbr2.union_in_place(&e.mbr);
+            g2.push(e);
+        }
+    }
+    rebalance_min_fill(&mut g1, &mut g2, min_entries);
+    (g1, g2)
+}
+
+/// Moves trailing entries between groups until both meet min fill.
+fn rebalance_min_fill<const D: usize>(
+    g1: &mut Vec<Entry<D>>,
+    g2: &mut Vec<Entry<D>>,
+    min_entries: usize,
+) {
+    while g1.len() < min_entries {
+        let e = g2.pop().expect("split groups cannot both underflow");
+        g1.push(e);
+    }
+    while g2.len() < min_entries {
+        let e = g1.pop().expect("split groups cannot both underflow");
+        g2.push(e);
+    }
+}
+
+/// Tie-broken group choice: smaller enlargement, then smaller area, then
+/// fewer entries. Returns `true` for group 1.
+fn pick_group<const D: usize>(
+    (d1, d2): (f64, f64),
+    mbr1: &Rect<D>,
+    mbr2: &Rect<D>,
+    n1: usize,
+    n2: usize,
+) -> bool {
+    if d1 < d2 {
+        true
+    } else if d2 < d1 {
+        false
+    } else if mbr1.area() < mbr2.area() {
+        true
+    } else if mbr2.area() < mbr1.area() {
+        false
+    } else {
+        n1 <= n2
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R* split
+// ---------------------------------------------------------------------------
+
+fn rstar_split<const D: usize>(
+    mut entries: Vec<Entry<D>>,
+    min_entries: usize,
+) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
+    let n = entries.len();
+    let max_k = n - min_entries;
+
+    // ChooseSplitAxis: for each axis, S = sum of margins of all valid
+    // distributions over both sortings (by lo, then by hi).
+    let mut best_axis = 0;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..D {
+        let mut margin_sum = 0.0;
+        for sort_by_hi in [false, true] {
+            sort_axis(&mut entries, axis, sort_by_hi);
+            for k in min_entries..=max_k {
+                let left = entries_mbr(&entries[..k]);
+                let right = entries_mbr(&entries[k..]);
+                margin_sum += left.margin() + right.margin();
+            }
+        }
+        if margin_sum < best_margin {
+            best_margin = margin_sum;
+            best_axis = axis;
+        }
+    }
+
+    // ChooseSplitIndex: on the chosen axis, minimize overlap
+    // (tie: minimize combined area) over both sortings.
+    let mut best: Option<(bool, usize, f64, f64)> = None;
+    for sort_by_hi in [false, true] {
+        sort_axis(&mut entries, best_axis, sort_by_hi);
+        for k in min_entries..=max_k {
+            let left = entries_mbr(&entries[..k]);
+            let right = entries_mbr(&entries[k..]);
+            let overlap = left.overlap_area(&right);
+            let area = left.area() + right.area();
+            let better = match &best {
+                None => true,
+                Some((_, _, bo, ba)) => {
+                    overlap < *bo || (overlap == *bo && area < *ba)
+                }
+            };
+            if better {
+                best = Some((sort_by_hi, k, overlap, area));
+            }
+        }
+    }
+    let (sort_by_hi, k, _, _) = best.expect("at least one distribution exists");
+    sort_axis(&mut entries, best_axis, sort_by_hi);
+    let right = entries.split_off(k);
+    (entries, right)
+}
+
+fn sort_axis<const D: usize>(entries: &mut [Entry<D>], axis: usize, by_hi: bool) {
+    if by_hi {
+        entries.sort_by(|a, b| a.mbr.hi()[axis].total_cmp(&b.mbr.hi()[axis]));
+    } else {
+        entries.sort_by(|a, b| a.mbr.lo()[axis].total_cmp(&b.mbr.lo()[axis]));
+    }
+}
+
+/// R\* forced reinsertion: removes the `p` entries whose centers are
+/// farthest from the node MBR's center and returns them sorted
+/// closest-first (the paper's "close reinsert").
+pub(crate) fn take_reinsert_victims<const D: usize>(
+    entries: &mut Vec<Entry<D>>,
+    p: usize,
+) -> Vec<Entry<D>> {
+    debug_assert!(p < entries.len());
+    let center = entries_mbr(entries).center();
+    entries.sort_by(|a, b| {
+        let da = a.mbr.center().dist_sq(&center);
+        let db = b.mbr.center().dist_sq(&center);
+        da.total_cmp(&db)
+    });
+    // Farthest p entries are at the tail; reinsert closest-first.
+    entries.split_off(entries.len() - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::RecordId;
+    use nnq_geom::Point;
+
+    fn point_entries(coords: &[[f64; 2]]) -> Vec<Entry<2>> {
+        coords
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Entry::for_record(Rect::from_point(Point::new(*c)), RecordId(i as u64)))
+            .collect()
+    }
+
+    fn check_partition(
+        strategy: SplitStrategy,
+        entries: Vec<Entry<2>>,
+        min_entries: usize,
+    ) -> (Vec<Entry<2>>, Vec<Entry<2>>) {
+        let n = entries.len();
+        let ids: std::collections::BTreeSet<u64> = entries.iter().map(|e| e.ptr).collect();
+        let (a, b) = split_entries(strategy, entries, min_entries);
+        assert_eq!(a.len() + b.len(), n, "{strategy:?}: entries lost");
+        assert!(a.len() >= min_entries, "{strategy:?}: group 1 underfull");
+        assert!(b.len() >= min_entries, "{strategy:?}: group 2 underfull");
+        let got: std::collections::BTreeSet<u64> =
+            a.iter().chain(b.iter()).map(|e| e.ptr).collect();
+        assert_eq!(got, ids, "{strategy:?}: ids changed");
+        (a, b)
+    }
+
+    fn two_clusters() -> Vec<[f64; 2]> {
+        let mut coords = Vec::new();
+        for i in 0..5 {
+            coords.push([i as f64 * 0.1, i as f64 * 0.1]);
+        }
+        for i in 0..5 {
+            coords.push([100.0 + i as f64 * 0.1, 100.0 + i as f64 * 0.1]);
+        }
+        coords
+    }
+
+    #[test]
+    fn all_strategies_separate_two_obvious_clusters() {
+        for strategy in [
+            SplitStrategy::Linear,
+            SplitStrategy::Quadratic,
+            SplitStrategy::RStar,
+        ] {
+            let (a, b) = check_partition(strategy, point_entries(&two_clusters()), 3);
+            // Each cluster should end up wholly in one group.
+            let mbr_a = entries_mbr(&a);
+            let mbr_b = entries_mbr(&b);
+            assert_eq!(
+                mbr_a.overlap_area(&mbr_b),
+                0.0,
+                "{strategy:?}: clusters were mixed"
+            );
+            assert_eq!(a.len(), 5);
+            assert_eq!(b.len(), 5);
+        }
+    }
+
+    #[test]
+    fn splits_handle_identical_points() {
+        // Degenerate data: every point identical — split must still satisfy
+        // min fill and preserve all entries.
+        let coords = vec![[1.0, 1.0]; 9];
+        for strategy in [
+            SplitStrategy::Linear,
+            SplitStrategy::Quadratic,
+            SplitStrategy::RStar,
+        ] {
+            check_partition(strategy, point_entries(&coords), 4);
+        }
+    }
+
+    #[test]
+    fn splits_handle_collinear_points() {
+        let coords: Vec<[f64; 2]> = (0..11).map(|i| [i as f64, 0.0]).collect();
+        for strategy in [
+            SplitStrategy::Linear,
+            SplitStrategy::Quadratic,
+            SplitStrategy::RStar,
+        ] {
+            let (a, b) = check_partition(strategy, point_entries(&coords), 4);
+            // A sane split of collinear points separates a prefix from a
+            // suffix: group MBRs should overlap at most at a point.
+            let overlap = entries_mbr(&a).overlap_area(&entries_mbr(&b));
+            assert_eq!(overlap, 0.0, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn rstar_split_minimizes_overlap_on_grid() {
+        // A 4x3 grid of unit boxes: the R* split should produce two groups
+        // with zero overlap.
+        let mut entries = Vec::new();
+        for x in 0..4 {
+            for y in 0..3 {
+                let lo = Point::new([x as f64 * 2.0, y as f64 * 2.0]);
+                let hi = Point::new([x as f64 * 2.0 + 1.0, y as f64 * 2.0 + 1.0]);
+                entries.push(Entry::for_record(
+                    Rect::new(lo, hi),
+                    RecordId((x * 3 + y) as u64),
+                ));
+            }
+        }
+        let (a, b) = split_entries(SplitStrategy::RStar, entries, 4);
+        assert_eq!(entries_mbr(&a).overlap_area(&entries_mbr(&b)), 0.0);
+    }
+
+    #[test]
+    fn reinsert_victims_are_the_farthest() {
+        let coords = [
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [0.0, 1.0],
+            [1.0, 1.0],
+            [100.0, 100.0], // clear outlier
+        ];
+        let mut entries = point_entries(&coords);
+        let victims = take_reinsert_victims(&mut entries, 1);
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].record(), RecordId(4));
+        assert_eq!(entries.len(), 4);
+    }
+
+    #[test]
+    fn reinsert_victims_sorted_closest_first() {
+        // Node MBR spans [0,100]^2, so its center is (50,50); the victims
+        // are the entries farthest from that center: the two opposite
+        // corners (records 0 and 4).
+        let coords = [
+            [0.0, 0.0],
+            [40.0, 40.0],
+            [60.0, 40.0],
+            [55.0, 55.0],
+            [100.0, 100.0],
+        ];
+        let mut entries = point_entries(&coords);
+        let victims = take_reinsert_victims(&mut entries, 2);
+        let got: std::collections::BTreeSet<u64> = victims.iter().map(|e| e.ptr).collect();
+        assert_eq!(got, [0u64, 4].into_iter().collect());
+        // Survivors are the three central points.
+        let kept: std::collections::BTreeSet<u64> = entries.iter().map(|e| e.ptr).collect();
+        assert_eq!(kept, [1u64, 2, 3].into_iter().collect());
+    }
+}

@@ -1,0 +1,287 @@
+//! Node storage backends.
+//!
+//! The R-tree algorithms (insert, delete, split, bulk load, queries) are
+//! written once against the [`NodeStore`] trait; two backends implement it:
+//!
+//! * [`PagedStore`] — one node per fixed-size disk page on an
+//!   `nnq-storage` buffer pool. This is the configuration the paper
+//!   measures (every node read is a page access).
+//! * [`MemStore`] — an arena of heap-allocated nodes with a configurable
+//!   fanout. No page accounting, maximum speed; the "rstar-style"
+//!   in-memory index for applications that don't need persistence.
+
+use crate::codec::{decode_meta, decode_node, encode_meta, encode_node, Meta, RawNode};
+use crate::entry::Entry;
+use crate::{Result, RTreeError};
+use nnq_storage::{BufferPool, PageId};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Storage backend for R-tree nodes and the tree's metadata.
+///
+/// Node handles are [`PageId`]s in every backend (the in-memory backend
+/// uses dense arena indices wrapped in `PageId`), so navigation types like
+/// [`crate::NodeRef`] are backend-independent.
+pub trait NodeStore<const D: usize> {
+    /// Maximum entries a node may hold in this backend.
+    fn node_capacity(&self) -> usize;
+
+    /// Reads the node stored under `id`.
+    fn read(&self, id: PageId) -> Result<RawNode<D>>;
+
+    /// Overwrites the node stored under `id`.
+    fn write(&self, id: PageId, level: u16, entries: &[Entry<D>]) -> Result<()>;
+
+    /// Allocates a new node and returns its handle.
+    fn alloc(&self, level: u16, entries: &[Entry<D>]) -> Result<PageId>;
+
+    /// Frees the node under `id`.
+    fn free(&self, id: PageId) -> Result<()>;
+
+    /// Persists the tree metadata.
+    fn write_meta(&self, meta: &Meta) -> Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// PagedStore
+// ---------------------------------------------------------------------------
+
+/// Disk-page-backed node storage (one node per page, meta on its own page).
+pub struct PagedStore {
+    pool: Arc<BufferPool>,
+    meta_page: PageId,
+}
+
+impl PagedStore {
+    /// Creates a store, allocating a fresh meta page.
+    pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
+        let (meta_page, guard) = pool.new_page()?;
+        drop(guard);
+        Ok(Self { pool, meta_page })
+    }
+
+    /// Opens a store whose meta page is `meta_page`, returning the decoded
+    /// metadata alongside.
+    pub fn open(pool: Arc<BufferPool>, meta_page: PageId) -> Result<(Self, Meta)> {
+        let meta = {
+            let guard = pool.fetch(meta_page)?;
+            decode_meta(meta_page, &guard)?
+        };
+        Ok((Self { pool, meta_page }, meta))
+    }
+
+    /// The buffer pool under this store.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The page holding the tree metadata.
+    pub fn meta_page(&self) -> PageId {
+        self.meta_page
+    }
+}
+
+impl<const D: usize> NodeStore<D> for PagedStore {
+    fn node_capacity(&self) -> usize {
+        crate::codec::node_capacity(self.pool.page_size(), D)
+    }
+
+    fn read(&self, id: PageId) -> Result<RawNode<D>> {
+        let guard = self.pool.fetch(id)?;
+        decode_node(id, &guard)
+    }
+
+    fn write(&self, id: PageId, level: u16, entries: &[Entry<D>]) -> Result<()> {
+        let mut guard = self.pool.fetch_write(id)?;
+        encode_node(&mut guard, level, entries);
+        Ok(())
+    }
+
+    fn alloc(&self, level: u16, entries: &[Entry<D>]) -> Result<PageId> {
+        let (page, mut guard) = self.pool.new_page()?;
+        encode_node(&mut guard, level, entries);
+        Ok(page)
+    }
+
+    fn free(&self, id: PageId) -> Result<()> {
+        self.pool.delete_page(id)?;
+        Ok(())
+    }
+
+    fn write_meta(&self, meta: &Meta) -> Result<()> {
+        let mut guard = self.pool.fetch_write(self.meta_page)?;
+        encode_meta(&mut guard, meta);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemStore
+// ---------------------------------------------------------------------------
+
+struct MemNode<const D: usize> {
+    level: u16,
+    entries: Vec<Entry<D>>,
+}
+
+/// Heap-arena node storage for the in-memory tree.
+pub struct MemStore<const D: usize> {
+    capacity: usize,
+    nodes: RwLock<MemArena<D>>,
+}
+
+struct MemArena<const D: usize> {
+    slots: Vec<Option<MemNode<D>>>,
+    free: Vec<usize>,
+}
+
+impl<const D: usize> MemStore<D> {
+    /// Default fanout of in-memory nodes: cache-line-friendly but still
+    /// shallow trees.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// Creates an empty store with the given node fanout.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 4, "node fanout must be at least 4");
+        Self {
+            capacity,
+            nodes: RwLock::new(MemArena {
+                slots: Vec::new(),
+                free: Vec::new(),
+            }),
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn live_nodes(&self) -> usize {
+        let arena = self.nodes.read();
+        arena.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+impl<const D: usize> Default for MemStore<D> {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl<const D: usize> NodeStore<D> for MemStore<D> {
+    fn node_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn read(&self, id: PageId) -> Result<RawNode<D>> {
+        let arena = self.nodes.read();
+        let node = arena
+            .slots
+            .get(id.0 as usize)
+            .and_then(|s| s.as_ref())
+            .ok_or(RTreeError::BadNode {
+                page: id,
+                reason: "no such in-memory node".into(),
+            })?;
+        Ok(RawNode {
+            level: node.level,
+            entries: node.entries.clone(),
+        })
+    }
+
+    fn write(&self, id: PageId, level: u16, entries: &[Entry<D>]) -> Result<()> {
+        let mut arena = self.nodes.write();
+        let slot = arena
+            .slots
+            .get_mut(id.0 as usize)
+            .and_then(|s| s.as_mut())
+            .ok_or(RTreeError::BadNode {
+                page: id,
+                reason: "no such in-memory node".into(),
+            })?;
+        slot.level = level;
+        slot.entries.clear();
+        slot.entries.extend_from_slice(entries);
+        Ok(())
+    }
+
+    fn alloc(&self, level: u16, entries: &[Entry<D>]) -> Result<PageId> {
+        let mut arena = self.nodes.write();
+        let node = MemNode {
+            level,
+            entries: entries.to_vec(),
+        };
+        let idx = if let Some(idx) = arena.free.pop() {
+            arena.slots[idx] = Some(node);
+            idx
+        } else {
+            arena.slots.push(Some(node));
+            arena.slots.len() - 1
+        };
+        Ok(PageId(idx as u64))
+    }
+
+    fn free(&self, id: PageId) -> Result<()> {
+        let mut arena = self.nodes.write();
+        let slot = arena
+            .slots
+            .get_mut(id.0 as usize)
+            .ok_or(RTreeError::BadNode {
+                page: id,
+                reason: "no such in-memory node".into(),
+            })?;
+        if slot.take().is_none() {
+            return Err(RTreeError::BadNode {
+                page: id,
+                reason: "double free of in-memory node".into(),
+            });
+        }
+        arena.free.push(id.0 as usize);
+        Ok(())
+    }
+
+    fn write_meta(&self, _meta: &Meta) -> Result<()> {
+        Ok(()) // in-memory trees keep their meta in the RTree struct only
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::RecordId;
+    use nnq_geom::{Point, Rect};
+
+    fn entry(i: u64) -> Entry<2> {
+        Entry::for_record(Rect::from_point(Point::new([i as f64, 0.0])), RecordId(i))
+    }
+
+    #[test]
+    fn mem_store_round_trips_nodes() {
+        let store = MemStore::<2>::new(8);
+        let id = store.alloc(1, &[entry(1), entry(2)]).unwrap();
+        let raw = NodeStore::read(&store, id).unwrap();
+        assert_eq!(raw.level, 1);
+        assert_eq!(raw.entries.len(), 2);
+        store.write(id, 0, &[entry(9)]).unwrap();
+        let raw = NodeStore::read(&store, id).unwrap();
+        assert_eq!(raw.level, 0);
+        assert_eq!(raw.entries[0].record(), RecordId(9));
+    }
+
+    #[test]
+    fn mem_store_frees_and_reuses_slots() {
+        let store = MemStore::<2>::new(8);
+        let a = store.alloc(0, &[entry(1)]).unwrap();
+        let _b = store.alloc(0, &[entry(2)]).unwrap();
+        assert_eq!(store.live_nodes(), 2);
+        store.free(a).unwrap();
+        assert_eq!(store.live_nodes(), 1);
+        assert!(NodeStore::read(&store, a).is_err());
+        assert!(store.free(a).is_err()); // double free
+        let c = store.alloc(0, &[entry(3)]).unwrap();
+        assert_eq!(c, a); // slot reuse
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_fanout_rejected() {
+        MemStore::<2>::new(3);
+    }
+}

@@ -1,0 +1,687 @@
+//! The R-tree proper: creation, insertion, deletion, queries.
+//!
+//! [`RTree`] is generic over its [`NodeStore`] backend: the default
+//! [`PagedStore`] keeps one node per disk page (the paper's setting);
+//! [`MemRTree`] is the same tree over a heap arena. All mutation and query
+//! logic is written once against the store trait.
+
+use crate::codec::Meta;
+use crate::config::{RTreeConfig, SplitStrategy};
+use crate::entry::{entries_mbr, Entry, RecordId};
+use crate::split::{split_entries, take_reinsert_victims};
+use crate::store::{MemStore, NodeStore, PagedStore};
+use crate::{Result, RTreeError};
+use nnq_geom::{Point, Rect};
+use nnq_storage::{BufferPool, PageId};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A decoded R-tree node, as returned by [`RTree::read_node`].
+///
+/// This is the navigation surface the nearest-neighbor search in
+/// `nnq-core` drives: it exposes the node's level and its `(MBR, pointer)`
+/// entries without leaking any storage detail.
+#[derive(Clone, Debug)]
+pub struct NodeRef<const D: usize> {
+    /// The node's handle (a disk page for paged trees, an arena slot for
+    /// in-memory trees).
+    pub page: PageId,
+    /// Node level: 0 for leaves, `height - 1` for the root.
+    pub level: u16,
+    /// The node's entries.
+    pub entries: Vec<Entry<D>>,
+}
+
+impl<const D: usize> NodeRef<D> {
+    /// Whether this node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// The tight bounding rectangle of this node's entries.
+    pub fn mbr(&self) -> Rect<D> {
+        entries_mbr(&self.entries)
+    }
+}
+
+/// Read-only navigation over any R-tree backend.
+///
+/// The nearest-neighbor algorithms in `nnq-core` are generic over this
+/// trait, so they run unchanged on paged and in-memory trees.
+pub trait TreeAccess<const D: usize> {
+    /// The root node's handle, or `None` for an empty tree.
+    fn access_root(&self) -> Option<PageId>;
+
+    /// Reads the node under `page`.
+    fn access_node(&self, page: PageId) -> Result<NodeRef<D>>;
+
+    /// Number of data entries in the tree.
+    fn num_records(&self) -> u64;
+}
+
+impl<const D: usize, S: NodeStore<D>> TreeAccess<D> for RTree<D, S> {
+    fn access_root(&self) -> Option<PageId> {
+        self.meta.root.is_valid().then_some(self.meta.root)
+    }
+
+    fn access_node(&self, page: PageId) -> Result<NodeRef<D>> {
+        self.read_node(page)
+    }
+
+    fn num_records(&self) -> u64 {
+        self.len()
+    }
+}
+
+/// A dynamic R-tree over `D`-dimensional rectangles.
+///
+/// See the crate docs for an overview and example. All read operations take
+/// `&self`; mutations take `&mut self` (one writer at a time, many readers —
+/// matching the single-writer discipline of the original systems).
+pub struct RTree<const D: usize, S = PagedStore> {
+    store: S,
+    meta: Meta,
+    max_entries: usize,
+    min_entries: usize,
+}
+
+/// An in-memory R-tree: identical algorithms, heap-arena storage, no page
+/// accounting. Use it when the index is rebuilt per process and speed
+/// matters more than persistence.
+///
+/// ```
+/// use nnq_rtree::{MemRTree, RecordId};
+/// use nnq_geom::{Point, Rect};
+///
+/// let mut tree = MemRTree::<2>::new();
+/// for i in 0..100u64 {
+///     tree.insert(Rect::from_point(Point::new([i as f64, 0.0])), RecordId(i)).unwrap();
+/// }
+/// assert_eq!(tree.len(), 100);
+/// tree.validate().unwrap();
+/// ```
+pub type MemRTree<const D: usize> = RTree<D, MemStore<D>>;
+
+impl<const D: usize> RTree<D, PagedStore> {
+    /// Creates an empty paged tree, allocating its meta page on `pool`'s
+    /// device.
+    pub fn create(pool: Arc<BufferPool>, config: RTreeConfig) -> Result<Self> {
+        let store = PagedStore::create(pool)?;
+        let capacity = <PagedStore as NodeStore<D>>::node_capacity(&store);
+        let max_entries = config.effective_max(capacity);
+        let min_entries = config.min_entries(max_entries);
+        let meta = Meta {
+            dims: D as u16,
+            root: PageId::INVALID,
+            height: 0,
+            count: 0,
+            config,
+        };
+        NodeStore::<D>::write_meta(&store, &meta)?;
+        Ok(Self {
+            store,
+            meta,
+            max_entries,
+            min_entries,
+        })
+    }
+
+    /// Opens an existing paged tree whose meta page is `meta_page`.
+    pub fn open(pool: Arc<BufferPool>, meta_page: PageId) -> Result<Self> {
+        let (store, meta) = PagedStore::open(pool, meta_page)?;
+        if meta.dims != D as u16 {
+            return Err(RTreeError::BadNode {
+                page: meta_page,
+                reason: format!(
+                    "dimension mismatch: tree has {}, caller wants {D}",
+                    meta.dims
+                ),
+            });
+        }
+        let capacity = <PagedStore as NodeStore<D>>::node_capacity(&store);
+        let max_entries = meta.config.effective_max(capacity);
+        let min_entries = meta.config.min_entries(max_entries);
+        Ok(Self {
+            store,
+            meta,
+            max_entries,
+            min_entries,
+        })
+    }
+
+    /// The page id of the tree's meta page (pass to [`RTree::open`]).
+    pub fn meta_page(&self) -> PageId {
+        self.store.meta_page()
+    }
+
+    /// The buffer pool this tree lives on.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        self.store.pool()
+    }
+}
+
+impl<const D: usize> MemRTree<D> {
+    /// Creates an empty in-memory tree with the default configuration and
+    /// fanout ([`MemStore::DEFAULT_CAPACITY`]).
+    pub fn new() -> Self {
+        Self::with_config(RTreeConfig::default(), MemStore::<D>::DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty in-memory tree with an explicit configuration and
+    /// node fanout.
+    pub fn with_config(config: RTreeConfig, fanout: usize) -> Self {
+        let store = MemStore::new(fanout);
+        let capacity = <MemStore<D> as NodeStore<D>>::node_capacity(&store);
+        let max_entries = config.effective_max(capacity);
+        let min_entries = config.min_entries(max_entries);
+        Self {
+            store,
+            meta: Meta {
+                dims: D as u16,
+                root: PageId::INVALID,
+                height: 0,
+                count: 0,
+                config,
+            },
+            max_entries,
+            min_entries,
+        }
+    }
+}
+
+impl<const D: usize> Default for MemRTree<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
+    // -- introspection -------------------------------------------------------
+
+    /// The tree's configuration.
+    pub fn config(&self) -> &RTreeConfig {
+        &self.meta.config
+    }
+
+    /// Number of data entries in the tree.
+    pub fn len(&self) -> u64 {
+        self.meta.count
+    }
+
+    /// Whether the tree holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.meta.count == 0
+    }
+
+    /// Tree height in levels (0 for an empty tree, 1 for a root-only leaf).
+    pub fn height(&self) -> u32 {
+        self.meta.height
+    }
+
+    /// The root handle, or [`PageId::INVALID`] when empty.
+    pub fn root(&self) -> PageId {
+        self.meta.root
+    }
+
+    /// Maximum entries per node.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Minimum entries per non-root node.
+    pub fn min_entries(&self) -> usize {
+        self.min_entries
+    }
+
+    /// The storage backend (advanced use).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// The MBR of the whole dataset ([`Rect::empty`] when the tree is
+    /// empty).
+    pub fn bounds(&self) -> Result<Rect<D>> {
+        if !self.meta.root.is_valid() {
+            return Ok(Rect::empty());
+        }
+        Ok(self.read_node(self.meta.root)?.mbr())
+    }
+
+    // -- node I/O ------------------------------------------------------------
+
+    /// Reads and decodes the node under `page`.
+    ///
+    /// On a paged tree every call counts as one logical page access in the
+    /// pool's statistics — exactly the paper's cost unit.
+    pub fn read_node(&self, page: PageId) -> Result<NodeRef<D>> {
+        let raw = self.store.read(page)?;
+        Ok(NodeRef {
+            page,
+            level: raw.level,
+            entries: raw.entries,
+        })
+    }
+
+    /// Installs the root pointer, height, and entry count after a bulk
+    /// load (see `bulk.rs`).
+    pub(crate) fn set_meta_after_bulk(
+        &mut self,
+        root: PageId,
+        height: u32,
+        count: u64,
+    ) -> Result<()> {
+        self.meta.root = root;
+        self.meta.height = height;
+        self.meta.count = count;
+        self.store.write_meta(&self.meta)
+    }
+
+    /// Constructs an empty tree over an existing store (bulk-load entry
+    /// point).
+    pub(crate) fn empty_on(store: S, config: RTreeConfig) -> Self {
+        let capacity = store.node_capacity();
+        let max_entries = config.effective_max(capacity);
+        let min_entries = config.min_entries(max_entries);
+        Self {
+            store,
+            meta: Meta {
+                dims: D as u16,
+                root: PageId::INVALID,
+                height: 0,
+                count: 0,
+                config,
+            },
+            max_entries,
+            min_entries,
+        }
+    }
+
+    pub(crate) fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    // -- insertion -----------------------------------------------------------
+
+    /// Inserts a record with the given bounding rectangle.
+    ///
+    /// # Panics
+    /// Panics if `mbr` is not a valid finite rectangle.
+    pub fn insert(&mut self, mbr: Rect<D>, rid: RecordId) -> Result<()> {
+        assert!(mbr.is_valid(), "cannot index an invalid rectangle");
+        if self.meta.height == 0 {
+            let root = self.store.alloc(0, &[Entry::for_record(mbr, rid)])?;
+            self.meta.root = root;
+            self.meta.height = 1;
+            self.meta.count = 1;
+            return self.store.write_meta(&self.meta);
+        }
+        let mut reinserted = HashSet::new();
+        self.insert_at(Entry::for_record(mbr, rid), 0, &mut reinserted)?;
+        self.meta.count += 1;
+        self.store.write_meta(&self.meta)
+    }
+
+    /// Inserts `entry` into a node at `target_level`, splitting or
+    /// (for R\*) force-reinserting on overflow.
+    fn insert_at(
+        &mut self,
+        entry: Entry<D>,
+        target_level: u16,
+        reinserted: &mut HashSet<u16>,
+    ) -> Result<()> {
+        let root_level = (self.meta.height - 1) as u16;
+        debug_assert!(target_level <= root_level);
+
+        // Descend from the root to a node at target_level, remembering the
+        // path of (page, chosen child index).
+        let mut path: Vec<(PageId, usize)> = Vec::new();
+        let mut page = self.meta.root;
+        let mut node = self.read_node(page)?;
+        while node.level > target_level {
+            let idx = self.choose_subtree(&node, &entry.mbr);
+            path.push((page, idx));
+            page = node.entries[idx].child();
+            node = self.read_node(page)?;
+        }
+
+        let mut level = node.level;
+        let mut entries = node.entries;
+        entries.push(entry);
+
+        loop {
+            if entries.len() <= self.max_entries {
+                self.store.write(page, level, &entries)?;
+                self.propagate_mbr(&path, entries_mbr(&entries))?;
+                return Ok(());
+            }
+
+            // Overflow. R* first tries forced reinsertion, once per level
+            // per top-level insert, and never at the root.
+            let is_root = path.is_empty();
+            if self.meta.config.split == SplitStrategy::RStar
+                && !is_root
+                && !reinserted.contains(&level)
+            {
+                reinserted.insert(level);
+                let p = self.meta.config.reinsert_count(self.max_entries);
+                let victims = take_reinsert_victims(&mut entries, p);
+                self.store.write(page, level, &entries)?;
+                self.propagate_mbr(&path, entries_mbr(&entries))?;
+                for v in victims {
+                    self.insert_at(v, level, reinserted)?;
+                }
+                return Ok(());
+            }
+
+            // Split.
+            let (left, right) = split_entries(self.meta.config.split, entries, self.min_entries);
+            self.store.write(page, level, &left)?;
+            let right_page = self.store.alloc(level, &right)?;
+            let left_mbr = entries_mbr(&left);
+            let right_mbr = entries_mbr(&right);
+
+            match path.pop() {
+                None => {
+                    // Root split: grow the tree by one level.
+                    let new_root = self.store.alloc(
+                        level + 1,
+                        &[
+                            Entry::for_child(left_mbr, page),
+                            Entry::for_child(right_mbr, right_page),
+                        ],
+                    )?;
+                    self.meta.root = new_root;
+                    self.meta.height += 1;
+                    return self.store.write_meta(&self.meta);
+                }
+                Some((parent_page, idx)) => {
+                    let parent = self.read_node(parent_page)?;
+                    let mut parent_entries = parent.entries;
+                    parent_entries[idx].mbr = left_mbr;
+                    parent_entries.push(Entry::for_child(right_mbr, right_page));
+                    page = parent_page;
+                    level = parent.level;
+                    entries = parent_entries;
+                }
+            }
+        }
+    }
+
+    /// Rewrites the MBRs along `path` (deepest last) so each parent entry
+    /// tightly bounds its updated child.
+    fn propagate_mbr(&self, path: &[(PageId, usize)], mut child_mbr: Rect<D>) -> Result<()> {
+        for &(page, idx) in path.iter().rev() {
+            let node = self.read_node(page)?;
+            let mut entries = node.entries;
+            if entries[idx].mbr == child_mbr {
+                return Ok(()); // already tight; ancestors unchanged too
+            }
+            entries[idx].mbr = child_mbr;
+            self.store.write(page, node.level, &entries)?;
+            child_mbr = entries_mbr(&entries);
+        }
+        Ok(())
+    }
+
+    /// Picks the child of `node` to descend into for an entry with MBR `mbr`.
+    fn choose_subtree(&self, node: &NodeRef<D>, mbr: &Rect<D>) -> usize {
+        debug_assert!(!node.is_leaf());
+        let rstar_leaf_parent =
+            self.meta.config.split == SplitStrategy::RStar && node.level == 1;
+        if rstar_leaf_parent {
+            // R* rule for nodes pointing at leaves: minimum *overlap*
+            // enlargement, ties by area enlargement then area.
+            let mut best = 0;
+            let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+            for (i, e) in node.entries.iter().enumerate() {
+                let enlarged = e.mbr.union(mbr);
+                let mut overlap_now = 0.0;
+                let mut overlap_then = 0.0;
+                for (j, o) in node.entries.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    overlap_now += e.mbr.overlap_area(&o.mbr);
+                    overlap_then += enlarged.overlap_area(&o.mbr);
+                }
+                let key = (
+                    overlap_then - overlap_now,
+                    e.mbr.enlargement(mbr),
+                    e.mbr.area(),
+                );
+                if key < best_key {
+                    best_key = key;
+                    best = i;
+                }
+            }
+            best
+        } else {
+            // Guttman's rule: minimum area enlargement, ties by area.
+            let mut best = 0;
+            let mut best_key = (f64::INFINITY, f64::INFINITY);
+            for (i, e) in node.entries.iter().enumerate() {
+                let key = (e.mbr.enlargement(mbr), e.mbr.area());
+                if key < best_key {
+                    best_key = key;
+                    best = i;
+                }
+            }
+            best
+        }
+    }
+
+    // -- deletion ------------------------------------------------------------
+
+    /// Removes the entry with exactly this bounding rectangle and record id.
+    ///
+    /// Returns [`RTreeError::NotFound`] if no such entry exists.
+    pub fn delete(&mut self, mbr: &Rect<D>, rid: RecordId) -> Result<()> {
+        if self.meta.height == 0 {
+            return Err(RTreeError::NotFound);
+        }
+        // Find the leaf containing the entry, with the root-to-leaf path.
+        let mut path: Vec<(PageId, usize)> = Vec::new();
+        let leaf = self
+            .find_leaf(self.meta.root, mbr, rid, &mut path)?
+            .ok_or(RTreeError::NotFound)?;
+
+        let node = self.read_node(leaf)?;
+        let mut entries = node.entries;
+        let pos = entries
+            .iter()
+            .position(|e| e.mbr == *mbr && e.record() == rid)
+            .expect("find_leaf returned a leaf without the entry");
+        entries.remove(pos);
+        self.meta.count -= 1;
+
+        // CondenseTree: walk up, dissolving underfull nodes.
+        let mut orphans: Vec<(u16, Vec<Entry<D>>)> = Vec::new();
+        let mut page = leaf;
+        let mut level = 0u16;
+        loop {
+            let is_root = path.is_empty();
+            if is_root {
+                self.store.write(page, level, &entries)?;
+                break;
+            }
+            if entries.len() < self.min_entries {
+                // Dissolve this node; its entries get reinserted later.
+                let (parent_page, idx) = path.pop().expect("non-root has a parent");
+                if !entries.is_empty() {
+                    orphans.push((level, std::mem::take(&mut entries)));
+                }
+                self.store.free(page)?;
+                let parent = self.read_node(parent_page)?;
+                let mut parent_entries = parent.entries;
+                parent_entries.remove(idx);
+                page = parent_page;
+                level = parent.level;
+                entries = parent_entries;
+            } else {
+                self.store.write(page, level, &entries)?;
+                self.propagate_mbr(&path, entries_mbr(&entries))?;
+                break;
+            }
+        }
+
+        // Shrink the root while it is an internal node with a single child.
+        loop {
+            let root = self.read_node(self.meta.root)?;
+            if !root.is_leaf() && root.entries.len() == 1 {
+                let child = root.entries[0].child();
+                self.store.free(self.meta.root)?;
+                self.meta.root = child;
+                self.meta.height -= 1;
+            } else if root.is_leaf() && root.entries.is_empty() {
+                self.store.free(self.meta.root)?;
+                self.meta.root = PageId::INVALID;
+                self.meta.height = 0;
+                break;
+            } else {
+                break;
+            }
+        }
+
+        // Reinsert orphans, highest levels first so their target levels
+        // still exist.
+        orphans.sort_by_key(|(level, _)| std::cmp::Reverse(*level));
+        for (orphan_level, orphan_entries) in orphans {
+            for e in orphan_entries {
+                self.reinsert_orphan(e, orphan_level)?;
+            }
+        }
+        self.store.write_meta(&self.meta)
+    }
+
+    /// Reinserts an entry orphaned by CondenseTree at `level`. If the tree
+    /// has shrunk below that level, the orphan's subtree is dismantled and
+    /// its data entries inserted individually.
+    fn reinsert_orphan(&mut self, entry: Entry<D>, level: u16) -> Result<()> {
+        if self.meta.height == 0 {
+            if level == 0 {
+                let root = self.store.alloc(0, &[entry])?;
+                self.meta.root = root;
+                self.meta.height = 1;
+                return Ok(());
+            }
+            // Orphaned subtree becomes the new root.
+            self.meta.root = entry.child();
+            self.meta.height = u32::from(level);
+            return Ok(());
+        }
+        let root_level = (self.meta.height - 1) as u16;
+        if level <= root_level {
+            let mut reinserted = HashSet::new();
+            return self.insert_at(entry, level, &mut reinserted);
+        }
+        // Pathological: the orphan is taller than the current tree.
+        // Dismantle it into data entries.
+        let mut data = Vec::new();
+        self.collect_and_free(entry.child(), &mut data)?;
+        for e in data {
+            let mut reinserted = HashSet::new();
+            self.insert_at(e, 0, &mut reinserted)?;
+        }
+        Ok(())
+    }
+
+    /// Collects all data entries beneath `page`, freeing the visited nodes.
+    fn collect_and_free(&mut self, page: PageId, out: &mut Vec<Entry<D>>) -> Result<()> {
+        let node = self.read_node(page)?;
+        if node.is_leaf() {
+            out.extend(node.entries);
+        } else {
+            for e in &node.entries {
+                self.collect_and_free(e.child(), out)?;
+            }
+        }
+        self.store.free(page)?;
+        Ok(())
+    }
+
+    /// Depth-first search for the leaf holding `(mbr, rid)`; fills `path`
+    /// with (page, child index) pairs from the root to the leaf's parent.
+    fn find_leaf(
+        &self,
+        page: PageId,
+        mbr: &Rect<D>,
+        rid: RecordId,
+        path: &mut Vec<(PageId, usize)>,
+    ) -> Result<Option<PageId>> {
+        let node = self.read_node(page)?;
+        if node.is_leaf() {
+            if node
+                .entries
+                .iter()
+                .any(|e| e.mbr == *mbr && e.record() == rid)
+            {
+                return Ok(Some(page));
+            }
+            return Ok(None);
+        }
+        for (idx, e) in node.entries.iter().enumerate() {
+            if e.mbr.contains_rect(mbr) {
+                path.push((page, idx));
+                if let Some(leaf) = self.find_leaf(e.child(), mbr, rid, path)? {
+                    return Ok(Some(leaf));
+                }
+                path.pop();
+            }
+        }
+        Ok(None)
+    }
+
+    // -- queries -------------------------------------------------------------
+
+    /// Returns all `(mbr, record)` pairs whose MBR intersects `window`.
+    pub fn window(&self, window: &Rect<D>) -> Result<Vec<(Rect<D>, RecordId)>> {
+        let mut out = Vec::new();
+        if !self.meta.root.is_valid() {
+            return Ok(out);
+        }
+        let mut stack = vec![self.meta.root];
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page)?;
+            if node.is_leaf() {
+                for e in &node.entries {
+                    if e.mbr.intersects(window) {
+                        out.push((e.mbr, e.record()));
+                    }
+                }
+            } else {
+                for e in &node.entries {
+                    if e.mbr.intersects(window) {
+                        stack.push(e.child());
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns all `(mbr, record)` pairs whose MBR contains the point.
+    pub fn point_query(&self, p: &Point<D>) -> Result<Vec<(Rect<D>, RecordId)>> {
+        self.window(&Rect::from_point(*p))
+    }
+
+    /// Returns every data entry in the tree (in unspecified order).
+    pub fn scan(&self) -> Result<Vec<(Rect<D>, RecordId)>> {
+        self.window(&Rect::from_sorted(
+            Point::new([f64::NEG_INFINITY; D]),
+            Point::new([f64::INFINITY; D]),
+        ))
+    }
+}
+
+impl<const D: usize, S: NodeStore<D>> std::fmt::Debug for RTree<D, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RTree")
+            .field("dims", &D)
+            .field("count", &self.meta.count)
+            .field("height", &self.meta.height)
+            .field("max_entries", &self.max_entries)
+            .field("split", &self.meta.config.split)
+            .finish()
+    }
+}

@@ -1,0 +1,51 @@
+//! Fuzz-style property test: decoding arbitrary page bytes must never
+//! panic — it either produces a valid node or a structured error.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        // Accessible only through the public path: write raw bytes into a
+        // page and read the node back through the tree.
+        use nnq_rtree::{RTree, RTreeConfig, RecordId};
+        use nnq_storage::{BufferPool, MemDisk};
+        use nnq_geom::{Point, Rect};
+        use std::sync::Arc;
+
+        let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(4096)), 16));
+        let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+        tree.insert(Rect::from_point(Point::new([0.0, 0.0])), RecordId(0)).unwrap();
+        let root = tree.root();
+        {
+            let mut guard = pool.fetch_write(root).unwrap();
+            let n = bytes.len().min(guard.len());
+            guard[..n].copy_from_slice(&bytes[..n]);
+        }
+        // Any outcome is fine except a panic.
+        let _ = tree.read_node(root);
+        let _ = tree.scan();
+        let _ = tree.validate();
+        let _ = nnq_core::NnSearch::new(&tree).query(&Point::new([1.0, 1.0]), 3);
+    }
+
+    #[test]
+    fn open_arbitrary_meta_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        use nnq_rtree::RTree;
+        use nnq_storage::{BufferPool, MemDisk};
+        use std::sync::Arc;
+
+        let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(4096)), 16));
+        let (page, mut guard) = pool.new_page().unwrap();
+        let n = bytes.len().min(guard.len());
+        guard[..n].copy_from_slice(&bytes[..n]);
+        drop(guard);
+        let _ = RTree::<2>::open(pool, page);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests: the R-tree must behave exactly like a flat list
+//! of rectangles under any interleaving of operations.
+
+use nnq_geom::{Point, Rect};
+use nnq_rtree::{BulkMethod, RTree, RTreeConfig, RecordId, SplitStrategy};
+use nnq_storage::{BufferPool, MemDisk, PAGE_SIZE};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn mem_pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 8192))
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { x: f64, y: f64, w: f64, h: f64 },
+    DeleteNth(usize),
+    Window { x: f64, y: f64, w: f64, h: f64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0.0..100.0f64, 0.0..100.0f64, 0.0..3.0f64, 0.0..3.0f64)
+            .prop_map(|(x, y, w, h)| Op::Insert { x, y, w, h }),
+        1 => (0usize..1000).prop_map(Op::DeleteNth),
+        1 => (0.0..100.0f64, 0.0..100.0f64, 0.0..40.0f64, 0.0..40.0f64)
+            .prop_map(|(x, y, w, h)| Op::Window { x, y, w, h }),
+    ]
+}
+
+fn split_strategy() -> impl Strategy<Value = SplitStrategy> {
+    prop_oneof![
+        Just(SplitStrategy::Linear),
+        Just(SplitStrategy::Quadratic),
+        Just(SplitStrategy::RStar),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tree_matches_model_under_random_ops(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        split in split_strategy(),
+        fanout in 4usize..12,
+    ) {
+        let mut cfg = RTreeConfig::with_split(split);
+        cfg.max_entries_override = Some(fanout);
+        let mut tree = RTree::<2>::create(mem_pool(), cfg).unwrap();
+        let mut model: Vec<(Rect<2>, RecordId)> = Vec::new();
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert { x, y, w, h } => {
+                    let r = Rect::new(Point::new([x, y]), Point::new([x + w, y + h]));
+                    tree.insert(r, RecordId(next)).unwrap();
+                    model.push((r, RecordId(next)));
+                    next += 1;
+                }
+                Op::DeleteNth(n) => {
+                    if !model.is_empty() {
+                        let (r, id) = model.swap_remove(n % model.len());
+                        tree.delete(&r, id).unwrap();
+                    }
+                }
+                Op::Window { x, y, w, h } => {
+                    let win = Rect::new(Point::new([x, y]), Point::new([x + w, y + h]));
+                    let got: BTreeSet<u64> = tree
+                        .window(&win)
+                        .unwrap()
+                        .into_iter()
+                        .map(|(_, id)| id.0)
+                        .collect();
+                    let want: BTreeSet<u64> = model
+                        .iter()
+                        .filter(|(r, _)| r.intersects(&win))
+                        .map(|(_, id)| id.0)
+                        .collect();
+                    prop_assert_eq!(&got, &want);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len() as u64);
+        }
+        tree.validate().unwrap();
+        let got: BTreeSet<u64> = tree.scan().unwrap().into_iter().map(|(_, id)| id.0).collect();
+        let want: BTreeSet<u64> = model.iter().map(|(_, id)| id.0).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental_build(
+        pts in proptest::collection::vec((0.0..50.0f64, 0.0..50.0f64), 1..400),
+        method in prop_oneof![Just(BulkMethod::Str), Just(BulkMethod::Hilbert)],
+    ) {
+        let items: Vec<(Rect<2>, RecordId)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Rect::from_point(Point::new([x, y])), RecordId(i as u64)))
+            .collect();
+        let bulk = RTree::<2>::bulk_load(
+            mem_pool(),
+            RTreeConfig::for_testing(8),
+            items.clone(),
+            method,
+            1.0,
+        )
+        .unwrap();
+        bulk.validate().unwrap();
+        let mut dynamic = RTree::<2>::create(mem_pool(), RTreeConfig::for_testing(8)).unwrap();
+        for (r, id) in &items {
+            dynamic.insert(*r, *id).unwrap();
+        }
+        dynamic.validate_strict().unwrap();
+        // Identical result sets for any window.
+        let win = Rect::new(Point::new([10.0, 10.0]), Point::new([35.0, 40.0]));
+        let a: BTreeSet<u64> = bulk.window(&win).unwrap().into_iter().map(|(_, i)| i.0).collect();
+        let b: BTreeSet<u64> =
+            dynamic.window(&win).unwrap().into_iter().map(|(_, i)| i.0).collect();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(bulk.len(), dynamic.len());
+    }
+}

@@ -1,0 +1,615 @@
+//! Disk managers: the raw page devices underneath the buffer pool.
+
+use crate::{PageId, Result, StorageError};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Physical I/O counters maintained by every disk manager.
+///
+/// These count *device* operations, i.e. buffer-pool misses and write-backs,
+/// not logical page requests (see `PoolStats` for those).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Number of pages read from the device.
+    pub reads: u64,
+    /// Number of pages written to the device.
+    pub writes: u64,
+    /// Number of pages allocated over the device's lifetime.
+    pub allocations: u64,
+    /// Number of pages deallocated over the device's lifetime.
+    pub deallocations: u64,
+}
+
+/// A fixed-page-size block device.
+///
+/// Implementations must be internally synchronized (`&self` methods), so a
+/// single device can sit under a shared [`crate::BufferPool`].
+pub trait DiskManager: Send + Sync {
+    /// The page size in bytes. Constant over the device's lifetime.
+    fn page_size(&self) -> usize;
+
+    /// Reads page `id` into `buf` (`buf.len()` must equal
+    /// [`DiskManager::page_size`]).
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes `buf` to page `id` (`buf.len()` must equal the page size).
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()>;
+
+    /// Allocates a fresh zeroed page and returns its id.
+    fn allocate(&self) -> Result<PageId>;
+
+    /// Returns page `id` to the free list. Reading a deallocated page is an
+    /// error until it is re-allocated.
+    fn deallocate(&self, id: PageId) -> Result<()>;
+
+    /// Number of currently live (allocated, not freed) pages.
+    fn live_pages(&self) -> u64;
+
+    /// Physical I/O counters.
+    fn stats(&self) -> DiskStats;
+
+    /// Resets the physical I/O counters to zero.
+    fn reset_stats(&self);
+
+    /// Flushes device buffers (no-op for in-memory devices).
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Makes page `id` addressable (allocated, zeroed if new), growing the
+    /// device if needed. Used by WAL recovery to re-materialize pages that
+    /// were allocated after the last durable device state.
+    fn ensure_allocated(&self, id: PageId) -> Result<()>;
+}
+
+/// Delegation impl so a single device can sit under several pools over its
+/// lifetime (e.g. the buffer-size sweep of experiment E5 reopens the same
+/// in-memory disk with pools of different capacities).
+impl<T: DiskManager + ?Sized> DiskManager for std::sync::Arc<T> {
+    fn page_size(&self) -> usize {
+        (**self).page_size()
+    }
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        (**self).read_page(id, buf)
+    }
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        (**self).write_page(id, buf)
+    }
+    fn allocate(&self) -> Result<PageId> {
+        (**self).allocate()
+    }
+    fn deallocate(&self, id: PageId) -> Result<()> {
+        (**self).deallocate(id)
+    }
+    fn live_pages(&self) -> u64 {
+        (**self).live_pages()
+    }
+    fn stats(&self) -> DiskStats {
+        (**self).stats()
+    }
+    fn reset_stats(&self) {
+        (**self).reset_stats()
+    }
+    fn sync(&self) -> Result<()> {
+        (**self).sync()
+    }
+    fn ensure_allocated(&self, id: PageId) -> Result<()> {
+        (**self).ensure_allocated(id)
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocations: AtomicU64,
+    deallocations: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> DiskStats {
+        DiskStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+            deallocations: self.deallocations.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.allocations.store(0, Ordering::Relaxed);
+        self.deallocations.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemDisk
+// ---------------------------------------------------------------------------
+
+struct MemInner {
+    /// `None` marks a deallocated slot awaiting reuse.
+    pages: Vec<Option<Box<[u8]>>>,
+    free: Vec<u64>,
+}
+
+/// An in-memory simulated disk.
+///
+/// This is the device used by all experiments: it makes page accesses
+/// observable and perfectly reproducible without actual I/O latency. An
+/// optional capacity limit supports disk-full fault-injection tests.
+pub struct MemDisk {
+    page_size: usize,
+    capacity: Option<u64>,
+    inner: Mutex<MemInner>,
+    counters: Counters,
+}
+
+impl MemDisk {
+    /// Creates an unbounded in-memory disk with the given page size.
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size >= 64, "page size too small to be useful");
+        Self {
+            page_size,
+            capacity: None,
+            inner: Mutex::new(MemInner {
+                pages: Vec::new(),
+                free: Vec::new(),
+            }),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Creates an in-memory disk that refuses to grow beyond
+    /// `capacity_pages` live pages ([`StorageError::DiskFull`]).
+    pub fn with_capacity(page_size: usize, capacity_pages: u64) -> Self {
+        let mut d = Self::new(page_size);
+        d.capacity = Some(capacity_pages);
+        d
+    }
+
+    fn check_buf(&self, len: usize) -> Result<()> {
+        if len != self.page_size {
+            return Err(StorageError::BadPageSize {
+                expected: self.page_size,
+                got: len,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl DiskManager for MemDisk {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        self.check_buf(buf.len())?;
+        let inner = self.inner.lock();
+        let slot = inner
+            .pages
+            .get(id.0 as usize)
+            .and_then(|p| p.as_deref())
+            .ok_or(StorageError::InvalidPage(id))?;
+        buf.copy_from_slice(slot);
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        self.check_buf(buf.len())?;
+        let mut inner = self.inner.lock();
+        let slot = inner
+            .pages
+            .get_mut(id.0 as usize)
+            .and_then(|p| p.as_deref_mut())
+            .ok_or(StorageError::InvalidPage(id))?;
+        slot.copy_from_slice(buf);
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        let mut inner = self.inner.lock();
+        let live = inner.pages.iter().filter(|p| p.is_some()).count() as u64;
+        if let Some(cap) = self.capacity {
+            if live >= cap {
+                return Err(StorageError::DiskFull { capacity: cap });
+            }
+        }
+        let zeroed = vec![0u8; self.page_size].into_boxed_slice();
+        let id = if let Some(slot) = inner.free.pop() {
+            inner.pages[slot as usize] = Some(zeroed);
+            PageId(slot)
+        } else {
+            inner.pages.push(Some(zeroed));
+            PageId(inner.pages.len() as u64 - 1)
+        };
+        self.counters.allocations.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    fn deallocate(&self, id: PageId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let slot = inner
+            .pages
+            .get_mut(id.0 as usize)
+            .ok_or(StorageError::InvalidPage(id))?;
+        if slot.is_none() {
+            return Err(StorageError::InvalidPage(id));
+        }
+        *slot = None;
+        inner.free.push(id.0);
+        self.counters.deallocations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn live_pages(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.pages.iter().filter(|p| p.is_some()).count() as u64
+    }
+
+    fn stats(&self) -> DiskStats {
+        self.counters.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.counters.reset();
+    }
+
+    fn ensure_allocated(&self, id: PageId) -> Result<()> {
+        if !id.is_valid() {
+            return Err(StorageError::InvalidPage(id));
+        }
+        let mut inner = self.inner.lock();
+        while inner.pages.len() <= id.0 as usize {
+            let slot = inner.pages.len() as u64;
+            inner.pages.push(None);
+            inner.free.push(slot);
+        }
+        if inner.pages[id.0 as usize].is_none() {
+            if let Some(cap) = self.capacity {
+                let live = inner.pages.iter().filter(|p| p.is_some()).count() as u64;
+                if live >= cap {
+                    return Err(StorageError::DiskFull { capacity: cap });
+                }
+            }
+            inner.pages[id.0 as usize] = Some(vec![0u8; self.page_size].into_boxed_slice());
+            inner.free.retain(|&s| s != id.0);
+            self.counters.allocations.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileDisk
+// ---------------------------------------------------------------------------
+
+struct FileInner {
+    num_pages: u64,
+    free: Vec<u64>,
+}
+
+/// A file-backed disk using positioned reads and writes.
+///
+/// Layout: page `i` occupies bytes `[i * page_size, (i+1) * page_size)`.
+/// The free list is kept in memory only; on reopen all pages up to the file
+/// length are considered live (higher layers that need persistence of
+/// free-space metadata store it in their own meta page).
+pub struct FileDisk {
+    file: File,
+    page_size: usize,
+    inner: Mutex<FileInner>,
+    counters: Counters,
+}
+
+impl FileDisk {
+    /// Creates a new file (truncating any existing one) as an empty disk.
+    pub fn create<P: AsRef<Path>>(path: P, page_size: usize) -> Result<Self> {
+        assert!(page_size >= 64, "page size too small to be useful");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            file,
+            page_size,
+            inner: Mutex::new(FileInner {
+                num_pages: 0,
+                free: Vec::new(),
+            }),
+            counters: Counters::default(),
+        })
+    }
+
+    /// Opens an existing disk file. The page count is derived from the file
+    /// length, which must be a multiple of `page_size`.
+    pub fn open<P: AsRef<Path>>(path: P, page_size: usize) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % page_size as u64 != 0 {
+            return Err(StorageError::Corrupt {
+                page: PageId::INVALID,
+                reason: format!("file length {len} is not a multiple of page size {page_size}"),
+            });
+        }
+        Ok(Self {
+            file,
+            page_size,
+            inner: Mutex::new(FileInner {
+                num_pages: len / page_size as u64,
+                free: Vec::new(),
+            }),
+            counters: Counters::default(),
+        })
+    }
+
+    fn offset(&self, id: PageId) -> u64 {
+        id.0 * self.page_size as u64
+    }
+
+    fn check_id(&self, id: PageId) -> Result<()> {
+        let inner = self.inner.lock();
+        if !id.is_valid() || id.0 >= inner.num_pages || inner.free.contains(&id.0) {
+            return Err(StorageError::InvalidPage(id));
+        }
+        Ok(())
+    }
+}
+
+impl DiskManager for FileDisk {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        if buf.len() != self.page_size {
+            return Err(StorageError::BadPageSize {
+                expected: self.page_size,
+                got: buf.len(),
+            });
+        }
+        self.check_id(id)?;
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, self.offset(id))?;
+        }
+        #[cfg(not(unix))]
+        {
+            compile_error!("FileDisk currently requires a Unix platform");
+        }
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        if buf.len() != self.page_size {
+            return Err(StorageError::BadPageSize {
+                expected: self.page_size,
+                got: buf.len(),
+            });
+        }
+        self.check_id(id)?;
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.write_all_at(buf, self.offset(id))?;
+        }
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        let mut inner = self.inner.lock();
+        let id = if let Some(slot) = inner.free.pop() {
+            PageId(slot)
+        } else {
+            let id = PageId(inner.num_pages);
+            inner.num_pages += 1;
+            self.file
+                .set_len(inner.num_pages * self.page_size as u64)?;
+            id
+        };
+        // Zero the page so allocate semantics match MemDisk.
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            let zeroes = vec![0u8; self.page_size];
+            self.file
+                .write_all_at(&zeroes, id.0 * self.page_size as u64)?;
+        }
+        self.counters.allocations.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    fn deallocate(&self, id: PageId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if !id.is_valid() || id.0 >= inner.num_pages || inner.free.contains(&id.0) {
+            return Err(StorageError::InvalidPage(id));
+        }
+        inner.free.push(id.0);
+        self.counters.deallocations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn live_pages(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.num_pages - inner.free.len() as u64
+    }
+
+    fn stats(&self) -> DiskStats {
+        self.counters.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.counters.reset();
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn ensure_allocated(&self, id: PageId) -> Result<()> {
+        if !id.is_valid() {
+            return Err(StorageError::InvalidPage(id));
+        }
+        let mut inner = self.inner.lock();
+        if id.0 >= inner.num_pages {
+            inner.num_pages = id.0 + 1;
+            self.file.set_len(inner.num_pages * self.page_size as u64)?;
+        }
+        inner.free.retain(|&s| s != id.0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(disk: &dyn DiskManager) {
+        let ps = disk.page_size();
+        let a = disk.allocate().unwrap();
+        let b = disk.allocate().unwrap();
+        assert_ne!(a, b);
+
+        let mut buf = vec![0xABu8; ps];
+        buf[0] = 1;
+        disk.write_page(a, &buf).unwrap();
+        let mut out = vec![0u8; ps];
+        disk.read_page(a, &mut out).unwrap();
+        assert_eq!(buf, out);
+
+        // Fresh pages read back as zeroes.
+        disk.read_page(b, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+
+        assert_eq!(disk.live_pages(), 2);
+        disk.deallocate(a).unwrap();
+        assert_eq!(disk.live_pages(), 1);
+        assert!(disk.read_page(a, &mut out).is_err());
+
+        // Reallocation reuses the slot and hands back a zeroed page.
+        let c = disk.allocate().unwrap();
+        assert_eq!(c, a);
+        disk.read_page(c, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn memdisk_roundtrip() {
+        roundtrip(&MemDisk::new(256));
+    }
+
+    #[test]
+    fn filedisk_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("nnq-disk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.db");
+        roundtrip(&FileDisk::create(&path, 256).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn memdisk_counts_io() {
+        let d = MemDisk::new(128);
+        let id = d.allocate().unwrap();
+        let buf = vec![0u8; 128];
+        let mut out = vec![0u8; 128];
+        d.write_page(id, &buf).unwrap();
+        d.write_page(id, &buf).unwrap();
+        d.read_page(id, &mut out).unwrap();
+        let s = d.stats();
+        assert_eq!(s.allocations, 1);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.reads, 1);
+        d.reset_stats();
+        assert_eq!(d.stats(), DiskStats::default());
+    }
+
+    #[test]
+    fn memdisk_capacity_limit() {
+        let d = MemDisk::with_capacity(128, 2);
+        let a = d.allocate().unwrap();
+        let _b = d.allocate().unwrap();
+        assert!(matches!(
+            d.allocate(),
+            Err(StorageError::DiskFull { capacity: 2 })
+        ));
+        // Freeing makes room again.
+        d.deallocate(a).unwrap();
+        assert!(d.allocate().is_ok());
+    }
+
+    #[test]
+    fn bad_buffer_size_is_rejected() {
+        let d = MemDisk::new(128);
+        let id = d.allocate().unwrap();
+        let mut small = vec![0u8; 64];
+        assert!(matches!(
+            d.read_page(id, &mut small),
+            Err(StorageError::BadPageSize {
+                expected: 128,
+                got: 64
+            })
+        ));
+        assert!(d.write_page(id, &small).is_err());
+    }
+
+    #[test]
+    fn invalid_page_access_is_rejected() {
+        let d = MemDisk::new(128);
+        let mut buf = vec![0u8; 128];
+        assert!(d.read_page(PageId(0), &mut buf).is_err());
+        assert!(d.write_page(PageId(7), &buf).is_err());
+        assert!(d.deallocate(PageId(7)).is_err());
+        let id = d.allocate().unwrap();
+        d.deallocate(id).unwrap();
+        // Double free is an error.
+        assert!(d.deallocate(id).is_err());
+    }
+
+    #[test]
+    fn filedisk_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("nnq-disk2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("persist.db");
+        let payload = {
+            let d = FileDisk::create(&path, 256).unwrap();
+            let id = d.allocate().unwrap();
+            assert_eq!(id, PageId(0));
+            let buf: Vec<u8> = (0..256).map(|i| (i % 251) as u8).collect();
+            d.write_page(id, &buf).unwrap();
+            d.sync().unwrap();
+            buf
+        };
+        let d = FileDisk::open(&path, 256).unwrap();
+        assert_eq!(d.live_pages(), 1);
+        let mut out = vec![0u8; 256];
+        d.read_page(PageId(0), &mut out).unwrap();
+        assert_eq!(out, payload);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn filedisk_open_rejects_ragged_file() {
+        let dir = std::env::temp_dir().join(format!("nnq-disk3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ragged.db");
+        std::fs::write(&path, vec![0u8; 300]).unwrap();
+        assert!(matches!(
+            FileDisk::open(&path, 256),
+            Err(StorageError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

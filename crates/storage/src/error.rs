@@ -1,0 +1,104 @@
+//! Error types for the storage layer.
+
+use crate::PageId;
+use std::fmt;
+
+/// Convenience alias for storage-layer results.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors produced by disk managers and the buffer pool.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An operating-system I/O error (file-backed disks only).
+    Io(std::io::Error),
+    /// A page id that the disk has never allocated, or that has been
+    /// deallocated.
+    InvalidPage(PageId),
+    /// The disk refused to allocate another page (capacity limit reached).
+    DiskFull {
+        /// The configured capacity in pages.
+        capacity: u64,
+    },
+    /// Every buffer frame is pinned; nothing can be evicted to make room.
+    PoolExhausted {
+        /// The pool's frame count.
+        frames: usize,
+    },
+    /// A page's contents failed validation when interpreted by a caller
+    /// (surfaced here so higher layers share one error type for I/O paths).
+    Corrupt {
+        /// The offending page.
+        page: PageId,
+        /// Human-readable description of what failed to parse.
+        reason: String,
+    },
+    /// A buffer with the wrong length was passed to a raw disk read/write.
+    BadPageSize {
+        /// The disk's configured page size.
+        expected: usize,
+        /// The length actually supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::InvalidPage(p) => write!(f, "invalid page id {p}"),
+            StorageError::DiskFull { capacity } => {
+                write!(f, "disk full (capacity {capacity} pages)")
+            }
+            StorageError::PoolExhausted { frames } => {
+                write!(f, "buffer pool exhausted: all {frames} frames pinned")
+            }
+            StorageError::Corrupt { page, reason } => {
+                write!(f, "corrupt contents on {page}: {reason}")
+            }
+            StorageError::BadPageSize { expected, got } => {
+                write!(f, "bad page buffer size: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::DiskFull { capacity: 8 };
+        assert!(e.to_string().contains("capacity 8"));
+        let e = StorageError::InvalidPage(PageId(3));
+        assert!(e.to_string().contains("page#3"));
+        let e = StorageError::Corrupt {
+            page: PageId(1),
+            reason: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::other("boom");
+        let e: StorageError = io.into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,347 @@
+//! A slotted-page heap file for variable-length records.
+//!
+//! The R-tree indexes `(MBR, record id)` pairs; the *objects themselves*
+//! (segment geometry, POI attributes, …) live somewhere. In the paper's
+//! systems that somewhere is a heap file on the same device, so a
+//! filter-refine query pays real page accesses for refinement too. This
+//! module provides that substrate: classic slotted pages with a
+//! slot-directory growing from the page tail, records from the head.
+//!
+//! Record ids are `(page, slot)` packed into a `u64` (`HeapRecordId`),
+//! stable across other records' deletion (slots are tombstoned, not
+//! compacted across the directory).
+//!
+//! ```text
+//! page layout:
+//!   0..4    magic "NNQH"
+//!   4..6    slot count
+//!   6..8    free-space offset (start of unused gap)
+//!   ...     record bytes, growing up
+//!   tail    slot directory entries (offset u16, len u16), growing down
+//! ```
+
+use crate::{BufferPool, PageId, Result, StorageError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const HEAP_MAGIC: u32 = 0x4E4E_5148;
+const HEADER: usize = 8;
+const SLOT: usize = 4;
+/// Tombstone marker in a slot's length field.
+const DEAD: u16 = u16::MAX;
+
+/// Identifier of a heap record: page number in the high 48 bits, slot in
+/// the low 16.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct HeapRecordId(pub u64);
+
+impl HeapRecordId {
+    fn new(page: PageId, slot: u16) -> Self {
+        Self((page.0 << 16) | u64::from(slot))
+    }
+
+    /// The page holding this record.
+    pub fn page(self) -> PageId {
+        PageId(self.0 >> 16)
+    }
+
+    /// The slot within the page.
+    pub fn slot(self) -> u16 {
+        (self.0 & 0xFFFF) as u16
+    }
+}
+
+/// A heap file of variable-length records over a buffer pool.
+///
+/// Appends fill the most recent page until a record no longer fits, then
+/// allocate a new page (no free-space map — the classic "append heap"
+/// that index experiments use).
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    state: Mutex<State>,
+}
+
+struct State {
+    /// Page currently accepting appends ([`PageId::INVALID`] before the
+    /// first insert).
+    current: PageId,
+    /// All pages of the file, in order (for scans and reopen).
+    pages: Vec<PageId>,
+}
+
+impl HeapFile {
+    /// Creates an empty heap file on `pool`.
+    pub fn create(pool: Arc<BufferPool>) -> Self {
+        Self {
+            pool,
+            state: Mutex::new(State {
+                current: PageId::INVALID,
+                pages: Vec::new(),
+            }),
+        }
+    }
+
+    /// Reopens a heap file from its page list (callers persist the list —
+    /// e.g. in their own metadata — or rebuild it from a directory).
+    pub fn open(pool: Arc<BufferPool>, pages: Vec<PageId>) -> Result<Self> {
+        for &page in &pages {
+            let guard = pool.fetch(page)?;
+            let magic = u32::from_le_bytes(guard[0..4].try_into().expect("4 bytes"));
+            if magic != HEAP_MAGIC {
+                return Err(StorageError::Corrupt {
+                    page,
+                    reason: format!("bad heap magic {magic:#010x}"),
+                });
+            }
+        }
+        Ok(Self {
+            pool,
+            state: Mutex::new(State {
+                current: pages.last().copied().unwrap_or(PageId::INVALID),
+                pages,
+            }),
+        })
+    }
+
+    /// The pages of this file, in append order (persist these to reopen).
+    pub fn pages(&self) -> Vec<PageId> {
+        self.state.lock().pages.clone()
+    }
+
+    /// The largest record this file's page size can store.
+    pub fn max_record_len(&self) -> usize {
+        self.pool.page_size() - HEADER - SLOT
+    }
+
+    /// Appends a record, returning its stable id.
+    pub fn insert(&self, record: &[u8]) -> Result<HeapRecordId> {
+        if record.len() > self.max_record_len() {
+            return Err(StorageError::Corrupt {
+                page: PageId::INVALID,
+                reason: format!(
+                    "record of {} bytes exceeds page capacity {}",
+                    record.len(),
+                    self.max_record_len()
+                ),
+            });
+        }
+        let mut state = self.state.lock();
+        // Try the current page.
+        if state.current.is_valid() {
+            if let Some(id) = self.try_insert_into(state.current, record)? {
+                return Ok(id);
+            }
+        }
+        // Start a new page.
+        let (page, mut guard) = self.pool.new_page()?;
+        guard[0..4].copy_from_slice(&HEAP_MAGIC.to_le_bytes());
+        guard[4..6].copy_from_slice(&0u16.to_le_bytes());
+        guard[6..8].copy_from_slice(&(HEADER as u16).to_le_bytes());
+        drop(guard);
+        state.current = page;
+        state.pages.push(page);
+        let id = self
+            .try_insert_into(page, record)?
+            .expect("fresh page must accept a fitting record");
+        Ok(id)
+    }
+
+    fn try_insert_into(&self, page: PageId, record: &[u8]) -> Result<Option<HeapRecordId>> {
+        let mut guard = self.pool.fetch_write(page)?;
+        let slots = u16::from_le_bytes(guard[4..6].try_into().expect("2 bytes")) as usize;
+        let free_off = u16::from_le_bytes(guard[6..8].try_into().expect("2 bytes")) as usize;
+        let dir_start = guard.len() - (slots + 1) * SLOT;
+        if free_off + record.len() + SLOT > guard.len() - slots * SLOT {
+            return Ok(None); // does not fit
+        }
+        // Write the record and its slot entry.
+        guard[free_off..free_off + record.len()].copy_from_slice(record);
+        let slot_off = dir_start;
+        guard[slot_off..slot_off + 2].copy_from_slice(&(free_off as u16).to_le_bytes());
+        guard[slot_off + 2..slot_off + 4]
+            .copy_from_slice(&(record.len() as u16).to_le_bytes());
+        guard[4..6].copy_from_slice(&((slots + 1) as u16).to_le_bytes());
+        guard[6..8].copy_from_slice(&((free_off + record.len()) as u16).to_le_bytes());
+        Ok(Some(HeapRecordId::new(page, slots as u16)))
+    }
+
+    /// Reads a record into a fresh vector.
+    pub fn get(&self, id: HeapRecordId) -> Result<Vec<u8>> {
+        let guard = self.pool.fetch(id.page())?;
+        let slots = u16::from_le_bytes(guard[4..6].try_into().expect("2 bytes"));
+        if id.slot() >= slots {
+            return Err(StorageError::Corrupt {
+                page: id.page(),
+                reason: format!("slot {} out of range ({slots} slots)", id.slot()),
+            });
+        }
+        let slot_off = guard.len() - (id.slot() as usize + 1) * SLOT;
+        let off = u16::from_le_bytes(guard[slot_off..slot_off + 2].try_into().expect("2 bytes"));
+        let len =
+            u16::from_le_bytes(guard[slot_off + 2..slot_off + 4].try_into().expect("2 bytes"));
+        if len == DEAD {
+            return Err(StorageError::Corrupt {
+                page: id.page(),
+                reason: format!("slot {} is deleted", id.slot()),
+            });
+        }
+        Ok(guard[off as usize..off as usize + len as usize].to_vec())
+    }
+
+    /// Tombstones a record. The space is not reclaimed (append heap).
+    pub fn delete(&self, id: HeapRecordId) -> Result<()> {
+        let mut guard = self.pool.fetch_write(id.page())?;
+        let slots = u16::from_le_bytes(guard[4..6].try_into().expect("2 bytes"));
+        if id.slot() >= slots {
+            return Err(StorageError::Corrupt {
+                page: id.page(),
+                reason: format!("slot {} out of range ({slots} slots)", id.slot()),
+            });
+        }
+        let slot_off = guard.len() - (id.slot() as usize + 1) * SLOT;
+        let len =
+            u16::from_le_bytes(guard[slot_off + 2..slot_off + 4].try_into().expect("2 bytes"));
+        if len == DEAD {
+            return Err(StorageError::Corrupt {
+                page: id.page(),
+                reason: format!("slot {} already deleted", id.slot()),
+            });
+        }
+        guard[slot_off + 2..slot_off + 4].copy_from_slice(&DEAD.to_le_bytes());
+        Ok(())
+    }
+
+    /// Visits every live record in file order.
+    pub fn scan(&self, mut f: impl FnMut(HeapRecordId, &[u8])) -> Result<()> {
+        let pages = self.pages();
+        for page in pages {
+            let guard = self.pool.fetch(page)?;
+            let slots = u16::from_le_bytes(guard[4..6].try_into().expect("2 bytes"));
+            for slot in 0..slots {
+                let slot_off = guard.len() - (slot as usize + 1) * SLOT;
+                let off = u16::from_le_bytes(
+                    guard[slot_off..slot_off + 2].try_into().expect("2 bytes"),
+                );
+                let len = u16::from_le_bytes(
+                    guard[slot_off + 2..slot_off + 4].try_into().expect("2 bytes"),
+                );
+                if len != DEAD {
+                    f(
+                        HeapRecordId::new(page, slot),
+                        &guard[off as usize..off as usize + len as usize],
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDisk;
+
+    fn heap() -> HeapFile {
+        let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(256)), 64));
+        HeapFile::create(pool)
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let h = heap();
+        let a = h.insert(b"hello").unwrap();
+        let b = h.insert(b"world, but longer").unwrap();
+        assert_eq!(h.get(a).unwrap(), b"hello");
+        assert_eq!(h.get(b).unwrap(), b"world, but longer");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn records_spill_to_new_pages() {
+        let h = heap();
+        let payload = vec![7u8; 100];
+        let ids: Vec<HeapRecordId> = (0..20).map(|_| h.insert(&payload).unwrap()).collect();
+        assert!(h.pages().len() > 1, "100-byte records must overflow 256-byte pages");
+        for id in &ids {
+            assert_eq!(h.get(*id).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn record_ids_pack_page_and_slot() {
+        let id = HeapRecordId::new(PageId(42), 7);
+        assert_eq!(id.page(), PageId(42));
+        assert_eq!(id.slot(), 7);
+    }
+
+    #[test]
+    fn delete_tombstones_without_disturbing_neighbors() {
+        let h = heap();
+        let a = h.insert(b"aaa").unwrap();
+        let b = h.insert(b"bbb").unwrap();
+        let c = h.insert(b"ccc").unwrap();
+        h.delete(b).unwrap();
+        assert_eq!(h.get(a).unwrap(), b"aaa");
+        assert_eq!(h.get(c).unwrap(), b"ccc");
+        assert!(h.get(b).is_err());
+        assert!(h.delete(b).is_err()); // double delete
+        // Scan sees only the live ones.
+        let mut seen = Vec::new();
+        h.scan(|id, bytes| seen.push((id, bytes.to_vec()))).unwrap();
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn oversized_record_is_rejected() {
+        let h = heap();
+        let too_big = vec![0u8; 300];
+        assert!(h.insert(&too_big).is_err());
+        // Exactly max fits.
+        let max = vec![1u8; h.max_record_len()];
+        let id = h.insert(&max).unwrap();
+        assert_eq!(h.get(id).unwrap(), max);
+    }
+
+    #[test]
+    fn empty_records_are_fine() {
+        let h = heap();
+        let id = h.insert(b"").unwrap();
+        assert_eq!(h.get(id).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn reopen_from_page_list() {
+        let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(256)), 64));
+        let h = HeapFile::create(Arc::clone(&pool));
+        let ids: Vec<HeapRecordId> = (0..30)
+            .map(|i| h.insert(format!("record-{i}").as_bytes()).unwrap())
+            .collect();
+        let pages = h.pages();
+        drop(h);
+        let h = HeapFile::open(pool, pages).unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(h.get(*id).unwrap(), format!("record-{i}").into_bytes());
+        }
+        // New inserts continue on the last page.
+        let id = h.insert(b"after-reopen").unwrap();
+        assert_eq!(h.get(id).unwrap(), b"after-reopen");
+    }
+
+    #[test]
+    fn open_rejects_non_heap_pages() {
+        let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(256)), 8));
+        let (bogus, guard) = pool.new_page().unwrap();
+        drop(guard);
+        assert!(HeapFile::open(pool, vec![bogus]).is_err());
+    }
+
+    #[test]
+    fn invalid_slot_access_is_an_error() {
+        let h = heap();
+        let id = h.insert(b"x").unwrap();
+        let bogus = HeapRecordId::new(id.page(), 99);
+        assert!(h.get(bogus).is_err());
+        assert!(h.delete(bogus).is_err());
+    }
+}

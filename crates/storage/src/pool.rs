@@ -1,0 +1,662 @@
+//! A fixed-capacity buffer pool with LRU eviction and pin/unpin semantics.
+
+use crate::wal::Wal;
+use crate::{DiskManager, DiskStats, PageId, Result, StorageError};
+use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RawRwLock, RwLock};
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+type FrameData = Arc<RwLock<Vec<u8>>>;
+type ReadGuardInner = ArcRwLockReadGuard<RawRwLock, Vec<u8>>;
+type WriteGuardInner = ArcRwLockWriteGuard<RawRwLock, Vec<u8>>;
+
+/// Access counters maintained by a [`BufferPool`].
+///
+/// * `logical_reads` is the paper's **"pages accessed"** figure: every page
+///   the algorithm touches, whether or not it was cached.
+/// * `physical_reads` (misses) is the **disk I/O** figure under a finite
+///   buffer, the quantity RKV'95's buffering experiments vary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total page fetches (read or write intent).
+    pub logical_reads: u64,
+    /// Fetches satisfied from the cache.
+    pub hits: u64,
+    /// Fetches that had to read from the device.
+    pub physical_reads: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty pages written back to the device on eviction or flush.
+    pub writebacks: u64,
+}
+
+impl PoolStats {
+    /// Cache hit rate in `[0, 1]`; zero when no fetches happened.
+    pub fn hit_rate(&self) -> f64 {
+        if self.logical_reads == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.logical_reads as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatCells {
+    logical_reads: AtomicU64,
+    hits: AtomicU64,
+    physical_reads: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
+}
+
+struct Frame {
+    page: PageId,
+    data: FrameData,
+    dirty: bool,
+    pins: u32,
+    /// Recency stamp for LRU: larger = more recently used.
+    tick: u64,
+}
+
+struct Inner {
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    free: Vec<usize>,
+    tick: u64,
+}
+
+/// A page cache over a [`DiskManager`].
+///
+/// * Fixed number of frames, chosen at construction; LRU eviction among
+///   unpinned frames.
+/// * [`BufferPool::fetch`] / [`BufferPool::fetch_write`] return RAII guards
+///   that pin the page (pinned pages are never evicted) and latch its
+///   contents for shared or exclusive access.
+/// * All methods take `&self`; the pool is internally synchronized and can
+///   be shared across threads.
+///
+/// Callers must not fetch a page while holding a *write* guard on that same
+/// page from the same thread (the per-frame latch is not reentrant).
+pub struct BufferPool {
+    disk: Box<dyn DiskManager>,
+    inner: Mutex<Inner>,
+    stats: StatCells,
+    wal: Option<Wal>,
+}
+
+impl BufferPool {
+    /// Creates a pool with `capacity` frames over `disk`.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(disk: Box<dyn DiskManager>, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        let page_size = disk.page_size();
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                page: PageId::INVALID,
+                data: Arc::new(RwLock::new(vec![0u8; page_size])),
+                dirty: false,
+                pins: 0,
+                tick: 0,
+            })
+            .collect();
+        Self {
+            disk,
+            inner: Mutex::new(Inner {
+                frames,
+                map: HashMap::with_capacity(capacity),
+                free: (0..capacity).rev().collect(),
+                tick: 0,
+            }),
+            stats: StatCells::default(),
+            wal: None,
+        }
+    }
+
+    /// Creates a pool whose page write-backs are journaled to `wal`
+    /// first, enabling crash-safe checkpointing (see [`Wal`] and
+    /// [`BufferPool::checkpoint`]).
+    ///
+    /// Recovery protocol for the caller on startup: open the device, open
+    /// the WAL, call [`Wal::replay`] on the device, then build the pool
+    /// with both.
+    pub fn with_wal(disk: Box<dyn DiskManager>, capacity: usize, wal: Wal) -> Self {
+        let mut pool = Self::new(disk, capacity);
+        pool.wal = Some(wal);
+        pool
+    }
+
+    /// Journals a page image before it is written back to the device
+    /// (no-op without a WAL).
+    fn log_writeback(&self, page: PageId, image: &[u8]) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            wal.append(page, image)?;
+        }
+        Ok(())
+    }
+
+    /// Crash-consistent checkpoint: journals and writes back every dirty
+    /// page, syncs the device, then truncates the journal. After a
+    /// successful checkpoint the device alone holds the state of record;
+    /// after a crash at any point, [`Wal::replay`] restores it.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.flush_all()?;
+        if let Some(wal) = &self.wal {
+            wal.sync()?;
+            // Device is durably up to date (flush_all syncs); the journal
+            // has served its purpose.
+            wal.reset()?;
+        }
+        Ok(())
+    }
+
+    /// The page size of the underlying device.
+    pub fn page_size(&self) -> usize {
+        self.disk.page_size()
+    }
+
+    /// The number of frames.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    /// Pool access counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            logical_reads: self.stats.logical_reads.load(Ordering::Relaxed),
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            physical_reads: self.stats.physical_reads.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            writebacks: self.stats.writebacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counters of the underlying device.
+    pub fn disk_stats(&self) -> DiskStats {
+        self.disk.stats()
+    }
+
+    /// Number of live pages on the underlying device.
+    pub fn live_pages(&self) -> u64 {
+        self.disk.live_pages()
+    }
+
+    /// Resets pool and device counters (used between experiment phases).
+    pub fn reset_stats(&self) {
+        self.stats.logical_reads.store(0, Ordering::Relaxed);
+        self.stats.hits.store(0, Ordering::Relaxed);
+        self.stats.physical_reads.store(0, Ordering::Relaxed);
+        self.stats.evictions.store(0, Ordering::Relaxed);
+        self.stats.writebacks.store(0, Ordering::Relaxed);
+        self.disk.reset_stats();
+    }
+
+    /// Drops every unpinned clean frame from the cache (writes back dirty
+    /// ones first), so the next fetches are cold. Used by experiments that
+    /// measure cold-cache I/O.
+    pub fn clear_cache(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let mut idx = 0;
+        while idx < inner.frames.len() {
+            let (page, dirty, pins) = {
+                let f = &inner.frames[idx];
+                (f.page, f.dirty, f.pins)
+            };
+            if page.is_valid() && pins == 0 {
+                if dirty {
+                    let data = Arc::clone(&inner.frames[idx].data);
+                    let buf = data.read();
+                    self.log_writeback(page, &buf)?;
+                    self.disk.write_page(page, &buf)?;
+                    self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+                }
+                inner.map.remove(&page);
+                let f = &mut inner.frames[idx];
+                f.page = PageId::INVALID;
+                f.dirty = false;
+                inner.free.push(idx);
+            }
+            idx += 1;
+        }
+        Ok(())
+    }
+
+    /// Fetches a page for shared (read) access.
+    pub fn fetch(&self, id: PageId) -> Result<PageReadGuard<'_>> {
+        let (frame_idx, data) = self.pin_frame(id, false)?;
+        let guard = RwLock::read_arc(&data);
+        Ok(PageReadGuard {
+            pool: self,
+            frame: frame_idx,
+            guard,
+        })
+    }
+
+    /// Fetches a page for exclusive (write) access and marks it dirty.
+    pub fn fetch_write(&self, id: PageId) -> Result<PageWriteGuard<'_>> {
+        let (frame_idx, data) = self.pin_frame(id, true)?;
+        let guard = RwLock::write_arc(&data);
+        Ok(PageWriteGuard {
+            pool: self,
+            frame: frame_idx,
+            guard,
+        })
+    }
+
+    /// Allocates a fresh zeroed page on the device and returns it pinned for
+    /// writing.
+    pub fn new_page(&self) -> Result<(PageId, PageWriteGuard<'_>)> {
+        let id = self.disk.allocate()?;
+        // The page is zeroed on the device; cache it without a device read.
+        let mut inner = self.inner.lock();
+        let frame_idx = self.acquire_frame(&mut inner)?;
+        inner.map.insert(id, frame_idx);
+        inner.tick += 1;
+        let tick = inner.tick;
+        let f = &mut inner.frames[frame_idx];
+        f.page = id;
+        f.dirty = true;
+        f.pins = 1;
+        f.tick = tick;
+        let data = Arc::clone(&f.data);
+        drop(inner);
+        let mut guard = RwLock::write_arc(&data);
+        guard.fill(0);
+        Ok((
+            id,
+            PageWriteGuard {
+                pool: self,
+                frame: frame_idx,
+                guard,
+            },
+        ))
+    }
+
+    /// Deletes a page: removes it from the cache and frees it on the device.
+    ///
+    /// Fails with [`StorageError::PoolExhausted`] if the page is currently
+    /// pinned.
+    pub fn delete_page(&self, id: PageId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if let Some(&frame_idx) = inner.map.get(&id) {
+            if inner.frames[frame_idx].pins > 0 {
+                return Err(StorageError::PoolExhausted {
+                    frames: inner.frames.len(),
+                });
+            }
+            inner.map.remove(&id);
+            let f = &mut inner.frames[frame_idx];
+            f.page = PageId::INVALID;
+            f.dirty = false;
+            inner.free.push(frame_idx);
+        }
+        drop(inner);
+        self.disk.deallocate(id)
+    }
+
+    /// Writes all dirty frames back to the device and syncs it.
+    pub fn flush_all(&self) -> Result<()> {
+        let inner = self.inner.lock();
+        // Collect (page, data) pairs first so the device I/O happens with a
+        // consistent view; frames stay resident and become clean.
+        let mut to_write = Vec::new();
+        for f in &inner.frames {
+            if f.page.is_valid() && f.dirty {
+                to_write.push((f.page, Arc::clone(&f.data)));
+            }
+        }
+        drop(inner);
+        for (page, data) in to_write {
+            let buf = data.read();
+            self.log_writeback(page, &buf)?;
+            self.disk.write_page(page, &buf)?;
+            self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut inner = self.inner.lock();
+        for f in &mut inner.frames {
+            if f.page.is_valid() {
+                f.dirty = false;
+            }
+        }
+        drop(inner);
+        self.disk.sync()
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    /// Pins the frame holding `id`, loading it from the device on a miss.
+    /// Returns the frame index and its data cell.
+    fn pin_frame(&self, id: PageId, write_intent: bool) -> Result<(usize, FrameData)> {
+        if !id.is_valid() {
+            return Err(StorageError::InvalidPage(id));
+        }
+        let mut inner = self.inner.lock();
+        self.stats.logical_reads.fetch_add(1, Ordering::Relaxed);
+        inner.tick += 1;
+        let tick = inner.tick;
+
+        if let Some(&frame_idx) = inner.map.get(&id) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            let f = &mut inner.frames[frame_idx];
+            f.pins += 1;
+            f.tick = tick;
+            if write_intent {
+                f.dirty = true;
+            }
+            return Ok((frame_idx, Arc::clone(&f.data)));
+        }
+
+        // Miss: find a frame, read from device.
+        self.stats.physical_reads.fetch_add(1, Ordering::Relaxed);
+        let frame_idx = self.acquire_frame(&mut inner)?;
+        {
+            let data = Arc::clone(&inner.frames[frame_idx].data);
+            let mut buf = data.write();
+            if let Err(e) = self.disk.read_page(id, &mut buf) {
+                // Leave the frame on the free list on failure.
+                inner.free.push(frame_idx);
+                return Err(e);
+            }
+        }
+        inner.map.insert(id, frame_idx);
+        let f = &mut inner.frames[frame_idx];
+        f.page = id;
+        f.dirty = write_intent;
+        f.pins = 1;
+        f.tick = tick;
+        Ok((frame_idx, Arc::clone(&f.data)))
+    }
+
+    /// Gets a free frame, evicting the least-recently-used unpinned frame if
+    /// necessary. The returned frame is unmapped and unpinned.
+    fn acquire_frame(&self, inner: &mut Inner) -> Result<usize> {
+        if let Some(idx) = inner.free.pop() {
+            return Ok(idx);
+        }
+        // LRU scan over unpinned frames.
+        let victim = inner
+            .frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.pins == 0 && f.page.is_valid())
+            .min_by_key(|(_, f)| f.tick)
+            .map(|(i, _)| i)
+            .ok_or(StorageError::PoolExhausted {
+                frames: inner.frames.len(),
+            })?;
+        let (page, dirty) = {
+            let f = &inner.frames[victim];
+            (f.page, f.dirty)
+        };
+        if dirty {
+            let data = Arc::clone(&inner.frames[victim].data);
+            let buf = data.read();
+            self.log_writeback(page, &buf)?;
+            self.disk.write_page(page, &buf)?;
+            self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.map.remove(&page);
+        let f = &mut inner.frames[victim];
+        f.page = PageId::INVALID;
+        f.dirty = false;
+        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        Ok(victim)
+    }
+
+    fn unpin(&self, frame_idx: usize) {
+        let mut inner = self.inner.lock();
+        let f = &mut inner.frames[frame_idx];
+        debug_assert!(f.pins > 0, "unpin of unpinned frame");
+        f.pins -= 1;
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity())
+            .field("page_size", &self.page_size())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// RAII shared-access guard over a cached page. Pins the page for its
+/// lifetime; dereferences to the page bytes.
+pub struct PageReadGuard<'a> {
+    pool: &'a BufferPool,
+    frame: usize,
+    guard: ReadGuardInner,
+}
+
+impl Deref for PageReadGuard<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.guard
+    }
+}
+
+impl Drop for PageReadGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.unpin(self.frame);
+    }
+}
+
+/// RAII exclusive-access guard over a cached page. Pins the page and marks
+/// it dirty for its lifetime; dereferences to the mutable page bytes.
+pub struct PageWriteGuard<'a> {
+    pool: &'a BufferPool,
+    frame: usize,
+    guard: WriteGuardInner,
+}
+
+impl Deref for PageWriteGuard<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.guard
+    }
+}
+
+impl DerefMut for PageWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.guard
+    }
+}
+
+impl Drop for PageWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.unpin(self.frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDisk;
+
+    fn pool(frames: usize) -> BufferPool {
+        BufferPool::new(Box::new(MemDisk::new(128)), frames)
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let p = pool(4);
+        let (id, mut w) = p.new_page().unwrap();
+        w[0] = 42;
+        w[127] = 7;
+        drop(w);
+        let r = p.fetch(id).unwrap();
+        assert_eq!(r[0], 42);
+        assert_eq!(r[127], 7);
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let p = pool(4);
+        let (id, w) = p.new_page().unwrap();
+        drop(w);
+        p.reset_stats();
+        let _ = p.fetch(id).unwrap(); // hit: still cached
+        let s = p.stats();
+        assert_eq!(s.logical_reads, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.physical_reads, 0);
+        assert_eq!(s.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_writes_back_dirty_pages() {
+        let p = pool(2);
+        let (a, mut wa) = p.new_page().unwrap();
+        wa[0] = 1;
+        drop(wa);
+        let (b, mut wb) = p.new_page().unwrap();
+        wb[0] = 2;
+        drop(wb);
+        // Touch `a` so `b` is the LRU victim.
+        drop(p.fetch(a).unwrap());
+        let (c, mut wc) = p.new_page().unwrap(); // evicts b
+        wc[0] = 3;
+        drop(wc);
+        let s = p.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.writebacks, 1); // b was dirty
+        // All three pages still readable with correct contents.
+        assert_eq!(p.fetch(a).unwrap()[0], 1);
+        assert_eq!(p.fetch(b).unwrap()[0], 2);
+        assert_eq!(p.fetch(c).unwrap()[0], 3);
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let p = pool(2);
+        let (a, wa) = p.new_page().unwrap();
+        let (_b, wb) = p.new_page().unwrap();
+        // Both frames pinned: a third page cannot enter the pool.
+        let err = p.new_page();
+        assert!(matches!(err, Err(StorageError::PoolExhausted { .. })));
+        drop(wa);
+        drop(wb);
+        // Now there is room again.
+        assert!(p.new_page().is_ok());
+        let _ = a;
+    }
+
+    #[test]
+    fn multiple_read_pins_share_a_frame() {
+        let p = pool(2);
+        let (id, w) = p.new_page().unwrap();
+        drop(w);
+        let r1 = p.fetch(id).unwrap();
+        let r2 = p.fetch(id).unwrap();
+        assert_eq!(&r1[..], &r2[..]);
+        drop(r1);
+        drop(r2);
+    }
+
+    #[test]
+    fn delete_page_removes_from_cache_and_disk() {
+        let p = pool(2);
+        let (id, w) = p.new_page().unwrap();
+        drop(w);
+        p.delete_page(id).unwrap();
+        assert!(p.fetch(id).is_err());
+        assert_eq!(p.live_pages(), 0);
+    }
+
+    #[test]
+    fn delete_of_pinned_page_fails() {
+        let p = pool(2);
+        let (id, w) = p.new_page().unwrap();
+        assert!(p.delete_page(id).is_err());
+        drop(w);
+        assert!(p.delete_page(id).is_ok());
+    }
+
+    #[test]
+    fn flush_all_persists_dirty_pages() {
+        let p = pool(4);
+        let (id, mut w) = p.new_page().unwrap();
+        w[5] = 99;
+        drop(w);
+        p.flush_all().unwrap();
+        // Drop from cache and re-read from the device.
+        p.clear_cache().unwrap();
+        let r = p.fetch(id).unwrap();
+        assert_eq!(r[5], 99);
+        let s = p.stats();
+        assert!(s.physical_reads >= 1);
+    }
+
+    #[test]
+    fn clear_cache_makes_fetches_cold() {
+        let p = pool(8);
+        let (id, w) = p.new_page().unwrap();
+        drop(w);
+        p.flush_all().unwrap();
+        p.clear_cache().unwrap();
+        p.reset_stats();
+        drop(p.fetch(id).unwrap());
+        assert_eq!(p.stats().physical_reads, 1);
+        drop(p.fetch(id).unwrap());
+        assert_eq!(p.stats().physical_reads, 1); // second is a hit
+    }
+
+    #[test]
+    fn fetch_invalid_page_fails_cleanly() {
+        let p = pool(2);
+        assert!(p.fetch(PageId::INVALID).is_err());
+        assert!(p.fetch(PageId(12345)).is_err());
+        // Failed miss must not leak the frame.
+        for _ in 0..10 {
+            assert!(p.fetch(PageId(12345)).is_err());
+        }
+        assert!(p.new_page().is_ok());
+    }
+
+    #[test]
+    fn stats_reset_clears_everything() {
+        let p = pool(2);
+        let (id, w) = p.new_page().unwrap();
+        drop(w);
+        drop(p.fetch(id).unwrap());
+        p.reset_stats();
+        assert_eq!(p.stats(), PoolStats::default());
+        assert_eq!(p.disk_stats(), DiskStats::default());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        use std::sync::Arc;
+        let p = Arc::new(BufferPool::new(Box::new(MemDisk::new(128)), 16));
+        let mut ids = Vec::new();
+        for i in 0..8u8 {
+            let (id, mut w) = p.new_page().unwrap();
+            w[0] = i;
+            ids.push(id);
+            drop(w);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let p = Arc::clone(&p);
+                let ids = ids.clone();
+                std::thread::spawn(move || {
+                    for round in 0..200 {
+                        let id = ids[(t + round) % ids.len()];
+                        let g = p.fetch(id).unwrap();
+                        let v = g[0];
+                        assert!((v as usize) < 8);
+                        drop(g);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

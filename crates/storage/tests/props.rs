@@ -1,0 +1,147 @@
+//! Property tests: the buffer pool over a device must behave exactly like
+//! a plain map of page contents, under any operation interleaving and any
+//! pool size.
+
+use nnq_storage::{BufferPool, DiskManager, MemDisk, PageId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const PAGE: usize = 128;
+
+#[derive(Clone, Debug)]
+enum Op {
+    New(u8),
+    Write { slot: usize, byte: u8 },
+    Read { slot: usize },
+    Delete { slot: usize },
+    FlushAll,
+    ClearCache,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u8>().prop_map(Op::New),
+        3 => (0usize..64, any::<u8>()).prop_map(|(slot, byte)| Op::Write { slot, byte }),
+        3 => (0usize..64).prop_map(|slot| Op::Read { slot }),
+        1 => (0usize..64).prop_map(|slot| Op::Delete { slot }),
+        1 => Just(Op::FlushAll),
+        1 => Just(Op::ClearCache),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pool_matches_model(
+        ops in proptest::collection::vec(op_strategy(), 1..150),
+        frames in 1usize..12,
+    ) {
+        let pool = BufferPool::new(Box::new(MemDisk::new(PAGE)), frames);
+        // Model: live pages and their first byte.
+        let mut model: Vec<PageId> = Vec::new();
+        let mut contents: HashMap<PageId, u8> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::New(byte) => {
+                    let (id, mut guard) = pool.new_page().unwrap();
+                    guard[0] = byte;
+                    drop(guard);
+                    model.push(id);
+                    contents.insert(id, byte);
+                }
+                Op::Write { slot, byte } => {
+                    if !model.is_empty() {
+                        let id = model[slot % model.len()];
+                        let mut guard = pool.fetch_write(id).unwrap();
+                        guard[0] = byte;
+                        drop(guard);
+                        contents.insert(id, byte);
+                    }
+                }
+                Op::Read { slot } => {
+                    if !model.is_empty() {
+                        let id = model[slot % model.len()];
+                        let guard = pool.fetch(id).unwrap();
+                        prop_assert_eq!(guard[0], contents[&id], "read of {}", id);
+                    }
+                }
+                Op::Delete { slot } => {
+                    if !model.is_empty() {
+                        let id = model.swap_remove(slot % model.len());
+                        pool.delete_page(id).unwrap();
+                        contents.remove(&id);
+                        prop_assert!(pool.fetch(id).is_err());
+                    }
+                }
+                Op::FlushAll => pool.flush_all().unwrap(),
+                Op::ClearCache => pool.clear_cache().unwrap(),
+            }
+            prop_assert_eq!(pool.live_pages(), model.len() as u64);
+        }
+        // Final sweep: every live page readable with the right contents.
+        for id in &model {
+            let guard = pool.fetch(*id).unwrap();
+            prop_assert_eq!(guard[0], contents[id]);
+        }
+        // Accounting sanity.
+        let s = pool.stats();
+        prop_assert!(s.hits + s.physical_reads <= s.logical_reads + s.hits);
+        prop_assert!(s.hit_rate() >= 0.0 && s.hit_rate() <= 1.0);
+    }
+
+    #[test]
+    fn eviction_never_loses_data(
+        writes in proptest::collection::vec(any::<u8>(), 1..80),
+        frames in 1usize..4,
+    ) {
+        // A pool far smaller than the working set must still round-trip
+        // every page through eviction and reload.
+        let pool = BufferPool::new(Box::new(MemDisk::new(PAGE)), frames);
+        let mut ids = Vec::new();
+        for (i, byte) in writes.iter().enumerate() {
+            let (id, mut guard) = pool.new_page().unwrap();
+            guard[0] = *byte;
+            guard[PAGE - 1] = i as u8;
+            drop(guard);
+            ids.push(id);
+        }
+        for (i, (id, byte)) in ids.iter().zip(&writes).enumerate() {
+            let guard = pool.fetch(*id).unwrap();
+            prop_assert_eq!(guard[0], *byte);
+            prop_assert_eq!(guard[PAGE - 1], i as u8);
+        }
+        // With a tiny pool there must have been evictions and writebacks.
+        if writes.len() > frames {
+            let s = pool.stats();
+            prop_assert!(s.evictions > 0);
+            prop_assert!(s.writebacks > 0);
+        }
+    }
+
+    #[test]
+    fn disk_allocation_reuses_freed_slots(
+        n_alloc in 1usize..40,
+        free_mask in any::<u64>(),
+    ) {
+        let disk = MemDisk::new(PAGE);
+        let mut live = Vec::new();
+        for _ in 0..n_alloc {
+            live.push(disk.allocate().unwrap());
+        }
+        let mut freed = 0u64;
+        for (i, id) in live.clone().into_iter().enumerate() {
+            if free_mask & (1 << (i % 64)) != 0 {
+                disk.deallocate(id).unwrap();
+                freed += 1;
+            }
+        }
+        prop_assert_eq!(disk.live_pages(), n_alloc as u64 - freed);
+        // Reallocating `freed` pages must not grow the address space
+        // beyond the original high-water mark.
+        for _ in 0..freed {
+            let id = disk.allocate().unwrap();
+            prop_assert!(id.0 < n_alloc as u64, "allocated beyond high water: {id}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Minimal CSV-style persistence so a generated dataset can be inspected
+//! or reproduced outside the process.
+//!
+//! Format: one segment per line, `ax,ay,bx,by`, full `f64` round-trip
+//! precision. Lines starting with `#` are comments.
+
+use nnq_geom::{Point, Segment};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Writes segments to `path`, one `ax,ay,bx,by` line each.
+pub fn save_segments_csv<P: AsRef<Path>>(path: P, segments: &[Segment]) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# nnq segments v1: ax,ay,bx,by")?;
+    for s in segments {
+        writeln!(w, "{:?},{:?},{:?},{:?}", s.a[0], s.a[1], s.b[0], s.b[1])?;
+    }
+    w.flush()
+}
+
+/// Reads segments written by [`save_segments_csv`].
+pub fn load_segments_csv<P: AsRef<Path>>(path: P) -> std::io::Result<Vec<Segment>> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let mut next = || -> std::io::Result<f64> {
+            parts
+                .next()
+                .ok_or_else(|| bad_line(lineno, "too few fields"))?
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| bad_line(lineno, &e.to_string()))
+        };
+        let (ax, ay, bx, by) = (next()?, next()?, next()?, next()?);
+        if parts.next().is_some() {
+            return Err(bad_line(lineno, "too many fields"));
+        }
+        out.push(Segment::new(Point::new([ax, ay]), Point::new([bx, by])));
+    }
+    Ok(out)
+}
+
+fn bad_line(lineno: usize, msg: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("line {}: {msg}", lineno + 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tiger_like_segments, TigerParams};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("nnq-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip_preserves_exact_coordinates() {
+        let params = TigerParams {
+            segments: 500,
+            ..TigerParams::default()
+        };
+        let segs = tiger_like_segments(&params);
+        let path = tmp("roundtrip.csv");
+        save_segments_csv(&path, &segs).unwrap();
+        let back = load_segments_csv(&path).unwrap();
+        assert_eq!(segs, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let path = tmp("comments.csv");
+        std::fs::write(&path, "# header\n\n1.5,2.5,3.5,4.5\n").unwrap();
+        let segs = load_segments_csv(&path).unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].a[0], 1.5);
+        assert_eq!(segs[0].b[1], 4.5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_location() {
+        let path = tmp("bad.csv");
+        std::fs::write(&path, "1,2,3\n").unwrap();
+        let err = load_segments_csv(&path).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        std::fs::write(&path, "1,2,3,4,5\n").unwrap();
+        assert!(load_segments_csv(&path).is_err());
+        std::fs::write(&path, "1,2,x,4\n").unwrap();
+        assert!(load_segments_csv(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

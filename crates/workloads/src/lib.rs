@@ -1,0 +1,88 @@
+//! Deterministic workload generators for the `nnq` experiments.
+//!
+//! RKV'95 evaluates on real TIGER/Line census road files (e.g. the Long
+//! Beach, CA segments) plus synthetic data. The real files are not
+//! available in this environment, so this crate provides:
+//!
+//! * [`uniform_points`] — uniform random points (the classical synthetic
+//!   workload);
+//! * [`gaussian_clusters`] — skewed, clustered points (stresses the index
+//!   the way real geography does);
+//! * [`tiger_like_segments`] — a synthetic road network with the
+//!   statistical properties that matter for R-tree experiments: a town
+//!   hierarchy (dense local grids of short segments), arterial roads
+//!   (long polylines connecting towns), spatial clustering, and a skewed
+//!   segment-length distribution. See `DESIGN.md` §4 for the substitution
+//!   rationale;
+//! * query-point generators ([`uniform_queries`], [`data_queries`]);
+//! * tiny CSV-style persistence for reproducing a dataset outside the
+//!   process.
+//!
+//! Every generator takes an explicit seed and is fully deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod heap_store;
+mod io;
+mod points;
+mod queries;
+mod tiger;
+
+pub use heap_store::{decode_segment, encode_segment, read_segment, segments_to_heap, SEGMENT_BYTES};
+pub use io::{load_segments_csv, save_segments_csv};
+pub use points::{gaussian_clusters, uniform_points};
+pub use queries::{data_queries, uniform_queries};
+pub use tiger::{tiger_like_segments, TigerParams};
+
+use nnq_geom::{Point, Rect, Segment};
+use nnq_rtree::RecordId;
+
+/// Converts points into the `(MBR, record)` items an R-tree indexes,
+/// numbering records by position.
+pub fn points_to_items(points: &[Point<2>]) -> Vec<(Rect<2>, RecordId)> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (Rect::from_point(*p), RecordId(i as u64)))
+        .collect()
+}
+
+/// Converts segments into `(MBR, record)` items, numbering records by
+/// position (the record id indexes back into the segment slice for exact
+/// distance refinement).
+pub fn segments_to_items(segments: &[Segment]) -> Vec<(Rect<2>, RecordId)> {
+    segments
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.mbr(), RecordId(i as u64)))
+        .collect()
+}
+
+/// The square world all default workloads live in: `[0, 100_000]²`
+/// ("meters", so a TIGER-like county is 100 km across).
+pub fn default_bounds() -> Rect<2> {
+    Rect::new(Point::new([0.0, 0.0]), Point::new([100_000.0, 100_000.0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_are_numbered_by_position() {
+        let pts = vec![Point::new([1.0, 2.0]), Point::new([3.0, 4.0])];
+        let items = points_to_items(&pts);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].1, RecordId(0));
+        assert_eq!(items[1].1, RecordId(1));
+        assert!(items[0].0.contains_point(&pts[0]));
+    }
+
+    #[test]
+    fn segment_items_carry_mbrs() {
+        let segs = vec![Segment::new(Point::new([0.0, 0.0]), Point::new([2.0, 1.0]))];
+        let items = segments_to_items(&segs);
+        assert_eq!(items[0].0, segs[0].mbr());
+    }
+}

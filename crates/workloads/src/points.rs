@@ -1,0 +1,129 @@
+//! Point-data generators.
+
+use nnq_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distributions::sample_normal;
+
+/// `n` points distributed uniformly at random over `bounds`.
+pub fn uniform_points(n: usize, bounds: &Rect<2>, seed: u64) -> Vec<Point<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new([
+                rng.random_range(bounds.lo()[0]..=bounds.hi()[0]),
+                rng.random_range(bounds.lo()[1]..=bounds.hi()[1]),
+            ])
+        })
+        .collect()
+}
+
+/// `n` points in `clusters` Gaussian clusters whose centers are uniform
+/// over `bounds` and whose standard deviation is `sigma` (same unit as the
+/// bounds). Points are clamped to the bounds, so mass piles up slightly at
+/// the borders for large `sigma` — as it does with coastline-clipped
+/// geographic data.
+pub fn gaussian_clusters(
+    n: usize,
+    clusters: usize,
+    sigma: f64,
+    bounds: &Rect<2>,
+    seed: u64,
+) -> Vec<Point<2>> {
+    assert!(clusters > 0, "need at least one cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Point<2>> = (0..clusters)
+        .map(|_| {
+            Point::new([
+                rng.random_range(bounds.lo()[0]..=bounds.hi()[0]),
+                rng.random_range(bounds.lo()[1]..=bounds.hi()[1]),
+            ])
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            let c = centers[rng.random_range(0..clusters)];
+            let x = (c[0] + sigma * sample_normal(&mut rng))
+                .clamp(bounds.lo()[0], bounds.hi()[0]);
+            let y = (c[1] + sigma * sample_normal(&mut rng))
+                .clamp(bounds.lo()[1], bounds.hi()[1]);
+            Point::new([x, y])
+        })
+        .collect()
+}
+
+/// Minimal distribution sampling built on `rand`'s uniform source (keeps
+/// the dependency surface to the crates allowed by DESIGN.md §6).
+pub(crate) mod rand_distributions {
+    use rand::Rng;
+
+    /// Standard normal variate via Box–Muller.
+    pub fn sample_normal<R: Rng>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::default_bounds;
+
+    #[test]
+    fn uniform_points_stay_in_bounds_and_are_deterministic() {
+        let b = default_bounds();
+        let a = uniform_points(500, &b, 42);
+        let c = uniform_points(500, &b, 42);
+        assert_eq!(a, c);
+        assert!(a.iter().all(|p| b.contains_point(p)));
+        // Different seeds differ.
+        assert_ne!(a, uniform_points(500, &b, 43));
+    }
+
+    #[test]
+    fn uniform_points_cover_the_area() {
+        let b = default_bounds();
+        let pts = uniform_points(4000, &b, 1);
+        // Each quadrant should hold roughly a quarter of the mass.
+        let mid = b.center();
+        let q1 = pts.iter().filter(|p| p[0] < mid[0] && p[1] < mid[1]).count();
+        assert!(
+            (800..1200).contains(&q1),
+            "quadrant has {q1} of 4000 points"
+        );
+    }
+
+    #[test]
+    fn clusters_are_clustered() {
+        let b = default_bounds();
+        let pts = gaussian_clusters(2000, 5, 800.0, &b, 7);
+        assert_eq!(pts.len(), 2000);
+        assert!(pts.iter().all(|p| b.contains_point(p)));
+        // Mean nearest-cluster spread: points should concentrate, i.e. the
+        // bounding box of a random 100-point sample is much smaller than
+        // the world for at least some samples. Cheap proxy: average
+        // pairwise distance of consecutive points is far below the uniform
+        // expectation (~52k for a 100k square).
+        let avg: f64 = pts
+            .windows(2)
+            .map(|w| w[0].dist(&w[1]))
+            .sum::<f64>()
+            / (pts.len() - 1) as f64;
+        assert!(avg < 45_000.0, "avg consecutive distance {avg}");
+    }
+
+    #[test]
+    fn normal_sampler_has_sane_moments() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    use rand::SeedableRng;
+    use rand_distributions::sample_normal;
+}

@@ -1,0 +1,72 @@
+//! Query-point generators.
+
+use crate::points::rand_distributions::sample_normal;
+use nnq_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` query points uniform over `bounds` — the paper's query model for
+/// evenly distributed workloads.
+pub fn uniform_queries(n: usize, bounds: &Rect<2>, seed: u64) -> Vec<Point<2>> {
+    crate::uniform_points(n, bounds, seed ^ 0x5155_4552)
+}
+
+/// `n` query points drawn near the data itself: each query picks a random
+/// anchor from `anchors` and perturbs it with Gaussian noise of standard
+/// deviation `jitter`. This models "user standing on the road network"
+/// queries, where query density follows data density.
+pub fn data_queries(
+    n: usize,
+    anchors: &[Point<2>],
+    jitter: f64,
+    bounds: &Rect<2>,
+    seed: u64,
+) -> Vec<Point<2>> {
+    assert!(!anchors.is_empty(), "need at least one anchor point");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4441_5441);
+    (0..n)
+        .map(|_| {
+            let a = anchors[rng.random_range(0..anchors.len())];
+            Point::new([
+                (a[0] + jitter * sample_normal(&mut rng)).clamp(bounds.lo()[0], bounds.hi()[0]),
+                (a[1] + jitter * sample_normal(&mut rng)).clamp(bounds.lo()[1], bounds.hi()[1]),
+            ])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::default_bounds;
+
+    #[test]
+    fn uniform_queries_differ_from_uniform_points_with_same_seed() {
+        let b = default_bounds();
+        assert_ne!(uniform_queries(10, &b, 3), crate::uniform_points(10, &b, 3));
+    }
+
+    #[test]
+    fn data_queries_stay_near_anchors() {
+        let b = default_bounds();
+        let anchors = vec![Point::new([50_000.0, 50_000.0])];
+        let qs = data_queries(200, &anchors, 100.0, &b, 9);
+        assert_eq!(qs.len(), 200);
+        for q in &qs {
+            assert!(q.dist(&anchors[0]) < 1_000.0, "query strayed: {q:?}");
+            assert!(b.contains_point(q));
+        }
+    }
+
+    #[test]
+    fn data_queries_use_all_anchors() {
+        let b = default_bounds();
+        let anchors = vec![
+            Point::new([10_000.0, 10_000.0]),
+            Point::new([90_000.0, 90_000.0]),
+        ];
+        let qs = data_queries(100, &anchors, 10.0, &b, 11);
+        let near_first = qs.iter().filter(|q| q.dist(&anchors[0]) < 1_000.0).count();
+        assert!(near_first > 20 && near_first < 80, "split {near_first}/100");
+    }
+}

@@ -1,0 +1,287 @@
+//! A synthetic TIGER-like road network.
+//!
+//! RKV'95 uses real TIGER/Line files (road segments of US counties). This
+//! generator substitutes a synthetic network that preserves the properties
+//! an R-tree experiment is sensitive to:
+//!
+//! * **spatial clustering** — most segments concentrate in "towns" whose
+//!   sizes follow a heavy-tailed distribution, with empty countryside in
+//!   between (this is what separates TIGER behaviour from uniform data);
+//! * **length skew** — many short local streets, few long arterial
+//!   stretches;
+//! * **connectivity texture** — local streets form jittered Manhattan
+//!   grids; arterials are polylines connecting towns, subdivided into
+//!   segments of roughly constant length.
+//!
+//! The generator is deterministic for a given [`TigerParams`].
+
+use crate::points::rand_distributions::sample_normal;
+use nnq_geom::{Point, Rect, Segment};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic road network.
+#[derive(Clone, Debug)]
+pub struct TigerParams {
+    /// Approximate number of segments to produce (the output length is
+    /// exactly this value; generation over-produces then truncates).
+    pub segments: usize,
+    /// Number of towns. More towns with the same segment budget means
+    /// smaller, more scattered clusters.
+    pub towns: usize,
+    /// Fraction of the segment budget spent on arterials (0..1).
+    pub arterial_fraction: f64,
+    /// World rectangle.
+    pub bounds: Rect<2>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TigerParams {
+    fn default() -> Self {
+        Self {
+            segments: 50_000,
+            towns: 24,
+            arterial_fraction: 0.08,
+            bounds: crate::default_bounds(),
+            seed: 0x71_6E_71,
+        }
+    }
+}
+
+struct Town {
+    center: Point<2>,
+    /// Street-grid half-extent.
+    radius: f64,
+    /// Grid pitch (block size).
+    pitch: f64,
+    /// Share of the local-street budget.
+    weight: f64,
+}
+
+/// Generates the road network; see the module docs.
+pub fn tiger_like_segments(params: &TigerParams) -> Vec<Segment> {
+    assert!(params.towns > 0, "need at least one town");
+    assert!(
+        (0.0..1.0).contains(&params.arterial_fraction),
+        "arterial_fraction must be in [0, 1)"
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let b = &params.bounds;
+    let world = (b.extent(0).min(b.extent(1))).max(f64::MIN_POSITIVE);
+
+    // Towns: centers uniform, sizes heavy-tailed (Pareto-ish via inverse
+    // uniform), pitch a few hundred "meters" scaled to the world.
+    let towns: Vec<Town> = (0..params.towns)
+        .map(|_| {
+            let u: f64 = rng.random_range(0.02..1.0);
+            let size_factor = (1.0 / u).min(25.0); // heavy tail, capped
+            let radius = world * 0.01 * size_factor.sqrt();
+            Town {
+                center: Point::new([
+                    rng.random_range(b.lo()[0] + radius..b.hi()[0] - radius),
+                    rng.random_range(b.lo()[1] + radius..b.hi()[1] - radius),
+                ]),
+                radius,
+                pitch: world * 0.001 * rng.random_range(0.8..1.6),
+                weight: size_factor,
+            }
+        })
+        .collect();
+    let total_weight: f64 = towns.iter().map(|t| t.weight).sum();
+
+    let arterial_budget =
+        ((params.segments as f64) * params.arterial_fraction).round() as usize;
+    let local_budget = params.segments.saturating_sub(arterial_budget);
+
+    let mut segments = Vec::with_capacity(params.segments + 64);
+
+    // Arterials: polylines between random town pairs; segment length about
+    // 1% of the world with perpendicular jitter.
+    let arterial_step = world * 0.01;
+    while segments.len() < arterial_budget && towns.len() >= 2 {
+        let i = rng.random_range(0..towns.len());
+        let mut j = rng.random_range(0..towns.len());
+        if i == j {
+            j = (j + 1) % towns.len();
+        }
+        let from = towns[i].center;
+        let to = towns[j].center;
+        let dist = from.dist(&to);
+        let steps = ((dist / arterial_step).ceil() as usize).max(1);
+        let mut prev = from;
+        for s in 1..=steps {
+            let t = s as f64 / steps as f64;
+            let mut next = from.lerp(&to, t);
+            if s != steps {
+                // Perpendicular jitter makes arterials gently wind.
+                let dx = to[0] - from[0];
+                let dy = to[1] - from[1];
+                let len = (dx * dx + dy * dy).sqrt().max(f64::MIN_POSITIVE);
+                let off = sample_normal(&mut rng) * arterial_step * 0.15;
+                next = Point::new([next[0] - dy / len * off, next[1] + dx / len * off]);
+            }
+            next = clamp_point(&next, b);
+            segments.push(Segment::new(prev, next));
+            prev = next;
+            if segments.len() >= arterial_budget {
+                break;
+            }
+        }
+    }
+
+    // Local streets: jittered Manhattan grid blocks around each town
+    // center, denser near the center (Gaussian radial falloff).
+    for town in &towns {
+        let share =
+            ((local_budget as f64) * town.weight / total_weight).round() as usize;
+        for _ in 0..share {
+            // Block anchor: Gaussian around the center, clipped to radius.
+            let ax = town.center[0] + sample_normal(&mut rng) * town.radius * 0.5;
+            let ay = town.center[1] + sample_normal(&mut rng) * town.radius * 0.5;
+            // Snap to the street grid, then jitter a little.
+            let gx = (ax / town.pitch).round() * town.pitch;
+            let gy = (ay / town.pitch).round() * town.pitch;
+            let jitter = town.pitch * 0.05;
+            let x0 = gx + rng.random_range(-jitter..jitter);
+            let y0 = gy + rng.random_range(-jitter..jitter);
+            // One block edge, horizontal or vertical.
+            let len = town.pitch * rng.random_range(0.7..1.0);
+            let (x1, y1) = if rng.random_bool(0.5) {
+                (x0 + len, y0)
+            } else {
+                (x0, y0 + len)
+            };
+            let a = clamp_point(&Point::new([x0, y0]), b);
+            let c = clamp_point(&Point::new([x1, y1]), b);
+            segments.push(Segment::new(a, c));
+        }
+    }
+
+    // Over/under-production from rounding: trim or top up with extra local
+    // streets in the largest town.
+    segments.truncate(params.segments);
+    let biggest = towns
+        .iter()
+        .max_by(|a, b| a.weight.total_cmp(&b.weight))
+        .expect("at least one town");
+    while segments.len() < params.segments {
+        let ax = biggest.center[0] + sample_normal(&mut rng) * biggest.radius * 0.5;
+        let ay = biggest.center[1] + sample_normal(&mut rng) * biggest.radius * 0.5;
+        let a = clamp_point(&Point::new([ax, ay]), b);
+        let c = clamp_point(&Point::new([ax + biggest.pitch, ay]), b);
+        segments.push(Segment::new(a, c));
+    }
+    segments
+}
+
+fn clamp_point(p: &Point<2>, b: &Rect<2>) -> Point<2> {
+    Point::new([
+        p[0].clamp(b.lo()[0], b.hi()[0]),
+        p[1].clamp(b.lo()[1], b.hi()[1]),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_exactly_the_requested_count() {
+        for n in [100usize, 1000, 12_345] {
+            let params = TigerParams {
+                segments: n,
+                ..TigerParams::default()
+            };
+            assert_eq!(tiger_like_segments(&params).len(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = TigerParams {
+            segments: 2000,
+            ..TigerParams::default()
+        };
+        assert_eq!(tiger_like_segments(&p), tiger_like_segments(&p));
+        let p2 = TigerParams { seed: 1, ..p };
+        assert_ne!(tiger_like_segments(&p), tiger_like_segments(&p2));
+    }
+
+    #[test]
+    fn segments_stay_in_bounds() {
+        let p = TigerParams {
+            segments: 5000,
+            ..TigerParams::default()
+        };
+        let b = p.bounds;
+        for s in tiger_like_segments(&p) {
+            assert!(b.contains_point(&s.a), "{:?}", s.a);
+            assert!(b.contains_point(&s.b), "{:?}", s.b);
+        }
+    }
+
+    #[test]
+    fn length_distribution_is_skewed() {
+        let p = TigerParams {
+            segments: 20_000,
+            ..TigerParams::default()
+        };
+        let mut lengths: Vec<f64> = tiger_like_segments(&p)
+            .iter()
+            .map(Segment::length)
+            .collect();
+        lengths.sort_by(f64::total_cmp);
+        let median = lengths[lengths.len() / 2];
+        let p99 = lengths[lengths.len() * 99 / 100];
+        // Roads: the 99th-percentile segment is much longer than the
+        // median local street.
+        assert!(
+            p99 > 3.0 * median,
+            "p99 {p99} vs median {median} — no length skew"
+        );
+    }
+
+    #[test]
+    fn network_is_spatially_clustered() {
+        // Compare the occupancy of a coarse grid: a clustered network
+        // leaves many cells empty; uniform data would fill nearly all.
+        let p = TigerParams {
+            segments: 20_000,
+            ..TigerParams::default()
+        };
+        let segs = tiger_like_segments(&p);
+        let b = p.bounds;
+        let n_cells = 32usize;
+        let mut occupied = vec![false; n_cells * n_cells];
+        for s in &segs {
+            let m = s.midpoint();
+            let cx = (((m[0] - b.lo()[0]) / b.extent(0)) * n_cells as f64) as usize;
+            let cy = (((m[1] - b.lo()[1]) / b.extent(1)) * n_cells as f64) as usize;
+            occupied[cx.min(n_cells - 1) * n_cells + cy.min(n_cells - 1)] = true;
+        }
+        let filled = occupied.iter().filter(|&&o| o).count();
+        assert!(
+            filled < n_cells * n_cells * 7 / 10,
+            "{filled}/{} cells occupied — not clustered",
+            n_cells * n_cells
+        );
+        // ...but the network is not degenerate either.
+        assert!(filled > 30, "only {filled} cells occupied");
+    }
+
+    #[test]
+    fn arterial_fraction_zero_means_local_only() {
+        let p = TigerParams {
+            segments: 3000,
+            arterial_fraction: 0.0,
+            ..TigerParams::default()
+        };
+        let segs = tiger_like_segments(&p);
+        assert_eq!(segs.len(), 3000);
+        // Local streets are short: no segment should approach arterial
+        // step length times several.
+        let max_len = segs.iter().map(Segment::length).fold(0.0, f64::max);
+        assert!(max_len < 1000.0, "max local street length {max_len}");
+    }
+}

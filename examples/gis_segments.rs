@@ -1,0 +1,98 @@
+//! GIS workload: nearest road segment to a GPS fix — the paper's actual
+//! evaluation scenario (TIGER map segments), including filter-refine with
+//! exact point-to-segment geometry and a persistent on-disk index.
+//!
+//! ```text
+//! cargo run -p nnq-examples --release --bin gis_segments
+//! ```
+
+use nnq_core::{FnRefiner, NnSearch};
+use nnq_examples::meters;
+use nnq_geom::{Point, Rect, Segment};
+use nnq_rtree::{BulkMethod, RTree, RTreeConfig, RecordId};
+use nnq_storage::{BufferPool, FileDisk, PAGE_SIZE};
+use nnq_workloads::{
+    default_bounds, segments_to_items, tiger_like_segments, uniform_queries, TigerParams,
+};
+use std::sync::Arc;
+
+fn main() {
+    // A synthetic county: 60 000 road segments (see nnq-workloads for how
+    // this substitutes the paper's TIGER/Line files).
+    let roads = tiger_like_segments(&TigerParams {
+        segments: 60_000,
+        ..TigerParams::default()
+    });
+    let items = segments_to_items(&roads);
+
+    // Bulk-load a *persistent* packed R-tree on a real file.
+    let dir = std::env::temp_dir().join(format!("nnq-gis-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("roads.rtree");
+    let meta_page = {
+        let disk = FileDisk::create(&path, PAGE_SIZE).expect("create index file");
+        let pool = Arc::new(BufferPool::new(Box::new(disk), 4096));
+        let tree = RTree::<2>::bulk_load(
+            Arc::clone(&pool),
+            RTreeConfig::default(),
+            items.clone(),
+            BulkMethod::Str,
+            1.0,
+        )
+        .expect("bulk load");
+        pool.flush_all().expect("flush");
+        println!(
+            "Packed {} segments into {} ({} pages, height {}).",
+            tree.len(),
+            path.display(),
+            tree.stats().expect("stats").nodes,
+            tree.height()
+        );
+        tree.meta_page()
+    };
+
+    // Re-open the index from disk, as a separate process would.
+    let disk = FileDisk::open(&path, PAGE_SIZE).expect("open index file");
+    let pool = Arc::new(BufferPool::new(Box::new(disk), 512));
+    let tree = RTree::<2>::open(Arc::clone(&pool), meta_page).expect("open tree");
+
+    // Exact geometry refinement: the index filters by segment MBR, the
+    // refiner ranks by true point-to-segment distance.
+    let refiner = FnRefiner::new(|rid: RecordId, _mbr: &Rect<2>, q: &Point<2>| {
+        roads[rid.0 as usize].dist_sq_to_point(q)
+    });
+
+    let search = NnSearch::new(&tree);
+    let fixes = uniform_queries(5, &default_bounds(), 3);
+    for (i, fix) in fixes.iter().enumerate() {
+        let (hits, stats) = search
+            .query_refined(fix, 3, &refiner)
+            .expect("query");
+        println!("\nGPS fix {} at ({:.0}, {:.0}):", i + 1, fix[0], fix[1]);
+        for n in &hits {
+            let s: &Segment = &roads[n.record.0 as usize];
+            println!(
+                "  segment #{:<6} [{:6.0},{:6.0}]->[{:6.0},{:6.0}]  {}",
+                n.record.0,
+                s.a[0],
+                s.a[1],
+                s.b[0],
+                s.b[1],
+                meters(n.dist_sq)
+            );
+        }
+        println!(
+            "  ({} nodes read, {} exact distance computations)",
+            stats.nodes_visited, stats.dist_computations
+        );
+    }
+
+    let pstats = pool.stats();
+    println!(
+        "\nBuffer pool: {} logical reads, {} physical reads (hit rate {:.1}%).",
+        pstats.logical_reads,
+        pstats.physical_reads,
+        pstats.hit_rate() * 100.0
+    );
+    std::fs::remove_file(&path).ok();
+}

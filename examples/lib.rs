@@ -1,0 +1,39 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each example is a standalone binary:
+//!
+//! ```text
+//! cargo run -p nnq-examples --release --bin quickstart
+//! cargo run -p nnq-examples --release --bin poi_search
+//! cargo run -p nnq-examples --release --bin gis_segments
+//! cargo run -p nnq-examples --release --bin distance_browsing
+//! ```
+
+use nnq_storage::{BufferPool, MemDisk, PAGE_SIZE};
+use std::sync::Arc;
+
+/// An in-memory buffer pool sized for example-scale trees.
+pub fn example_pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 8192))
+}
+
+/// Pretty-prints a squared distance in "meters" (the examples' world unit).
+pub fn meters(dist_sq: f64) -> String {
+    format!("{:.1} m", dist_sq.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meters_formats_linear_distance() {
+        assert_eq!(meters(10_000.0), "100.0 m");
+    }
+
+    #[test]
+    fn pool_is_usable() {
+        let pool = example_pool();
+        assert_eq!(pool.page_size(), PAGE_SIZE);
+    }
+}

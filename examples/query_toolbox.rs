@@ -1,0 +1,85 @@
+//! A tour of the query toolbox beyond plain kNN: radius queries,
+//! region-constrained kNN, k-farthest, generalized metrics, and the
+//! explain trace — all on one dataset.
+//!
+//! ```text
+//! cargo run -p nnq-examples --release --bin query_toolbox
+//! ```
+
+use nnq_core::{
+    farthest_knn, metric_knn, within_radius, MbrRefiner, NnSearch,
+};
+use nnq_examples::meters;
+use nnq_geom::{Metric, Point, Rect};
+use nnq_rtree::{MemRTree, RecordId};
+use nnq_workloads::{default_bounds, gaussian_clusters};
+
+fn main() {
+    let bounds = default_bounds();
+    let sites = gaussian_clusters(30_000, 48, 1_800.0, &bounds, 33);
+    let mut tree = MemRTree::<2>::new();
+    for (i, p) in sites.iter().enumerate() {
+        tree.insert(Rect::from_point(*p), RecordId(i as u64))
+            .expect("insert");
+    }
+    println!("Indexed {} sites in memory.", tree.len());
+    let me = Point::new([52_000.0, 47_000.0]);
+    let search = NnSearch::new(&tree);
+
+    // 1. Plain kNN.
+    let nn = search.query(&me, 3).expect("knn");
+    println!("\n3 nearest sites:");
+    for n in &nn {
+        println!("  #{:<6} at {}", n.record.0, meters(n.dist_sq));
+    }
+
+    // 2. Everything within 6 km.
+    let (close, stats) = within_radius(&tree, &me, 6_000.0, &MbrRefiner).expect("radius");
+    println!(
+        "\n{} sites within 6 km ({} nodes read).",
+        close.len(),
+        stats.nodes_visited
+    );
+
+    // 3. Nearest sites *inside the visible map tile*.
+    let tile = Rect::new(
+        Point::new([60_000.0, 40_000.0]),
+        Point::new([80_000.0, 60_000.0]),
+    );
+    let (in_tile, _) = search
+        .query_in_region(&me, 3, &tile, &MbrRefiner)
+        .expect("region");
+    println!("\n3 nearest sites inside the tile {tile:?}:");
+    for n in &in_tile {
+        println!("  #{:<6} at {}", n.record.0, meters(n.dist_sq));
+    }
+
+    // 4. The 2 farthest sites (coverage analysis).
+    let (far, _) = farthest_knn(&tree, &me, 2, &MbrRefiner).expect("farthest");
+    println!("\n2 farthest sites:");
+    for n in &far {
+        println!("  #{:<6} at {}", n.record.0, meters(n.dist_sq));
+    }
+
+    // 5. Nearest under different metrics: walking grids vs straight lines.
+    println!("\nNearest site under each metric:");
+    for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+        let (hits, _) = metric_knn(&tree, &me, 1, metric).expect("metric knn");
+        println!(
+            "  {metric:?}: #{:<6} at distance {:.1}",
+            hits[0].record.0,
+            hits[0].dist()
+        );
+    }
+
+    // 6. Explain: watch the branch-and-bound decisions for a 1-NN query.
+    let (_, stats, trace) = search.query_traced(&me, 1, &MbrRefiner).expect("trace");
+    println!(
+        "\nExplain (1-NN): {} nodes entered, {} branches pruned; first events:",
+        trace.nodes_entered(),
+        stats.pruned_total()
+    );
+    for line in trace.render().lines().take(8) {
+        println!("  {line}");
+    }
+}

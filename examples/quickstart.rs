@@ -1,0 +1,51 @@
+//! Quickstart: index 10 000 points and ask for the 5 nearest neighbors.
+//!
+//! ```text
+//! cargo run -p nnq-examples --release --bin quickstart
+//! ```
+
+use nnq_core::NnSearch;
+use nnq_examples::{example_pool, meters};
+use nnq_geom::Point;
+use nnq_rtree::{RTree, RTreeConfig};
+use nnq_workloads::{default_bounds, points_to_items, uniform_points};
+
+fn main() {
+    // 1. Generate some data: 10 000 uniform random points on a 100 km
+    //    square world.
+    let points = uniform_points(10_000, &default_bounds(), 42);
+    let items = points_to_items(&points);
+
+    // 2. Build a disk-backed R-tree (in-memory simulated disk here; use
+    //    nnq_storage::FileDisk for a persistent index).
+    let mut tree = RTree::<2>::create(example_pool(), RTreeConfig::default())
+        .expect("create tree");
+    for (mbr, rid) in &items {
+        tree.insert(*mbr, *rid).expect("insert");
+    }
+    println!(
+        "Built an R-tree over {} points: height {}, {} pages.",
+        tree.len(),
+        tree.height(),
+        tree.stats().expect("stats").nodes
+    );
+
+    // 3. Run the RKV'95 branch-and-bound k-nearest-neighbor query.
+    let query = Point::new([50_000.0, 50_000.0]);
+    let search = NnSearch::new(&tree);
+    let (neighbors, stats) = search
+        .query_with_stats(&query, 5)
+        .expect("query");
+
+    println!("\n5 nearest neighbors of {query:?}:");
+    for (rank, n) in neighbors.iter().enumerate() {
+        let p = points[n.record.0 as usize];
+        println!("  {}. record #{:<5} at {p:?}  ({})", rank + 1, n.record.0, meters(n.dist_sq));
+    }
+    println!(
+        "\nThe search visited {} of {} tree nodes ({} pruned branches).",
+        stats.nodes_visited,
+        tree.stats().expect("stats").nodes,
+        stats.pruned_total(),
+    );
+}

@@ -1,0 +1,119 @@
+//! Durability chaos test: a long randomized workload with alternating
+//! clean checkpoints and mid-checkpoint crashes. After every restart,
+//! recovery must restore the tree to exactly the known ground truth.
+//!
+//! Failure model per epoch (alternating):
+//! * **clean** — `checkpoint()` completes (device synced, journal reset),
+//!   process exits; nothing to recover.
+//! * **crash** — all dirty pages are journaled and the journal is synced,
+//!   but the device "loses" every write since the epoch started (we
+//!   restore a file snapshot). Recovery must rebuild the state purely by
+//!   replaying the journal.
+
+use nnq_core::{scan_items_knn, MbrRefiner, NnSearch};
+use nnq_geom::{Point, Rect};
+use nnq_rtree::{RTree, RTreeConfig, RecordId};
+use nnq_storage::{BufferPool, DiskManager, FileDisk, PageId, Wal, PAGE_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn tmpdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nnq-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn randomized_crash_recovery_epochs() {
+    let dir = tmpdir();
+    let db = dir.join("chaos.db");
+    let log = dir.join("chaos.wal");
+    let mut rng = StdRng::seed_from_u64(0xC4A05);
+
+    // Ground truth of the current durable state.
+    let mut truth: BTreeMap<u64, Rect<2>> = BTreeMap::new();
+    let mut next_id = 0u64;
+
+    // Initialize an empty durable tree.
+    {
+        let disk = FileDisk::create(&db, PAGE_SIZE).unwrap();
+        let wal = Wal::create(&log).unwrap();
+        let pool = Arc::new(BufferPool::with_wal(Box::new(disk), 128, wal));
+        let _tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::for_testing(8)).unwrap();
+        pool.checkpoint().unwrap();
+    }
+
+    for epoch in 0..8 {
+        let crash_this_epoch = epoch % 2 == 1;
+        let snapshot = std::fs::read(&db).unwrap();
+
+        // -- open with recovery --------------------------------------------
+        {
+            let disk = FileDisk::open(&db, PAGE_SIZE).unwrap();
+            let wal = Wal::open(&log).unwrap();
+            wal.replay(&disk).unwrap();
+            disk.sync().unwrap();
+        }
+        let disk = FileDisk::open(&db, PAGE_SIZE).unwrap();
+        let wal = Wal::open(&log).unwrap();
+        let pool = Arc::new(BufferPool::with_wal(Box::new(disk), 64, wal));
+        let mut tree = RTree::<2>::open(Arc::clone(&pool), PageId(0)).unwrap();
+
+        // The recovered tree must match the ground truth exactly.
+        tree.validate()
+            .unwrap_or_else(|e| panic!("epoch {epoch}: recovered tree invalid: {e}"));
+        assert_eq!(tree.len(), truth.len() as u64, "epoch {epoch}: count");
+        let items: Vec<(Rect<2>, RecordId)> =
+            truth.iter().map(|(id, r)| (*r, RecordId(*id))).collect();
+        if !items.is_empty() {
+            let k = 3.min(items.len());
+            let q = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
+            let got = NnSearch::new(&tree).query(&q, k).unwrap();
+            let want = scan_items_knn(&items, &q, k, &MbrRefiner);
+            assert_eq!(
+                got.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+                want.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+                "epoch {epoch}: recovered kNN mismatch"
+            );
+        }
+
+        // -- random mutations (recorded in the ground truth) ----------------
+        for _ in 0..rng.random_range(50..200) {
+            if truth.is_empty() || rng.random_bool(0.7) {
+                let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
+                let r = Rect::from_point(p);
+                tree.insert(r, RecordId(next_id)).unwrap();
+                truth.insert(next_id, r);
+                next_id += 1;
+            } else {
+                let idx = rng.random_range(0..truth.len());
+                let (&id, &r) = truth.iter().nth(idx).unwrap();
+                tree.delete(&r, RecordId(id)).unwrap();
+                truth.remove(&id);
+            }
+        }
+
+        if crash_this_epoch {
+            // Journal everything (flush_all appends images before device
+            // writes) and make the journal durable — but do NOT complete
+            // the checkpoint.
+            pool.flush_all().unwrap();
+            drop(tree);
+            drop(pool);
+            // Crash: the device loses this epoch's writes entirely.
+            std::fs::write(&db, &snapshot).unwrap();
+            // Next epoch's recovery must reconstruct from the journal.
+        } else {
+            pool.checkpoint().unwrap();
+            drop(tree);
+            drop(pool);
+            // Clean shutdown: journal is empty, device is current.
+            let wal = Wal::open(&log).unwrap();
+            assert_eq!(wal.record_count().unwrap(), 0, "epoch {epoch}");
+        }
+    }
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&log).ok();
+}

@@ -1,0 +1,124 @@
+//! Concurrency over the paged tree (exercising the buffer-pool latches)
+//! and disk-resident refinement through the heap file.
+
+use nnq_core::{par_knn_batch, scan_items_knn, FnRefiner, MbrRefiner, NnOptions, NnSearch};
+use nnq_geom::{Point, Rect};
+use nnq_rtree::{RTree, RTreeConfig, RecordId};
+use nnq_storage::{BufferPool, HeapRecordId, MemDisk, PAGE_SIZE};
+use nnq_workloads::{
+    default_bounds, points_to_items, read_segment, segments_to_heap, tiger_like_segments,
+    uniform_points, uniform_queries, TigerParams,
+};
+use std::sync::Arc;
+
+#[test]
+fn parallel_queries_on_a_paged_tree_with_small_pool() {
+    // A pool far smaller than the tree forces constant eviction while
+    // multiple threads read — the latching torture case.
+    let pts = uniform_points(20_000, &default_bounds(), 7);
+    let items = points_to_items(&pts);
+    let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1 << 14));
+    let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+    for (mbr, rid) in &items {
+        tree.insert(*mbr, *rid).unwrap();
+    }
+    pool.flush_all().unwrap();
+    // Re-open through a tiny pool sharing nothing cached.
+    let queries = uniform_queries(400, &default_bounds(), 9);
+
+    let parallel =
+        par_knn_batch(&tree, &queries, 5, NnOptions::default(), &MbrRefiner, 8).unwrap();
+    // Verify a sample against brute force.
+    for (q, got) in queries.iter().zip(&parallel).step_by(37) {
+        let want = scan_items_knn(&items, q, 5, &MbrRefiner);
+        assert_eq!(
+            got.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+            want.iter().map(|n| n.dist_sq).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn heap_resident_geometry_end_to_end() {
+    let segments = tiger_like_segments(&TigerParams {
+        segments: 8_000,
+        ..TigerParams::default()
+    });
+    let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1 << 14));
+    let (heap, items) = segments_to_heap(Arc::clone(&pool), &segments).unwrap();
+    let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+    for (mbr, rid) in &items {
+        tree.insert(*mbr, *rid).unwrap();
+    }
+
+    let refiner = FnRefiner::new(|rid: RecordId, _: &Rect<2>, q: &Point<2>| {
+        read_segment(&heap, HeapRecordId(rid.0))
+            .unwrap()
+            .dist_sq_to_point(q)
+    });
+    let search = NnSearch::new(&tree);
+    for q in uniform_queries(30, &default_bounds(), 11) {
+        let (got, _) = search.query_refined(&q, 4, &refiner).unwrap();
+        // Ground truth over exact geometry.
+        let mut want: Vec<f64> = segments.iter().map(|s| s.dist_sq_to_point(&q)).collect();
+        want.sort_by(f64::total_cmp);
+        assert_eq!(
+            got.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+            want[..4].to_vec()
+        );
+    }
+
+    // Refinement costs pages: a query with heap-resident geometry reads
+    // strictly more pages than the index-only traversal.
+    let q = Point::new([50_000.0, 50_000.0]);
+    pool.reset_stats();
+    let _ = search.query_refined(&q, 4, &refiner).unwrap();
+    let with_heap = pool.stats().logical_reads;
+    pool.reset_stats();
+    let _ = search.query(&q, 4).unwrap();
+    let index_only = pool.stats().logical_reads;
+    assert!(
+        with_heap > index_only,
+        "heap refinement ({with_heap}) should exceed index-only ({index_only})"
+    );
+}
+
+#[test]
+fn high_dimensional_trees_work() {
+    // 4-D and 5-D sanity: correctness of the whole pipeline beyond the
+    // benchmarked 2-D configuration.
+    fn check<const D: usize>(seed: u64) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 4096));
+        let mut tree = RTree::<D>::create(pool, RTreeConfig::for_testing(8)).unwrap();
+        let mut items = Vec::new();
+        for i in 0..1_500u64 {
+            let mut coords = [0.0; D];
+            for c in coords.iter_mut() {
+                *c = rng.random_range(0.0..10.0);
+            }
+            let r = Rect::from_point(Point::new(coords));
+            tree.insert(r, RecordId(i)).unwrap();
+            items.push((r, RecordId(i)));
+        }
+        tree.validate_strict().unwrap();
+        for _ in 0..10 {
+            let mut coords = [0.0; D];
+            for c in coords.iter_mut() {
+                *c = rng.random_range(0.0..10.0);
+            }
+            let q = Point::new(coords);
+            let got = NnSearch::new(&tree).query(&q, 5).unwrap();
+            let want = scan_items_knn(&items, &q, 5, &MbrRefiner);
+            assert_eq!(
+                got.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+                want.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+                "D = {D}"
+            );
+        }
+    }
+    check::<4>(41);
+    check::<5>(43);
+}

@@ -1,0 +1,142 @@
+//! End-to-end integration: workload generators → storage → R-tree →
+//! nearest-neighbor search, checked against brute force.
+
+use nnq_core::{FnRefiner, MbrRefiner, NnSearch};
+use nnq_geom::{Point, Rect};
+use nnq_rtree::{RTree, RTreeConfig, RecordId};
+use nnq_storage::{BufferPool, MemDisk, PAGE_SIZE};
+use nnq_workloads::{
+    data_queries, default_bounds, gaussian_clusters, points_to_items, segments_to_items,
+    tiger_like_segments, uniform_points, uniform_queries, TigerParams,
+};
+use std::sync::Arc;
+
+fn pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1 << 15))
+}
+
+fn build(items: &[(Rect<2>, RecordId)]) -> RTree<2> {
+    let mut tree = RTree::create(pool(), RTreeConfig::default()).unwrap();
+    for (mbr, rid) in items {
+        tree.insert(*mbr, *rid).unwrap();
+    }
+    tree.validate_strict().unwrap();
+    tree
+}
+
+#[test]
+fn uniform_points_knn_matches_brute_force() {
+    let pts = uniform_points(20_000, &default_bounds(), 11);
+    let items = points_to_items(&pts);
+    let tree = build(&items);
+    let search = NnSearch::new(&tree);
+    for q in uniform_queries(50, &default_bounds(), 1) {
+        for k in [1usize, 10] {
+            let got = search.query(&q, k).unwrap();
+            let want = nnq_core::scan_items_knn(&items, &q, k, &MbrRefiner);
+            let gd: Vec<f64> = got.iter().map(|n| n.dist_sq).collect();
+            let wd: Vec<f64> = want.iter().map(|n| n.dist_sq).collect();
+            assert_eq!(gd, wd);
+        }
+    }
+}
+
+#[test]
+fn clustered_points_with_data_distributed_queries() {
+    let pts = gaussian_clusters(15_000, 24, 1_000.0, &default_bounds(), 5);
+    let items = points_to_items(&pts);
+    let tree = build(&items);
+    let search = NnSearch::new(&tree);
+    for q in data_queries(50, &pts, 300.0, &default_bounds(), 2) {
+        let got = search.query(&q, 5).unwrap();
+        let want = nnq_core::scan_items_knn(&items, &q, 5, &MbrRefiner);
+        assert_eq!(
+            got.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+            want.iter().map(|n| n.dist_sq).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn tiger_segments_exact_refinement_matches_brute_force() {
+    let roads = tiger_like_segments(&TigerParams {
+        segments: 10_000,
+        ..TigerParams::default()
+    });
+    let items = segments_to_items(&roads);
+    let tree = build(&items);
+    let refiner = FnRefiner::new(|rid: RecordId, _: &Rect<2>, q: &Point<2>| {
+        roads[rid.0 as usize].dist_sq_to_point(q)
+    });
+    let search = NnSearch::new(&tree);
+    for q in uniform_queries(40, &default_bounds(), 9) {
+        let (got, _) = search.query_refined(&q, 4, &refiner).unwrap();
+        // Brute force over exact segment distances.
+        let mut want: Vec<f64> = roads.iter().map(|s| s.dist_sq_to_point(&q)).collect();
+        want.sort_by(f64::total_cmp);
+        let gd: Vec<f64> = got.iter().map(|n| n.dist_sq).collect();
+        assert_eq!(gd, want[..4].to_vec());
+    }
+}
+
+#[test]
+fn page_accounting_is_consistent_across_layers() {
+    let pts = uniform_points(5_000, &default_bounds(), 3);
+    let items = points_to_items(&pts);
+    let tree = build(&items);
+    let pool = Arc::clone(tree.pool());
+    let search = NnSearch::new(&tree);
+    let q = Point::new([50_000.0, 50_000.0]);
+
+    pool.reset_stats();
+    let (_, stats) = search.query_with_stats(&q, 8).unwrap();
+    let pstats = pool.stats();
+    // The search reads exactly one page per visited node; nothing else
+    // touches the pool during a query.
+    assert_eq!(pstats.logical_reads, stats.nodes_visited);
+}
+
+#[test]
+fn deletions_keep_knn_exact() {
+    let pts = uniform_points(4_000, &default_bounds(), 17);
+    let mut items = points_to_items(&pts);
+    let mut tree = build(&items);
+    // Remove every third record.
+    let mut keep = Vec::new();
+    for (i, (mbr, rid)) in items.drain(..).enumerate() {
+        if i % 3 == 0 {
+            tree.delete(&mbr, rid).unwrap();
+        } else {
+            keep.push((mbr, rid));
+        }
+    }
+    tree.validate().unwrap();
+    let search = NnSearch::new(&tree);
+    for q in uniform_queries(30, &default_bounds(), 23) {
+        let got = search.query(&q, 6).unwrap();
+        let want = nnq_core::scan_items_knn(&keep, &q, 6, &MbrRefiner);
+        assert_eq!(
+            got.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+            want.iter().map(|n| n.dist_sq).collect::<Vec<_>>()
+        );
+        // Deleted records never appear.
+        for n in &got {
+            assert!(n.record.0 % 3 != 0, "deleted record {} returned", n.record.0);
+        }
+    }
+}
+
+#[test]
+fn queries_far_outside_the_data_still_work() {
+    let pts = uniform_points(2_000, &default_bounds(), 29);
+    let items = points_to_items(&pts);
+    let tree = build(&items);
+    let search = NnSearch::new(&tree);
+    let q = Point::new([-1e7, 5e6]);
+    let got = search.query(&q, 3).unwrap();
+    let want = nnq_core::scan_items_knn(&items, &q, 3, &MbrRefiner);
+    assert_eq!(
+        got.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+        want.iter().map(|n| n.dist_sq).collect::<Vec<_>>()
+    );
+}

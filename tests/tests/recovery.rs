@@ -1,0 +1,136 @@
+//! Crash-recovery integration: a WAL-journaled index survives losing its
+//! device writes.
+
+use nnq_core::{MbrRefiner, NnSearch};
+use nnq_rtree::{RTree, RTreeConfig};
+use nnq_storage::{BufferPool, DiskManager, FileDisk, Wal, PAGE_SIZE};
+use nnq_workloads::{default_bounds, points_to_items, uniform_points, uniform_queries};
+use std::sync::Arc;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nnq-rec-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn index_survives_loss_of_all_device_writes() {
+    let db = tmp("crash.db");
+    let log = tmp("crash.wal");
+    let items = points_to_items(&uniform_points(5_000, &default_bounds(), 17));
+
+    // Phase 1: a baseline empty-but-durable device state.
+    {
+        let disk = FileDisk::create(&db, PAGE_SIZE).unwrap();
+        disk.sync().unwrap();
+    }
+    let stale_copy = std::fs::read(&db).unwrap();
+
+    // Phase 2: build the index through a WAL-journaled pool and
+    // checkpoint-sync the WAL only (journal durable, device writes will
+    // be "lost" in the simulated crash below).
+    let meta_page = {
+        let disk = FileDisk::open(&db, PAGE_SIZE).unwrap();
+        let wal = Wal::create(&log).unwrap();
+        let pool = Arc::new(BufferPool::with_wal(Box::new(disk), 256, wal));
+        let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+        for (mbr, rid) in &items {
+            tree.insert(*mbr, *rid).unwrap();
+        }
+        // flush_all journals every dirty page before writing the device.
+        pool.flush_all().unwrap();
+        // Make the journal durable, as a checkpoint would, but DO NOT
+        // complete the checkpoint (no wal.reset) — the crash happens here.
+        let meta = tree.meta_page();
+        drop(tree);
+        drop(pool);
+        meta
+    };
+
+    // Phase 3: simulated crash — the device's writes never made it.
+    std::fs::write(&db, &stale_copy).unwrap();
+
+    // Phase 4: recovery — replay the journal over the stale device.
+    let disk = FileDisk::open(&db, PAGE_SIZE).unwrap();
+    let wal = Wal::open(&log).unwrap();
+    let applied = wal.replay(&disk).unwrap();
+    assert!(applied > 0, "the journal should have had images to apply");
+    disk.sync().unwrap();
+
+    // Phase 5: the tree is fully intact.
+    let pool = Arc::new(BufferPool::new(Box::new(disk), 256));
+    let tree = RTree::<2>::open(pool, meta_page).unwrap();
+    assert_eq!(tree.len(), 5_000);
+    tree.validate_strict().unwrap();
+    let search = NnSearch::new(&tree);
+    for q in uniform_queries(20, &default_bounds(), 23) {
+        let got = search.query(&q, 5).unwrap();
+        let want = nnq_core::scan_items_knn(&items, &q, 5, &MbrRefiner);
+        assert_eq!(
+            got.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+            want.iter().map(|n| n.dist_sq).collect::<Vec<_>>()
+        );
+    }
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&log).ok();
+}
+
+#[test]
+fn checkpoint_truncates_the_journal_and_device_stands_alone() {
+    let db = tmp("ckpt.db");
+    let log = tmp("ckpt.wal");
+    let items = points_to_items(&uniform_points(1_000, &default_bounds(), 29));
+
+    let meta_page = {
+        let disk = FileDisk::create(&db, PAGE_SIZE).unwrap();
+        let wal = Wal::create(&log).unwrap();
+        let pool = Arc::new(BufferPool::with_wal(Box::new(disk), 128, wal));
+        let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+        for (mbr, rid) in &items {
+            tree.insert(*mbr, *rid).unwrap();
+        }
+        pool.checkpoint().unwrap();
+        tree.meta_page()
+    };
+
+    // After the checkpoint the journal is empty...
+    let wal = Wal::open(&log).unwrap();
+    assert_eq!(wal.record_count().unwrap(), 0);
+    // ...and the device alone reproduces the tree.
+    let disk = FileDisk::open(&db, PAGE_SIZE).unwrap();
+    let pool = Arc::new(BufferPool::new(Box::new(disk), 128));
+    let tree = RTree::<2>::open(pool, meta_page).unwrap();
+    assert_eq!(tree.len(), 1_000);
+    tree.validate_strict().unwrap();
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&log).ok();
+}
+
+#[test]
+fn recovery_is_idempotent() {
+    let db = tmp("idem.db");
+    let log = tmp("idem.wal");
+    {
+        let disk = FileDisk::create(&db, PAGE_SIZE).unwrap();
+        let wal = Wal::create(&log).unwrap();
+        let pool = Arc::new(BufferPool::with_wal(Box::new(disk), 64, wal));
+        let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+        for (mbr, rid) in points_to_items(&uniform_points(300, &default_bounds(), 31)) {
+            tree.insert(mbr, rid).unwrap();
+        }
+        pool.flush_all().unwrap();
+    }
+    // Replaying an already-consistent device changes nothing: do it twice
+    // and verify the tree both times.
+    for _ in 0..2 {
+        let disk = FileDisk::open(&db, PAGE_SIZE).unwrap();
+        let wal = Wal::open(&log).unwrap();
+        wal.replay(&disk).unwrap();
+        let pool = Arc::new(BufferPool::new(Box::new(disk), 64));
+        let tree = RTree::<2>::open(pool, nnq_storage::PageId(0)).unwrap();
+        assert_eq!(tree.len(), 300);
+        tree.validate_strict().unwrap();
+    }
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&log).ok();
+}
