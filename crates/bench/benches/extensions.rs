@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nnq_bench::datasets::Dataset;
 use nnq_bench::harness::{default_build, queries_for};
-use nnq_core::{
-    farthest_knn, metric_knn, within_radius, IncrementalNn, MbrRefiner,
-};
+use nnq_core::{farthest_knn, metric_knn, within_radius, IncrementalNn, MbrRefiner};
 use nnq_geom::Metric;
 use std::hint::black_box;
 

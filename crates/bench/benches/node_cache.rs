@@ -1,0 +1,78 @@
+//! Cold vs warm decoded-node cache: the same kNN queries against the
+//! paged backend, once with the cache dropped before every query and once
+//! against a primed cache. The pool is query-sized in both runs, so every
+//! page access is a buffer hit either way — the difference isolates the
+//! decode + per-visit entry allocation that the node cache removes.
+//!
+//! The measured trajectory is recorded in BENCH_CACHE.json at the repo
+//! root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnq_bench::datasets::Dataset;
+use nnq_bench::harness::{default_build, queries_for};
+use nnq_core::{MbrRefiner, NnSearch, QueryCursor};
+use std::hint::black_box;
+
+fn bench_node_cache(c: &mut Criterion) {
+    let dataset = Dataset::uniform(20_000, 11);
+    let built = default_build(&dataset);
+    let queries = queries_for(64, 7);
+    let k = 10;
+    let search = NnSearch::new(&built.tree);
+    let mut group = c.benchmark_group("node_cache");
+
+    // Cold: every query decodes each node it visits from the pool frame.
+    // The clear is timed, but dropping a few hundred cached Arcs is small
+    // next to re-decoding every visited node's entry array.
+    group.bench_function("cold", |b| {
+        let mut cursor = QueryCursor::new();
+        let mut i = 0;
+        b.iter(|| {
+            built.tree.store().clear_node_cache();
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(
+                search
+                    .query_refined_with(&mut cursor, q, k, &MbrRefiner)
+                    .unwrap(),
+            )
+        })
+    });
+
+    // Warm: prime the cache with one pass, then the same queries are
+    // served decode-free (zero allocations on the steady-state path).
+    {
+        let mut cursor = QueryCursor::new();
+        for q in &queries {
+            search
+                .query_refined_with(&mut cursor, q, k, &MbrRefiner)
+                .unwrap();
+        }
+    }
+    group.bench_function("warm", |b| {
+        let mut cursor = QueryCursor::new();
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(
+                search
+                    .query_refined_with(&mut cursor, q, k, &MbrRefiner)
+                    .unwrap(),
+            )
+        })
+    });
+
+    group.finish();
+
+    let stats = built.tree.store().cache_stats();
+    println!(
+        "warm-path cache: {} hits / {} reads ({:.1}% decode-free)",
+        stats.hits,
+        stats.hits + stats.misses,
+        stats.hit_rate() * 100.0
+    );
+}
+
+criterion_group!(benches, bench_node_cache);
+criterion_main!(benches);

@@ -26,10 +26,8 @@ fn bench_updates(c: &mut Criterion) {
             |b, &split| {
                 b.iter_batched(
                     || {
-                        let pool = Arc::new(BufferPool::new(
-                            Box::new(MemDisk::new(PAGE_SIZE)),
-                            1 << 15,
-                        ));
+                        let pool =
+                            Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1 << 15));
                         let mut tree =
                             RTree::<2>::create(pool, RTreeConfig::with_split(split)).unwrap();
                         for (mbr, rid) in &dataset.items {
@@ -54,10 +52,8 @@ fn bench_updates(c: &mut Criterion) {
             |b, &split| {
                 b.iter_batched(
                     || {
-                        let pool = Arc::new(BufferPool::new(
-                            Box::new(MemDisk::new(PAGE_SIZE)),
-                            1 << 15,
-                        ));
+                        let pool =
+                            Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1 << 15));
                         let mut tree =
                             RTree::<2>::create(pool, RTreeConfig::with_split(split)).unwrap();
                         for (mbr, rid) in &dataset.items {
@@ -84,8 +80,7 @@ fn bench_updates(c: &mut Criterion) {
             tree.insert(*mbr, *rid).unwrap();
         }
         let mut i = 0usize;
-        let mut positions: Vec<Rect<2>> =
-            dataset.items.iter().map(|(mbr, _)| *mbr).collect();
+        let mut positions: Vec<Rect<2>> = dataset.items.iter().map(|(mbr, _)| *mbr).collect();
         b.iter(|| {
             let idx = i % positions.len();
             let old = positions[idx];

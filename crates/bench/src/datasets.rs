@@ -34,13 +34,7 @@ impl Dataset {
     pub fn clustered(n: usize, seed: u64) -> Self {
         Self {
             name: "clustered",
-            items: points_to_items(&gaussian_clusters(
-                n,
-                64,
-                1_500.0,
-                &default_bounds(),
-                seed,
-            )),
+            items: points_to_items(&gaussian_clusters(n, 64, 1_500.0, &default_bounds(), seed)),
             segments: None,
         }
     }

@@ -10,11 +10,9 @@ use crate::harness::{
     build_tree, default_build, measure, measure_knn, queries_for, BuildMethod, BuiltTree,
     SegmentRefiner, QUERY_POOL_FRAMES,
 };
-use crate::table::{f, Table};
 use crate::scaled;
-use nnq_core::{
-    best_first_knn, AblOrdering, IncrementalNn, MbrRefiner, NnOptions, NnSearch,
-};
+use crate::table::{f, Table};
+use nnq_core::{best_first_knn, AblOrdering, IncrementalNn, MbrRefiner, NnOptions, NnSearch};
 use nnq_rtree::{BulkMethod, RTree, RTreeConfig};
 use nnq_storage::{BufferPool, MemDisk, PAGE_SIZE};
 use std::sync::Arc;
@@ -32,14 +30,30 @@ pub fn e1() {
     let ks = [1usize, 2, 5, 10, 15, 20, 25];
     let mut table = Table::new(
         format!("E1: pages accessed per kNN query (N = {n})"),
-        &["dataset", "total pages", "k=1", "k=2", "k=5", "k=10", "k=15", "k=20", "k=25"],
+        &[
+            "dataset",
+            "total pages",
+            "k=1",
+            "k=2",
+            "k=5",
+            "k=10",
+            "k=15",
+            "k=20",
+            "k=25",
+        ],
     );
     for d in Dataset::standard_trio(n, SEED) {
         let built = default_build(&d);
         let total = built.tree.stats().unwrap().nodes;
         let mut row = vec![d.name.to_string(), total.to_string()];
         for &k in &ks {
-            let m = measure_knn(&built, &queries, k, NnOptions::default(), d.segments.as_deref());
+            let m = measure_knn(
+                &built,
+                &queries,
+                k,
+                NnOptions::default(),
+                d.segments.as_deref(),
+            );
             row.push(f(m.pages, 1));
         }
         table.row(row);
@@ -116,7 +130,15 @@ pub fn e3() {
         let built = default_build(&d);
         let mut table = Table::new(
             format!("E3: pruning ablation on {} (N = {n})", d.name),
-            &["strategies", "k", "nodes", "pruned S1", "pruned S2", "pruned S3", "dist comps"],
+            &[
+                "strategies",
+                "k",
+                "nodes",
+                "pruned S1",
+                "pruned S2",
+                "pruned S3",
+                "dist comps",
+            ],
         );
         for &k in &[1usize, 10] {
             for (label, opts) in &variants {
@@ -146,7 +168,11 @@ pub fn e4() {
     for exp in 12..=20u32 {
         let n = scaled(1usize << exp);
         let d = Dataset::uniform(n, SEED + u64::from(exp));
-        let built = build_tree(&d.items, BuildMethod::Bulk(BulkMethod::Str), QUERY_POOL_FRAMES);
+        let built = build_tree(
+            &d.items,
+            BuildMethod::Bulk(BulkMethod::Str),
+            QUERY_POOL_FRAMES,
+        );
         let m = measure_knn(&built, &queries, 10, NnOptions::default(), None);
         table.row(vec![
             n.to_string(),
@@ -167,7 +193,10 @@ pub fn e5() {
     // Build once on a shared device, then re-open under pools of varying
     // size.
     let disk = Arc::new(MemDisk::new(PAGE_SIZE));
-    let build_pool = Arc::new(BufferPool::new(Box::new(Arc::clone(&disk)), QUERY_POOL_FRAMES));
+    let build_pool = Arc::new(BufferPool::new(
+        Box::new(Arc::clone(&disk)),
+        QUERY_POOL_FRAMES,
+    ));
     let mut tree = RTree::<2>::create(Arc::clone(&build_pool), RTreeConfig::default()).unwrap();
     for (mbr, rid) in &d.items {
         tree.insert(*mbr, *rid).unwrap();
@@ -214,7 +243,14 @@ pub fn e6() {
     let queries = queries_for(50, SEED + 5);
     let mut table = Table::new(
         "E6: branch-and-bound vs sequential scan (uniform, k = 10)",
-        &["N", "B&B pages", "scan pages", "B&B µs", "scan µs", "speedup"],
+        &[
+            "N",
+            "B&B pages",
+            "scan pages",
+            "B&B µs",
+            "scan µs",
+            "speedup",
+        ],
     );
     for &n in &[scaled(10_000), scaled(50_000), scaled(200_000)] {
         let d = Dataset::uniform(n, SEED + n as u64);
@@ -246,13 +282,26 @@ pub fn e7() {
     let queries = queries_for(200, SEED + 6);
     let mut table = Table::new(
         format!("E7: build method vs NN cost (tiger-like, N = {n}, k = 10)"),
-        &["build", "build [ms]", "pages total", "avg fill", "overlap", "pages/query"],
+        &[
+            "build",
+            "build [ms]",
+            "pages total",
+            "avg fill",
+            "overlap",
+            "pages/query",
+        ],
     );
     for method in BuildMethod::all() {
         let built = build_tree(&d.items, method, QUERY_POOL_FRAMES);
         built.tree.validate().unwrap();
         let stats = built.tree.stats().unwrap();
-        let m = measure_knn(&built, &queries, 10, NnOptions::default(), d.segments.as_deref());
+        let m = measure_knn(
+            &built,
+            &queries,
+            10,
+            NnOptions::default(),
+            d.segments.as_deref(),
+        );
         table.row(vec![
             method.label().to_string(),
             f(built.build_time.as_secs_f64() * 1e3, 0),
@@ -314,7 +363,14 @@ pub fn e9() {
     let queries = queries_for(200, SEED + 8);
     let mut table = Table::new(
         format!("E9: page size vs query cost (uniform, N = {n}, k = 10)"),
-        &["page [B]", "fanout", "height", "total pages", "pages/query", "KiB/query"],
+        &[
+            "page [B]",
+            "fanout",
+            "height",
+            "total pages",
+            "pages/query",
+            "KiB/query",
+        ],
     );
     for page_size in [1024usize, 2048, 4096, 8192, 16384] {
         let pool = Arc::new(BufferPool::new(
@@ -370,8 +426,20 @@ pub fn e10() {
             &nnq_workloads::default_bounds(),
             SEED + 9,
         );
-        let mu = measure_knn(&built, &uniform_q, 10, NnOptions::default(), d.segments.as_deref());
-        let mn = measure_knn(&built, &near_q, 10, NnOptions::default(), d.segments.as_deref());
+        let mu = measure_knn(
+            &built,
+            &uniform_q,
+            10,
+            NnOptions::default(),
+            d.segments.as_deref(),
+        );
+        let mn = measure_knn(
+            &built,
+            &near_q,
+            10,
+            NnOptions::default(),
+            d.segments.as_deref(),
+        );
         table.row(vec![
             d.name.to_string(),
             f(mu.pages, 1),
@@ -397,13 +465,23 @@ pub fn e11() {
     for (mbr, rid) in &d.items {
         mem.insert(*mbr, *rid).unwrap();
     }
-    let kd_points: Vec<(nnq_geom::Point<2>, nnq_rtree::RecordId)> =
-        d.items.iter().map(|(mbr, rid)| (mbr.center(), *rid)).collect();
+    let kd_points: Vec<(nnq_geom::Point<2>, nnq_rtree::RecordId)> = d
+        .items
+        .iter()
+        .map(|(mbr, rid)| (mbr.center(), *rid))
+        .collect();
     let kd = nnq_kdtree::KdTree::build(kd_points, 16);
 
     let mut table = Table::new(
         format!("E11: backend comparison (uniform, N = {n})"),
-        &["k", "paged µs", "mem-rtree µs", "kd-tree µs", "paged nodes", "kd nodes"],
+        &[
+            "k",
+            "paged µs",
+            "mem-rtree µs",
+            "kd-tree µs",
+            "paged nodes",
+            "kd nodes",
+        ],
     );
     // Warm every structure (page cache, allocator, branch predictors) so
     // the timed passes compare steady states.
@@ -419,7 +497,11 @@ pub fn e11() {
         let start = Instant::now();
         let mut mem_nodes = 0u64;
         for q in &queries {
-            mem_nodes += NnSearch::new(&mem).query_with_stats(q, k).unwrap().1.nodes_visited;
+            mem_nodes += NnSearch::new(&mem)
+                .query_with_stats(q, k)
+                .unwrap()
+                .1
+                .nodes_visited;
         }
         let mem_us = start.elapsed().as_secs_f64() * 1e6 / queries.len() as f64;
         let start = Instant::now();
@@ -449,15 +531,14 @@ pub fn e12() {
     let n = scaled(100_000);
     let n_outer = scaled(20_000);
     let d = Dataset::uniform(n, SEED + 11);
-    let outer = nnq_workloads::uniform_points(
-        n_outer,
-        &nnq_workloads::default_bounds(),
-        SEED + 11,
-    );
+    let outer = nnq_workloads::uniform_points(n_outer, &nnq_workloads::default_bounds(), SEED + 11);
 
     // Build once on a shared device; join under small pools.
     let disk = Arc::new(MemDisk::new(PAGE_SIZE));
-    let build_pool = Arc::new(BufferPool::new(Box::new(Arc::clone(&disk)), QUERY_POOL_FRAMES));
+    let build_pool = Arc::new(BufferPool::new(
+        Box::new(Arc::clone(&disk)),
+        QUERY_POOL_FRAMES,
+    ));
     let tree = RTree::<2>::bulk_load(
         Arc::clone(&build_pool),
         RTreeConfig::default(),
@@ -485,15 +566,8 @@ pub fn e12() {
             let tree = RTree::<2>::open(Arc::clone(&pool), meta_page).unwrap();
             pool.reset_stats();
             let start = Instant::now();
-            let _ = nnq_core::knn_join(
-                &tree,
-                &outer,
-                4,
-                NnOptions::default(),
-                &MbrRefiner,
-                order,
-            )
-            .unwrap();
+            let _ = nnq_core::knn_join(&tree, &outer, 4, NnOptions::default(), &MbrRefiner, order)
+                .unwrap();
             let elapsed = start.elapsed();
             let s = pool.stats();
             table.row(vec![
@@ -519,14 +593,17 @@ pub fn e13() {
     for (mbr, rid) in &d.items {
         tree.insert(*mbr, *rid).unwrap();
     }
-    let queries = nnq_workloads::uniform_queries(
-        n_queries,
-        &nnq_workloads::default_bounds(),
-        SEED + 12,
-    );
+    let queries =
+        nnq_workloads::uniform_queries(n_queries, &nnq_workloads::default_bounds(), SEED + 12);
     // Warm-up.
-    let _ = nnq_core::par_knn_batch(&tree, &queries[..1000.min(queries.len())], 10,
-        NnOptions::default(), &MbrRefiner, 2);
+    let _ = nnq_core::par_knn_batch(
+        &tree,
+        &queries[..1000.min(queries.len())],
+        10,
+        NnOptions::default(),
+        &MbrRefiner,
+        2,
+    );
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -579,8 +656,7 @@ pub fn e14() {
         Box::new(MemDisk::new(PAGE_SIZE)),
         QUERY_POOL_FRAMES,
     ));
-    let (heap, items) =
-        nnq_workloads::segments_to_heap(Arc::clone(&pool), &segments).unwrap();
+    let (heap, items) = nnq_workloads::segments_to_heap(Arc::clone(&pool), &segments).unwrap();
     let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
     for (mbr, rid) in &items {
         tree.insert(*mbr, *rid).unwrap();
@@ -615,12 +691,13 @@ pub fn e14() {
         let slice_pages = pool.stats().logical_reads as f64 / queries.len() as f64;
 
         // Disk-resident geometry: each exact distance fetches a heap page.
-        let heap_refiner =
-            nnq_core::FnRefiner::new(|rid: nnq_rtree::RecordId, _: &nnq_geom::Rect<2>, q: &nnq_geom::Point<2>| {
+        let heap_refiner = nnq_core::FnRefiner::new(
+            |rid: nnq_rtree::RecordId, _: &nnq_geom::Rect<2>, q: &nnq_geom::Point<2>| {
                 nnq_workloads::read_segment(&heap, nnq_storage::HeapRecordId(rid.0))
                     .unwrap()
                     .dist_sq_to_point(q)
-            });
+            },
+        );
         pool.reset_stats();
         for q in &queries {
             let _ = search.query_refined(q, k, &heap_refiner).unwrap();
@@ -660,7 +737,13 @@ pub fn e15() {
         .collect();
     let mut table = Table::new(
         format!("E15: (1+ε)-approximate kNN (clustered, N = {n}, k = 10)"),
-        &["epsilon", "pages/query", "vs exact", "max observed error", "guarantee"],
+        &[
+            "epsilon",
+            "pages/query",
+            "vs exact",
+            "max observed error",
+            "guarantee",
+        ],
     );
     let mut exact_pages = 0.0;
     for eps in [0.0f64, 0.1, 0.25, 0.5, 1.0, 2.0] {
@@ -696,7 +779,14 @@ pub fn e15() {
 pub fn e16() {
     let mut table = Table::new(
         "E16: intersection join vs index-nested-loop (rect data)",
-        &["N per side", "pairs", "join node reads", "nested-loop reads", "ratio", "time [ms]"],
+        &[
+            "N per side",
+            "pairs",
+            "join node reads",
+            "nested-loop reads",
+            "ratio",
+            "time [ms]",
+        ],
     );
     for &n in &[scaled(10_000), scaled(40_000)] {
         let a = Dataset::clustered(n, SEED + 15);
@@ -718,8 +808,16 @@ pub fn e16() {
         };
         let a_items = to_rects(&a.items, 30.0);
         let b_items = to_rects(&Dataset::clustered(n, SEED + 16).items, 30.0);
-        let left = build_tree(&a_items, BuildMethod::Bulk(BulkMethod::Str), QUERY_POOL_FRAMES);
-        let right = build_tree(&b_items, BuildMethod::Bulk(BulkMethod::Str), QUERY_POOL_FRAMES);
+        let left = build_tree(
+            &a_items,
+            BuildMethod::Bulk(BulkMethod::Str),
+            QUERY_POOL_FRAMES,
+        );
+        let right = build_tree(
+            &b_items,
+            BuildMethod::Bulk(BulkMethod::Str),
+            QUERY_POOL_FRAMES,
+        );
         let start = Instant::now();
         let (pairs, stats) = nnq_core::intersection_join(&left.tree, &right.tree).unwrap();
         let elapsed = start.elapsed();

@@ -17,8 +17,8 @@
 #![warn(missing_docs)]
 
 pub mod datasets;
-pub mod harness;
 pub mod experiments;
+pub mod harness;
 pub mod table;
 
 /// Global size multiplier from the `NNQ_SCALE` environment variable

@@ -42,7 +42,11 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
-        let total: usize = widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2);
+        let total: usize = widths
+            .iter()
+            .map(|w| w + 2)
+            .sum::<usize>()
+            .saturating_sub(2);
         out.push_str(&"-".repeat(total));
         out.push('\n');
         for row in &self.rows {

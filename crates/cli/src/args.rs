@@ -59,9 +59,9 @@ impl Args {
                 .ok_or_else(|| {
                     CliError::Usage(format!("unexpected positional argument `{arg}`"))
                 })?;
-            let value = it.next().ok_or_else(|| {
-                CliError::Usage(format!("flag `--{name}` needs a value"))
-            })?;
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("flag `--{name}` needs a value")))?;
             flags.insert(name.to_string(), value.clone());
         }
         Ok(Self { flags })
@@ -84,9 +84,9 @@ impl Args {
     pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| {
-                CliError::Usage(format!("flag `--{name}`: cannot parse `{v}`"))
-            }),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("flag `--{name}`: cannot parse `{v}`"))),
         }
     }
 

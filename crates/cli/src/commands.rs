@@ -6,8 +6,8 @@ use nnq_geom::{Metric, Point, Segment};
 use nnq_rtree::{BulkMethod, RTree, RTreeConfig, RecordId, SplitStrategy};
 use nnq_storage::{BufferPool, FileDisk, PageId, PAGE_SIZE};
 use nnq_workloads::{
-    default_bounds, gaussian_clusters, load_segments_csv, save_segments_csv,
-    segments_to_items, tiger_like_segments, uniform_points, TigerParams,
+    default_bounds, gaussian_clusters, load_segments_csv, save_segments_csv, segments_to_items,
+    tiger_like_segments, uniform_points, TigerParams,
 };
 use std::io::Write;
 use std::sync::Arc;
@@ -75,24 +75,23 @@ pub fn build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let start = Instant::now();
     let tree = match method {
         Ok(split) => {
-            let mut tree =
-                RTree::<2>::create(Arc::clone(&pool), RTreeConfig::with_split(split))?;
+            let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::with_split(split))?;
             for (mbr, rid) in &items {
                 tree.insert(*mbr, *rid)?;
             }
             tree
         }
-        Err(bulk) => RTree::<2>::bulk_load(
-            Arc::clone(&pool),
-            RTreeConfig::default(),
-            items,
-            bulk,
-            1.0,
-        )?,
+        Err(bulk) => {
+            RTree::<2>::bulk_load(Arc::clone(&pool), RTreeConfig::default(), items, bulk, 1.0)?
+        }
     };
     pool.flush_all()?;
     let elapsed = start.elapsed();
-    debug_assert_eq!(tree.meta_page(), PageId(0), "meta page is page 0 by construction");
+    debug_assert_eq!(
+        tree.meta_page(),
+        PageId(0),
+        "meta page is page 0 by construction"
+    );
     let stats = tree.stats()?;
     writeln!(
         out,
@@ -218,12 +217,13 @@ pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         segments[rid.0 as usize].dist_sq_to_point(p)
     });
     let search = NnSearch::new(&tree);
+    let mut cursor = nnq_core::QueryCursor::new();
 
     pool.reset_stats();
     let mut nodes = 0u64;
     let start = Instant::now();
     for q in &queries {
-        let (_, s) = search.query_refined(q, k, &refiner)?;
+        let (_, s) = search.query_refined_with(&mut cursor, q, k, &refiner)?;
         nodes += s.nodes_visited;
     }
     let elapsed = start.elapsed();
@@ -236,6 +236,15 @@ pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         nodes as f64 / n_queries as f64,
         pstats.physical_reads as f64 / n_queries as f64,
         pstats.hit_rate() * 100.0
+    )?;
+    let cstats = tree.store().cache_stats();
+    writeln!(
+        out,
+        "node cache: {} hits / {} reads ({:.1}% decode-free), {} nodes cached",
+        cstats.hits,
+        cstats.hits + cstats.misses,
+        cstats.hit_rate() * 100.0,
+        cstats.len
     )?;
     Ok(())
 }
@@ -268,10 +277,15 @@ pub fn join(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let outer_segments = load_segments_csv(args.req("outer")?)?;
     let outer: Vec<Point<2>> = outer_segments.iter().map(Segment::midpoint).collect();
     let k: usize = args.num("k", 4)?;
-    let refiner = FnRefiner::new(|rid: nnq_rtree::RecordId, _: &nnq_geom::Rect<2>, p: &Point<2>| {
-        segments[rid.0 as usize].dist_sq_to_point(p)
-    });
-    for (label, order) in [("as-given", JoinOrder::AsGiven), ("hilbert", JoinOrder::Hilbert)] {
+    let refiner = FnRefiner::new(
+        |rid: nnq_rtree::RecordId, _: &nnq_geom::Rect<2>, p: &Point<2>| {
+            segments[rid.0 as usize].dist_sq_to_point(p)
+        },
+    );
+    for (label, order) in [
+        ("as-given", JoinOrder::AsGiven),
+        ("hilbert", JoinOrder::Hilbert),
+    ] {
         pool.reset_stats();
         let start = Instant::now();
         let results = nnq_core::knn_join(
@@ -285,14 +299,16 @@ pub fn join(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         let secs = start.elapsed().as_secs_f64();
         let pstats = pool.stats();
         let produced: usize = results.iter().map(Vec::len).sum();
+        let cstats = tree.store().cache_stats();
         writeln!(
             out,
-            "{label:>9}: {} pairs in {:.0} ms ({:.0} outer/s), {} physical reads, hit rate {:.1}%",
+            "{label:>9}: {} pairs in {:.0} ms ({:.0} outer/s), {} physical reads, hit rate {:.1}%, node-cache {:.1}%",
             produced,
             secs * 1e3,
             outer.len() as f64 / secs,
             pstats.physical_reads,
-            pstats.hit_rate() * 100.0
+            pstats.hit_rate() * 100.0,
+            cstats.hit_rate() * 100.0
         )?;
     }
     Ok(())

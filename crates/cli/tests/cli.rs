@@ -23,10 +23,14 @@ fn full_workflow_gen_build_stats_query_bench() {
     let data = tmp("roads.csv");
     let index = tmp("roads.rtree");
 
-    let out = run_ok(&["gen", "--kind", "tiger", "--n", "5000", "--seed", "3", "--out", &data]);
+    let out = run_ok(&[
+        "gen", "--kind", "tiger", "--n", "5000", "--seed", "3", "--out", &data,
+    ]);
     assert!(out.contains("5000 tiger segments"), "{out}");
 
-    let out = run_ok(&["build", "--input", &data, "--index", &index, "--method", "str"]);
+    let out = run_ok(&[
+        "build", "--input", &data, "--index", &index, "--method", "str",
+    ]);
     assert!(out.contains("5000 entries"), "{out}");
 
     let out = run_ok(&["stats", "--index", &index]);
@@ -34,20 +38,43 @@ fn full_workflow_gen_build_stats_query_bench() {
     assert!(out.contains("height:"), "{out}");
 
     let out = run_ok(&[
-        "query", "--index", &index, "--data", &data, "--at", "50000,50000", "-k", "3",
+        "query",
+        "--index",
+        &index,
+        "--data",
+        &data,
+        "--at",
+        "50000,50000",
+        "-k",
+        "3",
     ]);
     assert!(out.contains("3 results"), "{out}");
     assert!(out.contains("segment #"), "{out}");
 
     // Radius query.
     let out = run_ok(&[
-        "query", "--index", &index, "--data", &data, "--at", "50000,50000", "--radius",
+        "query",
+        "--index",
+        &index,
+        "--data",
+        &data,
+        "--at",
+        "50000,50000",
+        "--radius",
         "5000",
     ]);
     assert!(out.contains("results"), "{out}");
 
     let out = run_ok(&[
-        "bench", "--index", &index, "--data", &data, "--queries", "50", "-k", "5",
+        "bench",
+        "--index",
+        &index,
+        "--data",
+        &data,
+        "--queries",
+        "50",
+        "-k",
+        "5",
     ]);
     assert!(out.contains("µs/query"), "{out}");
 
@@ -61,7 +88,9 @@ fn dynamic_builds_work_too() {
     let index = tmp("pts.rtree");
     run_ok(&["gen", "--kind", "uniform", "--n", "2000", "--out", &data]);
     for method in ["linear", "quadratic", "rstar", "hilbert"] {
-        let out = run_ok(&["build", "--input", &data, "--index", &index, "--method", method]);
+        let out = run_ok(&[
+            "build", "--input", &data, "--index", &index, "--method", method,
+        ]);
         assert!(out.contains("2000 entries"), "{method}: {out}");
     }
     std::fs::remove_file(&data).ok();
@@ -75,7 +104,15 @@ fn knn_results_are_sorted_and_k_limited() {
     run_ok(&["gen", "--kind", "clustered", "--n", "3000", "--out", &data]);
     run_ok(&["build", "--input", &data, "--index", &index]);
     let out = run_ok(&[
-        "query", "--index", &index, "--data", &data, "--at", "1000,1000", "-k", "7",
+        "query",
+        "--index",
+        &index,
+        "--data",
+        &data,
+        "--at",
+        "1000,1000",
+        "-k",
+        "7",
     ]);
     let dists: Vec<f64> = out
         .lines()
@@ -148,19 +185,38 @@ fn explain_join_and_metric_queries() {
     let outer = tmp("ext-outer.csv");
     let index = tmp("ext.rtree");
     run_ok(&["gen", "--kind", "tiger", "--n", "3000", "--out", &data]);
-    run_ok(&["gen", "--kind", "uniform", "--n", "200", "--seed", "9", "--out", &outer]);
+    run_ok(&[
+        "gen", "--kind", "uniform", "--n", "200", "--seed", "9", "--out", &outer,
+    ]);
     run_ok(&["build", "--input", &data, "--index", &index]);
 
     // Explain shows the decision trace.
-    let out = run_ok(&["explain", "--index", &index, "--at", "50000,50000", "-k", "2"]);
+    let out = run_ok(&[
+        "explain",
+        "--index",
+        &index,
+        "--at",
+        "50000,50000",
+        "-k",
+        "2",
+    ]);
     assert!(out.contains("node page#"), "{out}");
     assert!(out.contains("pruned"), "{out}");
 
     // Metric queries rank by the chosen metric.
     for metric in ["l1", "l2", "linf"] {
         let out = run_ok(&[
-            "query", "--index", &index, "--data", &data, "--at", "50000,50000", "-k", "3",
-            "--metric", metric,
+            "query",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--at",
+            "50000,50000",
+            "-k",
+            "3",
+            "--metric",
+            metric,
         ]);
         assert!(out.contains("3 results"), "{metric}: {out}");
     }
@@ -168,15 +224,18 @@ fn explain_join_and_metric_queries() {
     let mut sink = Vec::new();
     assert!(matches!(
         run(
-            &argv(&["query", "--index", &index, "--data", &data, "--at", "0,0",
-                    "--metric", "cosine"]),
+            &argv(&[
+                "query", "--index", &index, "--data", &data, "--at", "0,0", "--metric", "cosine"
+            ]),
             &mut sink
         ),
         Err(CliError::Usage(_))
     ));
 
     // Join runs both orderings and reports pairs.
-    let out = run_ok(&["join", "--index", &index, "--data", &data, "--outer", &outer, "-k", "2"]);
+    let out = run_ok(&[
+        "join", "--index", &index, "--data", &data, "--outer", &outer, "-k", "2",
+    ]);
     assert!(out.contains("as-given"), "{out}");
     assert!(out.contains("hilbert"), "{out}");
     assert!(out.contains("400 pairs"), "{out}"); // 200 outer * k=2

@@ -56,7 +56,7 @@ pub fn best_first_knn<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
         stats.nodes_visited += 1;
         if node.is_leaf() {
             stats.leaves_visited += 1;
-            for e in &node.entries {
+            for e in node.entries() {
                 let filter = mindist_sq(q, &e.mbr);
                 if filter >= heap.bound_sq() {
                     continue;
@@ -66,7 +66,7 @@ pub fn best_first_knn<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
                 heap.offer(e.record(), e.mbr, exact);
             }
         } else {
-            for e in &node.entries {
+            for e in node.entries() {
                 let d = mindist_sq(q, &e.mbr);
                 if d < heap.bound_sq() {
                     queue.push(Reverse((QueueKey(d), e.child())));
@@ -95,7 +95,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         for i in 0..n {
             let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
-            tree.insert(Rect::from_point(p), RecordId(i as u64)).unwrap();
+            tree.insert(Rect::from_point(p), RecordId(i as u64))
+                .unwrap();
         }
         tree
     }

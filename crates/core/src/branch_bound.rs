@@ -17,6 +17,14 @@
 //! `MINMAXDIST`s. Mixing bounds across different tree levels would not be
 //! sound — an ancestor's guaranteed object may be the same object as a
 //! descendant's — so bounds are kept node-local, exactly as in the paper.
+//!
+//! ## Batched queries
+//!
+//! Each query needs an ABL per tree level, a `MINMAXDIST` scratch vector,
+//! and the candidate heap. A [`QueryCursor`] owns all three and is reused
+//! across queries ([`NnSearch::query_refined_with`]), so a warm batch over
+//! a cached tree performs no per-visit allocations; the convenience
+//! methods ([`NnSearch::query`] etc.) create a throwaway cursor.
 
 use crate::explain::{Decision, Trace, TraceEvent};
 use crate::heap::KnnHeap;
@@ -24,7 +32,7 @@ use crate::options::{AblOrdering, Neighbor, NnOptions, SearchStats};
 use crate::refine::{MbrRefiner, Refiner};
 use crate::Result;
 use nnq_geom::{mindist_sq, minmaxdist_sq, Point, Rect};
-use nnq_rtree::{NodeRef, RTree, TreeAccess};
+use nnq_rtree::{NodeView, RTree, TreeAccess};
 use nnq_storage::PageId;
 
 /// A nearest-neighbor query engine over an [`RTree`].
@@ -34,6 +42,43 @@ use nnq_storage::PageId;
 pub struct NnSearch<'t, const D: usize, T: TreeAccess<D> + ?Sized = RTree<D>> {
     tree: &'t T,
     opts: NnOptions,
+}
+
+/// Reusable per-query working memory for the branch-and-bound search:
+/// one Active Branch List buffer per tree level, a `MINMAXDIST` scratch
+/// vector, and the bounded candidate heap.
+///
+/// Construct once, pass to [`NnSearch::query_refined_with`] for every
+/// query of a batch; after the first few queries the search reaches a
+/// steady state with no allocations besides the result vector. A cursor
+/// is plain data — independent of any particular tree — but must not be
+/// shared across threads concurrently (give each worker its own, as
+/// [`crate::par_knn_batch`] does).
+pub struct QueryCursor<const D: usize> {
+    heap: KnnHeap<D>,
+    /// One ABL buffer per recursion depth; the DFS at depth `d` may not
+    /// reuse the buffer of any ancestor still iterating its own ABL.
+    abl_stack: Vec<Vec<AblEntry>>,
+    /// Scratch for the k-th-smallest MINMAXDIST selections (S1/S2).
+    minmax: Vec<f64>,
+}
+
+impl<const D: usize> QueryCursor<D> {
+    /// Creates an empty cursor. Buffers grow to fit the first queries and
+    /// are retained afterwards.
+    pub fn new() -> Self {
+        Self {
+            heap: KnnHeap::new(1),
+            abl_stack: Vec::new(),
+            minmax: Vec::new(),
+        }
+    }
+}
+
+impl<const D: usize> Default for QueryCursor<D> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
@@ -79,7 +124,21 @@ impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
         k: usize,
         refiner: &R,
     ) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
-        self.run(q, k, refiner, None)
+        let mut cursor = QueryCursor::new();
+        self.run(&mut cursor, q, k, refiner, None)
+    }
+
+    /// Like [`NnSearch::query_refined`], reusing `cursor`'s buffers — the
+    /// batched entry point: one cursor amortizes all per-query scratch
+    /// (ABL, selection scratch, candidate heap) across a whole workload.
+    pub fn query_refined_with<R: Refiner<D>>(
+        &self,
+        cursor: &mut QueryCursor<D>,
+        q: &Point<D>,
+        k: usize,
+        refiner: &R,
+    ) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
+        self.run(cursor, q, k, refiner, None)
     }
 
     /// Finds the `k` nearest objects whose MBR intersects `region` — the
@@ -97,7 +156,8 @@ impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
         region: &Rect<D>,
         refiner: &R,
     ) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
-        self.run(q, k, refiner, Some(*region))
+        let mut cursor = QueryCursor::new();
+        self.run(&mut cursor, q, k, refiner, Some(*region))
     }
 
     /// Like [`NnSearch::query_refined`], additionally recording a full
@@ -109,6 +169,8 @@ impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
         refiner: &R,
     ) -> Result<(Vec<Neighbor<D>>, SearchStats, Trace)> {
         assert!(k > 0, "k must be at least 1");
+        let mut cursor = QueryCursor::new();
+        cursor.heap.reset(k);
         let mut trace = Trace::default();
         let mut ctx = Ctx {
             tree: self.tree,
@@ -116,19 +178,20 @@ impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
             q: *q,
             refiner,
             region: None,
-            heap: KnnHeap::new(k),
+            cursor: &mut cursor,
             stats: SearchStats::default(),
             trace: Some(&mut trace),
         };
         if let Some(root) = self.tree.access_root() {
-            ctx.visit(root)?;
+            ctx.visit(root, 0)?;
         }
         let stats = ctx.stats;
-        Ok((ctx.heap.into_sorted(), stats, trace))
+        Ok((cursor.heap.drain_sorted(), stats, trace))
     }
 
     fn run<R: Refiner<D>>(
         &self,
+        cursor: &mut QueryCursor<D>,
         q: &Point<D>,
         k: usize,
         refiner: &R,
@@ -142,20 +205,22 @@ impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
             opts.prune_downward = false;
             opts.prune_object = false;
         }
+        cursor.heap.reset(k);
         let mut ctx = Ctx {
             tree: self.tree,
             opts,
             q: *q,
             refiner,
             region,
-            heap: KnnHeap::new(k),
+            cursor,
             stats: SearchStats::default(),
             trace: None,
         };
         if let Some(root) = self.tree.access_root() {
-            ctx.visit(root)?;
+            ctx.visit(root, 0)?;
         }
-        Ok((ctx.heap.into_sorted(), ctx.stats))
+        let stats = ctx.stats;
+        Ok((cursor.heap.drain_sorted(), stats))
     }
 }
 
@@ -165,7 +230,7 @@ struct Ctx<'t, 'r, const D: usize, T: ?Sized, R> {
     q: Point<D>,
     refiner: &'r R,
     region: Option<Rect<D>>,
-    heap: KnnHeap<D>,
+    cursor: &'r mut QueryCursor<D>,
     stats: SearchStats,
     trace: Option<&'r mut Trace>,
 }
@@ -180,39 +245,39 @@ fn kth_smallest(values: &mut [f64], k: usize) -> f64 {
 }
 
 impl<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>> Ctx<'_, '_, D, T, R> {
-    fn visit(&mut self, page: PageId) -> Result<()> {
+    fn visit(&mut self, page: PageId, depth: usize) -> Result<()> {
         let node = self.tree.access_node(page)?;
         self.stats.nodes_visited += 1;
         if let Some(trace) = self.trace.as_deref_mut() {
             trace.events.push(TraceEvent::EnterNode {
                 page,
-                level: node.level,
-                bound_sq: self.heap.bound_sq(),
+                level: node.level(),
+                bound_sq: self.cursor.heap.bound_sq(),
             });
         }
         if node.is_leaf() {
             self.visit_leaf(&node);
             Ok(())
         } else {
-            self.visit_internal(&node)
+            self.visit_internal(&node, depth)
         }
     }
 
-    fn visit_leaf(&mut self, node: &NodeRef<D>) {
+    fn visit_leaf(&mut self, node: &NodeView<D>) {
         self.stats.leaves_visited += 1;
         // Strategy 2 bound: the k-th smallest MINMAXDIST among this leaf's
         // entries guarantees k objects within that distance.
         let object_bound = if self.opts.prune_object {
-            let mut minmax: Vec<f64> = node
-                .entries
-                .iter()
-                .map(|e| minmaxdist_sq(&self.q, &e.mbr))
-                .collect();
-            kth_smallest(&mut minmax, self.heap.k())
+            let q = self.q;
+            let k = self.cursor.heap.k();
+            let minmax = &mut self.cursor.minmax;
+            minmax.clear();
+            minmax.extend(node.entries().iter().map(|e| minmaxdist_sq(&q, &e.mbr)));
+            kth_smallest(minmax, k)
         } else {
             f64::INFINITY
         };
-        for e in &node.entries {
+        for e in node.entries() {
             if let Some(region) = &self.region {
                 if !e.mbr.intersects(region) {
                     self.trace_object(e.record(), f64::NAN, None, Decision::OutsideRegion, false);
@@ -236,7 +301,7 @@ impl<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>> Ctx<'_, '_, D, T,
                 "refiner returned a distance below the MBR filter bound"
             );
             self.stats.dist_computations += 1;
-            let accepted = self.heap.offer(e.record(), e.mbr, exact);
+            let accepted = self.cursor.heap.offer(e.record(), e.mbr, exact);
             self.trace_object(e.record(), filter, Some(exact), Decision::Visited, accepted);
         }
     }
@@ -245,7 +310,7 @@ impl<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>> Ctx<'_, '_, D, T,
     /// distance, shrunk by (1+ε)² for approximate queries (a branch whose
     /// MINDIST is within ε of the candidate bound may be skipped).
     fn pruning_bound_sq(&self) -> f64 {
-        let bound = self.heap.bound_sq();
+        let bound = self.cursor.heap.bound_sq();
         if self.opts.epsilon > 0.0 {
             let f = 1.0 + self.opts.epsilon;
             bound / (f * f)
@@ -284,33 +349,48 @@ impl<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>> Ctx<'_, '_, D, T,
         }
     }
 
-    fn visit_internal(&mut self, node: &NodeRef<D>) -> Result<()> {
+    fn visit_internal(&mut self, node: &NodeView<D>, depth: usize) -> Result<()> {
+        // Take this depth's reusable ABL buffer out of the cursor: the
+        // recursion below will use the buffers of deeper levels, never
+        // this one, so the take-and-restore keeps every level's capacity.
+        while self.cursor.abl_stack.len() <= depth {
+            self.cursor.abl_stack.push(Vec::new());
+        }
+        let mut abl = std::mem::take(&mut self.cursor.abl_stack[depth]);
+        abl.clear();
+
         // Generate the Active Branch List.
-        let mut abl: Vec<AblEntry<D>> = node
-            .entries
-            .iter()
-            .filter(|e| {
-                self.region
-                    .as_ref()
-                    .is_none_or(|region| e.mbr.intersects(region))
-            })
-            .map(|e| AblEntry {
-                mindist: mindist_sq(&self.q, &e.mbr),
-                minmaxdist: minmaxdist_sq(&self.q, &e.mbr),
-                child: e.child(),
-            })
-            .collect();
+        abl.extend(
+            node.entries()
+                .iter()
+                .filter(|e| {
+                    self.region
+                        .as_ref()
+                        .is_none_or(|region| e.mbr.intersects(region))
+                })
+                .map(|e| AblEntry {
+                    mindist: mindist_sq(&self.q, &e.mbr),
+                    minmaxdist: minmaxdist_sq(&self.q, &e.mbr),
+                    child: e.child(),
+                }),
+        );
         self.stats.abl_entries += abl.len() as u64;
 
         // Strategy 1 bound: k-th smallest MINMAXDIST within this ABL.
         let downward_bound = if self.opts.prune_downward {
-            let mut minmax: Vec<f64> = abl.iter().map(|a| a.minmaxdist).collect();
-            kth_smallest(&mut minmax, self.heap.k())
+            let k = self.cursor.heap.k();
+            let minmax = &mut self.cursor.minmax;
+            minmax.clear();
+            minmax.extend(abl.iter().map(|a| a.minmaxdist));
+            kth_smallest(minmax, k)
         } else {
             f64::INFINITY
         };
 
-        // Sort by the configured metric (the paper's E2 comparison).
+        // Sort by the configured metric (the paper's E2 comparison). The
+        // sort stays *stable* so sibling order under tied keys — and with
+        // it the traversal's page-access sequence — is unchanged from the
+        // pre-cursor implementation.
         match self.opts.ordering {
             AblOrdering::MinDist => {
                 abl.sort_by(|a, b| a.mindist.total_cmp(&b.mindist));
@@ -320,6 +400,7 @@ impl<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>> Ctx<'_, '_, D, T,
             }
         }
 
+        let mut result = Ok(());
         for a in &abl {
             if self.opts.prune_downward && a.mindist > downward_bound {
                 self.stats.pruned_downward += 1;
@@ -335,13 +416,18 @@ impl<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>> Ctx<'_, '_, D, T,
                 continue;
             }
             self.trace_branch(a.child, a.mindist, a.minmaxdist, Decision::Visited);
-            self.visit(a.child)?;
+            if let Err(e) = self.visit(a.child, depth + 1) {
+                result = Err(e);
+                break;
+            }
         }
-        Ok(())
+        // Restore the buffer (and its capacity) for the next query.
+        self.cursor.abl_stack[depth] = abl;
+        result
     }
 }
 
-struct AblEntry<const D: usize> {
+struct AblEntry {
     mindist: f64,
     minmaxdist: f64,
     child: PageId,
@@ -357,12 +443,12 @@ mod tests {
 
     fn grid_tree(n_side: u64, fanout: usize) -> RTree<2> {
         let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 4096));
-        let mut tree =
-            RTree::<2>::create(pool, RTreeConfig::for_testing(fanout)).unwrap();
+        let mut tree = RTree::<2>::create(pool, RTreeConfig::for_testing(fanout)).unwrap();
         for x in 0..n_side {
             for y in 0..n_side {
                 let p = Point::new([x as f64, y as f64]);
-                tree.insert(Rect::from_point(p), RecordId(x * n_side + y)).unwrap();
+                tree.insert(Rect::from_point(p), RecordId(x * n_side + y))
+                    .unwrap();
             }
         }
         tree
@@ -474,8 +560,10 @@ mod tests {
         // Two horizontal segments; the query is closer to segment 1's MBR
         // but closer to segment 0's geometry.
         use nnq_geom::Segment;
-        let segments = [Segment::new(Point::new([0.0, 1.0]), Point::new([10.0, 1.0])),
-            Segment::new(Point::new([4.0, -10.0]), Point::new([6.0, 10.0]))];
+        let segments = [
+            Segment::new(Point::new([0.0, 1.0]), Point::new([10.0, 1.0])),
+            Segment::new(Point::new([4.0, -10.0]), Point::new([6.0, 10.0])),
+        ];
         let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 64));
         let mut tree = RTree::<2>::create(pool, RTreeConfig::default()).unwrap();
         for (i, s) in segments.iter().enumerate() {
@@ -494,6 +582,25 @@ mod tests {
         assert_eq!(out[1].record, RecordId(1));
         assert_eq!(out[1].dist_sq, segments[1].dist_sq_to_point(&q));
         assert!(out[1].dist_sq > out[0].dist_sq);
+    }
+
+    #[test]
+    fn cursor_reuse_matches_one_shot_queries() {
+        let tree = grid_tree(24, 5);
+        let nn = NnSearch::new(&tree);
+        let mut cursor = QueryCursor::new();
+        for (i, k) in [(0u64, 1usize), (7, 4), (13, 9), (200, 2), (555, 4)] {
+            let q = Point::new([(i % 24) as f64 + 0.4, (i / 24) as f64 + 0.1]);
+            let (with_cursor, cs) = nn
+                .query_refined_with(&mut cursor, &q, k, &MbrRefiner)
+                .unwrap();
+            let (one_shot, os) = nn.query_refined(&q, k, &MbrRefiner).unwrap();
+            assert_eq!(
+                with_cursor.iter().map(|n| n.record).collect::<Vec<_>>(),
+                one_shot.iter().map(|n| n.record).collect::<Vec<_>>()
+            );
+            assert_eq!(cs, os, "cursor reuse changed the traversal stats");
+        }
     }
 
     #[test]

@@ -115,7 +115,7 @@ pub fn farthest_knn<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
         stats.nodes_visited += 1;
         if node.is_leaf() {
             stats.leaves_visited += 1;
-            for e in &node.entries {
+            for e in node.entries() {
                 if maxdist_sq(q, &e.mbr) <= far.bound_sq() {
                     stats.pruned_upward += 1;
                     continue;
@@ -129,7 +129,7 @@ pub fn farthest_knn<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
                 });
             }
         } else {
-            for e in &node.entries {
+            for e in node.entries() {
                 let d = maxdist_sq(q, &e.mbr);
                 if d > far.bound_sq() {
                     queue.push((Key(d), e.child()));
@@ -157,7 +157,8 @@ mod tests {
         let mut pts = Vec::new();
         for i in 0..n {
             let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
-            tree.insert(Rect::from_point(p), RecordId(i as u64)).unwrap();
+            tree.insert(Rect::from_point(p), RecordId(i as u64))
+                .unwrap();
             pts.push(p);
         }
         (tree, pts)

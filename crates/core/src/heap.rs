@@ -55,6 +55,20 @@ impl<const D: usize> KnnHeap<D> {
         self.k
     }
 
+    /// Clears the heap and re-arms it for a new query with the given `k`,
+    /// keeping the existing storage allocation (the reusable-cursor path).
+    ///
+    /// # Panics
+    /// Panics if `k` is zero.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "k must be at least 1");
+        self.k = k;
+        self.heap.clear();
+        if self.heap.capacity() < k + 1 {
+            self.heap.reserve(k + 1 - self.heap.len());
+        }
+    }
+
     /// Number of candidates currently held (at most k).
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -97,13 +111,26 @@ impl<const D: usize> KnnHeap<D> {
     /// distance (ties broken by record id for determinism).
     pub fn into_sorted(self) -> Vec<Neighbor<D>> {
         let mut v: Vec<Neighbor<D>> = self.heap.into_iter().map(|i| i.0).collect();
-        v.sort_by(|a, b| {
-            a.dist_sq
-                .total_cmp(&b.dist_sq)
-                .then_with(|| a.record.cmp(&b.record))
-        });
+        sort_neighbors(&mut v);
         v
     }
+
+    /// Drains the heap into a sorted result vector (same order as
+    /// [`KnnHeap::into_sorted`]) while keeping the heap's storage for the
+    /// next [`KnnHeap::reset`].
+    pub fn drain_sorted(&mut self) -> Vec<Neighbor<D>> {
+        let mut v: Vec<Neighbor<D>> = self.heap.drain().map(|i| i.0).collect();
+        sort_neighbors(&mut v);
+        v
+    }
+}
+
+fn sort_neighbors<const D: usize>(v: &mut [Neighbor<D>]) {
+    v.sort_by(|a, b| {
+        a.dist_sq
+            .total_cmp(&b.dist_sq)
+            .then_with(|| a.record.cmp(&b.record))
+    });
 }
 
 #[cfg(test)]
@@ -181,5 +208,23 @@ mod tests {
     #[should_panic(expected = "k must be at least 1")]
     fn zero_k_is_rejected() {
         KnnHeap::<2>::new(0);
+    }
+
+    #[test]
+    fn reset_and_drain_reuse_the_buffer_across_queries() {
+        let mut h = KnnHeap::<2>::new(2);
+        h.offer(RecordId(0), r(1.0), 1.0);
+        h.offer(RecordId(1), r(2.0), 2.0);
+        let first = h.drain_sorted();
+        assert_eq!(first.len(), 2);
+        assert!(h.is_empty());
+        h.reset(1);
+        assert_eq!(h.k(), 1);
+        assert_eq!(h.bound_sq(), f64::INFINITY);
+        h.offer(RecordId(7), r(3.0), 3.0);
+        h.offer(RecordId(8), r(4.0), 4.0); // rejected: worse than the k=1 bound
+        let second = h.drain_sorted();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].record, RecordId(7));
     }
 }

@@ -137,7 +137,7 @@ impl<const D: usize, R: Refiner<D>, T: TreeAccess<D> + ?Sized> Iterator
                     self.stats.nodes_visited += 1;
                     if node.is_leaf() {
                         self.stats.leaves_visited += 1;
-                        for e in &node.entries {
+                        for e in node.entries() {
                             self.queue.push(Reverse(Keyed {
                                 dist: mindist_sq(&self.q, &e.mbr),
                                 rank: 1,
@@ -145,7 +145,7 @@ impl<const D: usize, R: Refiner<D>, T: TreeAccess<D> + ?Sized> Iterator
                             }));
                         }
                     } else {
-                        for e in &node.entries {
+                        for e in node.entries() {
                             self.queue.push(Reverse(Keyed {
                                 dist: mindist_sq(&self.q, &e.mbr),
                                 rank: 2,
@@ -177,7 +177,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         for i in 0..n {
             let p = Point::new([rng.random_range(0.0..50.0), rng.random_range(0.0..50.0)]);
-            tree.insert(Rect::from_point(p), RecordId(i as u64)).unwrap();
+            tree.insert(Rect::from_point(p), RecordId(i as u64))
+                .unwrap();
         }
         tree
     }

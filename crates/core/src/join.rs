@@ -8,7 +8,7 @@
 //! queries land in the same region of the tree, so a small buffer pool
 //! serves most node reads from cache (experiment E12 measures this).
 
-use crate::branch_bound::NnSearch;
+use crate::branch_bound::{NnSearch, QueryCursor};
 use crate::options::{Neighbor, NnOptions};
 use crate::refine::Refiner;
 use crate::Result;
@@ -42,13 +42,14 @@ where
 {
     assert!(k > 0, "k must be at least 1");
     let search = NnSearch::with_options(tree, opts);
+    let mut cursor = QueryCursor::new();
     let mut results: Vec<Vec<Neighbor<D>>> = vec![Vec::new(); outer.len()];
     let schedule: Vec<usize> = match order {
         JoinOrder::AsGiven => (0..outer.len()).collect(),
         JoinOrder::Hilbert => hilbert_schedule(outer),
     };
     for idx in schedule {
-        let (found, _) = search.query_refined(&outer[idx], k, refiner)?;
+        let (found, _) = search.query_refined_with(&mut cursor, &outer[idx], k, refiner)?;
         results[idx] = found;
     }
     Ok(results)

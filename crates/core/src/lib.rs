@@ -77,13 +77,13 @@ mod scan;
 mod spatial_join;
 
 pub use best_first::best_first_knn;
-pub use branch_bound::NnSearch;
+pub use branch_bound::{NnSearch, QueryCursor};
 pub use explain::{Decision, Trace, TraceEvent};
 pub use farthest::farthest_knn;
 pub use heap::KnnHeap;
+pub use incremental::IncrementalNn;
 pub use join::{hilbert_schedule, knn_join, JoinOrder};
 pub use metric_knn::metric_knn;
-pub use incremental::IncrementalNn;
 pub use options::{AblOrdering, Neighbor, NnOptions, SearchStats};
 pub use parallel::par_knn_batch;
 pub use radius::{count_within_radius, within_radius};

@@ -70,7 +70,7 @@ pub fn metric_knn<const D: usize, T: TreeAccess<D> + ?Sized>(
         stats.nodes_visited += 1;
         if node.is_leaf() {
             stats.leaves_visited += 1;
-            for e in &node.entries {
+            for e in node.entries() {
                 // The object is its MBR: the metric distance to the
                 // nearest point of the box is exact for points/rects.
                 let d = metric.rect_mindist(q, &e.mbr);
@@ -78,7 +78,7 @@ pub fn metric_knn<const D: usize, T: TreeAccess<D> + ?Sized>(
                 heap.offer(e.record(), e.mbr, d * d);
             }
         } else {
-            for e in &node.entries {
+            for e in node.entries() {
                 let d = metric.rect_mindist(q, &e.mbr);
                 if d * d < heap.bound_sq() {
                     queue.push(Reverse((Key(d), e.child())));
@@ -103,7 +103,8 @@ mod tests {
         let mut pts = Vec::new();
         for i in 0..n {
             let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
-            tree.insert(Rect::from_point(p), RecordId(i as u64)).unwrap();
+            tree.insert(Rect::from_point(p), RecordId(i as u64))
+                .unwrap();
             pts.push(p);
         }
         (tree, pts)
@@ -115,11 +116,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
             for _ in 0..20 {
-                let q =
-                    Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
+                let q = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
                 let (got, _) = metric_knn(&tree, &q, 8, metric).unwrap();
-                let mut want: Vec<f64> =
-                    pts.iter().map(|p| metric.point_dist(&q, p)).collect();
+                let mut want: Vec<f64> = pts.iter().map(|p| metric.point_dist(&q, p)).collect();
                 want.sort_by(f64::total_cmp);
                 let gd: Vec<f64> = got.iter().map(Neighbor::dist).collect();
                 for (g, w) in gd.iter().zip(&want[..8]) {

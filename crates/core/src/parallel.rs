@@ -6,7 +6,7 @@
 //! backends are internally synchronized for reads (`&self` queries), so
 //! workers share one tree.
 
-use crate::branch_bound::NnSearch;
+use crate::branch_bound::{NnSearch, QueryCursor};
 use crate::options::{Neighbor, NnOptions};
 use crate::refine::Refiner;
 use crate::Result;
@@ -51,9 +51,14 @@ where
     }
     if threads == 1 || queries.len() == 1 {
         let search = NnSearch::with_options(tree, opts);
+        let mut cursor = QueryCursor::new();
         return queries
             .iter()
-            .map(|q| search.query_refined(q, k, refiner).map(|(n, _)| n))
+            .map(|q| {
+                search
+                    .query_refined_with(&mut cursor, q, k, refiner)
+                    .map(|(n, _)| n)
+            })
             .collect();
     }
 
@@ -61,13 +66,17 @@ where
     let mut results: Vec<Vec<Neighbor<D>>> = vec![Vec::new(); queries.len()];
     let out_chunks: Vec<&mut [Vec<Neighbor<D>>]> = results.chunks_mut(chunk).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (qs, outs) in queries.chunks(chunk).zip(out_chunks) {
-            handles.push(scope.spawn(move |_| -> Result<()> {
+            handles.push(scope.spawn(move || -> Result<()> {
                 let search = NnSearch::with_options(tree, opts);
+                // One cursor per worker: all per-query scratch (ABL
+                // buffers, selection scratch, candidate heap) is reused
+                // across the worker's whole share of the batch.
+                let mut cursor = QueryCursor::new();
                 for (q, out) in qs.iter().zip(outs.iter_mut()) {
-                    let (found, _) = search.query_refined(q, k, refiner)?;
+                    let (found, _) = search.query_refined_with(&mut cursor, q, k, refiner)?;
                     *out = found;
                 }
                 Ok(())
@@ -77,8 +86,7 @@ where
             h.join().expect("worker panicked")?;
         }
         Ok::<(), crate::Error>(())
-    })
-    .expect("scope panicked")?;
+    })?;
 
     Ok(results)
 }
@@ -97,7 +105,8 @@ mod tests {
         let mut tree = MemRTree::new();
         for i in 0..n {
             let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
-            tree.insert(Rect::from_point(p), RecordId(i as u64)).unwrap();
+            tree.insert(Rect::from_point(p), RecordId(i as u64))
+                .unwrap();
         }
         let queries = (0..nq)
             .map(|_| Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]))
@@ -110,9 +119,15 @@ mod tests {
         let (tree, queries) = tree_and_queries(5_000, 200);
         let seq = par_knn_batch(&tree, &queries, 5, NnOptions::default(), &MbrRefiner, 1).unwrap();
         for threads in [2, 4, 7] {
-            let par =
-                par_knn_batch(&tree, &queries, 5, NnOptions::default(), &MbrRefiner, threads)
-                    .unwrap();
+            let par = par_knn_batch(
+                &tree,
+                &queries,
+                5,
+                NnOptions::default(),
+                &MbrRefiner,
+                threads,
+            )
+            .unwrap();
             assert_eq!(par.len(), seq.len());
             for (a, b) in par.iter().zip(&seq) {
                 assert_eq!(

@@ -34,7 +34,7 @@ pub fn within_radius<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
         stats.nodes_visited += 1;
         if node.is_leaf() {
             stats.leaves_visited += 1;
-            for e in &node.entries {
+            for e in node.entries() {
                 if mindist_sq(q, &e.mbr) > radius_sq {
                     stats.pruned_upward += 1;
                     continue;
@@ -50,7 +50,7 @@ pub fn within_radius<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
                 }
             }
         } else {
-            for e in &node.entries {
+            for e in node.entries() {
                 if mindist_sq(q, &e.mbr) <= radius_sq {
                     stack.push(e.child());
                 } else {
@@ -93,7 +93,8 @@ mod tests {
         for x in 0..n_side {
             for y in 0..n_side {
                 let p = Point::new([x as f64, y as f64]);
-                tree.insert(Rect::from_point(p), RecordId(x * n_side + y)).unwrap();
+                tree.insert(Rect::from_point(p), RecordId(x * n_side + y))
+                    .unwrap();
             }
         }
         tree

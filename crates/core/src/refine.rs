@@ -87,6 +87,9 @@ mod tests {
     fn fn_refiner_delegates() {
         let refiner = FnRefiner::new(|rid: RecordId, _: &Rect<2>, _: &Point<2>| rid.0 as f64);
         let r = Rect::from_point(Point::new([0.0, 0.0]));
-        assert_eq!(refiner.dist_sq(RecordId(7), &r, &Point::new([0.0, 0.0])), 7.0);
+        assert_eq!(
+            refiner.dist_sq(RecordId(7), &r, &Point::new([0.0, 0.0])),
+            7.0
+        );
     }
 }

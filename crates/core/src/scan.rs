@@ -33,13 +33,13 @@ pub fn linear_scan_knn<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>
         stats.nodes_visited += 1;
         if node.is_leaf() {
             stats.leaves_visited += 1;
-            for e in &node.entries {
+            for e in node.entries() {
                 let exact = refiner.dist_sq(e.record(), &e.mbr, q);
                 stats.dist_computations += 1;
                 heap.offer(e.record(), e.mbr, exact);
             }
         } else {
-            for e in &node.entries {
+            for e in node.entries() {
                 stack.push(e.child());
             }
         }

@@ -9,7 +9,7 @@
 
 use crate::Result;
 use nnq_geom::Rect;
-use nnq_rtree::{NodeRef, RecordId, TreeAccess};
+use nnq_rtree::{NodeView, RecordId, TreeAccess};
 
 /// Work counters for one join.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -57,7 +57,7 @@ fn read_left<const D: usize, L: TreeAccess<D> + ?Sized>(
     tree: &L,
     page: nnq_storage::PageId,
     stats: &mut JoinStats,
-) -> Result<NodeRef<D>> {
+) -> Result<NodeView<D>> {
     stats.nodes_left += 1;
     tree.access_node(page)
 }
@@ -66,7 +66,7 @@ fn read_right<const D: usize, R: TreeAccess<D> + ?Sized>(
     tree: &R,
     page: nnq_storage::PageId,
     stats: &mut JoinStats,
-) -> Result<NodeRef<D>> {
+) -> Result<NodeView<D>> {
     stats.nodes_right += 1;
     tree.access_node(page)
 }
@@ -74,8 +74,8 @@ fn read_right<const D: usize, R: TreeAccess<D> + ?Sized>(
 fn join<const D: usize, L, R>(
     left: &L,
     right: &R,
-    a: &NodeRef<D>,
-    b: &NodeRef<D>,
+    a: &NodeView<D>,
+    b: &NodeView<D>,
     out: &mut Vec<(RecordId, RecordId)>,
     stats: &mut JoinStats,
 ) -> Result<()>
@@ -86,8 +86,8 @@ where
     match (a.is_leaf(), b.is_leaf()) {
         (true, true) => {
             // Emit intersecting record pairs.
-            for ea in &a.entries {
-                for eb in &b.entries {
+            for ea in a.entries() {
+                for eb in b.entries() {
                     if ea.mbr.intersects(&eb.mbr) {
                         out.push((ea.record(), eb.record()));
                     }
@@ -109,13 +109,13 @@ where
             }
         }
         (false, false) => {
-            if a.level > b.level {
+            if a.level() > b.level() {
                 let b_mbr = b.mbr();
                 for ea in entries_intersecting(a, &b_mbr) {
                     let child = read_left(left, ea, stats)?;
                     join(left, right, &child, b, out, stats)?;
                 }
-            } else if b.level > a.level {
+            } else if b.level() > a.level() {
                 let a_mbr = a.mbr();
                 for eb in entries_intersecting(b, &a_mbr) {
                     let child = read_right(right, eb, stats)?;
@@ -123,8 +123,8 @@ where
                 }
             } else {
                 // Same level: pairwise descent into intersecting children.
-                for ea in &a.entries {
-                    for eb in &b.entries {
+                for ea in a.entries() {
+                    for eb in b.entries() {
                         if ea.mbr.intersects(&eb.mbr) {
                             let ca = read_left(left, ea.child(), stats)?;
                             let cb = read_right(right, eb.child(), stats)?;
@@ -139,10 +139,10 @@ where
 }
 
 fn entries_intersecting<const D: usize>(
-    node: &NodeRef<D>,
+    node: &NodeView<D>,
     window: &Rect<D>,
 ) -> Vec<nnq_storage::PageId> {
-    node.entries
+    node.entries()
         .iter()
         .filter(|e| e.mbr.intersects(window))
         .map(|e| e.child())
@@ -182,10 +182,7 @@ mod tests {
         tree
     }
 
-    fn brute(
-        a: &[(Rect<2>, RecordId)],
-        b: &[(Rect<2>, RecordId)],
-    ) -> BTreeSet<(u64, u64)> {
+    fn brute(a: &[(Rect<2>, RecordId)], b: &[(Rect<2>, RecordId)]) -> BTreeSet<(u64, u64)> {
         let mut out = BTreeSet::new();
         for (ra, ia) in a {
             for (rb, ib) in b {

@@ -23,9 +23,7 @@ fn build_tree(
     let mut cfg = RTreeConfig::with_split(split);
     cfg.max_entries_override = Some(fanout);
     match bulk {
-        Some(method) => {
-            RTree::bulk_load(mem_pool(), cfg, items.to_vec(), method, 1.0).unwrap()
-        }
+        Some(method) => RTree::bulk_load(mem_pool(), cfg, items.to_vec(), method, 1.0).unwrap(),
         None => {
             let mut tree = RTree::create(mem_pool(), cfg).unwrap();
             for (r, id) in items {

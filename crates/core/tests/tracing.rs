@@ -12,7 +12,8 @@ fn tree(n: usize, seed: u64) -> MemRTree<2> {
     let mut tree = MemRTree::with_config(nnq_rtree::RTreeConfig::default(), 8);
     for i in 0..n {
         let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
-        tree.insert(Rect::from_point(p), RecordId(i as u64)).unwrap();
+        tree.insert(Rect::from_point(p), RecordId(i as u64))
+            .unwrap();
     }
     tree
 }
@@ -129,7 +130,10 @@ fn visited_branches_respect_mindist_order_per_node() {
     }
     assert!(!root_prefix.is_empty());
     for w in root_prefix.windows(2) {
-        assert!(w[0] <= w[1], "root ABL out of MINDIST order: {root_prefix:?}");
+        assert!(
+            w[0] <= w[1],
+            "root ABL out of MINDIST order: {root_prefix:?}"
+        );
     }
 }
 

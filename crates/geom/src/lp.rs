@@ -30,9 +30,7 @@ impl Metric {
         match self {
             Metric::Euclidean => a.dist(b),
             Metric::Manhattan => (0..D).map(|i| (a[i] - b[i]).abs()).sum(),
-            Metric::Chebyshev => (0..D)
-                .map(|i| (a[i] - b[i]).abs())
-                .fold(0.0, f64::max),
+            Metric::Chebyshev => (0..D).map(|i| (a[i] - b[i]).abs()).fold(0.0, f64::max),
         }
     }
 

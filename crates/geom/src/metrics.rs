@@ -108,10 +108,17 @@ pub fn mindist_sq<const D: usize>(p: &Point<D>, r: &Rect<D>) -> f64 {
 /// Returns `+∞` for empty rectangles. For a degenerate (point) rectangle it
 /// equals `MINDIST`.
 ///
-/// Implementation note: computed in `O(D)` using the standard
-/// running-sum decomposition — precompute `S = Σ_i |p_i − rM_i|²` over the
-/// farther corners, then each candidate `k` is
-/// `S − |p_k − rM_k|² + |p_k − rm_k|²`.
+/// Implementation note: each candidate `k` is summed directly in dimension
+/// order, `Σ_i (i == k ? |p_i − rm_i|² : |p_i − rM_i|²)`, rather than via
+/// the `O(D)` running-sum decomposition `S − |p_k − rM_k|² + |p_k − rm_k|²`.
+/// The running sum cancels `far_sq[k]` back out of `S` and can land one ulp
+/// *below* the true value; for degenerate rectangles (where MINMAXDIST
+/// equals MINDIST mathematically, e.g. axis-parallel segment MBRs) that
+/// made `minmaxdist_sq < mindist_sq`, which broke the strategy-2 pruning
+/// invariant "some object lies within MINMAXDIST" and let kNN drop a true
+/// neighbor. Direct summation keeps the rounding identical to
+/// [`mindist_sq`] in the tie case, and `O(D²)` over a const-generic `D`
+/// fully unrolls anyway.
 #[inline]
 pub fn minmaxdist_sq<const D: usize>(p: &Point<D>, r: &Rect<D>) -> f64 {
     if r.is_empty() {
@@ -119,7 +126,6 @@ pub fn minmaxdist_sq<const D: usize>(p: &Point<D>, r: &Rect<D>) -> f64 {
     }
     // rm_k: coordinate of the nearer face along k.
     // rM_i: coordinate of the farther face along i.
-    let mut far_sum = 0.0;
     let mut far_sq = [0.0; D];
     let mut near_sq = [0.0; D];
     for i in 0..D {
@@ -134,11 +140,13 @@ pub fn minmaxdist_sq<const D: usize>(p: &Point<D>, r: &Rect<D>) -> f64 {
         let df = c - far;
         near_sq[i] = dn * dn;
         far_sq[i] = df * df;
-        far_sum += far_sq[i];
     }
     let mut best = f64::INFINITY;
     for k in 0..D {
-        let cand = far_sum - far_sq[k] + near_sq[k];
+        let mut cand = 0.0;
+        for i in 0..D {
+            cand += if i == k { near_sq[i] } else { far_sq[i] };
+        }
         if cand < best {
             best = cand;
         }
@@ -264,6 +272,37 @@ mod tests {
         // candidates along y/z: near 1, far x dist 3^2=9 ... k=x wins.
         assert_eq!(minmaxdist_sq(&p, &r), 3.0);
         assert_eq!(maxdist_sq(&p, &r), 9.0 + 1.0 + 1.0);
+    }
+
+    #[test]
+    fn minmaxdist_degenerate_rect_is_not_below_mindist() {
+        // Regression: for a zero-extent dimension, MINMAXDIST == MINDIST
+        // mathematically, and the implementation must honor that *bitwise* —
+        // the old running-sum form landed one ulp below MINDIST here, which
+        // made strategy-2 object pruning drop a true nearest neighbor.
+        // Coordinates are the vertical TIGER-like segment MBR and query from
+        // the failing seed test (tests/tests/concurrency_and_heap.rs).
+        let r = r2(
+            [13208.574660136528, 14944.100107353193],
+            [13208.574660136528, 15079.90946297344],
+        );
+        let p = Point::new([16434.215881051285, 7556.259730736836]);
+        let lo = mindist_sq(&p, &r);
+        let mid = minmaxdist_sq(&p, &r);
+        assert_eq!(mid, lo, "degenerate MBR: minmaxdist {mid} != mindist {lo}");
+
+        // Same invariant swept over both axis orientations and a grid of
+        // awkward large-magnitude positions.
+        for i in 0..50 {
+            let t = i as f64 * 997.13 + 0.123_456_789;
+            let vert = r2([13208.5 + t, 14944.1], [13208.5 + t, 15079.9]);
+            let horiz = r2([14944.1, 13208.5 + t], [15079.9, 13208.5 + t]);
+            for r in [vert, horiz] {
+                let lo = mindist_sq(&p, &r);
+                let mid = minmaxdist_sq(&p, &r);
+                assert!(mid >= lo, "minmaxdist {mid} < mindist {lo} for {r:?}");
+            }
+        }
     }
 
     #[test]

@@ -171,13 +171,7 @@ impl<const D: usize> KdTree<D> {
         (heap.into_sorted(), stats)
     }
 
-    fn search(
-        &self,
-        node: usize,
-        q: &Point<D>,
-        heap: &mut KnnHeap<D>,
-        stats: &mut SearchStats,
-    ) {
+    fn search(&self, node: usize, q: &Point<D>, heap: &mut KnnHeap<D>, stats: &mut SearchStats) {
         stats.nodes_visited += 1;
         match &self.nodes[node] {
             Node::Leaf { start, end, .. } => {

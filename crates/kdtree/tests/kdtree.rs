@@ -44,7 +44,10 @@ fn knn_matches_brute_force_on_random_data() {
     let tree = KdTree::build(pts, 16);
     let mut rng = StdRng::seed_from_u64(4);
     for _ in 0..50 {
-        let q = Point::new([rng.random_range(-10.0..110.0), rng.random_range(-10.0..110.0)]);
+        let q = Point::new([
+            rng.random_range(-10.0..110.0),
+            rng.random_range(-10.0..110.0),
+        ]);
         for k in [1usize, 5, 20] {
             let (got, _) = tree.knn(&q, k);
             let want = scan_items_knn(&items, &q, k, &MbrRefiner);

@@ -42,7 +42,7 @@ pub enum BulkMethod {
     LowX,
 }
 
-impl<const D: usize> RTree<D, PagedStore> {
+impl<const D: usize> RTree<D, PagedStore<D>> {
     /// Builds a packed paged tree from `items` in one bottom-up pass.
     ///
     /// Nodes are filled to `fill` of capacity (clamped to `[0.5, 1.0]`;

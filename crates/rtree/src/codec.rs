@@ -44,6 +44,10 @@ pub const fn node_capacity(page_size: usize, dims: usize) -> usize {
 
 /// A decoded node as exchanged with a [`crate::NodeStore`]: its level
 /// (0 = leaf) and entries.
+///
+/// Stores hand these out behind `Arc`s (see [`crate::NodeStore::read`]),
+/// so a decoded node is immutable once published.
+#[derive(Clone, Debug)]
 pub struct RawNode<const D: usize> {
     /// Node level (0 = leaf).
     pub level: u16,

@@ -67,7 +67,9 @@ impl RTreeConfig {
 
     /// The effective maximum entries per node given a backend capacity.
     pub fn effective_max(&self, capacity: usize) -> usize {
-        let m = self.max_entries_override.map_or(capacity, |o| o.min(capacity));
+        let m = self
+            .max_entries_override
+            .map_or(capacity, |o| o.min(capacity));
         assert!(m >= 4, "node fanout must be at least 4, got {m}");
         m
     }
@@ -75,8 +77,7 @@ impl RTreeConfig {
     /// The minimum entries per non-root node derived from
     /// [`RTreeConfig::min_fill`]. At least 2, at most half the maximum.
     pub fn min_entries(&self, max_entries: usize) -> usize {
-        ((max_entries as f64 * self.min_fill).floor() as usize)
-            .clamp(2, max_entries / 2)
+        ((max_entries as f64 * self.min_fill).floor() as usize).clamp(2, max_entries / 2)
     }
 
     /// Number of entries the R\* forced-reinsert pass removes.

@@ -61,13 +61,13 @@ impl<const D: usize, S: NodeStore<D>> Iterator for WindowIter<'_, D, S> {
             self.nodes_read += 1;
             if node.is_leaf() {
                 self.pending.extend(
-                    node.entries
+                    node.entries()
                         .iter()
                         .filter(|e| e.mbr.intersects(&self.window))
                         .copied(),
                 );
             } else {
-                for e in &node.entries {
+                for e in node.entries() {
                     if e.mbr.intersects(&self.window) {
                         self.stack.push(e.child());
                     }
@@ -112,7 +112,7 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
         while let Some(page) = stack.pop() {
             let node = self.read_node(page)?;
             if !node.is_leaf() {
-                for e in &node.entries {
+                for e in node.entries() {
                     stack.push(e.child());
                 }
             }
@@ -150,12 +150,14 @@ mod tests {
     fn window_iter_matches_materialized_query() {
         let tree = grid(20);
         let w = Rect::new(Point::new([3.0, 5.0]), Point::new([11.0, 9.0]));
-        let mut lazy: Vec<u64> = tree
-            .window_iter(w)
-            .map(|r| r.unwrap().1 .0)
-            .collect();
+        let mut lazy: Vec<u64> = tree.window_iter(w).map(|r| r.unwrap().1 .0).collect();
         lazy.sort_unstable();
-        let mut eager: Vec<u64> = tree.window(&w).unwrap().iter().map(|(_, id)| id.0).collect();
+        let mut eager: Vec<u64> = tree
+            .window(&w)
+            .unwrap()
+            .iter()
+            .map(|(_, id)| id.0)
+            .collect();
         eager.sort_unstable();
         assert_eq!(lazy, eager);
     }
@@ -197,7 +199,10 @@ mod tests {
         let new = Rect::from_point(Point::new([100.0, 100.0]));
         tree.update(&old, RecordId(2 * 5 + 2), new).unwrap();
         tree.validate_strict().unwrap();
-        assert!(tree.point_query(&Point::new([2.0, 2.0])).unwrap().is_empty());
+        assert!(tree
+            .point_query(&Point::new([2.0, 2.0]))
+            .unwrap()
+            .is_empty());
         let hits = tree.point_query(&Point::new([100.0, 100.0])).unwrap();
         assert_eq!(hits, vec![(new, RecordId(12))]);
         assert_eq!(tree.len(), 25);

@@ -62,8 +62,9 @@ pub use codec::{node_capacity, Meta, RawNode};
 pub use config::{RTreeConfig, SplitStrategy};
 pub use entry::{Entry, RecordId};
 pub use iter::WindowIter;
+pub use store::NodeCacheStats;
 pub use store::{MemStore, NodeStore, PagedStore};
-pub use tree::{MemRTree, NodeRef, RTree, TreeAccess};
+pub use tree::{MemRTree, NodeView, RTree, TreeAccess};
 pub use validate::TreeStats;
 
 /// Errors produced by R-tree operations.

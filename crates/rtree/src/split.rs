@@ -58,8 +58,7 @@ fn linear_split<const D: usize>(
                 lo_hi_idx = i;
             }
         }
-        let sep =
-            (entries[hi_lo_idx].mbr.lo()[dim] - entries[lo_hi_idx].mbr.hi()[dim]) / width;
+        let sep = (entries[hi_lo_idx].mbr.lo()[dim] - entries[lo_hi_idx].mbr.hi()[dim]) / width;
         if sep > best_sep && hi_lo_idx != lo_hi_idx {
             best_sep = sep;
             best_dim = dim;
@@ -290,9 +289,7 @@ fn rstar_split<const D: usize>(
             let area = left.area() + right.area();
             let better = match &best {
                 None => true,
-                Some((_, _, bo, ba)) => {
-                    overlap < *bo || (overlap == *bo && area < *ba)
-                }
+                Some((_, _, bo, ba)) => overlap < *bo || (overlap == *bo && area < *ba),
             };
             if better {
                 best = Some((sort_by_hi, k, overlap, area));

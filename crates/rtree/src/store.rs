@@ -4,30 +4,42 @@
 //! written once against the [`NodeStore`] trait; two backends implement it:
 //!
 //! * [`PagedStore`] — one node per fixed-size disk page on an
-//!   `nnq-storage` buffer pool. This is the configuration the paper
-//!   measures (every node read is a page access).
+//!   `nnq-storage` buffer pool, fronted by a decoded-node cache. This is
+//!   the configuration the paper measures (every node read is a page
+//!   access).
 //! * [`MemStore`] — an arena of heap-allocated nodes with a configurable
 //!   fanout. No page accounting, maximum speed; the "rstar-style"
 //!   in-memory index for applications that don't need persistence.
+//!
+//! `read` hands out `Arc<RawNode<D>>` in both backends, so navigating a
+//! tree shares decoded nodes instead of copying entry arrays: the paged
+//! backend serves repeat reads from its cache, and the in-memory backend
+//! clones an `Arc` straight out of the arena.
 
 use crate::codec::{decode_meta, decode_node, encode_meta, encode_node, Meta, RawNode};
 use crate::entry::Entry;
-use crate::{Result, RTreeError};
+use crate::{RTreeError, Result};
 use nnq_storage::{BufferPool, PageId};
 use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Storage backend for R-tree nodes and the tree's metadata.
 ///
 /// Node handles are [`PageId`]s in every backend (the in-memory backend
 /// uses dense arena indices wrapped in `PageId`), so navigation types like
-/// [`crate::NodeRef`] are backend-independent.
+/// [`crate::NodeView`] are backend-independent.
 pub trait NodeStore<const D: usize> {
     /// Maximum entries a node may hold in this backend.
     fn node_capacity(&self) -> usize;
 
     /// Reads the node stored under `id`.
-    fn read(&self, id: PageId) -> Result<RawNode<D>>;
+    ///
+    /// The returned node is shared: backends may hand the same `Arc` to
+    /// many readers, so the contents must be treated as an immutable
+    /// snapshot (mutation goes through [`NodeStore::write`]).
+    fn read(&self, id: PageId) -> Result<Arc<RawNode<D>>>;
 
     /// Overwrites the node stored under `id`.
     fn write(&self, id: PageId, level: u16, entries: &[Entry<D>]) -> Result<()>;
@@ -43,31 +55,224 @@ pub trait NodeStore<const D: usize> {
 }
 
 // ---------------------------------------------------------------------------
+// Decoded-node cache
+// ---------------------------------------------------------------------------
+
+/// Counters for the decoded-node cache, snapshot by
+/// [`PagedStore::cache_stats`].
+///
+/// These sit *beside* the buffer pool's [`nnq_storage::PoolStats`]: the
+/// pool counts page accesses (the paper's cost metric), the node cache
+/// counts how many of those accesses were also spared a decode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeCacheStats {
+    /// Node reads served from the cache (no decode, no entry allocation).
+    pub hits: u64,
+    /// Node reads that had to decode the page.
+    pub misses: u64,
+    /// Live entries dropped to make room for newer ones.
+    pub evictions: u64,
+    /// Entries dropped because their page was written, freed, or
+    /// reallocated.
+    pub invalidations: u64,
+    /// Nodes currently cached.
+    pub len: usize,
+    /// Maximum nodes the cache will hold (`0` disables caching).
+    pub capacity: usize,
+}
+
+impl NodeCacheStats {
+    /// Fraction of node reads served without decoding; `0.0` when no
+    /// reads have happened (same convention as
+    /// [`nnq_storage::PoolStats::hit_rate`]).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// FIFO-evicted map from page id to its decoded node.
+///
+/// Invalidation only removes from the map; the FIFO queue keeps a stale
+/// id until eviction (or a periodic compaction) skips past it. Counters
+/// live outside the lock so concurrent readers don't serialize on stats.
+struct NodeCache<const D: usize> {
+    capacity: usize,
+    inner: RwLock<CacheInner<D>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+struct CacheInner<const D: usize> {
+    map: HashMap<PageId, Arc<RawNode<D>>>,
+    fifo: VecDeque<PageId>,
+}
+
+impl<const D: usize> NodeCache<D> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: RwLock::new(CacheInner {
+                map: HashMap::new(),
+                fifo: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn get(&self, id: PageId) -> Option<Arc<RawNode<D>>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let found = self.inner.read().map.get(&id).cloned();
+        match found {
+            Some(node) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(node)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, id: PageId, node: Arc<RawNode<D>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.write();
+        if inner.map.insert(id, node).is_some() {
+            return; // refreshed in place; id already queued
+        }
+        while inner.map.len() > self.capacity {
+            match inner.fifo.pop_front() {
+                Some(old) => {
+                    if inner.map.remove(&old).is_some() {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    } // else: stale id left behind by an invalidation
+                }
+                None => break,
+            }
+        }
+        inner.fifo.push_back(id);
+        // Invalidations leave stale ids queued; rebuild once the queue is
+        // clearly dominated by them so it can't grow without bound.
+        if inner.fifo.len() > (2 * self.capacity).max(16) {
+            let mut seen = HashSet::with_capacity(inner.map.len());
+            let mut kept = VecDeque::with_capacity(inner.map.len());
+            let CacheInner { map, fifo } = &mut *inner;
+            for &p in fifo.iter().rev() {
+                if map.contains_key(&p) && seen.insert(p) {
+                    kept.push_front(p);
+                }
+            }
+            inner.fifo = kept;
+        }
+    }
+
+    fn invalidate(&self, id: PageId) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.inner.write().map.remove(&id).is_some() {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn clear(&self) {
+        let mut inner = self.inner.write();
+        inner.map.clear();
+        inner.fifo.clear();
+    }
+
+    fn stats(&self) -> NodeCacheStats {
+        NodeCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            len: self.inner.read().map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // PagedStore
 // ---------------------------------------------------------------------------
 
-/// Disk-page-backed node storage (one node per page, meta on its own page).
-pub struct PagedStore {
+/// Disk-page-backed node storage (one node per page, meta on its own
+/// page), fronted by a capacity-bounded decoded-node cache.
+///
+/// Every `read` still performs a buffer-pool `fetch` — logical and
+/// physical page accounting, and the pool's frame recency, are identical
+/// with or without the cache — but a cached page skips the decode and the
+/// per-read entry-array allocation, returning a shared `Arc<RawNode>`.
+pub struct PagedStore<const D: usize> {
     pool: Arc<BufferPool>,
     meta_page: PageId,
+    cache: NodeCache<D>,
 }
 
-impl PagedStore {
+impl<const D: usize> PagedStore<D> {
+    /// Default decoded-node cache capacity, in nodes. At the default page
+    /// size a 2-d node is ~4 KiB of entries, so this is a few MiB — small
+    /// next to the buffer pool it shadows.
+    pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
     /// Creates a store, allocating a fresh meta page.
     pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
+        Self::create_with_cache(pool, Self::DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Creates a store with an explicit decoded-node cache capacity
+    /// (`0` disables the cache).
+    pub fn create_with_cache(pool: Arc<BufferPool>, cache_capacity: usize) -> Result<Self> {
         let (meta_page, guard) = pool.new_page()?;
         drop(guard);
-        Ok(Self { pool, meta_page })
+        Ok(Self {
+            pool,
+            meta_page,
+            cache: NodeCache::new(cache_capacity),
+        })
     }
 
     /// Opens a store whose meta page is `meta_page`, returning the decoded
     /// metadata alongside.
     pub fn open(pool: Arc<BufferPool>, meta_page: PageId) -> Result<(Self, Meta)> {
+        Self::open_with_cache(pool, meta_page, Self::DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Opens a store with an explicit decoded-node cache capacity
+    /// (`0` disables the cache).
+    pub fn open_with_cache(
+        pool: Arc<BufferPool>,
+        meta_page: PageId,
+        cache_capacity: usize,
+    ) -> Result<(Self, Meta)> {
         let meta = {
             let guard = pool.fetch(meta_page)?;
             decode_meta(meta_page, &guard)?
         };
-        Ok((Self { pool, meta_page }, meta))
+        Ok((
+            Self {
+                pool,
+                meta_page,
+                cache: NodeCache::new(cache_capacity),
+            },
+            meta,
+        ))
     }
 
     /// The buffer pool under this store.
@@ -79,32 +284,59 @@ impl PagedStore {
     pub fn meta_page(&self) -> PageId {
         self.meta_page
     }
+
+    /// Snapshot of the decoded-node cache counters.
+    pub fn cache_stats(&self) -> NodeCacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached node (counters are kept). Useful for cold-cache
+    /// measurements.
+    pub fn clear_node_cache(&self) {
+        self.cache.clear();
+    }
 }
 
-impl<const D: usize> NodeStore<D> for PagedStore {
+impl<const D: usize> NodeStore<D> for PagedStore<D> {
     fn node_capacity(&self) -> usize {
         crate::codec::node_capacity(self.pool.page_size(), D)
     }
 
-    fn read(&self, id: PageId) -> Result<RawNode<D>> {
+    fn read(&self, id: PageId) -> Result<Arc<RawNode<D>>> {
+        // Fetch the page *before* consulting the cache so the pool's
+        // logical/physical read counters and frame recency are exactly
+        // what they would be without the node cache: the paper's cost
+        // metric is page accesses, and the cache must not change it.
         let guard = self.pool.fetch(id)?;
-        decode_node(id, &guard)
+        if let Some(node) = self.cache.get(id) {
+            return Ok(node);
+        }
+        let node = Arc::new(decode_node(id, &guard)?);
+        self.cache.insert(id, Arc::clone(&node));
+        Ok(node)
     }
 
     fn write(&self, id: PageId, level: u16, entries: &[Entry<D>]) -> Result<()> {
         let mut guard = self.pool.fetch_write(id)?;
         encode_node(&mut guard, level, entries);
+        drop(guard);
+        self.cache.invalidate(id);
         Ok(())
     }
 
     fn alloc(&self, level: u16, entries: &[Entry<D>]) -> Result<PageId> {
         let (page, mut guard) = self.pool.new_page()?;
         encode_node(&mut guard, level, entries);
+        drop(guard);
+        // The pool may hand back a previously freed page id; make sure no
+        // decoded ghost of the old occupant survives.
+        self.cache.invalidate(page);
         Ok(page)
     }
 
     fn free(&self, id: PageId) -> Result<()> {
         self.pool.delete_page(id)?;
+        self.cache.invalidate(id);
         Ok(())
     }
 
@@ -119,19 +351,17 @@ impl<const D: usize> NodeStore<D> for PagedStore {
 // MemStore
 // ---------------------------------------------------------------------------
 
-struct MemNode<const D: usize> {
-    level: u16,
-    entries: Vec<Entry<D>>,
-}
-
 /// Heap-arena node storage for the in-memory tree.
+///
+/// Slots hold `Arc<RawNode>` directly, so `read` is an `Arc` clone —
+/// no entry copying on any read path.
 pub struct MemStore<const D: usize> {
     capacity: usize,
     nodes: RwLock<MemArena<D>>,
 }
 
 struct MemArena<const D: usize> {
-    slots: Vec<Option<MemNode<D>>>,
+    slots: Vec<Option<Arc<RawNode<D>>>>,
     free: Vec<usize>,
 }
 
@@ -170,20 +400,17 @@ impl<const D: usize> NodeStore<D> for MemStore<D> {
         self.capacity
     }
 
-    fn read(&self, id: PageId) -> Result<RawNode<D>> {
+    fn read(&self, id: PageId) -> Result<Arc<RawNode<D>>> {
         let arena = self.nodes.read();
-        let node = arena
+        arena
             .slots
             .get(id.0 as usize)
             .and_then(|s| s.as_ref())
+            .cloned()
             .ok_or(RTreeError::BadNode {
                 page: id,
                 reason: "no such in-memory node".into(),
-            })?;
-        Ok(RawNode {
-            level: node.level,
-            entries: node.entries.clone(),
-        })
+            })
     }
 
     fn write(&self, id: PageId, level: u16, entries: &[Entry<D>]) -> Result<()> {
@@ -196,18 +423,21 @@ impl<const D: usize> NodeStore<D> for MemStore<D> {
                 page: id,
                 reason: "no such in-memory node".into(),
             })?;
-        slot.level = level;
-        slot.entries.clear();
-        slot.entries.extend_from_slice(entries);
+        // Readers may still hold the old Arc; publish a fresh node rather
+        // than mutating the shared one.
+        *slot = Arc::new(RawNode {
+            level,
+            entries: entries.to_vec(),
+        });
         Ok(())
     }
 
     fn alloc(&self, level: u16, entries: &[Entry<D>]) -> Result<PageId> {
         let mut arena = self.nodes.write();
-        let node = MemNode {
+        let node = Arc::new(RawNode {
             level,
             entries: entries.to_vec(),
-        };
+        });
         let idx = if let Some(idx) = arena.free.pop() {
             arena.slots[idx] = Some(node);
             idx
@@ -247,6 +477,7 @@ mod tests {
     use super::*;
     use crate::entry::RecordId;
     use nnq_geom::{Point, Rect};
+    use nnq_storage::{BufferPool, MemDisk, PAGE_SIZE};
 
     fn entry(i: u64) -> Entry<2> {
         Entry::for_record(Rect::from_point(Point::new([i as f64, 0.0])), RecordId(i))
@@ -263,6 +494,21 @@ mod tests {
         let raw = NodeStore::read(&store, id).unwrap();
         assert_eq!(raw.level, 0);
         assert_eq!(raw.entries[0].record(), RecordId(9));
+    }
+
+    #[test]
+    fn mem_store_read_is_shared_not_copied() {
+        let store = MemStore::<2>::new(8);
+        let id = store.alloc(0, &[entry(1)]).unwrap();
+        let a = NodeStore::read(&store, id).unwrap();
+        let b = NodeStore::read(&store, id).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // A write publishes a fresh node; old readers keep their snapshot.
+        store.write(id, 0, &[entry(2)]).unwrap();
+        let c = NodeStore::read(&store, id).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.entries[0].record(), RecordId(1));
+        assert_eq!(c.entries[0].record(), RecordId(2));
     }
 
     #[test]
@@ -283,5 +529,78 @@ mod tests {
     #[should_panic(expected = "at least 4")]
     fn tiny_fanout_rejected() {
         MemStore::<2>::new(3);
+    }
+
+    fn paged(cache: usize) -> PagedStore<2> {
+        let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 64));
+        PagedStore::create_with_cache(pool, cache).unwrap()
+    }
+
+    #[test]
+    fn paged_store_cache_hits_and_pool_accounting() {
+        let store = paged(8);
+        let id = store.alloc(0, &[entry(1), entry(2)]).unwrap();
+        let before = store.pool().stats();
+
+        let a = NodeStore::read(&store, id).unwrap();
+        let b = NodeStore::read(&store, id).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "repeat read must share the decode");
+
+        let cs = store.cache_stats();
+        assert_eq!(cs.misses, 1);
+        assert_eq!(cs.hits, 1);
+        assert_eq!(cs.len, 1);
+        assert!((cs.hit_rate() - 0.5).abs() < 1e-12);
+
+        // The pool still saw every logical read — the cache must not
+        // change the paper's page-access accounting.
+        let after = store.pool().stats();
+        assert_eq!(after.logical_reads - before.logical_reads, 2);
+    }
+
+    #[test]
+    fn paged_store_write_and_free_invalidate() {
+        let store = paged(8);
+        let id = store.alloc(0, &[entry(1)]).unwrap();
+        let a = NodeStore::read(&store, id).unwrap();
+        store.write(id, 0, &[entry(7)]).unwrap();
+        assert_eq!(store.cache_stats().invalidations, 1);
+        let b = NodeStore::read(&store, id).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(b.entries[0].record(), RecordId(7));
+
+        store.free(id).unwrap();
+        assert_eq!(store.cache_stats().len, 0);
+    }
+
+    #[test]
+    fn paged_store_cache_eviction_is_bounded() {
+        let store = paged(2);
+        let ids: Vec<_> = (0..4)
+            .map(|i| store.alloc(0, &[entry(i)]).unwrap())
+            .collect();
+        for &id in &ids {
+            NodeStore::read(&store, id).unwrap();
+        }
+        let cs = store.cache_stats();
+        assert_eq!(cs.misses, 4);
+        assert_eq!(cs.len, 2);
+        assert_eq!(cs.evictions, 2);
+        // Oldest two were evicted FIFO; newest two still hit.
+        NodeStore::read(&store, ids[3]).unwrap();
+        assert_eq!(store.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn paged_store_zero_capacity_disables_cache() {
+        let store = paged(0);
+        let id = store.alloc(0, &[entry(1)]).unwrap();
+        let a = NodeStore::read(&store, id).unwrap();
+        let b = NodeStore::read(&store, id).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        let cs = store.cache_stats();
+        assert_eq!(cs.hits, 0);
+        assert_eq!(cs.misses, 2);
+        assert_eq!(cs.len, 0);
     }
 }

@@ -5,43 +5,69 @@
 //! [`MemRTree`] is the same tree over a heap arena. All mutation and query
 //! logic is written once against the store trait.
 
-use crate::codec::Meta;
+use crate::codec::{Meta, RawNode};
 use crate::config::{RTreeConfig, SplitStrategy};
 use crate::entry::{entries_mbr, Entry, RecordId};
 use crate::split::{split_entries, take_reinsert_victims};
 use crate::store::{MemStore, NodeStore, PagedStore};
-use crate::{Result, RTreeError};
+use crate::{RTreeError, Result};
 use nnq_geom::{Point, Rect};
 use nnq_storage::{BufferPool, PageId};
 use std::collections::HashSet;
 use std::sync::Arc;
 
-/// A decoded R-tree node, as returned by [`RTree::read_node`].
+/// A shared view of a decoded R-tree node, as returned by
+/// [`RTree::read_node`].
 ///
 /// This is the navigation surface the nearest-neighbor search in
 /// `nnq-core` drives: it exposes the node's level and its `(MBR, pointer)`
-/// entries without leaking any storage detail.
+/// entries without leaking any storage detail. The node data is
+/// `Arc`-backed — cloning a view is two pointer-sized copies, and repeat
+/// reads of a cached page share one decoded allocation instead of copying
+/// the entry array per visit.
+///
+/// A view is an immutable snapshot: a concurrent (or later) write to the
+/// same page publishes a fresh node and never mutates data behind an
+/// outstanding view.
 #[derive(Clone, Debug)]
-pub struct NodeRef<const D: usize> {
-    /// The node's handle (a disk page for paged trees, an arena slot for
-    /// in-memory trees).
-    pub page: PageId,
-    /// Node level: 0 for leaves, `height - 1` for the root.
-    pub level: u16,
-    /// The node's entries.
-    pub entries: Vec<Entry<D>>,
+pub struct NodeView<const D: usize> {
+    page: PageId,
+    node: Arc<RawNode<D>>,
 }
 
-impl<const D: usize> NodeRef<D> {
+impl<const D: usize> NodeView<D> {
+    pub(crate) fn new(page: PageId, node: Arc<RawNode<D>>) -> Self {
+        Self { page, node }
+    }
+
+    /// The node's handle (a disk page for paged trees, an arena slot for
+    /// in-memory trees).
+    #[inline]
+    pub fn page(&self) -> PageId {
+        self.page
+    }
+
+    /// Node level: 0 for leaves, `height - 1` for the root.
+    #[inline]
+    pub fn level(&self) -> u16 {
+        self.node.level
+    }
+
     /// Whether this node is a leaf.
     #[inline]
     pub fn is_leaf(&self) -> bool {
-        self.level == 0
+        self.node.level == 0
+    }
+
+    /// The node's entries.
+    #[inline]
+    pub fn entries(&self) -> &[Entry<D>] {
+        &self.node.entries
     }
 
     /// The tight bounding rectangle of this node's entries.
     pub fn mbr(&self) -> Rect<D> {
-        entries_mbr(&self.entries)
+        entries_mbr(&self.node.entries)
     }
 }
 
@@ -54,7 +80,7 @@ pub trait TreeAccess<const D: usize> {
     fn access_root(&self) -> Option<PageId>;
 
     /// Reads the node under `page`.
-    fn access_node(&self, page: PageId) -> Result<NodeRef<D>>;
+    fn access_node(&self, page: PageId) -> Result<NodeView<D>>;
 
     /// Number of data entries in the tree.
     fn num_records(&self) -> u64;
@@ -65,7 +91,7 @@ impl<const D: usize, S: NodeStore<D>> TreeAccess<D> for RTree<D, S> {
         self.meta.root.is_valid().then_some(self.meta.root)
     }
 
-    fn access_node(&self, page: PageId) -> Result<NodeRef<D>> {
+    fn access_node(&self, page: PageId) -> Result<NodeView<D>> {
         self.read_node(page)
     }
 
@@ -79,7 +105,7 @@ impl<const D: usize, S: NodeStore<D>> TreeAccess<D> for RTree<D, S> {
 /// See the crate docs for an overview and example. All read operations take
 /// `&self`; mutations take `&mut self` (one writer at a time, many readers —
 /// matching the single-writer discipline of the original systems).
-pub struct RTree<const D: usize, S = PagedStore> {
+pub struct RTree<const D: usize, S = PagedStore<D>> {
     store: S,
     meta: Meta,
     max_entries: usize,
@@ -103,12 +129,12 @@ pub struct RTree<const D: usize, S = PagedStore> {
 /// ```
 pub type MemRTree<const D: usize> = RTree<D, MemStore<D>>;
 
-impl<const D: usize> RTree<D, PagedStore> {
+impl<const D: usize> RTree<D, PagedStore<D>> {
     /// Creates an empty paged tree, allocating its meta page on `pool`'s
     /// device.
     pub fn create(pool: Arc<BufferPool>, config: RTreeConfig) -> Result<Self> {
         let store = PagedStore::create(pool)?;
-        let capacity = <PagedStore as NodeStore<D>>::node_capacity(&store);
+        let capacity = <PagedStore<D> as NodeStore<D>>::node_capacity(&store);
         let max_entries = config.effective_max(capacity);
         let min_entries = config.min_entries(max_entries);
         let meta = Meta {
@@ -139,7 +165,7 @@ impl<const D: usize> RTree<D, PagedStore> {
                 ),
             });
         }
-        let capacity = <PagedStore as NodeStore<D>>::node_capacity(&store);
+        let capacity = <PagedStore<D> as NodeStore<D>>::node_capacity(&store);
         let max_entries = meta.config.effective_max(capacity);
         let min_entries = meta.config.min_entries(max_entries);
         Ok(Self {
@@ -250,17 +276,13 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
 
     // -- node I/O ------------------------------------------------------------
 
-    /// Reads and decodes the node under `page`.
+    /// Reads the node under `page`, returning a shared [`NodeView`].
     ///
     /// On a paged tree every call counts as one logical page access in the
-    /// pool's statistics — exactly the paper's cost unit.
-    pub fn read_node(&self, page: PageId) -> Result<NodeRef<D>> {
-        let raw = self.store.read(page)?;
-        Ok(NodeRef {
-            page,
-            level: raw.level,
-            entries: raw.entries,
-        })
+    /// pool's statistics — exactly the paper's cost unit — whether or not
+    /// the decoded node was served from the node cache.
+    pub fn read_node(&self, page: PageId) -> Result<NodeView<D>> {
+        Ok(NodeView::new(page, self.store.read(page)?))
     }
 
     /// Installs the root pointer, height, and entry count after a bulk
@@ -338,15 +360,15 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
         let mut path: Vec<(PageId, usize)> = Vec::new();
         let mut page = self.meta.root;
         let mut node = self.read_node(page)?;
-        while node.level > target_level {
+        while node.level() > target_level {
             let idx = self.choose_subtree(&node, &entry.mbr);
             path.push((page, idx));
-            page = node.entries[idx].child();
+            page = node.entries()[idx].child();
             node = self.read_node(page)?;
         }
 
-        let mut level = node.level;
-        let mut entries = node.entries;
+        let mut level = node.level();
+        let mut entries = node.entries().to_vec();
         entries.push(entry);
 
         loop {
@@ -397,11 +419,11 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
                 }
                 Some((parent_page, idx)) => {
                     let parent = self.read_node(parent_page)?;
-                    let mut parent_entries = parent.entries;
+                    let mut parent_entries = parent.entries().to_vec();
                     parent_entries[idx].mbr = left_mbr;
                     parent_entries.push(Entry::for_child(right_mbr, right_page));
                     page = parent_page;
-                    level = parent.level;
+                    level = parent.level();
                     entries = parent_entries;
                 }
             }
@@ -413,32 +435,31 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
     fn propagate_mbr(&self, path: &[(PageId, usize)], mut child_mbr: Rect<D>) -> Result<()> {
         for &(page, idx) in path.iter().rev() {
             let node = self.read_node(page)?;
-            let mut entries = node.entries;
+            let mut entries = node.entries().to_vec();
             if entries[idx].mbr == child_mbr {
                 return Ok(()); // already tight; ancestors unchanged too
             }
             entries[idx].mbr = child_mbr;
-            self.store.write(page, node.level, &entries)?;
+            self.store.write(page, node.level(), &entries)?;
             child_mbr = entries_mbr(&entries);
         }
         Ok(())
     }
 
     /// Picks the child of `node` to descend into for an entry with MBR `mbr`.
-    fn choose_subtree(&self, node: &NodeRef<D>, mbr: &Rect<D>) -> usize {
+    fn choose_subtree(&self, node: &NodeView<D>, mbr: &Rect<D>) -> usize {
         debug_assert!(!node.is_leaf());
-        let rstar_leaf_parent =
-            self.meta.config.split == SplitStrategy::RStar && node.level == 1;
+        let rstar_leaf_parent = self.meta.config.split == SplitStrategy::RStar && node.level() == 1;
         if rstar_leaf_parent {
             // R* rule for nodes pointing at leaves: minimum *overlap*
             // enlargement, ties by area enlargement then area.
             let mut best = 0;
             let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
-            for (i, e) in node.entries.iter().enumerate() {
+            for (i, e) in node.entries().iter().enumerate() {
                 let enlarged = e.mbr.union(mbr);
                 let mut overlap_now = 0.0;
                 let mut overlap_then = 0.0;
-                for (j, o) in node.entries.iter().enumerate() {
+                for (j, o) in node.entries().iter().enumerate() {
                     if i == j {
                         continue;
                     }
@@ -460,7 +481,7 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
             // Guttman's rule: minimum area enlargement, ties by area.
             let mut best = 0;
             let mut best_key = (f64::INFINITY, f64::INFINITY);
-            for (i, e) in node.entries.iter().enumerate() {
+            for (i, e) in node.entries().iter().enumerate() {
                 let key = (e.mbr.enlargement(mbr), e.mbr.area());
                 if key < best_key {
                     best_key = key;
@@ -487,7 +508,7 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
             .ok_or(RTreeError::NotFound)?;
 
         let node = self.read_node(leaf)?;
-        let mut entries = node.entries;
+        let mut entries = node.entries().to_vec();
         let pos = entries
             .iter()
             .position(|e| e.mbr == *mbr && e.record() == rid)
@@ -513,10 +534,10 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
                 }
                 self.store.free(page)?;
                 let parent = self.read_node(parent_page)?;
-                let mut parent_entries = parent.entries;
+                let mut parent_entries = parent.entries().to_vec();
                 parent_entries.remove(idx);
                 page = parent_page;
-                level = parent.level;
+                level = parent.level();
                 entries = parent_entries;
             } else {
                 self.store.write(page, level, &entries)?;
@@ -528,12 +549,12 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
         // Shrink the root while it is an internal node with a single child.
         loop {
             let root = self.read_node(self.meta.root)?;
-            if !root.is_leaf() && root.entries.len() == 1 {
-                let child = root.entries[0].child();
+            if !root.is_leaf() && root.entries().len() == 1 {
+                let child = root.entries()[0].child();
                 self.store.free(self.meta.root)?;
                 self.meta.root = child;
                 self.meta.height -= 1;
-            } else if root.is_leaf() && root.entries.is_empty() {
+            } else if root.is_leaf() && root.entries().is_empty() {
                 self.store.free(self.meta.root)?;
                 self.meta.root = PageId::INVALID;
                 self.meta.height = 0;
@@ -590,9 +611,9 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
     fn collect_and_free(&mut self, page: PageId, out: &mut Vec<Entry<D>>) -> Result<()> {
         let node = self.read_node(page)?;
         if node.is_leaf() {
-            out.extend(node.entries);
+            out.extend_from_slice(node.entries());
         } else {
-            for e in &node.entries {
+            for e in node.entries().to_vec() {
                 self.collect_and_free(e.child(), out)?;
             }
         }
@@ -612,7 +633,7 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
         let node = self.read_node(page)?;
         if node.is_leaf() {
             if node
-                .entries
+                .entries()
                 .iter()
                 .any(|e| e.mbr == *mbr && e.record() == rid)
             {
@@ -620,7 +641,7 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
             }
             return Ok(None);
         }
-        for (idx, e) in node.entries.iter().enumerate() {
+        for (idx, e) in node.entries().iter().enumerate() {
             if e.mbr.contains_rect(mbr) {
                 path.push((page, idx));
                 if let Some(leaf) = self.find_leaf(e.child(), mbr, rid, path)? {
@@ -644,13 +665,13 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
         while let Some(page) = stack.pop() {
             let node = self.read_node(page)?;
             if node.is_leaf() {
-                for e in &node.entries {
+                for e in node.entries() {
                     if e.mbr.intersects(window) {
                         out.push((e.mbr, e.record()));
                     }
                 }
             } else {
-                for e in &node.entries {
+                for e in node.entries() {
                     if e.mbr.intersects(window) {
                         stack.push(e.child());
                     }

@@ -3,7 +3,7 @@
 use crate::entry::entries_mbr;
 use crate::store::NodeStore;
 use crate::tree::RTree;
-use crate::{Result, RTreeError};
+use crate::{RTreeError, Result};
 use nnq_geom::Rect;
 use nnq_storage::PageId;
 
@@ -57,10 +57,10 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
             return Ok(());
         }
         let root = self.read_node(self.root())?;
-        if u32::from(root.level) != self.height() - 1 {
+        if u32::from(root.level()) != self.height() - 1 {
             return Err(RTreeError::Invalid(format!(
                 "root level {} does not match height {}",
-                root.level,
+                root.level(),
                 self.height()
             )));
         }
@@ -97,28 +97,28 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
         let node = self.read_node(page)?;
         let fail = |msg: String| Err(RTreeError::Invalid(format!("{page}: {msg}")));
 
-        if node.entries.is_empty() && !(is_root && node.is_leaf()) {
+        if node.entries().is_empty() && !(is_root && node.is_leaf()) {
             return fail("empty non-root node".into());
         }
-        if node.entries.len() > self.max_entries() {
+        if node.entries().len() > self.max_entries() {
             return fail(format!(
                 "{} entries exceeds capacity {}",
-                node.entries.len(),
+                node.entries().len(),
                 self.max_entries()
             ));
         }
-        if strict_fill && !is_root && node.entries.len() < self.min_entries() {
+        if strict_fill && !is_root && node.entries().len() < self.min_entries() {
             return fail(format!(
                 "{} entries below minimum {}",
-                node.entries.len(),
+                node.entries().len(),
                 self.min_entries()
             ));
         }
-        if is_root && !node.is_leaf() && node.entries.len() < 2 {
+        if is_root && !node.is_leaf() && node.entries().len() < 2 {
             return fail("internal root with fewer than 2 children".into());
         }
         // Tightness: the parent's recorded MBR must equal our exact union.
-        let mbr = entries_mbr(&node.entries);
+        let mbr = entries_mbr(node.entries());
         if let Some(expected) = expected_mbr {
             if expected != mbr {
                 return fail(format!(
@@ -126,23 +126,23 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
                 ));
             }
         }
-        for e in &node.entries {
+        for e in node.entries() {
             if !e.mbr.is_valid() {
                 return fail(format!("invalid entry MBR {:?}", e.mbr));
             }
         }
         if node.is_leaf() {
-            *data_entries += node.entries.len() as u64;
+            *data_entries += node.entries().len() as u64;
             return Ok(());
         }
-        for e in &node.entries {
+        for e in node.entries() {
             let child = self.read_node(e.child())?;
-            if child.level + 1 != node.level {
+            if child.level() + 1 != node.level() {
                 return fail(format!(
                     "child {} at level {} under node at level {}",
                     e.child(),
-                    child.level,
-                    node.level
+                    child.level(),
+                    node.level()
                 ));
             }
             self.validate_node(e.child(), Some(e.mbr), false, strict_fill, data_entries)?;
@@ -167,16 +167,16 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
         while let Some(page) = stack.pop() {
             let node = self.read_node(page)?;
             s.nodes += 1;
-            s.nodes_per_level[node.level as usize] += 1;
-            s.area_per_level[node.level as usize] += node.mbr().area();
-            fill_sum += node.entries.len() as f64 / self.max_entries() as f64;
+            s.nodes_per_level[node.level() as usize] += 1;
+            s.area_per_level[node.level() as usize] += node.mbr().area();
+            fill_sum += node.entries().len() as f64 / self.max_entries() as f64;
             if node.is_leaf() {
                 s.leaves += 1;
-                s.data_entries += node.entries.len() as u64;
+                s.data_entries += node.entries().len() as u64;
             } else {
-                for (i, e) in node.entries.iter().enumerate() {
-                    for o in &node.entries[i + 1..] {
-                        s.overlap_per_level[(node.level - 1) as usize] +=
+                for (i, e) in node.entries().iter().enumerate() {
+                    for o in &node.entries()[i + 1..] {
+                        s.overlap_per_level[(node.level() - 1) as usize] +=
                             e.mbr.overlap_area(&o.mbr);
                     }
                     stack.push(e.child());

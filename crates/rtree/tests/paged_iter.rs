@@ -50,6 +50,7 @@ fn clear_on_paged_tree_releases_pages() {
     assert_eq!(pool.live_pages(), 1);
     assert!(tree.is_empty());
     // Reusable.
-    tree.insert(Rect::from_point(Point::new([1.0, 2.0])), RecordId(7)).unwrap();
+    tree.insert(Rect::from_point(Point::new([1.0, 2.0])), RecordId(7))
+        .unwrap();
     tree.validate_strict().unwrap();
 }

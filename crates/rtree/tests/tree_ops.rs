@@ -49,7 +49,12 @@ fn brute_window(items: &[(Rect<2>, RecordId)], w: &Rect<2>) -> Vec<RecordId> {
 }
 
 fn tree_window(tree: &RTree<2>, w: &Rect<2>) -> Vec<RecordId> {
-    let mut ids: Vec<RecordId> = tree.window(w).unwrap().into_iter().map(|(_, id)| id).collect();
+    let mut ids: Vec<RecordId> = tree
+        .window(w)
+        .unwrap()
+        .into_iter()
+        .map(|(_, id)| id)
+        .collect();
     ids.sort();
     ids
 }
@@ -76,7 +81,10 @@ fn single_insert_and_query() {
     assert_eq!(tree.height(), 1);
     let hits = tree.point_query(&Point::new([5.0, 5.0])).unwrap();
     assert_eq!(hits, vec![(r, RecordId(42))]);
-    assert!(tree.point_query(&Point::new([6.0, 5.0])).unwrap().is_empty());
+    assert!(tree
+        .point_query(&Point::new([6.0, 5.0]))
+        .unwrap()
+        .is_empty());
     tree.validate_strict().unwrap();
 }
 
@@ -119,8 +127,7 @@ fn inserts_grow_a_valid_multilevel_tree() {
 
 #[test]
 fn rect_data_round_trips() {
-    let mut tree =
-        RTree::<2>::create(mem_pool(4096), RTreeConfig::for_testing(16)).unwrap();
+    let mut tree = RTree::<2>::create(mem_pool(4096), RTreeConfig::for_testing(16)).unwrap();
     let items = random_rects(800, 21);
     for (r, id) in &items {
         tree.insert(*r, *id).unwrap();
@@ -141,7 +148,10 @@ fn duplicate_rectangles_coexist() {
     }
     assert_eq!(tree.len(), 100);
     tree.validate_strict().unwrap();
-    assert_eq!(tree.point_query(&Point::new([1.0, 1.0])).unwrap().len(), 100);
+    assert_eq!(
+        tree.point_query(&Point::new([1.0, 1.0])).unwrap().len(),
+        100
+    );
     // Delete a specific duplicate.
     tree.delete(&r, RecordId(57)).unwrap();
     assert_eq!(tree.len(), 99);
@@ -170,7 +180,8 @@ fn delete_everything_in_random_order() {
     for (i, (r, id)) in items.iter().enumerate() {
         tree.delete(r, *id).unwrap();
         if i % 100 == 99 {
-            tree.validate().unwrap_or_else(|e| panic!("after delete {i}: {e}"));
+            tree.validate()
+                .unwrap_or_else(|e| panic!("after delete {i}: {e}"));
         }
     }
     assert!(tree.is_empty());
@@ -245,13 +256,18 @@ fn bulk_load_str_and_hilbert_contain_all_items() {
         )
         .unwrap();
         assert_eq!(tree.len(), 5000, "{method:?}");
-        tree.validate().unwrap_or_else(|e| panic!("{method:?}: {e}"));
+        tree.validate()
+            .unwrap_or_else(|e| panic!("{method:?}: {e}"));
         let mut ids: Vec<RecordId> = tree.scan().unwrap().iter().map(|&(_, id)| id).collect();
         ids.sort();
         assert_eq!(ids, (0..5000).map(RecordId).collect::<Vec<_>>());
         // Queries agree with brute force.
         let w = Rect::new(Point::new([100.0, 100.0]), Point::new([300.0, 250.0]));
-        assert_eq!(tree_window(&tree, &w), brute_window(&items, &w), "{method:?}");
+        assert_eq!(
+            tree_window(&tree, &w),
+            brute_window(&items, &w),
+            "{method:?}"
+        );
         // Packed trees are dense: fill should be high.
         let stats = tree.stats().unwrap();
         assert!(
@@ -301,7 +317,8 @@ fn bulk_loaded_tree_accepts_dynamic_updates() {
     .unwrap();
     for i in 0..500u64 {
         let p = Point::new([i as f64, 2000.0]);
-        tree.insert(Rect::from_point(p), RecordId(10_000 + i)).unwrap();
+        tree.insert(Rect::from_point(p), RecordId(10_000 + i))
+            .unwrap();
     }
     for (r, id) in &items[..500] {
         tree.delete(r, *id).unwrap();
@@ -361,7 +378,10 @@ fn corrupted_page_is_reported_not_panicked() {
         guard[0..4].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
     }
     let err = tree.scan().unwrap_err();
-    assert!(matches!(err, nnq_rtree::RTreeError::BadNode { .. }), "{err}");
+    assert!(
+        matches!(err, nnq_rtree::RTreeError::BadNode { .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -387,7 +407,12 @@ fn three_dimensional_tree_works() {
     }
     tree.validate_strict().unwrap();
     let w = Rect::new(Point::new([2.0, 2.0, 2.0]), Point::new([7.0, 7.0, 7.0]));
-    let mut got: Vec<u64> = tree.window(&w).unwrap().iter().map(|(_, id)| id.0).collect();
+    let mut got: Vec<u64> = tree
+        .window(&w)
+        .unwrap()
+        .iter()
+        .map(|(_, id)| id.0)
+        .collect();
     got.sort();
     let mut want: Vec<u64> = items
         .iter()

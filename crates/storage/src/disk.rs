@@ -414,8 +414,7 @@ impl DiskManager for FileDisk {
         } else {
             let id = PageId(inner.num_pages);
             inner.num_pages += 1;
-            self.file
-                .set_len(inner.num_pages * self.page_size as u64)?;
+            self.file.set_len(inner.num_pages * self.page_size as u64)?;
             id
         };
         // Zero the page so allocate semantics match MemDisk.

@@ -158,8 +158,7 @@ impl HeapFile {
         guard[free_off..free_off + record.len()].copy_from_slice(record);
         let slot_off = dir_start;
         guard[slot_off..slot_off + 2].copy_from_slice(&(free_off as u16).to_le_bytes());
-        guard[slot_off + 2..slot_off + 4]
-            .copy_from_slice(&(record.len() as u16).to_le_bytes());
+        guard[slot_off + 2..slot_off + 4].copy_from_slice(&(record.len() as u16).to_le_bytes());
         guard[4..6].copy_from_slice(&((slots + 1) as u16).to_le_bytes());
         guard[6..8].copy_from_slice(&((free_off + record.len()) as u16).to_le_bytes());
         Ok(Some(HeapRecordId::new(page, slots as u16)))
@@ -177,8 +176,11 @@ impl HeapFile {
         }
         let slot_off = guard.len() - (id.slot() as usize + 1) * SLOT;
         let off = u16::from_le_bytes(guard[slot_off..slot_off + 2].try_into().expect("2 bytes"));
-        let len =
-            u16::from_le_bytes(guard[slot_off + 2..slot_off + 4].try_into().expect("2 bytes"));
+        let len = u16::from_le_bytes(
+            guard[slot_off + 2..slot_off + 4]
+                .try_into()
+                .expect("2 bytes"),
+        );
         if len == DEAD {
             return Err(StorageError::Corrupt {
                 page: id.page(),
@@ -199,8 +201,11 @@ impl HeapFile {
             });
         }
         let slot_off = guard.len() - (id.slot() as usize + 1) * SLOT;
-        let len =
-            u16::from_le_bytes(guard[slot_off + 2..slot_off + 4].try_into().expect("2 bytes"));
+        let len = u16::from_le_bytes(
+            guard[slot_off + 2..slot_off + 4]
+                .try_into()
+                .expect("2 bytes"),
+        );
         if len == DEAD {
             return Err(StorageError::Corrupt {
                 page: id.page(),
@@ -219,11 +224,12 @@ impl HeapFile {
             let slots = u16::from_le_bytes(guard[4..6].try_into().expect("2 bytes"));
             for slot in 0..slots {
                 let slot_off = guard.len() - (slot as usize + 1) * SLOT;
-                let off = u16::from_le_bytes(
-                    guard[slot_off..slot_off + 2].try_into().expect("2 bytes"),
-                );
+                let off =
+                    u16::from_le_bytes(guard[slot_off..slot_off + 2].try_into().expect("2 bytes"));
                 let len = u16::from_le_bytes(
-                    guard[slot_off + 2..slot_off + 4].try_into().expect("2 bytes"),
+                    guard[slot_off + 2..slot_off + 4]
+                        .try_into()
+                        .expect("2 bytes"),
                 );
                 if len != DEAD {
                     f(
@@ -262,7 +268,10 @@ mod tests {
         let h = heap();
         let payload = vec![7u8; 100];
         let ids: Vec<HeapRecordId> = (0..20).map(|_| h.insert(&payload).unwrap()).collect();
-        assert!(h.pages().len() > 1, "100-byte records must overflow 256-byte pages");
+        assert!(
+            h.pages().len() > 1,
+            "100-byte records must overflow 256-byte pages"
+        );
         for id in &ids {
             assert_eq!(h.get(*id).unwrap(), payload);
         }
@@ -286,7 +295,7 @@ mod tests {
         assert_eq!(h.get(c).unwrap(), b"ccc");
         assert!(h.get(b).is_err());
         assert!(h.delete(b).is_err()); // double delete
-        // Scan sees only the live ones.
+                                       // Scan sees only the live ones.
         let mut seen = Vec::new();
         h.scan(|id, bytes| seen.push((id, bytes.to_vec()))).unwrap();
         assert_eq!(seen.len(), 2);

@@ -33,7 +33,12 @@ pub struct PoolStats {
 }
 
 impl PoolStats {
-    /// Cache hit rate in `[0, 1]`; zero when no fetches happened.
+    /// Cache hit rate in `[0, 1]`.
+    ///
+    /// An untouched pool (`logical_reads == 0`) reports `0.0`, not NaN:
+    /// callers format this directly into reports, and "no fetches" renders
+    /// most honestly as a 0% hit rate. The rtree node cache's
+    /// `NodeCacheStats::hit_rate` follows the same convention.
     pub fn hit_rate(&self) -> f64 {
         if self.logical_reads == 0 {
             0.0
@@ -509,6 +514,23 @@ mod tests {
     }
 
     #[test]
+    fn hit_rate_of_untouched_pool_is_zero() {
+        // No fetches must report 0.0 (not NaN) — stats formatters divide
+        // by logical_reads and print the rate unconditionally.
+        let p = pool(4);
+        let s = p.stats();
+        assert_eq!(s.logical_reads, 0);
+        assert_eq!(s.hit_rate(), 0.0);
+
+        // Same after a reset wipes earlier activity.
+        let (id, w) = p.new_page().unwrap();
+        drop(w);
+        let _ = p.fetch(id).unwrap();
+        p.reset_stats();
+        assert_eq!(p.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
     fn eviction_is_lru_and_writes_back_dirty_pages() {
         let p = pool(2);
         let (a, mut wa) = p.new_page().unwrap();
@@ -525,7 +547,7 @@ mod tests {
         let s = p.stats();
         assert_eq!(s.evictions, 1);
         assert_eq!(s.writebacks, 1); // b was dirty
-        // All three pages still readable with correct contents.
+                                     // All three pages still readable with correct contents.
         assert_eq!(p.fetch(a).unwrap()[0], 1);
         assert_eq!(p.fetch(b).unwrap()[0], 2);
         assert_eq!(p.fetch(c).unwrap()[0], 3);

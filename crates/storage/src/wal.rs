@@ -147,7 +147,9 @@ fn read_record(file: &mut File) -> Result<Option<(PageId, Vec<u8>)>> {
     if magic != REC_MAGIC {
         return Ok(None);
     }
-    let page = PageId(u64::from_le_bytes(header[4..12].try_into().expect("8 bytes")));
+    let page = PageId(u64::from_le_bytes(
+        header[4..12].try_into().expect("8 bytes"),
+    ));
     let len = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize;
     if len > 1 << 26 {
         return Ok(None); // implausible length: torn tail
@@ -208,7 +210,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0x0000_0000);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]

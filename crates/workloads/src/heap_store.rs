@@ -53,11 +53,12 @@ pub fn encode_segment(s: &Segment) -> [u8; SEGMENT_BYTES] {
 /// Decodes a segment from its 32-byte form.
 pub fn decode_segment(bytes: &[u8]) -> std::result::Result<Segment, String> {
     if bytes.len() != SEGMENT_BYTES {
-        return Err(format!("segment record must be 32 bytes, got {}", bytes.len()));
+        return Err(format!(
+            "segment record must be 32 bytes, got {}",
+            bytes.len()
+        ));
     }
-    let f = |r: std::ops::Range<usize>| {
-        f64::from_le_bytes(bytes[r].try_into().expect("8 bytes"))
-    };
+    let f = |r: std::ops::Range<usize>| f64::from_le_bytes(bytes[r].try_into().expect("8 bytes"));
     let s = Segment::new(
         Point::new([f(0..8), f(8..16)]),
         Point::new([f(16..24), f(24..32)]),

@@ -29,7 +29,9 @@ mod points;
 mod queries;
 mod tiger;
 
-pub use heap_store::{decode_segment, encode_segment, read_segment, segments_to_heap, SEGMENT_BYTES};
+pub use heap_store::{
+    decode_segment, encode_segment, read_segment, segments_to_heap, SEGMENT_BYTES,
+};
 pub use io::{load_segments_csv, save_segments_csv};
 pub use points::{gaussian_clusters, uniform_points};
 pub use queries::{data_queries, uniform_queries};

@@ -43,10 +43,8 @@ pub fn gaussian_clusters(
     (0..n)
         .map(|_| {
             let c = centers[rng.random_range(0..clusters)];
-            let x = (c[0] + sigma * sample_normal(&mut rng))
-                .clamp(bounds.lo()[0], bounds.hi()[0]);
-            let y = (c[1] + sigma * sample_normal(&mut rng))
-                .clamp(bounds.lo()[1], bounds.hi()[1]);
+            let x = (c[0] + sigma * sample_normal(&mut rng)).clamp(bounds.lo()[0], bounds.hi()[0]);
+            let y = (c[1] + sigma * sample_normal(&mut rng)).clamp(bounds.lo()[1], bounds.hi()[1]);
             Point::new([x, y])
         })
         .collect()
@@ -87,7 +85,10 @@ mod tests {
         let pts = uniform_points(4000, &b, 1);
         // Each quadrant should hold roughly a quarter of the mass.
         let mid = b.center();
-        let q1 = pts.iter().filter(|p| p[0] < mid[0] && p[1] < mid[1]).count();
+        let q1 = pts
+            .iter()
+            .filter(|p| p[0] < mid[0] && p[1] < mid[1])
+            .count();
         assert!(
             (800..1200).contains(&q1),
             "quadrant has {q1} of 4000 points"
@@ -105,11 +106,8 @@ mod tests {
         // the world for at least some samples. Cheap proxy: average
         // pairwise distance of consecutive points is far below the uniform
         // expectation (~52k for a 100k square).
-        let avg: f64 = pts
-            .windows(2)
-            .map(|w| w[0].dist(&w[1]))
-            .sum::<f64>()
-            / (pts.len() - 1) as f64;
+        let avg: f64 =
+            pts.windows(2).map(|w| w[0].dist(&w[1])).sum::<f64>() / (pts.len() - 1) as f64;
         assert!(avg < 45_000.0, "avg consecutive distance {avg}");
     }
 

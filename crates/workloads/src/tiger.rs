@@ -90,8 +90,7 @@ pub fn tiger_like_segments(params: &TigerParams) -> Vec<Segment> {
         .collect();
     let total_weight: f64 = towns.iter().map(|t| t.weight).sum();
 
-    let arterial_budget =
-        ((params.segments as f64) * params.arterial_fraction).round() as usize;
+    let arterial_budget = ((params.segments as f64) * params.arterial_fraction).round() as usize;
     let local_budget = params.segments.saturating_sub(arterial_budget);
 
     let mut segments = Vec::with_capacity(params.segments + 64);
@@ -133,8 +132,7 @@ pub fn tiger_like_segments(params: &TigerParams) -> Vec<Segment> {
     // Local streets: jittered Manhattan grid blocks around each town
     // center, denser near the center (Gaussian radial falloff).
     for town in &towns {
-        let share =
-            ((local_budget as f64) * town.weight / total_weight).round() as usize;
+        let share = ((local_budget as f64) * town.weight / total_weight).round() as usize;
         for _ in 0..share {
             // Block anchor: Gaussian around the center, clipped to radius.
             let ax = town.center[0] + sample_normal(&mut rng) * town.radius * 0.5;

@@ -23,20 +23,25 @@ fn main() {
     let stations = gaussian_clusters(25_000, 40, 2_000.0, &bounds, 21);
     let items = points_to_items(&stations);
 
-    let mut tree = RTree::<2>::create(example_pool(), RTreeConfig::default())
-        .expect("create tree");
+    let mut tree = RTree::<2>::create(example_pool(), RTreeConfig::default()).expect("create tree");
     for (mbr, rid) in &items {
         tree.insert(*mbr, *rid).expect("insert");
     }
     let total_nodes = tree.stats().expect("stats").nodes;
-    println!("Indexed {} charging stations ({total_nodes} pages).", tree.len());
+    println!(
+        "Indexed {} charging stations ({total_nodes} pages).",
+        tree.len()
+    );
 
     // External availability table: ~30% of stations are free right now.
     let mut rng = StdRng::seed_from_u64(5);
     let available: Vec<bool> = (0..stations.len()).map(|_| rng.random_bool(0.3)).collect();
 
     let me = Point::new([48_000.0, 52_000.0]);
-    println!("\nSearching outward from ({:.0}, {:.0}) for 3 *available* stations:", me[0], me[1]);
+    println!(
+        "\nSearching outward from ({:.0}, {:.0}) for 3 *available* stations:",
+        me[0], me[1]
+    );
 
     let mut iter = IncrementalNn::new(&tree, me, MbrRefiner);
     let mut found = 0;

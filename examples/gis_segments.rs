@@ -65,9 +65,7 @@ fn main() {
     let search = NnSearch::new(&tree);
     let fixes = uniform_queries(5, &default_bounds(), 3);
     for (i, fix) in fixes.iter().enumerate() {
-        let (hits, stats) = search
-            .query_refined(fix, 3, &refiner)
-            .expect("query");
+        let (hits, stats) = search.query_refined(fix, 3, &refiner).expect("query");
         println!("\nGPS fix {} at ({:.0}, {:.0}):", i + 1, fix[0], fix[1]);
         for n in &hits {
             let s: &Segment = &roads[n.record.0 as usize];

@@ -6,9 +6,7 @@
 //! cargo run -p nnq-examples --release --bin query_toolbox
 //! ```
 
-use nnq_core::{
-    farthest_knn, metric_knn, within_radius, MbrRefiner, NnSearch,
-};
+use nnq_core::{farthest_knn, metric_knn, within_radius, MbrRefiner, NnSearch};
 use nnq_examples::meters;
 use nnq_geom::{Metric, Point, Rect};
 use nnq_rtree::{MemRTree, RecordId};

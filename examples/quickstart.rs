@@ -18,8 +18,7 @@ fn main() {
 
     // 2. Build a disk-backed R-tree (in-memory simulated disk here; use
     //    nnq_storage::FileDisk for a persistent index).
-    let mut tree = RTree::<2>::create(example_pool(), RTreeConfig::default())
-        .expect("create tree");
+    let mut tree = RTree::<2>::create(example_pool(), RTreeConfig::default()).expect("create tree");
     for (mbr, rid) in &items {
         tree.insert(*mbr, *rid).expect("insert");
     }
@@ -33,14 +32,17 @@ fn main() {
     // 3. Run the RKV'95 branch-and-bound k-nearest-neighbor query.
     let query = Point::new([50_000.0, 50_000.0]);
     let search = NnSearch::new(&tree);
-    let (neighbors, stats) = search
-        .query_with_stats(&query, 5)
-        .expect("query");
+    let (neighbors, stats) = search.query_with_stats(&query, 5).expect("query");
 
     println!("\n5 nearest neighbors of {query:?}:");
     for (rank, n) in neighbors.iter().enumerate() {
         let p = points[n.record.0 as usize];
-        println!("  {}. record #{:<5} at {p:?}  ({})", rank + 1, n.record.0, meters(n.dist_sq));
+        println!(
+            "  {}. record #{:<5} at {p:?}  ({})",
+            rank + 1,
+            n.record.0,
+            meters(n.dist_sq)
+        );
     }
     println!(
         "\nThe search visited {} of {} tree nodes ({} pruned branches).",

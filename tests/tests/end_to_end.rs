@@ -121,7 +121,11 @@ fn deletions_keep_knn_exact() {
         );
         // Deleted records never appear.
         for n in &got {
-            assert!(n.record.0 % 3 != 0, "deleted record {} returned", n.record.0);
+            assert!(
+                n.record.0 % 3 != 0,
+                "deleted record {} returned",
+                n.record.0
+            );
         }
     }
 }

@@ -2,9 +2,7 @@
 //! shapes the full benchmarks (E1–E8) measure, pinned down as tests so a
 //! regression that breaks a *trend* fails CI, not just a table.
 
-use nnq_core::{
-    best_first_knn, linear_scan_knn, AblOrdering, MbrRefiner, NnOptions, NnSearch,
-};
+use nnq_core::{best_first_knn, linear_scan_knn, AblOrdering, MbrRefiner, NnOptions, NnSearch};
 use nnq_geom::Point;
 use nnq_rtree::{RTree, RTreeConfig, SplitStrategy};
 use nnq_storage::{BufferPool, MemDisk, PAGE_SIZE};
@@ -107,7 +105,10 @@ fn claim_pruning_is_monotone_and_effective() {
     );
     let full = avg_nodes(&tree, &queries, 10, NnOptions::default());
     assert!(s3 <= none, "S3 ({s3}) must not exceed no pruning ({none})");
-    assert!(full <= s3 * 1.001, "full ({full}) must not exceed S3 ({s3})");
+    assert!(
+        full <= s3 * 1.001,
+        "full ({full}) must not exceed S3 ({s3})"
+    );
     assert!(
         full * 20.0 < none,
         "full pruning ({full}) should beat none ({none}) by >20x"
@@ -181,7 +182,10 @@ fn claim_dfs_stays_close_to_best_first() {
     let search = NnSearch::new(&tree);
     for q in &queries {
         dfs_total += search.query_with_stats(q, 10).unwrap().1.nodes_visited;
-        bf_total += best_first_knn(&tree, q, 10, &MbrRefiner).unwrap().1.nodes_visited;
+        bf_total += best_first_knn(&tree, q, 10, &MbrRefiner)
+            .unwrap()
+            .1
+            .nodes_visited;
     }
     assert!(bf_total <= dfs_total, "best-first must not lose");
     assert!(
