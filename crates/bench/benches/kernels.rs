@@ -1,0 +1,124 @@
+//! Scalar vs batched SoA distance kernels.
+//!
+//! Two measurements:
+//!
+//! 1. `node_pass` — the isolated per-node cost: computing `MINDIST²` and
+//!    `MINMAXDIST²` for every entry of one decoded node (fanout-sized
+//!    entry array), as the branch-and-bound traversal does at each
+//!    internal node. Scalar iterates entry-by-entry; batch runs one
+//!    vectorizable pass per metric over the node's SoA view.
+//! 2. `knn_kernel` — the end-to-end effect: warm-cache kNN queries on the
+//!    paged backend under `KernelMode::Scalar` vs `KernelMode::Batch`
+//!    (same dataset/queries/k as the `node_cache` bench, so the numbers
+//!    are comparable).
+//!
+//! The measured trajectory is recorded in BENCH_KERNELS.json at the repo
+//! root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnq_bench::datasets::Dataset;
+use nnq_bench::harness::{default_build, queries_for};
+use nnq_core::{KernelMode, MbrRefiner, NnOptions, NnSearch, QueryCursor};
+use nnq_geom::{
+    mindist_sq, mindist_sq_batch, minmaxdist_sq, minmaxdist_sq_batch, Point, Rect, SoaRects,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Entries per simulated node — a realistic internal-node fanout for the
+/// 2-D entry encoding at the default page size.
+const FANOUT: usize = 102;
+
+fn bench_node_pass(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let rects: Vec<Rect<2>> = (0..FANOUT)
+        .map(|_| {
+            let x = rng.random_range(0.0..100.0);
+            let y = rng.random_range(0.0..100.0);
+            Rect::new(
+                Point::new([x, y]),
+                Point::new([
+                    x + rng.random_range(0.0..5.0),
+                    y + rng.random_range(0.0..5.0),
+                ]),
+            )
+        })
+        .collect();
+    let soa = SoaRects::from_rects(rects.iter());
+    let queries: Vec<Point<2>> = (0..16)
+        .map(|_| Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]))
+        .collect();
+
+    let mut group = c.benchmark_group("node_pass");
+    group.bench_function("scalar", |b| {
+        let mut mindists: Vec<f64> = Vec::with_capacity(FANOUT);
+        let mut minmaxes: Vec<f64> = Vec::with_capacity(FANOUT);
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            mindists.clear();
+            minmaxes.clear();
+            for r in &rects {
+                mindists.push(mindist_sq(q, r));
+                minmaxes.push(minmaxdist_sq(q, r));
+            }
+            black_box((mindists.last().copied(), minmaxes.last().copied()))
+        })
+    });
+    group.bench_function("batch", |b| {
+        let mut mindists: Vec<f64> = Vec::with_capacity(FANOUT);
+        let mut minmaxes: Vec<f64> = Vec::with_capacity(FANOUT);
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            mindist_sq_batch(q, &soa, &mut mindists);
+            minmaxdist_sq_batch(q, &soa, &mut minmaxes);
+            black_box((mindists.last().copied(), minmaxes.last().copied()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_knn_kernel(c: &mut Criterion) {
+    let dataset = Dataset::uniform(20_000, 11);
+    let built = default_build(&dataset);
+    let queries = queries_for(64, 7);
+    let k = 10;
+
+    // Prime the page pool and the decoded-node cache so both modes run
+    // decode-free and the kernel cost is the only difference.
+    {
+        let search = NnSearch::new(&built.tree);
+        let mut cursor = QueryCursor::new();
+        for q in &queries {
+            search
+                .query_refined_with(&mut cursor, q, k, &MbrRefiner)
+                .unwrap();
+        }
+    }
+
+    let mut group = c.benchmark_group("knn_kernel");
+    for kernel in [KernelMode::Scalar, KernelMode::Batch] {
+        let search = NnSearch::with_options(&built.tree, NnOptions::with_kernel(kernel));
+        group.bench_function(kernel.label(), |b| {
+            let mut cursor = QueryCursor::new();
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(
+                    search
+                        .query_refined_with(&mut cursor, q, k, &MbrRefiner)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_node_pass, bench_knn_kernel);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Experiment-level kernel equivalence: the E1–E3-style measurement
+//! pipeline must report the same page accesses, node visits, and pruning
+//! counters regardless of `KernelMode` — the batch kernels may only change
+//! `time_us`. This is the acceptance check that the paper's reproduced
+//! figures are kernel-independent.
+
+use nnq_bench::datasets::Dataset;
+use nnq_bench::harness::{default_build, measure_knn, queries_for, QueryMeasurement};
+use nnq_core::{AblOrdering, KernelMode, NnOptions};
+
+/// Every non-time field must match exactly (the counters come from integer
+/// sums divided by the same query count, so `==` is the right comparison).
+fn assert_counters_equal(a: &QueryMeasurement, b: &QueryMeasurement, what: &str) {
+    assert_eq!(a.pages, b.pages, "{what}: pages");
+    assert_eq!(a.physical, b.physical, "{what}: physical reads");
+    assert_eq!(a.nodes, b.nodes, "{what}: nodes visited");
+    assert_eq!(a.leaves, b.leaves, "{what}: leaves visited");
+    assert_eq!(a.pruned_downward, b.pruned_downward, "{what}: S1 pruned");
+    assert_eq!(a.pruned_object, b.pruned_object, "{what}: S2 pruned");
+    assert_eq!(a.pruned_upward, b.pruned_upward, "{what}: S3 pruned");
+    assert_eq!(
+        a.dist_computations, b.dist_computations,
+        "{what}: distance computations"
+    );
+}
+
+fn with_kernel(opts: NnOptions, kernel: KernelMode) -> NnOptions {
+    NnOptions { kernel, ..opts }
+}
+
+/// E1-style: pages accessed vs k, on the dataset trio.
+#[test]
+fn e1_page_accesses_are_kernel_independent() {
+    let datasets = [
+        ("uniform", Dataset::uniform(2_000, 7)),
+        ("clustered", Dataset::clustered(2_000, 8)),
+        ("tiger", Dataset::tiger(2_000, 9)),
+    ];
+    let queries = queries_for(25, 5);
+    for (name, dataset) in &datasets {
+        let built = default_build(dataset);
+        for k in [1usize, 16] {
+            let segs = dataset.segments.as_deref();
+            let scalar = measure_knn(
+                &built,
+                &queries,
+                k,
+                with_kernel(NnOptions::default(), KernelMode::Scalar),
+                segs,
+            );
+            let batch = measure_knn(
+                &built,
+                &queries,
+                k,
+                with_kernel(NnOptions::default(), KernelMode::Batch),
+                segs,
+            );
+            assert_counters_equal(&scalar, &batch, &format!("E1 {name} k={k}"));
+        }
+    }
+}
+
+/// E2-style: both ABL orderings.
+#[test]
+fn e2_orderings_are_kernel_independent() {
+    let dataset = Dataset::uniform(2_500, 17);
+    let built = default_build(&dataset);
+    let queries = queries_for(25, 6);
+    for ordering in [AblOrdering::MinDist, AblOrdering::MinMaxDist] {
+        let opts = NnOptions::with_ordering(ordering);
+        let scalar = measure_knn(
+            &built,
+            &queries,
+            10,
+            with_kernel(opts, KernelMode::Scalar),
+            None,
+        );
+        let batch = measure_knn(
+            &built,
+            &queries,
+            10,
+            with_kernel(opts, KernelMode::Batch),
+            None,
+        );
+        assert_counters_equal(&scalar, &batch, &format!("E2 {ordering:?}"));
+    }
+}
+
+/// E3-style: the pruning-strategy ablation grid.
+#[test]
+fn e3_ablation_is_kernel_independent() {
+    let dataset = Dataset::clustered(2_500, 27);
+    let built = default_build(&dataset);
+    let queries = queries_for(25, 7);
+    let variants: Vec<(&str, NnOptions)> = vec![
+        ("full", NnOptions::default()),
+        ("none", NnOptions::no_pruning()),
+        (
+            "s1-only",
+            NnOptions {
+                prune_object: false,
+                prune_upward: false,
+                ..NnOptions::default()
+            },
+        ),
+        (
+            "s2-only",
+            NnOptions {
+                prune_downward: false,
+                prune_upward: false,
+                ..NnOptions::default()
+            },
+        ),
+        (
+            "s3-only",
+            NnOptions {
+                prune_downward: false,
+                prune_object: false,
+                ..NnOptions::default()
+            },
+        ),
+    ];
+    for (name, opts) in &variants {
+        let scalar = measure_knn(
+            &built,
+            &queries,
+            10,
+            with_kernel(*opts, KernelMode::Scalar),
+            None,
+        );
+        let batch = measure_knn(
+            &built,
+            &queries,
+            10,
+            with_kernel(*opts, KernelMode::Batch),
+            None,
+        );
+        assert_counters_equal(&scalar, &batch, &format!("E3 {name}"));
+    }
+}

@@ -1,7 +1,10 @@
 //! The subcommands: gen, build, stats, query, bench, explain, join.
 
 use crate::args::{Args, CliError};
-use nnq_core::{metric_knn, within_radius, FnRefiner, JoinOrder, MbrRefiner, NnSearch};
+use nnq_core::{
+    metric_knn, within_radius_with, FnRefiner, JoinOrder, KernelMode, MbrRefiner, NnOptions,
+    NnSearch,
+};
 use nnq_geom::{Metric, Point, Segment};
 use nnq_rtree::{BulkMethod, RTree, RTreeConfig, RecordId, SplitStrategy};
 use nnq_storage::{BufferPool, FileDisk, PageId, PAGE_SIZE};
@@ -149,6 +152,9 @@ pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     }
     let (x, y) = args.coords("at")?;
     let q = Point::new([x, y]);
+    let kernel: KernelMode = args.num("kernel", KernelMode::default())?;
+    // The generalized-metric path has no batched kernels; report what ran.
+    let mut kernel_used = kernel;
     let refiner = FnRefiner::new(|rid: RecordId, _: &nnq_geom::Rect<2>, p: &Point<2>| {
         segments[rid.0 as usize].dist_sq_to_point(p)
     });
@@ -158,7 +164,7 @@ pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         let radius: f64 = radius
             .parse()
             .map_err(|_| CliError::Usage(format!("bad --radius `{radius}`")))?;
-        within_radius(&tree, &q, radius, &refiner)?
+        within_radius_with(&tree, &q, radius, &refiner, kernel)?
     } else if let Some(metric) = args.opt("metric") {
         // Generalized metrics rank segment MBRs (centers for points); the
         // exact-geometry refiner is Euclidean-only.
@@ -173,10 +179,12 @@ pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             }
         };
         let k: usize = args.num("k", 1)?;
+        kernel_used = KernelMode::Scalar;
         metric_knn(&tree, &q, k, metric)?
     } else {
         let k: usize = args.num("k", 1)?;
-        NnSearch::new(&tree).query_refined(&q, k, &refiner)?
+        NnSearch::with_options(&tree, NnOptions::with_kernel(kernel))
+            .query_refined(&q, k, &refiner)?
     };
     let elapsed = start.elapsed();
 
@@ -196,7 +204,7 @@ pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     }
     writeln!(
         out,
-        "({} results, {} nodes read, {:.1} µs)",
+        "({} results, {} nodes read, kernel {kernel_used}, {:.1} µs)",
         hits.len(),
         search_stats.nodes_visited,
         elapsed.as_secs_f64() * 1e6
@@ -212,11 +220,12 @@ pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let n_queries: usize = args.num("queries", 1000)?;
     let k: usize = args.num("k", 10)?;
     let seed: u64 = args.num("seed", 1)?;
+    let kernel: KernelMode = args.num("kernel", KernelMode::default())?;
     let queries = nnq_workloads::uniform_queries(n_queries, &default_bounds(), seed);
     let refiner = FnRefiner::new(|rid: RecordId, _: &nnq_geom::Rect<2>, p: &Point<2>| {
         segments[rid.0 as usize].dist_sq_to_point(p)
     });
-    let search = NnSearch::new(&tree);
+    let search = NnSearch::with_options(&tree, NnOptions::with_kernel(kernel));
     let mut cursor = nnq_core::QueryCursor::new();
 
     pool.reset_stats();
@@ -240,7 +249,7 @@ pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let cstats = tree.store().cache_stats();
     writeln!(
         out,
-        "node cache: {} hits / {} reads ({:.1}% decode-free), {} nodes cached",
+        "node cache: {} hits / {} reads ({:.1}% decode-free), {} nodes cached, kernel {kernel}",
         cstats.hits,
         cstats.hits + cstats.misses,
         cstats.hit_rate() * 100.0,

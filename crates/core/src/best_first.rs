@@ -7,10 +7,10 @@
 //! ever read.
 
 use crate::heap::KnnHeap;
-use crate::options::{Neighbor, SearchStats};
+use crate::options::{KernelMode, Neighbor, SearchStats};
 use crate::refine::Refiner;
 use crate::Result;
-use nnq_geom::{mindist_sq, Point};
+use nnq_geom::{mindist_sq, mindist_sq_batch, Point};
 use nnq_rtree::TreeAccess;
 use nnq_storage::PageId;
 use std::cmp::Reverse;
@@ -41,7 +41,21 @@ pub fn best_first_knn<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
     k: usize,
     refiner: &R,
 ) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
+    best_first_knn_with(tree, q, k, refiner, KernelMode::default())
+}
+
+/// [`best_first_knn`] with an explicit distance-kernel mode. Both modes
+/// produce bit-identical results and statistics.
+pub fn best_first_knn_with<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
+    tree: &T,
+    q: &Point<D>,
+    k: usize,
+    refiner: &R,
+    kernel: KernelMode,
+) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
     assert!(k > 0, "k must be at least 1");
+    let batch = kernel == KernelMode::Batch;
+    let mut mindists: Vec<f64> = Vec::new();
     let mut heap = KnnHeap::new(k);
     let mut stats = SearchStats::default();
     let mut queue: BinaryHeap<Reverse<(QueueKey, PageId)>> = BinaryHeap::new();
@@ -54,10 +68,17 @@ pub fn best_first_knn<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
         }
         let node = tree.access_node(page)?;
         stats.nodes_visited += 1;
+        if batch {
+            mindist_sq_batch(q, node.soa(), &mut mindists);
+        }
         if node.is_leaf() {
             stats.leaves_visited += 1;
-            for e in node.entries() {
-                let filter = mindist_sq(q, &e.mbr);
+            for (j, e) in node.entries().iter().enumerate() {
+                let filter = if batch {
+                    mindists[j]
+                } else {
+                    mindist_sq(q, &e.mbr)
+                };
                 if filter >= heap.bound_sq() {
                     continue;
                 }
@@ -66,8 +87,12 @@ pub fn best_first_knn<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
                 heap.offer(e.record(), e.mbr, exact);
             }
         } else {
-            for e in node.entries() {
-                let d = mindist_sq(q, &e.mbr);
+            for (j, e) in node.entries().iter().enumerate() {
+                let d = if batch {
+                    mindists[j]
+                } else {
+                    mindist_sq(q, &e.mbr)
+                };
                 if d < heap.bound_sq() {
                     queue.push(Reverse((QueueKey(d), e.child())));
                 }

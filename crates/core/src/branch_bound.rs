@@ -28,10 +28,10 @@
 
 use crate::explain::{Decision, Trace, TraceEvent};
 use crate::heap::KnnHeap;
-use crate::options::{AblOrdering, Neighbor, NnOptions, SearchStats};
+use crate::options::{AblOrdering, KernelMode, Neighbor, NnOptions, SearchStats};
 use crate::refine::{MbrRefiner, Refiner};
 use crate::Result;
-use nnq_geom::{mindist_sq, minmaxdist_sq, Point, Rect};
+use nnq_geom::{mindist_sq, mindist_sq_batch, minmaxdist_sq, minmaxdist_sq_batch, Point, Rect};
 use nnq_rtree::{NodeView, RTree, TreeAccess};
 use nnq_storage::PageId;
 
@@ -61,6 +61,12 @@ pub struct QueryCursor<const D: usize> {
     abl_stack: Vec<Vec<AblEntry>>,
     /// Scratch for the k-th-smallest MINMAXDIST selections (S1/S2).
     minmax: Vec<f64>,
+    /// Per-entry MINDIST output of the batch kernel for the node being
+    /// visited (`KernelMode::Batch` only).
+    batch_mindist: Vec<f64>,
+    /// Per-entry MINMAXDIST output of the batch kernel for the node being
+    /// visited (`KernelMode::Batch` only).
+    batch_minmax: Vec<f64>,
 }
 
 impl<const D: usize> QueryCursor<D> {
@@ -71,6 +77,8 @@ impl<const D: usize> QueryCursor<D> {
             heap: KnnHeap::new(1),
             abl_stack: Vec::new(),
             minmax: Vec::new(),
+            batch_mindist: Vec::new(),
+            batch_minmax: Vec::new(),
         }
     }
 }
@@ -265,26 +273,46 @@ impl<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>> Ctx<'_, '_, D, T,
 
     fn visit_leaf(&mut self, node: &NodeView<D>) {
         self.stats.leaves_visited += 1;
+        let batch = self.opts.kernel == KernelMode::Batch;
+        // Batch mode: one kernel pass over the node's SoA view fills the
+        // per-entry MINDISTs the object loop below reads. Entries the
+        // region filter skips get a (discarded) value too — same bits for
+        // every value actually consumed, so the traversal is unchanged.
+        if batch {
+            let q = self.q;
+            let cursor = &mut *self.cursor;
+            mindist_sq_batch(&q, node.soa(), &mut cursor.batch_mindist);
+        }
         // Strategy 2 bound: the k-th smallest MINMAXDIST among this leaf's
         // entries guarantees k objects within that distance.
         let object_bound = if self.opts.prune_object {
             let q = self.q;
             let k = self.cursor.heap.k();
-            let minmax = &mut self.cursor.minmax;
-            minmax.clear();
-            minmax.extend(node.entries().iter().map(|e| minmaxdist_sq(&q, &e.mbr)));
-            kth_smallest(minmax, k)
+            let cursor = &mut *self.cursor;
+            if batch {
+                minmaxdist_sq_batch(&q, node.soa(), &mut cursor.minmax);
+            } else {
+                cursor.minmax.clear();
+                cursor
+                    .minmax
+                    .extend(node.entries().iter().map(|e| minmaxdist_sq(&q, &e.mbr)));
+            }
+            kth_smallest(&mut cursor.minmax, k)
         } else {
             f64::INFINITY
         };
-        for e in node.entries() {
+        for (j, e) in node.entries().iter().enumerate() {
             if let Some(region) = &self.region {
                 if !e.mbr.intersects(region) {
                     self.trace_object(e.record(), f64::NAN, None, Decision::OutsideRegion, false);
                     continue;
                 }
             }
-            let filter = mindist_sq(&self.q, &e.mbr);
+            let filter = if batch {
+                self.cursor.batch_mindist[j]
+            } else {
+                mindist_sq(&self.q, &e.mbr)
+            };
             if self.opts.prune_object && filter > object_bound {
                 self.stats.pruned_object += 1;
                 self.trace_object(e.record(), filter, None, Decision::PrunedObject, false);
@@ -359,21 +387,46 @@ impl<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>> Ctx<'_, '_, D, T,
         let mut abl = std::mem::take(&mut self.cursor.abl_stack[depth]);
         abl.clear();
 
-        // Generate the Active Branch List.
-        abl.extend(
-            node.entries()
-                .iter()
-                .filter(|e| {
-                    self.region
-                        .as_ref()
-                        .is_none_or(|region| e.mbr.intersects(region))
-                })
-                .map(|e| AblEntry {
-                    mindist: mindist_sq(&self.q, &e.mbr),
-                    minmaxdist: minmaxdist_sq(&self.q, &e.mbr),
-                    child: e.child(),
-                }),
-        );
+        // Generate the Active Branch List. Both kernel modes produce the
+        // same bits per entry (see `nnq_geom`'s kernel contract), so the
+        // stable sort below and every pruning comparison behave
+        // identically; batch mode just computes the two metrics in two
+        // vectorized passes over the node's SoA view instead of 2·entries
+        // scalar calls.
+        let region = self.region;
+        let in_region =
+            |e: &nnq_rtree::Entry<D>| region.as_ref().is_none_or(|rg| e.mbr.intersects(rg));
+        match self.opts.kernel {
+            KernelMode::Scalar => {
+                abl.extend(
+                    node.entries()
+                        .iter()
+                        .filter(|e| in_region(e))
+                        .map(|e| AblEntry {
+                            mindist: mindist_sq(&self.q, &e.mbr),
+                            minmaxdist: minmaxdist_sq(&self.q, &e.mbr),
+                            child: e.child(),
+                        }),
+                );
+            }
+            KernelMode::Batch => {
+                let q = self.q;
+                let cursor = &mut *self.cursor;
+                mindist_sq_batch(&q, node.soa(), &mut cursor.batch_mindist);
+                minmaxdist_sq_batch(&q, node.soa(), &mut cursor.batch_minmax);
+                abl.extend(
+                    node.entries()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| in_region(e))
+                        .map(|(j, e)| AblEntry {
+                            mindist: cursor.batch_mindist[j],
+                            minmaxdist: cursor.batch_minmax[j],
+                            child: e.child(),
+                        }),
+                );
+            }
+        }
         self.stats.abl_entries += abl.len() as u64;
 
         // Strategy 1 bound: k-th smallest MINMAXDIST within this ABL.

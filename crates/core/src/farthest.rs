@@ -12,10 +12,10 @@
 //! distance while `MAXDIST` stays a valid upper bound because every object
 //! lies inside its MBR.
 
-use crate::options::{Neighbor, SearchStats};
+use crate::options::{KernelMode, Neighbor, SearchStats};
 use crate::refine::Refiner;
 use crate::Result;
-use nnq_geom::{maxdist_sq, Point};
+use nnq_geom::{maxdist_sq, maxdist_sq_batch, Point};
 use nnq_rtree::{RecordId, TreeAccess};
 use nnq_storage::PageId;
 use std::collections::BinaryHeap;
@@ -99,7 +99,21 @@ pub fn farthest_knn<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
     k: usize,
     refiner: &R,
 ) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
+    farthest_knn_with(tree, q, k, refiner, KernelMode::default())
+}
+
+/// [`farthest_knn`] with an explicit distance-kernel mode. Both modes
+/// produce bit-identical results and statistics.
+pub fn farthest_knn_with<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
+    tree: &T,
+    q: &Point<D>,
+    k: usize,
+    refiner: &R,
+    kernel: KernelMode,
+) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
     assert!(k > 0, "k must be at least 1");
+    let batch = kernel == KernelMode::Batch;
+    let mut maxdists: Vec<f64> = Vec::new();
     let mut far = FarHeap::new(k);
     let mut stats = SearchStats::default();
     // Max-heap on MAXDIST: most promising (farthest-reaching) node first.
@@ -113,10 +127,18 @@ pub fn farthest_knn<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
         }
         let node = tree.access_node(page)?;
         stats.nodes_visited += 1;
+        if batch {
+            maxdist_sq_batch(q, node.soa(), &mut maxdists);
+        }
         if node.is_leaf() {
             stats.leaves_visited += 1;
-            for e in node.entries() {
-                if maxdist_sq(q, &e.mbr) <= far.bound_sq() {
+            for (j, e) in node.entries().iter().enumerate() {
+                let d = if batch {
+                    maxdists[j]
+                } else {
+                    maxdist_sq(q, &e.mbr)
+                };
+                if d <= far.bound_sq() {
                     stats.pruned_upward += 1;
                     continue;
                 }
@@ -129,8 +151,12 @@ pub fn farthest_knn<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
                 });
             }
         } else {
-            for e in node.entries() {
-                let d = maxdist_sq(q, &e.mbr);
+            for (j, e) in node.entries().iter().enumerate() {
+                let d = if batch {
+                    maxdists[j]
+                } else {
+                    maxdist_sq(q, &e.mbr)
+                };
                 if d > far.bound_sq() {
                     queue.push((Key(d), e.child()));
                 } else {

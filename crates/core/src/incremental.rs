@@ -6,9 +6,9 @@
 //! popping in globally nondecreasing distance order yields neighbors one
 //! at a time, lazily reading only the nodes that are actually needed.
 
-use crate::options::{Neighbor, SearchStats};
+use crate::options::{KernelMode, Neighbor, SearchStats};
 use crate::refine::Refiner;
-use nnq_geom::{mindist_sq, Point, Rect};
+use nnq_geom::{mindist_sq, mindist_sq_batch, Point, Rect};
 use nnq_rtree::{RTree, RecordId, TreeAccess};
 use nnq_storage::PageId;
 use std::cmp::Reverse;
@@ -77,11 +77,21 @@ pub struct IncrementalNn<'t, const D: usize, R, T: TreeAccess<D> + ?Sized = RTre
     refiner: R,
     queue: BinaryHeap<Reverse<Keyed<D>>>,
     stats: SearchStats,
+    kernel: KernelMode,
+    /// Scratch for the batched per-node `MINDIST` pass, reused across the
+    /// whole iteration.
+    mindists: Vec<f64>,
 }
 
 impl<'t, const D: usize, R: Refiner<D>, T: TreeAccess<D> + ?Sized> IncrementalNn<'t, D, R, T> {
     /// Starts a distance-browsing iteration from `q`.
     pub fn new(tree: &'t T, q: Point<D>, refiner: R) -> Self {
+        Self::with_kernel(tree, q, refiner, KernelMode::default())
+    }
+
+    /// [`IncrementalNn::new`] with an explicit distance-kernel mode. Both
+    /// modes produce bit-identical neighbors and statistics.
+    pub fn with_kernel(tree: &'t T, q: Point<D>, refiner: R, kernel: KernelMode) -> Self {
         let mut queue = BinaryHeap::new();
         if let Some(root) = tree.access_root() {
             queue.push(Reverse(Keyed {
@@ -96,6 +106,8 @@ impl<'t, const D: usize, R: Refiner<D>, T: TreeAccess<D> + ?Sized> IncrementalNn
             refiner,
             queue,
             stats: SearchStats::default(),
+            kernel,
+            mindists: Vec::new(),
         }
     }
 
@@ -135,19 +147,31 @@ impl<const D: usize, R: Refiner<D>, T: TreeAccess<D> + ?Sized> Iterator
                         Err(e) => return Some(Err(e)),
                     };
                     self.stats.nodes_visited += 1;
+                    let batch = self.kernel == KernelMode::Batch;
+                    if batch {
+                        mindist_sq_batch(&self.q, node.soa(), &mut self.mindists);
+                    }
                     if node.is_leaf() {
                         self.stats.leaves_visited += 1;
-                        for e in node.entries() {
+                        for (j, e) in node.entries().iter().enumerate() {
                             self.queue.push(Reverse(Keyed {
-                                dist: mindist_sq(&self.q, &e.mbr),
+                                dist: if batch {
+                                    self.mindists[j]
+                                } else {
+                                    mindist_sq(&self.q, &e.mbr)
+                                },
                                 rank: 1,
                                 item: Item::Filtered(e.record(), e.mbr),
                             }));
                         }
                     } else {
-                        for e in node.entries() {
+                        for (j, e) in node.entries().iter().enumerate() {
                             self.queue.push(Reverse(Keyed {
-                                dist: mindist_sq(&self.q, &e.mbr),
+                                dist: if batch {
+                                    self.mindists[j]
+                                } else {
+                                    mindist_sq(&self.q, &e.mbr)
+                                },
                                 rank: 2,
                                 item: Item::Node(e.child()),
                             }));

@@ -76,20 +76,20 @@ mod refine;
 mod scan;
 mod spatial_join;
 
-pub use best_first::best_first_knn;
+pub use best_first::{best_first_knn, best_first_knn_with};
 pub use branch_bound::{NnSearch, QueryCursor};
 pub use explain::{Decision, Trace, TraceEvent};
-pub use farthest::farthest_knn;
+pub use farthest::{farthest_knn, farthest_knn_with};
 pub use heap::KnnHeap;
 pub use incremental::IncrementalNn;
 pub use join::{hilbert_schedule, knn_join, JoinOrder};
 pub use metric_knn::metric_knn;
-pub use options::{AblOrdering, Neighbor, NnOptions, SearchStats};
+pub use options::{AblOrdering, KernelMode, Neighbor, NnOptions, SearchStats};
 pub use parallel::par_knn_batch;
-pub use radius::{count_within_radius, within_radius};
+pub use radius::{count_within_radius, within_radius, within_radius_with};
 pub use refine::{FnRefiner, MbrRefiner, Refiner};
 pub use scan::{linear_scan_knn, scan_items_knn};
-pub use spatial_join::{intersection_join, JoinStats};
+pub use spatial_join::{intersection_join, intersection_join_with, JoinStats};
 
 /// Result alias shared with the index layer.
 pub type Result<T> = nnq_rtree::Result<T>;

@@ -15,6 +15,56 @@ pub enum AblOrdering {
     MinMaxDist,
 }
 
+/// Which distance-kernel implementation the traversals use for the
+/// per-entry `MINDIST`/`MINMAXDIST`/`MAXDIST` evaluations.
+///
+/// The two modes are **bit-identical** per entry (the batch kernels run
+/// the same operation sequence over a struct-of-arrays node view — see
+/// `nnq_geom::SoaRects`), so traversal order, tie-breaks, results, and
+/// every [`SearchStats`] / page-access counter match exactly; only the
+/// CPU time differs. The escape hatch exists for A/B measurement and as a
+/// reference oracle in tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Per-entry scalar metric calls over the entry array — the reference
+    /// implementation.
+    Scalar,
+    /// One batched, auto-vectorizable kernel pass per node over the
+    /// decoded node's cached SoA view. The default.
+    #[default]
+    Batch,
+}
+
+impl KernelMode {
+    /// Lower-case label for CLI/bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelMode::Scalar => "scalar",
+            KernelMode::Batch => "batch",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for KernelMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(KernelMode::Scalar),
+            "batch" => Ok(KernelMode::Batch),
+            other => Err(format!(
+                "unknown kernel mode `{other}` (want scalar or batch)"
+            )),
+        }
+    }
+}
+
 /// Options controlling the branch-and-bound search.
 ///
 /// The defaults enable everything, matching the paper's full algorithm;
@@ -39,6 +89,9 @@ pub struct NnOptions {
     /// times the true k-th nearest distance. `0.0` (the default) is the
     /// exact algorithm.
     pub epsilon: f64,
+    /// Distance-kernel implementation (scalar reference vs batched SoA);
+    /// never changes results, only speed.
+    pub kernel: KernelMode,
 }
 
 impl Default for NnOptions {
@@ -49,6 +102,7 @@ impl Default for NnOptions {
             prune_object: true,
             prune_upward: true,
             epsilon: 0.0,
+            kernel: KernelMode::default(),
         }
     }
 }
@@ -65,11 +119,18 @@ impl NnOptions {
     /// All pruning disabled — exhaustive traversal, the ablation baseline.
     pub fn no_pruning() -> Self {
         Self {
-            ordering: AblOrdering::MinDist,
             prune_downward: false,
             prune_object: false,
             prune_upward: false,
-            epsilon: 0.0,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's full algorithm with an explicit kernel mode.
+    pub fn with_kernel(kernel: KernelMode) -> Self {
+        Self {
+            kernel,
+            ..Self::default()
         }
     }
 
@@ -153,6 +214,19 @@ mod tests {
     fn no_pruning_disables_all() {
         let o = NnOptions::no_pruning();
         assert!(!o.prune_downward && !o.prune_object && !o.prune_upward);
+    }
+
+    #[test]
+    fn kernel_mode_parses_and_prints() {
+        assert_eq!("scalar".parse::<KernelMode>().unwrap(), KernelMode::Scalar);
+        assert_eq!("batch".parse::<KernelMode>().unwrap(), KernelMode::Batch);
+        assert!("simd".parse::<KernelMode>().is_err());
+        assert_eq!(KernelMode::Batch.to_string(), "batch");
+        assert_eq!(NnOptions::default().kernel, KernelMode::Batch);
+        assert_eq!(
+            NnOptions::with_kernel(KernelMode::Scalar).kernel,
+            KernelMode::Scalar
+        );
     }
 
     #[test]

@@ -6,10 +6,10 @@
 //! same optimistic bound the kNN search prunes with, used here as an
 //! absolute cutoff.
 
-use crate::options::{Neighbor, SearchStats};
+use crate::options::{KernelMode, Neighbor, SearchStats};
 use crate::refine::Refiner;
 use crate::Result;
-use nnq_geom::{mindist_sq, Point};
+use nnq_geom::{mindist_sq, mindist_sq_batch, Point};
 use nnq_rtree::TreeAccess;
 
 /// Returns every object whose exact distance from `q` is at most `radius`
@@ -21,8 +21,22 @@ pub fn within_radius<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
     radius: f64,
     refiner: &R,
 ) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
+    within_radius_with(tree, q, radius, refiner, KernelMode::default())
+}
+
+/// [`within_radius`] with an explicit distance-kernel mode. Both modes
+/// produce bit-identical results and statistics.
+pub fn within_radius_with<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
+    tree: &T,
+    q: &Point<D>,
+    radius: f64,
+    refiner: &R,
+    kernel: KernelMode,
+) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
     assert!(radius >= 0.0, "radius must be nonnegative");
     let radius_sq = radius * radius;
+    let batch = kernel == KernelMode::Batch;
+    let mut mindists: Vec<f64> = Vec::new();
     let mut out = Vec::new();
     let mut stats = SearchStats::default();
     let Some(root) = tree.access_root() else {
@@ -32,10 +46,18 @@ pub fn within_radius<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
     while let Some(page) = stack.pop() {
         let node = tree.access_node(page)?;
         stats.nodes_visited += 1;
+        if batch {
+            mindist_sq_batch(q, node.soa(), &mut mindists);
+        }
         if node.is_leaf() {
             stats.leaves_visited += 1;
-            for e in node.entries() {
-                if mindist_sq(q, &e.mbr) > radius_sq {
+            for (j, e) in node.entries().iter().enumerate() {
+                let filter = if batch {
+                    mindists[j]
+                } else {
+                    mindist_sq(q, &e.mbr)
+                };
+                if filter > radius_sq {
                     stats.pruned_upward += 1;
                     continue;
                 }
@@ -50,8 +72,13 @@ pub fn within_radius<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>>(
                 }
             }
         } else {
-            for e in node.entries() {
-                if mindist_sq(q, &e.mbr) <= radius_sq {
+            for (j, e) in node.entries().iter().enumerate() {
+                let d = if batch {
+                    mindists[j]
+                } else {
+                    mindist_sq(q, &e.mbr)
+                };
+                if d <= radius_sq {
                     stack.push(e.child());
                 } else {
                     stats.pruned_upward += 1;

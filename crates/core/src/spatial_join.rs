@@ -7,8 +7,9 @@
 //! different heights are handled by descending the taller side until the
 //! levels meet.
 
+use crate::options::KernelMode;
 use crate::Result;
-use nnq_geom::Rect;
+use nnq_geom::{intersects_batch, Rect};
 use nnq_rtree::{NodeView, RecordId, TreeAccess};
 
 /// Work counters for one join.
@@ -38,16 +39,36 @@ where
     L: TreeAccess<D> + ?Sized,
     R: TreeAccess<D> + ?Sized,
 {
+    intersection_join_with(left, right, KernelMode::default())
+}
+
+/// [`intersection_join`] with an explicit distance-kernel mode. Both modes
+/// produce identical pairs, in the same order, with identical node-read
+/// counts; in batch mode the per-node intersection tests run as one
+/// [`intersects_batch`] pass over the node's SoA view.
+pub fn intersection_join_with<const D: usize, L, R>(
+    left: &L,
+    right: &R,
+    kernel: KernelMode,
+) -> Result<(Vec<(RecordId, RecordId)>, JoinStats)>
+where
+    L: TreeAccess<D> + ?Sized,
+    R: TreeAccess<D> + ?Sized,
+{
     let mut out = Vec::new();
     let mut stats = JoinStats::default();
     let (Some(lroot), Some(rroot)) = (left.access_root(), right.access_root()) else {
         return Ok((out, stats));
     };
+    // Intersection-flag scratch shared by every node-level batch pass.
+    let mut hits: Vec<bool> = Vec::new();
     let lnode = read_left(left, lroot, &mut stats)?;
     let rnode = read_right(right, rroot, &mut stats)?;
     // The roots' MBRs must themselves intersect for any result to exist.
     if lnode.mbr().intersects(&rnode.mbr()) {
-        join(left, right, &lnode, &rnode, &mut out, &mut stats)?;
+        join(
+            left, right, &lnode, &rnode, kernel, &mut hits, &mut out, &mut stats,
+        )?;
     }
     stats.pairs = out.len() as u64;
     Ok((out, stats))
@@ -71,11 +92,14 @@ fn read_right<const D: usize, R: TreeAccess<D> + ?Sized>(
     tree.access_node(page)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn join<const D: usize, L, R>(
     left: &L,
     right: &R,
     a: &NodeView<D>,
     b: &NodeView<D>,
+    kernel: KernelMode,
+    hits: &mut Vec<bool>,
     out: &mut Vec<(RecordId, RecordId)>,
     stats: &mut JoinStats,
 ) -> Result<()>
@@ -83,53 +107,81 @@ where
     L: TreeAccess<D> + ?Sized,
     R: TreeAccess<D> + ?Sized,
 {
+    let batch = kernel == KernelMode::Batch;
     match (a.is_leaf(), b.is_leaf()) {
         (true, true) => {
-            // Emit intersecting record pairs.
+            // Emit intersecting record pairs: one batch pass over `b`'s SoA
+            // view per `a` entry, or the scalar pairwise tests.
             for ea in a.entries() {
-                for eb in b.entries() {
-                    if ea.mbr.intersects(&eb.mbr) {
-                        out.push((ea.record(), eb.record()));
+                if batch {
+                    intersects_batch(&ea.mbr, b.soa(), hits);
+                    for (eb, &hit) in b.entries().iter().zip(hits.iter()) {
+                        if hit {
+                            out.push((ea.record(), eb.record()));
+                        }
+                    }
+                } else {
+                    for eb in b.entries() {
+                        if ea.mbr.intersects(&eb.mbr) {
+                            out.push((ea.record(), eb.record()));
+                        }
                     }
                 }
             }
         }
         (true, false) => {
             let a_mbr = a.mbr();
-            for eb in entries_intersecting(b, &a_mbr) {
+            for eb in entries_intersecting(b, &a_mbr, kernel, hits) {
                 let child = read_right(right, eb, stats)?;
-                join(left, right, a, &child, out, stats)?;
+                join(left, right, a, &child, kernel, hits, out, stats)?;
             }
         }
         (false, true) => {
             let b_mbr = b.mbr();
-            for ea in entries_intersecting(a, &b_mbr) {
+            for ea in entries_intersecting(a, &b_mbr, kernel, hits) {
                 let child = read_left(left, ea, stats)?;
-                join(left, right, &child, b, out, stats)?;
+                join(left, right, &child, b, kernel, hits, out, stats)?;
             }
         }
         (false, false) => {
             if a.level() > b.level() {
                 let b_mbr = b.mbr();
-                for ea in entries_intersecting(a, &b_mbr) {
+                for ea in entries_intersecting(a, &b_mbr, kernel, hits) {
                     let child = read_left(left, ea, stats)?;
-                    join(left, right, &child, b, out, stats)?;
+                    join(left, right, &child, b, kernel, hits, out, stats)?;
                 }
             } else if b.level() > a.level() {
                 let a_mbr = a.mbr();
-                for eb in entries_intersecting(b, &a_mbr) {
+                for eb in entries_intersecting(b, &a_mbr, kernel, hits) {
                     let child = read_right(right, eb, stats)?;
-                    join(left, right, a, &child, out, stats)?;
+                    join(left, right, a, &child, kernel, hits, out, stats)?;
                 }
             } else {
                 // Same level: pairwise descent into intersecting children.
+                // The intersecting `b` children are collected before
+                // recursing because the recursion reuses the scratch; the
+                // node-read sequence (and thus the counters) matches the
+                // scalar mode exactly.
                 for ea in a.entries() {
-                    for eb in b.entries() {
-                        if ea.mbr.intersects(&eb.mbr) {
-                            let ca = read_left(left, ea.child(), stats)?;
-                            let cb = read_right(right, eb.child(), stats)?;
-                            join(left, right, &ca, &cb, out, stats)?;
-                        }
+                    let matching: Vec<nnq_storage::PageId> = if batch {
+                        intersects_batch(&ea.mbr, b.soa(), hits);
+                        b.entries()
+                            .iter()
+                            .zip(hits.iter())
+                            .filter(|(_, &hit)| hit)
+                            .map(|(eb, _)| eb.child())
+                            .collect()
+                    } else {
+                        b.entries()
+                            .iter()
+                            .filter(|eb| ea.mbr.intersects(&eb.mbr))
+                            .map(|eb| eb.child())
+                            .collect()
+                    };
+                    for cb_page in matching {
+                        let ca = read_left(left, ea.child(), stats)?;
+                        let cb = read_right(right, cb_page, stats)?;
+                        join(left, right, &ca, &cb, kernel, hits, out, stats)?;
                     }
                 }
             }
@@ -141,12 +193,26 @@ where
 fn entries_intersecting<const D: usize>(
     node: &NodeView<D>,
     window: &Rect<D>,
+    kernel: KernelMode,
+    hits: &mut Vec<bool>,
 ) -> Vec<nnq_storage::PageId> {
-    node.entries()
-        .iter()
-        .filter(|e| e.mbr.intersects(window))
-        .map(|e| e.child())
-        .collect()
+    match kernel {
+        KernelMode::Scalar => node
+            .entries()
+            .iter()
+            .filter(|e| e.mbr.intersects(window))
+            .map(|e| e.child())
+            .collect(),
+        KernelMode::Batch => {
+            intersects_batch(window, node.soa(), hits);
+            node.entries()
+                .iter()
+                .zip(hits.iter())
+                .filter(|(_, &hit)| hit)
+                .map(|(e, _)| e.child())
+                .collect()
+        }
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,10 @@
 //! * the paper's point-to-rectangle metrics [`mindist_sq`], [`minmaxdist_sq`]
 //!   and [`maxdist_sq`] (squared forms; use [`Dist`] helpers for
 //!   square-rooted values);
+//! * [`SoaRects`] and the batched kernels ([`mindist_sq_batch`],
+//!   [`minmaxdist_sq_batch`], [`maxdist_sq_batch`], [`intersects_batch`]) —
+//!   one auto-vectorizable pass per node's entry array, bit-identical to
+//!   the scalar metrics (see the kernel module docs for the contract);
 //! * [`Segment`] — 2-D line segments with exact point-to-segment distance,
 //!   used by map workloads where indexed objects are road segments;
 //! * [`hilbert_index`] / [`zorder_index`] space-filling-curve keys used by
@@ -36,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod curve;
+mod kernels;
 mod lp;
 mod metrics;
 mod point;
@@ -43,6 +48,9 @@ mod rect;
 mod segment;
 
 pub use curve::{hilbert_index, zorder_index, HILBERT_ORDER};
+pub use kernels::{
+    intersects_batch, maxdist_sq_batch, mindist_sq_batch, minmaxdist_sq_batch, SoaRects,
+};
 pub use lp::Metric;
 pub use metrics::{maxdist_sq, mindist_sq, minmaxdist_sq, Dist};
 pub use point::Point;

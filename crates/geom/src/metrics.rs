@@ -82,13 +82,24 @@ pub fn mindist_sq<const D: usize>(p: &Point<D>, r: &Rect<D>) -> f64 {
     if r.is_empty() {
         return f64::INFINITY;
     }
+    mindist_sq_core(p.coords(), r.lo().coords(), r.hi().coords())
+}
+
+/// The per-entry `MINDIST²` computation on raw coordinates. The batched
+/// SoA kernel ([`crate::mindist_sq_batch`]) transposes exactly this loop
+/// into per-axis passes: a branchless clamp producing the same value as
+/// the branchy one below, accumulated in the same left-to-right dimension
+/// order, which is what makes its output bit-identical; any change here
+/// must be mirrored there.
+#[inline(always)]
+pub(crate) fn mindist_sq_core<const D: usize>(p: &[f64; D], lo: &[f64; D], hi: &[f64; D]) -> f64 {
     let mut acc = 0.0;
     for i in 0..D {
         let c = p[i];
-        let d = if c < r.lo()[i] {
-            r.lo()[i] - c
-        } else if c > r.hi()[i] {
-            c - r.hi()[i]
+        let d = if c < lo[i] {
+            lo[i] - c
+        } else if c > hi[i] {
+            c - hi[i]
         } else {
             0.0
         };
@@ -108,50 +119,91 @@ pub fn mindist_sq<const D: usize>(p: &Point<D>, r: &Rect<D>) -> f64 {
 /// Returns `+∞` for empty rectangles. For a degenerate (point) rectangle it
 /// equals `MINDIST`.
 ///
-/// Implementation note: each candidate `k` is summed directly in dimension
-/// order, `Σ_i (i == k ? |p_i − rm_i|² : |p_i − rM_i|²)`, rather than via
-/// the `O(D)` running-sum decomposition `S − |p_k − rM_k|² + |p_k − rm_k|²`.
-/// The running sum cancels `far_sq[k]` back out of `S` and can land one ulp
-/// *below* the true value; for degenerate rectangles (where MINMAXDIST
-/// equals MINDIST mathematically, e.g. axis-parallel segment MBRs) that
-/// made `minmaxdist_sq < mindist_sq`, which broke the strategy-2 pruning
-/// invariant "some object lies within MINMAXDIST" and let kNN drop a true
-/// neighbor. Direct summation keeps the rounding identical to
-/// [`mindist_sq`] in the tie case, and `O(D²)` over a const-generic `D`
-/// fully unrolls anyway.
+/// Implementation note: candidate `k` is the sum
+/// `Σ_i (i == k ? |p_i − rm_i|² : |p_i − rM_i|²)`, evaluated in `O(D)`
+/// total as `prefix_k + near_sq[k] + suffix_k`, where `prefix_k` is the
+/// left-to-right sum of `far_sq[0..k]` and `suffix_k` the right-to-left
+/// sum of `far_sq[k+1..D]`. Unlike the running-sum decomposition
+/// `S − far_sq[k] + near_sq[k]` (which cancels `far_sq[k]` back out of `S`
+/// and can land one ulp *below* the true value — breaking the strategy-2
+/// invariant `MINMAXDIST ≥ MINDIST` on degenerate rectangles), every
+/// candidate here is a pure sum of its own terms; in 2-D it associates
+/// exactly like direct left-to-right summation. As a belt-and-braces
+/// guarantee for higher dimensions, where the prefix/suffix association
+/// can differ from direct summation by an ulp, the result is clamped from
+/// below to [`mindist_sq`]'s bit pattern, so `minmaxdist_sq ≥ mindist_sq`
+/// holds *bitwise* in every dimension (mathematically the clamp is a
+/// no-op: MINMAXDIST ≥ MINDIST always).
 #[inline]
 pub fn minmaxdist_sq<const D: usize>(p: &Point<D>, r: &Rect<D>) -> f64 {
     if r.is_empty() {
         return f64::INFINITY;
     }
+    minmaxdist_sq_core(p.coords(), r.lo().coords(), r.hi().coords())
+}
+
+/// The per-entry `MINMAXDIST²` computation on raw coordinates. The
+/// batched SoA kernel ([`crate::minmaxdist_sq_batch`]) transposes this
+/// exact three-stage operation sequence (per-dimension pass, backward
+/// suffix sums, forward candidate combine) into block-wide lanes, so any
+/// change here must be mirrored there to preserve bit-identity. Assumes a
+/// non-empty rectangle; the callers handle the empty case.
+#[inline(always)]
+pub(crate) fn minmaxdist_sq_core<const D: usize>(
+    p: &[f64; D],
+    lo: &[f64; D],
+    hi: &[f64; D],
+) -> f64 {
     // rm_k: coordinate of the nearer face along k.
     // rM_i: coordinate of the farther face along i.
     let mut far_sq = [0.0; D];
     let mut near_sq = [0.0; D];
+    let mut min_sq = [0.0; D];
     for i in 0..D {
         let c = p[i];
-        let mid = (r.lo()[i] + r.hi()[i]) * 0.5;
-        let (near, far) = if c <= mid {
-            (r.lo()[i], r.hi()[i])
-        } else {
-            (r.hi()[i], r.lo()[i])
-        };
+        let (l, h) = (lo[i], hi[i]);
+        let mid = (l + h) * 0.5;
+        let (near, far) = if c <= mid { (l, h) } else { (h, l) };
         let dn = c - near;
         let df = c - far;
         near_sq[i] = dn * dn;
         far_sq[i] = df * df;
+        // The same per-dimension term mindist_sq_core computes, for the
+        // bitwise MINDIST floor below.
+        let dm = if c < l {
+            l - c
+        } else if c > h {
+            c - h
+        } else {
+            0.0
+        };
+        min_sq[i] = dm * dm;
+    }
+    // suffix[k] = far_sq[k+1] + (far_sq[k+2] + (… + 0.0)), right-to-left.
+    let mut suffix = [0.0; D];
+    let mut tail = 0.0;
+    for i in (0..D).rev() {
+        suffix[i] = tail;
+        tail += far_sq[i];
     }
     let mut best = f64::INFINITY;
+    let mut prefix = 0.0;
+    let mut floor = 0.0;
     for k in 0..D {
-        let mut cand = 0.0;
-        for i in 0..D {
-            cand += if i == k { near_sq[i] } else { far_sq[i] };
-        }
+        let cand = (prefix + near_sq[k]) + suffix[k];
         if cand < best {
             best = cand;
         }
+        prefix += far_sq[k];
+        // Accumulated exactly like mindist_sq_core accumulates, so `floor`
+        // reproduces MINDIST² bit-for-bit.
+        floor += min_sq[k];
     }
-    best
+    if best < floor {
+        floor
+    } else {
+        best
+    }
 }
 
 /// `MAXDIST(P, R)²`: squared distance from `p` to the farthest corner of
@@ -161,10 +213,18 @@ pub fn maxdist_sq<const D: usize>(p: &Point<D>, r: &Rect<D>) -> f64 {
     if r.is_empty() {
         return f64::INFINITY;
     }
+    maxdist_sq_core(p.coords(), r.lo().coords(), r.hi().coords())
+}
+
+/// The per-entry `MAXDIST²` computation on raw coordinates. Like
+/// [`mindist_sq_core`], the batched kernel ([`crate::maxdist_sq_batch`])
+/// transposes exactly this loop; any change here must be mirrored there.
+#[inline(always)]
+pub(crate) fn maxdist_sq_core<const D: usize>(p: &[f64; D], lo: &[f64; D], hi: &[f64; D]) -> f64 {
     let mut acc = 0.0;
     for i in 0..D {
-        let dl = (p[i] - r.lo()[i]).abs();
-        let dh = (p[i] - r.hi()[i]).abs();
+        let dl = (p[i] - lo[i]).abs();
+        let dh = (p[i] - hi[i]).abs();
         let d = dl.max(dh);
         acc += d * d;
     }
@@ -302,6 +362,84 @@ mod tests {
                 let mid = minmaxdist_sq(&p, &r);
                 assert!(mid >= lo, "minmaxdist {mid} < mindist {lo} for {r:?}");
             }
+        }
+    }
+
+    #[test]
+    fn minmaxdist_matches_direct_sum_in_2d() {
+        // In 2-D every candidate of the O(D) prefix/suffix form associates
+        // exactly like the O(D²) direct-sum reference, so the two must be
+        // bit-identical — this pins the rewrite against the reference.
+        fn direct_sum(p: &Point<2>, r: &Rect<2>) -> f64 {
+            let mut far_sq = [0.0; 2];
+            let mut near_sq = [0.0; 2];
+            for i in 0..2 {
+                let c = p[i];
+                let mid = (r.lo()[i] + r.hi()[i]) * 0.5;
+                let (near, far) = if c <= mid {
+                    (r.lo()[i], r.hi()[i])
+                } else {
+                    (r.hi()[i], r.lo()[i])
+                };
+                near_sq[i] = (c - near) * (c - near);
+                far_sq[i] = (c - far) * (c - far);
+            }
+            let mut best = f64::INFINITY;
+            for k in 0..2 {
+                let mut cand = 0.0;
+                for i in 0..2 {
+                    cand += if i == k { near_sq[i] } else { far_sq[i] };
+                }
+                if cand < best {
+                    best = cand;
+                }
+            }
+            best
+        }
+        for i in 0..200 {
+            let t = i as f64 * 13.37 + 0.191_919;
+            let r = r2(
+                [t, -t * 0.31],
+                [t + (i % 7) as f64 * 0.503, -t * 0.31 + 11.7],
+            );
+            let p = Point::new([t * 0.77 - 100.0, t * 1.13 + 3.0]);
+            assert_eq!(
+                minmaxdist_sq(&p, &r).to_bits(),
+                direct_sum(&p, &r).to_bits(),
+                "O(D) form diverged from direct sum for {r:?} / {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn minmaxdist_never_below_mindist_in_high_dims() {
+        // The bitwise MINDIST floor must hold in dimensions where the
+        // prefix/suffix association could otherwise dip an ulp below.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2e4 - 1e4
+        };
+        for _ in 0..500 {
+            let mut lo = [0.0; 8];
+            let mut hi = [0.0; 8];
+            let mut p = [0.0; 8];
+            for i in 0..8 {
+                let a = next();
+                let b = next();
+                lo[i] = a.min(b);
+                hi[i] = a.max(b);
+                p[i] = next();
+            }
+            // Degenerate one axis: this is where equality is tight.
+            hi[3] = lo[3];
+            let r = Rect::new(Point::new(lo), Point::new(hi));
+            let q = Point::new(p);
+            let lo_d = mindist_sq(&q, &r);
+            let mid_d = minmaxdist_sq(&q, &r);
+            assert!(mid_d >= lo_d, "minmaxdist {mid_d} < mindist {lo_d}");
         }
     }
 

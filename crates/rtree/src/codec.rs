@@ -20,7 +20,7 @@ use crate::config::{RTreeConfig, SplitStrategy};
 use crate::entry::Entry;
 use crate::{RTreeError, Result};
 use bytes::{Buf, BufMut};
-use nnq_geom::{Point, Rect};
+use nnq_geom::{Point, Rect, SoaRects};
 use nnq_storage::PageId;
 
 const NODE_MAGIC: u32 = 0x4E4E_5154;
@@ -47,12 +47,39 @@ pub const fn node_capacity(page_size: usize, dims: usize) -> usize {
 ///
 /// Stores hand these out behind `Arc`s (see [`crate::NodeStore::read`]),
 /// so a decoded node is immutable once published.
+///
+/// Alongside the entry array, every node carries a [`SoaRects`] transpose
+/// of its entry MBRs, built once at construction — i.e. once per decode /
+/// cache fill, not per visit. The batched distance kernels in `nnq-geom`
+/// read that view; see [`RawNode::soa`].
 #[derive(Clone, Debug)]
 pub struct RawNode<const D: usize> {
     /// Node level (0 = leaf).
     pub level: u16,
     /// The node's entries.
     pub entries: Vec<Entry<D>>,
+    /// Axis-major view of the entry MBRs, kept in sync with `entries` by
+    /// construction (nodes are immutable once published).
+    soa: SoaRects<D>,
+}
+
+impl<const D: usize> RawNode<D> {
+    /// Builds a node, transposing the entry MBRs into the cached
+    /// struct-of-arrays view.
+    pub fn new(level: u16, entries: Vec<Entry<D>>) -> Self {
+        let soa = SoaRects::from_rects(entries.iter().map(|e| &e.mbr));
+        Self {
+            level,
+            entries,
+            soa,
+        }
+    }
+
+    /// The struct-of-arrays view of the entry MBRs, in entry order.
+    #[inline]
+    pub fn soa(&self) -> &SoaRects<D> {
+        &self.soa
+    }
 }
 
 /// Serializes a node into `page` (which must be zero-padded page bytes).
@@ -115,7 +142,7 @@ pub(crate) fn decode_node<const D: usize>(page_id: PageId, page: &[u8]) -> Resul
         let mbr = Rect::from_sorted(Point::new(lo), Point::new(hi));
         entries.push(Entry { mbr, ptr });
     }
-    Ok(RawNode { level, entries })
+    Ok(RawNode::new(level, entries))
 }
 
 /// Persistent metadata describing the tree.

@@ -425,19 +425,13 @@ impl<const D: usize> NodeStore<D> for MemStore<D> {
             })?;
         // Readers may still hold the old Arc; publish a fresh node rather
         // than mutating the shared one.
-        *slot = Arc::new(RawNode {
-            level,
-            entries: entries.to_vec(),
-        });
+        *slot = Arc::new(RawNode::new(level, entries.to_vec()));
         Ok(())
     }
 
     fn alloc(&self, level: u16, entries: &[Entry<D>]) -> Result<PageId> {
         let mut arena = self.nodes.write();
-        let node = Arc::new(RawNode {
-            level,
-            entries: entries.to_vec(),
-        });
+        let node = Arc::new(RawNode::new(level, entries.to_vec()));
         let idx = if let Some(idx) = arena.free.pop() {
             arena.slots[idx] = Some(node);
             idx

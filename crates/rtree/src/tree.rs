@@ -11,7 +11,7 @@ use crate::entry::{entries_mbr, Entry, RecordId};
 use crate::split::{split_entries, take_reinsert_victims};
 use crate::store::{MemStore, NodeStore, PagedStore};
 use crate::{RTreeError, Result};
-use nnq_geom::{Point, Rect};
+use nnq_geom::{Point, Rect, SoaRects};
 use nnq_storage::{BufferPool, PageId};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -63,6 +63,14 @@ impl<const D: usize> NodeView<D> {
     #[inline]
     pub fn entries(&self) -> &[Entry<D>] {
         &self.node.entries
+    }
+
+    /// The struct-of-arrays view of the entry MBRs (same order as
+    /// [`NodeView::entries`]), built once per decode and cached with the
+    /// node — the input the `nnq-geom` batch kernels consume.
+    #[inline]
+    pub fn soa(&self) -> &SoaRects<D> {
+        self.node.soa()
     }
 
     /// The tight bounding rectangle of this node's entries.
