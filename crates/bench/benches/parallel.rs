@@ -1,0 +1,166 @@
+//! Concurrent batch-kNN throughput: threads × pool shards, warm and cold.
+//!
+//! Sweeps the work-stealing `par_knn_batch` scheduler over threads ∈
+//! {1, 2, 4, 8} and buffer-pool shards ∈ {1, 8} on the paged backend,
+//! warm (node cache + pool primed) and cold (both dropped before every
+//! repetition). Reports queries/sec and the speedup curve relative to
+//! one thread of the same shard configuration, and writes the whole grid
+//! to `BENCH_PARALLEL.json` at the repo root.
+//!
+//! Not a criterion harness: the measured unit is a whole batch (seconds,
+//! not nanoseconds) and the output is the JSON trajectory file.
+
+use nnq_bench::datasets::Dataset;
+use nnq_bench::harness::{build_tree_sharded, queries_for, BuildMethod, QUERY_POOL_FRAMES};
+use nnq_core::{par_knn_batch, MbrRefiner, NnOptions};
+use nnq_rtree::SplitStrategy;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const N: usize = 20_000;
+const N_QUERIES: usize = 2_000;
+const K: usize = 10;
+const REPS: usize = 3;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const SHARDS: [usize; 2] = [1, 8];
+
+struct Cell {
+    shards: usize,
+    threads: usize,
+    warm_qps: f64,
+    cold_qps: f64,
+}
+
+fn main() {
+    let dataset = Dataset::uniform(N, 11);
+    let queries = queries_for(N_QUERIES, 7);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for &shards in &SHARDS {
+        let built = build_tree_sharded(
+            &dataset.items,
+            BuildMethod::Dynamic(SplitStrategy::Quadratic),
+            QUERY_POOL_FRAMES,
+            shards,
+        );
+        // Reference results once per configuration: every cell must agree.
+        let reference = par_knn_batch(
+            &built.tree,
+            &queries,
+            K,
+            NnOptions::default(),
+            &MbrRefiner,
+            1,
+        )
+        .unwrap();
+
+        for &threads in &THREADS {
+            // Warm: everything primed by the reference pass (and kept
+            // warm by the repetitions themselves). Best of REPS.
+            let mut warm_qps = 0f64;
+            for _ in 0..REPS {
+                let start = Instant::now();
+                let out = par_knn_batch(
+                    &built.tree,
+                    &queries,
+                    K,
+                    NnOptions::default(),
+                    &MbrRefiner,
+                    threads,
+                )
+                .unwrap();
+                let qps = N_QUERIES as f64 / start.elapsed().as_secs_f64();
+                warm_qps = warm_qps.max(qps);
+                assert_eq!(out.len(), reference.len());
+                for (a, b) in out.iter().zip(&reference) {
+                    assert!(
+                        a.iter().map(|n| n.dist_sq).eq(b.iter().map(|n| n.dist_sq)),
+                        "results diverged at shards={shards} threads={threads}"
+                    );
+                }
+            }
+
+            // Cold: decoded-node cache and pool frames dropped before
+            // every repetition, so each traversal decodes and re-reads
+            // from the (in-memory) device.
+            let mut cold_qps = 0f64;
+            for _ in 0..REPS {
+                built.tree.store().clear_node_cache();
+                built.pool.clear_cache().unwrap();
+                let start = Instant::now();
+                par_knn_batch(
+                    &built.tree,
+                    &queries,
+                    K,
+                    NnOptions::default(),
+                    &MbrRefiner,
+                    threads,
+                )
+                .unwrap();
+                cold_qps = cold_qps.max(N_QUERIES as f64 / start.elapsed().as_secs_f64());
+            }
+
+            eprintln!(
+                "shards={shards} threads={threads}: warm {warm_qps:.0} q/s, cold {cold_qps:.0} q/s"
+            );
+            cells.push(Cell {
+                shards,
+                threads,
+                warm_qps,
+                cold_qps,
+            });
+        }
+    }
+
+    let json = render_json(&cells, cores);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PARALLEL.json");
+    std::fs::write(path, &json).unwrap();
+    eprintln!("wrote {path}");
+}
+
+fn render_json(cells: &[Cell], cores: usize) -> String {
+    let base_qps = |shards: usize, warm: bool| -> f64 {
+        cells
+            .iter()
+            .find(|c| c.shards == shards && c.threads == 1)
+            .map(|c| if warm { c.warm_qps } else { c.cold_qps })
+            .unwrap_or(1.0)
+    };
+    let mut rows = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        let _ = write!(
+            rows,
+            r#"
+    {{ "shards": {}, "threads": {}, "warm_qps": {:.0}, "cold_qps": {:.0}, "warm_speedup_vs_1t": {:.2}, "cold_speedup_vs_1t": {:.2} }}{sep}"#,
+            c.shards,
+            c.threads,
+            c.warm_qps,
+            c.cold_qps,
+            c.warm_qps / base_qps(c.shards, true),
+            c.cold_qps / base_qps(c.shards, false),
+        );
+    }
+    format!(
+        r#"{{
+  "bench": "parallel",
+  "description": "Work-stealing par_knn_batch over the paged backend (crates/bench/benches/parallel.rs): threads x buffer-pool shards, warm (node cache + pool primed) and cold (both dropped each repetition). queries/sec is the full-batch rate, best of {REPS} repetitions; speedups are relative to 1 thread of the same shard configuration. Thread-count speedup is bounded by the host's hardware parallelism recorded in host_hardware_threads.",
+  "config": {{
+    "dataset": "uniform",
+    "n": {N},
+    "queries": {N_QUERIES},
+    "k": {K},
+    "build": "dynamic/quadratic",
+    "pool_frames": {},
+    "host_hardware_threads": {cores}
+  }},
+  "grid": [{rows}
+  ]
+}}
+"#,
+        QUERY_POOL_FRAMES,
+    )
+}

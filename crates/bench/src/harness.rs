@@ -60,9 +60,23 @@ pub fn build_tree(
     method: BuildMethod,
     pool_frames: usize,
 ) -> BuiltTree {
-    let pool = Arc::new(BufferPool::new(
+    build_tree_sharded(items, method, pool_frames, 1)
+}
+
+/// [`build_tree`] over a pool split into `shards` sub-pools (the
+/// concurrent-read configuration benchmarked by `benches/parallel.rs`).
+/// The tree is identical regardless of shard count; only latch layout and
+/// per-shard eviction differ.
+pub fn build_tree_sharded(
+    items: &[(Rect<2>, RecordId)],
+    method: BuildMethod,
+    pool_frames: usize,
+    shards: usize,
+) -> BuiltTree {
+    let pool = Arc::new(BufferPool::with_shards(
         Box::new(MemDisk::new(PAGE_SIZE)),
         pool_frames,
+        shards,
     ));
     let start = Instant::now();
     let tree = match method {

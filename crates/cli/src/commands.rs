@@ -109,10 +109,37 @@ pub fn build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn open_index(path: &str) -> Result<(RTree<2>, Arc<BufferPool>), CliError> {
+    open_index_sharded(path, 1)
+}
+
+fn open_index_sharded(path: &str, shards: usize) -> Result<(RTree<2>, Arc<BufferPool>), CliError> {
     let disk = FileDisk::open(path, PAGE_SIZE)?;
-    let pool = Arc::new(BufferPool::new(Box::new(disk), 4096));
+    let pool = Arc::new(BufferPool::with_shards(Box::new(disk), 4096, shards));
     let tree = RTree::<2>::open(Arc::clone(&pool), PageId(0))?;
     Ok((tree, pool))
+}
+
+/// `--threads N`: worker count for batch execution; must be ≥ 1.
+fn parse_threads(args: &Args) -> Result<usize, CliError> {
+    let threads: usize = args.num("threads", 1)?;
+    if threads == 0 {
+        return Err(CliError::Usage(
+            "flag `--threads` must be at least 1".into(),
+        ));
+    }
+    Ok(threads)
+}
+
+/// `--pool-shards N`: buffer-pool shard count; must be a power of two ≥ 1
+/// (shards are selected by masking the page id's low bits).
+fn parse_pool_shards(args: &Args) -> Result<usize, CliError> {
+    let shards: usize = args.num("pool-shards", 1)?;
+    if shards == 0 || !shards.is_power_of_two() {
+        return Err(CliError::Usage(
+            "flag `--pool-shards` must be a power of two ≥ 1".into(),
+        ));
+    }
+    Ok(shards)
 }
 
 /// `nnq stats` — print the structure of an index file.
@@ -141,7 +168,9 @@ pub fn stats(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
 /// `nnq query` — kNN or radius query against an index + its dataset.
 pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    let (tree, _pool) = open_index(args.req("index")?)?;
+    let threads = parse_threads(args)?;
+    let pool_shards = parse_pool_shards(args)?;
+    let (tree, pool) = open_index_sharded(args.req("index")?, pool_shards)?;
     let segments = load_segments_csv(args.req("data")?)?;
     if segments.len() as u64 != tree.len() {
         return Err(CliError::Run(format!(
@@ -202,11 +231,17 @@ pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             n.dist()
         )?;
     }
+    // A single query point has nothing to fan out; `--threads` is
+    // accepted for symmetry with `bench` and echoed so scripts can treat
+    // the two stats lines uniformly.
     writeln!(
         out,
-        "({} results, {} nodes read, kernel {kernel_used}, {:.1} µs)",
+        "({} results, {} nodes read, kernel {kernel_used}, {} thread(s), {} pool shard(s), pool hit rate {:.1}%, {:.1} µs)",
         hits.len(),
         search_stats.nodes_visited,
+        threads,
+        pool.shard_count(),
+        pool.stats().hit_rate() * 100.0,
         elapsed.as_secs_f64() * 1e6
     )?;
     Ok(())
@@ -215,7 +250,9 @@ pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 /// `nnq bench` — average query latency and page accesses over a batch of
 /// random query points.
 pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    let (tree, pool) = open_index(args.req("index")?)?;
+    let threads = parse_threads(args)?;
+    let pool_shards = parse_pool_shards(args)?;
+    let (tree, pool) = open_index_sharded(args.req("index")?, pool_shards)?;
     let segments = load_segments_csv(args.req("data")?)?;
     let n_queries: usize = args.num("queries", 1000)?;
     let k: usize = args.num("k", 10)?;
@@ -225,35 +262,49 @@ pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let refiner = FnRefiner::new(|rid: RecordId, _: &nnq_geom::Rect<2>, p: &Point<2>| {
         segments[rid.0 as usize].dist_sq_to_point(p)
     });
-    let search = NnSearch::with_options(&tree, NnOptions::with_kernel(kernel));
-    let mut cursor = nnq_core::QueryCursor::new();
 
     pool.reset_stats();
-    let mut nodes = 0u64;
     let start = Instant::now();
-    for q in &queries {
-        let (_, s) = search.query_refined_with(&mut cursor, q, k, &refiner)?;
-        nodes += s.nodes_visited;
+    if threads == 1 {
+        let search = NnSearch::with_options(&tree, NnOptions::with_kernel(kernel));
+        let mut cursor = nnq_core::QueryCursor::new();
+        for q in &queries {
+            search.query_refined_with(&mut cursor, q, k, &refiner)?;
+        }
+    } else {
+        nnq_core::par_knn_batch(
+            &tree,
+            &queries,
+            k,
+            NnOptions::with_kernel(kernel),
+            &refiner,
+            threads,
+        )
+        .map_err(|e| CliError::Run(e.to_string()))?;
     }
     let elapsed = start.elapsed();
+    // Aggregated over all shards; per-query logical reads (the paper's
+    // "pages accessed") are shard- and thread-count-independent.
     let pstats = pool.stats();
     writeln!(
         out,
         "{} queries (k = {k}): {:.1} µs/query, {:.1} pages/query, {:.1} physical reads/query, hit rate {:.1}%",
         n_queries,
         elapsed.as_secs_f64() * 1e6 / n_queries as f64,
-        nodes as f64 / n_queries as f64,
+        pstats.logical_reads as f64 / n_queries as f64,
         pstats.physical_reads as f64 / n_queries as f64,
         pstats.hit_rate() * 100.0
     )?;
     let cstats = tree.store().cache_stats();
     writeln!(
         out,
-        "node cache: {} hits / {} reads ({:.1}% decode-free), {} nodes cached, kernel {kernel}",
+        "node cache: {} hits / {} reads ({:.1}% decode-free), {} nodes cached, kernel {kernel}, {} thread(s), {} pool shard(s)",
         cstats.hits,
         cstats.hits + cstats.misses,
         cstats.hit_rate() * 100.0,
-        cstats.len
+        cstats.len,
+        threads,
+        pool.shard_count()
     )?;
     Ok(())
 }

@@ -315,3 +315,143 @@ fn explain_join_and_metric_queries() {
     std::fs::remove_file(&outer).ok();
     std::fs::remove_file(&index).ok();
 }
+
+#[test]
+fn threads_and_pool_shards_flags() {
+    let data = tmp("par.csv");
+    let index = tmp("par.rtree");
+    run_ok(&["gen", "--kind", "uniform", "--n", "4000", "--out", &data]);
+    run_ok(&["build", "--input", &data, "--index", &index]);
+
+    // Extracts the "<x> pages/query" figure from the bench stats line —
+    // the paper's metric, which must not move with threads or shards.
+    let bench_pages = |threads: &str, shards: &str| -> (String, String) {
+        let out = run_ok(&[
+            "bench",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--queries",
+            "50",
+            "--threads",
+            threads,
+            "--pool-shards",
+            shards,
+        ]);
+        let pages = out
+            .lines()
+            .next()
+            .unwrap()
+            .split(", ")
+            .find(|f| f.ends_with("pages/query"))
+            .unwrap()
+            .to_string();
+        (pages, out)
+    };
+    let (pages_base, out) = bench_pages("1", "1");
+    assert!(out.contains("1 thread(s), 1 pool shard(s)"), "{out}");
+    for (threads, shards) in [("4", "1"), ("1", "8"), ("4", "8")] {
+        let (pages, out) = bench_pages(threads, shards);
+        assert_eq!(
+            pages, pages_base,
+            "threads={threads} shards={shards}: {out}"
+        );
+        assert!(
+            out.contains(&format!("{threads} thread(s), {shards} pool shard(s)")),
+            "{out}"
+        );
+    }
+
+    // Query accepts both flags and reports them with the pool hit rate.
+    let out = run_ok(&[
+        "query",
+        "--index",
+        &index,
+        "--data",
+        &data,
+        "--at",
+        "50000,50000",
+        "-k",
+        "3",
+        "--threads",
+        "2",
+        "--pool-shards",
+        "4",
+    ]);
+    assert!(
+        out.contains("2 thread(s), 4 pool shard(s), pool hit rate"),
+        "{out}"
+    );
+
+    // Bad values are usage errors on both commands.
+    let mut sink = Vec::new();
+    for bad in [
+        vec![
+            "bench",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--threads",
+            "0",
+        ],
+        vec![
+            "bench",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--pool-shards",
+            "0",
+        ],
+        vec![
+            "bench",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--pool-shards",
+            "3",
+        ],
+        vec![
+            "query",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--at",
+            "0,0",
+            "--threads",
+            "0",
+        ],
+        vec![
+            "query",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--at",
+            "0,0",
+            "--pool-shards",
+            "6",
+        ],
+        vec![
+            "bench",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--threads",
+            "two",
+        ],
+    ] {
+        assert!(
+            matches!(run(&argv(&bad), &mut sink), Err(CliError::Usage(_))),
+            "expected usage error for {bad:?}"
+        );
+    }
+
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&index).ok();
+}

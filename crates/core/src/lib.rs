@@ -85,7 +85,7 @@ pub use incremental::IncrementalNn;
 pub use join::{hilbert_schedule, knn_join, JoinOrder};
 pub use metric_knn::metric_knn;
 pub use options::{AblOrdering, KernelMode, Neighbor, NnOptions, SearchStats};
-pub use parallel::par_knn_batch;
+pub use parallel::{par_knn_batch, par_knn_batch_stats, BatchStats};
 pub use radius::{count_within_radius, within_radius, within_radius_with};
 pub use refine::{FnRefiner, MbrRefiner, Refiner};
 pub use scan::{linear_scan_knn, scan_items_knn};

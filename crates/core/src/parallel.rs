@@ -5,6 +5,18 @@
 //! independent queries fanned out over scoped worker threads. Both tree
 //! backends are internally synchronized for reads (`&self` queries), so
 //! workers share one tree.
+//!
+//! Scheduling is work-stealing over a shared atomic cursor rather than
+//! static chunking: every worker claims a small block of queries at a
+//! time, so one expensive query (huge `k`, far-off point, dense region)
+//! stalls only the worker that claimed it while the rest of the batch
+//! drains through the other workers. The batch finishes in roughly
+//! `max(most expensive single query, total work / threads)` instead of
+//! `total work / threads + slowest static chunk`.
+//!
+//! Determinism: each query is computed independently from the shared tree
+//! snapshot, so results are bit-identical to `threads = 1` regardless of
+//! which worker claims which block.
 
 use crate::branch_bound::{NnSearch, QueryCursor};
 use crate::options::{Neighbor, NnOptions};
@@ -12,9 +24,32 @@ use crate::refine::Refiner;
 use crate::Result;
 use nnq_geom::Point;
 use nnq_rtree::TreeAccess;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How a [`par_knn_batch_stats`] run distributed its queries.
+#[derive(Clone, Debug, Default)]
+pub struct BatchStats {
+    /// Workers spawned (1 for the sequential fast path).
+    pub threads: usize,
+    /// Queries claimed per cursor increment.
+    pub block: usize,
+    /// Queries each worker ended up executing. Sums to the batch length;
+    /// under load imbalance the worker stuck on an expensive query claims
+    /// fewer, which is the observable signature of stealing.
+    pub per_worker_queries: Vec<usize>,
+}
+
+/// Block size for the shared cursor: small enough that an expensive query
+/// can be compensated by the other workers (at most one block is claimed
+/// blind), large enough that the atomic increment amortizes.
+fn block_size(len: usize, threads: usize) -> usize {
+    (len / (threads * 8)).clamp(1, 32)
+}
 
 /// Runs a kNN query for every point in `queries`, fanning the batch out
-/// over `threads` worker threads. Results are returned in query order.
+/// over `threads` worker threads that claim blocks from a shared cursor.
+/// Results are returned in query order and are bit-identical to
+/// `threads = 1`.
 ///
 /// `threads = 1` degenerates to a sequential loop (no threads spawned).
 ///
@@ -45,50 +80,109 @@ where
     T: TreeAccess<D> + Sync + ?Sized,
     R: Refiner<D> + Sync,
 {
+    par_knn_batch_stats(tree, queries, k, opts, refiner, threads).map(|(results, _)| results)
+}
+
+/// [`par_knn_batch`] plus the scheduling telemetry: how many queries each
+/// worker claimed off the shared cursor.
+pub fn par_knn_batch_stats<const D: usize, T, R>(
+    tree: &T,
+    queries: &[Point<D>],
+    k: usize,
+    opts: NnOptions,
+    refiner: &R,
+    threads: usize,
+) -> Result<(Vec<Vec<Neighbor<D>>>, BatchStats)>
+where
+    T: TreeAccess<D> + Sync + ?Sized,
+    R: Refiner<D> + Sync,
+{
     assert!(threads > 0, "need at least one worker");
     if queries.is_empty() {
-        return Ok(Vec::new());
+        return Ok((
+            Vec::new(),
+            BatchStats {
+                threads: 1,
+                block: 0,
+                per_worker_queries: vec![0],
+            },
+        ));
     }
     if threads == 1 || queries.len() == 1 {
         let search = NnSearch::with_options(tree, opts);
         let mut cursor = QueryCursor::new();
-        return queries
+        let results = queries
             .iter()
             .map(|q| {
                 search
                     .query_refined_with(&mut cursor, q, k, refiner)
                     .map(|(n, _)| n)
             })
-            .collect();
+            .collect::<Result<Vec<_>>>()?;
+        let stats = BatchStats {
+            threads: 1,
+            block: queries.len(),
+            per_worker_queries: vec![queries.len()],
+        };
+        return Ok((results, stats));
     }
 
-    let chunk = queries.len().div_ceil(threads);
-    let mut results: Vec<Vec<Neighbor<D>>> = vec![Vec::new(); queries.len()];
-    let out_chunks: Vec<&mut [Vec<Neighbor<D>>]> = results.chunks_mut(chunk).collect();
+    let len = queries.len();
+    let block = block_size(len, threads);
+    let next = AtomicUsize::new(0);
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (qs, outs) in queries.chunks(chunk).zip(out_chunks) {
-            handles.push(scope.spawn(move || -> Result<()> {
-                let search = NnSearch::with_options(tree, opts);
-                // One cursor per worker: all per-query scratch (ABL
-                // buffers, selection scratch, candidate heap) is reused
-                // across the worker's whole share of the batch.
-                let mut cursor = QueryCursor::new();
-                for (q, out) in qs.iter().zip(outs.iter_mut()) {
-                    let (found, _) = search.query_refined_with(&mut cursor, q, k, refiner)?;
-                    *out = found;
-                }
-                Ok(())
-            }));
-        }
-        for h in handles {
-            h.join().expect("worker panicked")?;
-        }
-        Ok::<(), crate::Error>(())
-    })?;
+    // Each worker returns its (index, result) pairs; the batch result is
+    // assembled in query order afterwards, so the scheduler's claim order
+    // never shows through.
+    type WorkerOut<const D: usize> = Result<Vec<(usize, Vec<Neighbor<D>>)>>;
+    let worker_outs: Vec<WorkerOut<D>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || -> WorkerOut<D> {
+                    let search = NnSearch::with_options(tree, opts);
+                    // One cursor per worker: all per-query scratch (ABL
+                    // buffers, selection scratch, candidate heap) is
+                    // reused across every query the worker claims.
+                    let mut cursor = QueryCursor::new();
+                    let mut out = Vec::new();
+                    loop {
+                        let start = next.fetch_add(block, Ordering::Relaxed);
+                        if start >= len {
+                            break;
+                        }
+                        let end = (start + block).min(len);
+                        for (i, q) in queries.iter().enumerate().take(end).skip(start) {
+                            let (found, _) =
+                                search.query_refined_with(&mut cursor, q, k, refiner)?;
+                            out.push((i, found));
+                        }
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
-    Ok(results)
+    let mut results: Vec<Vec<Neighbor<D>>> = vec![Vec::new(); len];
+    let mut per_worker_queries = Vec::with_capacity(threads);
+    for worker_out in worker_outs {
+        let pairs = worker_out?;
+        per_worker_queries.push(pairs.len());
+        for (i, found) in pairs {
+            results[i] = found;
+        }
+    }
+    let stats = BatchStats {
+        threads,
+        block,
+        per_worker_queries,
+    };
+    Ok((results, stats))
 }
 
 #[cfg(test)]
@@ -151,5 +245,39 @@ mod tests {
         let out = par_knn_batch(&tree, &queries, 2, NnOptions::default(), &MbrRefiner, 16).unwrap();
         assert_eq!(out.len(), 3);
         assert!(out.iter().all(|r| r.len() == 2));
+    }
+
+    #[test]
+    fn scheduler_accounts_for_every_query() {
+        let (tree, queries) = tree_and_queries(2_000, 300);
+        for threads in [1, 2, 4, 8] {
+            let (out, stats) = par_knn_batch_stats(
+                &tree,
+                &queries,
+                4,
+                NnOptions::default(),
+                &MbrRefiner,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(out.len(), queries.len());
+            assert_eq!(stats.threads, threads.min(stats.per_worker_queries.len()));
+            assert_eq!(
+                stats.per_worker_queries.iter().sum::<usize>(),
+                queries.len(),
+                "threads={threads}"
+            );
+            if threads > 1 {
+                assert!(stats.block >= 1 && stats.block <= 32);
+            }
+        }
+    }
+
+    #[test]
+    fn block_size_is_small_and_bounded() {
+        assert_eq!(block_size(10, 8), 1);
+        assert_eq!(block_size(1_000, 4), 31);
+        assert_eq!(block_size(100_000, 8), 32);
+        assert_eq!(block_size(2, 8), 1);
     }
 }

@@ -21,8 +21,8 @@ use crate::entry::Entry;
 use crate::{RTreeError, Result};
 use nnq_storage::{BufferPool, PageId};
 use parking_lot::RwLock;
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Storage backend for R-tree nodes and the tree's metadata.
@@ -79,6 +79,8 @@ pub struct NodeCacheStats {
     pub len: usize,
     /// Maximum nodes the cache will hold (`0` disables caching).
     pub capacity: usize,
+    /// Number of lock stripes the cache is split across.
+    pub stripes: usize,
 }
 
 impl NodeCacheStats {
@@ -95,33 +97,104 @@ impl NodeCacheStats {
     }
 }
 
-/// FIFO-evicted map from page id to its decoded node.
+/// Lock-striped, CLOCK-evicted map from page id to its decoded node.
 ///
-/// Invalidation only removes from the map; the FIFO queue keeps a stale
-/// id until eviction (or a periodic compaction) skips past it. Counters
-/// live outside the lock so concurrent readers don't serialize on stats.
+/// The cache is split into `S` stripes (`S` a power of two, sized from
+/// the machine's parallelism and clamped so every stripe owns at least
+/// one slot); a page lives in the stripe selected by the low bits of its
+/// id, so readers of different stripes never touch the same lock, and a
+/// hit takes only a stripe *read* lock (the CLOCK reference bit is an
+/// atomic, flipped without write access).
+///
+/// Each stripe is a fixed ring of slots swept by a second-chance hand:
+/// a hit sets the slot's reference bit, the hand clears bits as it
+/// sweeps and evicts the first unreferenced slot. Hot upper-level nodes
+/// are therefore retained as long as they keep being read — unlike the
+/// FIFO this replaces, which evicted them in arrival order.
+///
+/// Invalidation empties the slot in place (map entry and ring slot go
+/// together), so repeated write/invalidate cycles leave no residue: the
+/// ring's length is fixed at construction and never grows.
+/// Counters live outside the locks so concurrent readers don't
+/// serialize on stats.
 struct NodeCache<const D: usize> {
     capacity: usize,
-    inner: RwLock<CacheInner<D>>,
+    stripe_mask: u64,
+    stripes: Vec<Stripe<D>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
 }
 
-struct CacheInner<const D: usize> {
-    map: HashMap<PageId, Arc<RawNode<D>>>,
-    fifo: VecDeque<PageId>,
+struct Stripe<const D: usize> {
+    inner: RwLock<StripeInner<D>>,
+}
+
+struct StripeInner<const D: usize> {
+    /// page id → index into `slots`. Always mirrors the ring: an id is
+    /// mapped iff its slot holds a node.
+    map: HashMap<PageId, usize>,
+    /// The CLOCK ring. Fixed length (the stripe's share of the cache
+    /// capacity); slots are emptied in place by invalidation.
+    slots: Vec<Slot<D>>,
+    /// The CLOCK hand: next ring position to inspect for eviction.
+    hand: usize,
+}
+
+struct Slot<const D: usize> {
+    page: PageId,
+    node: Option<Arc<RawNode<D>>>,
+    /// Second-chance bit; set on every hit (under the stripe's *read*
+    /// lock, hence atomic), cleared by the sweeping hand.
+    referenced: AtomicBool,
+}
+
+impl<const D: usize> Slot<D> {
+    fn empty() -> Self {
+        Self {
+            page: PageId::INVALID,
+            node: None,
+            referenced: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Power-of-two stripe count for a cache of `capacity` nodes: the
+/// machine's parallelism rounded up, clamped to 64 and halved until every
+/// stripe owns at least one slot.
+fn stripe_count_for(capacity: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut stripes = hw.next_power_of_two().min(64);
+    while stripes > capacity.max(1) {
+        stripes /= 2;
+    }
+    stripes
 }
 
 impl<const D: usize> NodeCache<D> {
     fn new(capacity: usize) -> Self {
+        let stripes = stripe_count_for(capacity);
+        let base = capacity / stripes;
+        let rem = capacity % stripes;
+        let stripe_vec = (0..stripes)
+            .map(|i| {
+                let slots = base + usize::from(i < rem);
+                Stripe {
+                    inner: RwLock::new(StripeInner {
+                        map: HashMap::with_capacity(slots),
+                        slots: (0..slots).map(|_| Slot::empty()).collect(),
+                        hand: 0,
+                    }),
+                }
+            })
+            .collect();
         Self {
             capacity,
-            inner: RwLock::new(CacheInner {
-                map: HashMap::new(),
-                fifo: VecDeque::new(),
-            }),
+            stripe_mask: (stripes - 1) as u64,
+            stripes: stripe_vec,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -129,12 +202,23 @@ impl<const D: usize> NodeCache<D> {
         }
     }
 
+    #[inline]
+    fn stripe(&self, id: PageId) -> &Stripe<D> {
+        &self.stripes[(id.0 & self.stripe_mask) as usize]
+    }
+
     fn get(&self, id: PageId) -> Option<Arc<RawNode<D>>> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let found = self.inner.read().map.get(&id).cloned();
+        let inner = self.stripe(id).inner.read();
+        let found = inner.map.get(&id).map(|&idx| {
+            let slot = &inner.slots[idx];
+            slot.referenced.store(true, Ordering::Relaxed);
+            Arc::clone(slot.node.as_ref().expect("mapped slot holds a node"))
+        });
+        drop(inner);
         match found {
             Some(node) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -151,49 +235,79 @@ impl<const D: usize> NodeCache<D> {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.write();
-        if inner.map.insert(id, node).is_some() {
-            return; // refreshed in place; id already queued
+        let mut inner = self.stripe(id).inner.write();
+        if let Some(&idx) = inner.map.get(&id) {
+            // Refresh in place (e.g. re-decode after an invalidation race).
+            let slot = &mut inner.slots[idx];
+            slot.node = Some(node);
+            slot.referenced.store(true, Ordering::Relaxed);
+            return;
         }
-        while inner.map.len() > self.capacity {
-            match inner.fifo.pop_front() {
-                Some(old) => {
-                    if inner.map.remove(&old).is_some() {
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
-                    } // else: stale id left behind by an invalidation
-                }
-                None => break,
+        // CLOCK sweep: take the first empty slot or the first occupied
+        // slot whose reference bit is already clear, clearing bits as the
+        // hand passes. Terminates within two sweeps (after one full pass
+        // every bit is clear).
+        let n = inner.slots.len();
+        let idx = loop {
+            let idx = inner.hand;
+            inner.hand = (inner.hand + 1) % n;
+            let slot = &mut inner.slots[idx];
+            if slot.node.is_none() {
+                break idx;
             }
-        }
-        inner.fifo.push_back(id);
-        // Invalidations leave stale ids queued; rebuild once the queue is
-        // clearly dominated by them so it can't grow without bound.
-        if inner.fifo.len() > (2 * self.capacity).max(16) {
-            let mut seen = HashSet::with_capacity(inner.map.len());
-            let mut kept = VecDeque::with_capacity(inner.map.len());
-            let CacheInner { map, fifo } = &mut *inner;
-            for &p in fifo.iter().rev() {
-                if map.contains_key(&p) && seen.insert(p) {
-                    kept.push_front(p);
-                }
+            if *slot.referenced.get_mut() {
+                *slot.referenced.get_mut() = false;
+                continue;
             }
-            inner.fifo = kept;
-        }
+            let old = slot.page;
+            slot.node = None;
+            slot.page = PageId::INVALID;
+            inner.map.remove(&old);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            break idx;
+        };
+        let slot = &mut inner.slots[idx];
+        slot.page = id;
+        slot.node = Some(node);
+        // Arrives with its bit set: a fresh decode gets one full sweep of
+        // grace before it is eviction-eligible.
+        slot.referenced.store(true, Ordering::Relaxed);
+        inner.map.insert(id, idx);
     }
 
     fn invalidate(&self, id: PageId) {
         if self.capacity == 0 {
             return;
         }
-        if self.inner.write().map.remove(&id).is_some() {
+        let mut inner = self.stripe(id).inner.write();
+        if let Some(idx) = inner.map.remove(&id) {
+            let slot = &mut inner.slots[idx];
+            slot.page = PageId::INVALID;
+            slot.node = None;
+            slot.referenced.store(false, Ordering::Relaxed);
             self.invalidations.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     fn clear(&self) {
-        let mut inner = self.inner.write();
-        inner.map.clear();
-        inner.fifo.clear();
+        for stripe in &self.stripes {
+            let mut inner = stripe.inner.write();
+            inner.map.clear();
+            for slot in &mut inner.slots {
+                *slot = Slot::empty();
+            }
+            inner.hand = 0;
+        }
+    }
+
+    /// Total ring slots across stripes — fixed at construction; the
+    /// residue regression test asserts it never drifts from `capacity`.
+    #[cfg(test)]
+    fn ring_len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.inner.read().slots.len())
+            .sum()
     }
 
     fn stats(&self) -> NodeCacheStats {
@@ -202,8 +316,9 @@ impl<const D: usize> NodeCache<D> {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
-            len: self.inner.read().map.len(),
+            len: self.stripes.iter().map(|s| s.inner.read().map.len()).sum(),
             capacity: self.capacity,
+            stripes: self.stripes.len(),
         }
     }
 }
@@ -580,9 +695,82 @@ mod tests {
         assert_eq!(cs.misses, 4);
         assert_eq!(cs.len, 2);
         assert_eq!(cs.evictions, 2);
-        // Oldest two were evicted FIFO; newest two still hit.
+        // The CLOCK hand replaced the unreferenced older nodes; the
+        // most recent read is still resident.
         NodeStore::read(&store, ids[3]).unwrap();
         assert_eq!(store.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn node_cache_clock_keeps_hot_nodes() {
+        // A node that is re-read between insertions keeps its reference
+        // bit set and survives sweeps that evict cold nodes — the
+        // behavioral win of CLOCK over the FIFO it replaced.
+        let store = paged(4);
+        let hot = store.alloc(0, &[entry(100)]).unwrap();
+        NodeStore::read(&store, hot).unwrap(); // decode + cache
+        for i in 0..32 {
+            let id = store.alloc(0, &[entry(i)]).unwrap();
+            NodeStore::read(&store, id).unwrap(); // churn the ring
+            NodeStore::read(&store, hot).unwrap(); // keep the bit set
+        }
+        let before = store.cache_stats();
+        NodeStore::read(&store, hot).unwrap();
+        let after = store.cache_stats();
+        assert_eq!(after.hits, before.hits + 1, "hot node was evicted");
+    }
+
+    #[test]
+    fn node_cache_invalidation_leaves_no_residue() {
+        // Hammer insert/invalidate cycles: with the old FIFO each cycle
+        // left a stale id queued; the CLOCK ring must stay at its fixed
+        // length and the live map bounded by capacity throughout.
+        let store = paged(8);
+        let ring = store.cache.ring_len();
+        assert_eq!(ring, 8);
+        let id = store.alloc(0, &[entry(0)]).unwrap();
+        for i in 0..10_000u64 {
+            NodeStore::read(&store, id).unwrap(); // insert into the cache
+            store.write(id, 0, &[entry(i)]).unwrap(); // invalidate it
+            if i % 256 == 0 {
+                let cs = store.cache_stats();
+                assert!(cs.len <= cs.capacity, "live entries exceed capacity");
+                assert_eq!(store.cache.ring_len(), ring, "ring grew");
+            }
+        }
+        let cs = store.cache_stats();
+        assert_eq!(store.cache.ring_len(), ring, "ring grew after hammer");
+        assert!(cs.len <= cs.capacity);
+        assert_eq!(cs.invalidations, 10_000);
+        // The entry is gone: the next read decodes fresh and sees the
+        // last written payload.
+        let raw = NodeStore::read(&store, id).unwrap();
+        assert_eq!(raw.entries[0].record(), RecordId(9_999));
+    }
+
+    #[test]
+    fn node_cache_stripes_cover_capacity_and_ids() {
+        // Whatever stripe count the host picks, the ring slots must sum
+        // to the requested capacity and every id must stay readable.
+        for cap in [1usize, 2, 3, 7, 64] {
+            let store = paged(cap);
+            let cs = store.cache_stats();
+            assert!(cs.stripes >= 1 && cs.stripes.is_power_of_two());
+            assert_eq!(store.cache.ring_len(), cap, "capacity {cap}");
+            let ids: Vec<_> = (0..2 * cap as u64)
+                .map(|i| store.alloc(0, &[entry(i)]).unwrap())
+                .collect();
+            for &id in &ids {
+                NodeStore::read(&store, id).unwrap();
+            }
+            let cs = store.cache_stats();
+            assert!(cs.len <= cap);
+            assert_eq!(store.cache.ring_len(), cap);
+            for (i, &id) in ids.iter().enumerate() {
+                let raw = NodeStore::read(&store, id).unwrap();
+                assert_eq!(raw.entries[0].record(), RecordId(i as u64));
+            }
+        }
     }
 
     #[test]

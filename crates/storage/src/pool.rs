@@ -1,4 +1,20 @@
-//! A fixed-capacity buffer pool with LRU eviction and pin/unpin semantics.
+//! A fixed-capacity buffer pool with LRU eviction and pin/unpin semantics,
+//! optionally sharded for concurrent readers.
+//!
+//! The pool is split into `S` sub-pools ("shards", `S` a power of two),
+//! each with its own mutex, frame table, free list, and LRU clock. A page
+//! lives in the shard selected by the low bits of its [`PageId`], so two
+//! threads fetching pages in different shards never touch the same lock.
+//! `S = 1` (the default) is byte-for-byte the classic single-latch pool:
+//! one global LRU order, one mutex.
+//!
+//! Accounting invariant: every fetch increments exactly one shard's
+//! `logical_reads` cell, so the aggregate [`PoolStats`] — and therefore
+//! the paper's "pages accessed" figure — is identical for every shard
+//! count. Eviction order (and hence `physical_reads` under a *finite*
+//! buffer) is per-shard LRU, which only coincides with global LRU at
+//! `S = 1`; experiments that reproduce the paper's buffering curves use a
+//! single shard.
 
 use crate::wal::Wal;
 use crate::{DiskManager, DiskStats, PageId, Result, StorageError};
@@ -46,6 +62,14 @@ impl PoolStats {
             self.hits as f64 / self.logical_reads as f64
         }
     }
+
+    fn accumulate(&mut self, other: PoolStats) {
+        self.logical_reads += other.logical_reads;
+        self.hits += other.hits;
+        self.physical_reads += other.physical_reads;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+    }
 }
 
 #[derive(Default)]
@@ -55,6 +79,26 @@ struct StatCells {
     physical_reads: AtomicU64,
     evictions: AtomicU64,
     writebacks: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.writebacks.store(0, Ordering::Relaxed);
+    }
 }
 
 struct Frame {
@@ -73,34 +117,16 @@ struct Inner {
     tick: u64,
 }
 
-/// A page cache over a [`DiskManager`].
-///
-/// * Fixed number of frames, chosen at construction; LRU eviction among
-///   unpinned frames.
-/// * [`BufferPool::fetch`] / [`BufferPool::fetch_write`] return RAII guards
-///   that pin the page (pinned pages are never evicted) and latch its
-///   contents for shared or exclusive access.
-/// * All methods take `&self`; the pool is internally synchronized and can
-///   be shared across threads.
-///
-/// Callers must not fetch a page while holding a *write* guard on that same
-/// page from the same thread (the per-frame latch is not reentrant).
-pub struct BufferPool {
-    disk: Box<dyn DiskManager>,
+/// One sub-pool: its own latch, frame table, free list, LRU clock, and
+/// stat cells. Pages are assigned to shards by `page_id & shard_mask`.
+struct Shard {
     inner: Mutex<Inner>,
     stats: StatCells,
-    wal: Option<Wal>,
 }
 
-impl BufferPool {
-    /// Creates a pool with `capacity` frames over `disk`.
-    ///
-    /// # Panics
-    /// Panics if `capacity` is zero.
-    pub fn new(disk: Box<dyn DiskManager>, capacity: usize) -> Self {
-        assert!(capacity > 0, "buffer pool needs at least one frame");
-        let page_size = disk.page_size();
-        let frames = (0..capacity)
+impl Shard {
+    fn new(frames: usize, page_size: usize) -> Self {
+        let frames = (0..frames)
             .map(|_| Frame {
                 page: PageId::INVALID,
                 data: Arc::new(RwLock::new(vec![0u8; page_size])),
@@ -108,9 +134,9 @@ impl BufferPool {
                 pins: 0,
                 tick: 0,
             })
-            .collect();
+            .collect::<Vec<_>>();
+        let capacity = frames.len();
         Self {
-            disk,
             inner: Mutex::new(Inner {
                 frames,
                 map: HashMap::with_capacity(capacity),
@@ -118,8 +144,78 @@ impl BufferPool {
                 tick: 0,
             }),
             stats: StatCells::default(),
+        }
+    }
+}
+
+/// A page cache over a [`DiskManager`].
+///
+/// * Fixed number of frames, chosen at construction, split across one or
+///   more shards; LRU eviction among unpinned frames of the page's shard.
+/// * [`BufferPool::fetch`] / [`BufferPool::fetch_write`] return RAII guards
+///   that pin the page (pinned pages are never evicted) and latch its
+///   contents for shared or exclusive access.
+/// * All methods take `&self`; the pool is internally synchronized and can
+///   be shared across threads. With `shards > 1`
+///   ([`BufferPool::with_shards`]) concurrent fetches of pages in
+///   different shards do not contend on any lock.
+///
+/// Callers must not fetch a page while holding a *write* guard on that same
+/// page from the same thread (the per-frame latch is not reentrant).
+pub struct BufferPool {
+    disk: Box<dyn DiskManager>,
+    shards: Vec<Shard>,
+    shard_mask: u64,
+    wal: Option<Wal>,
+}
+
+impl BufferPool {
+    /// Creates a single-shard pool with `capacity` frames over `disk`
+    /// (one global latch and one global LRU order — the paper's buffering
+    /// model).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(disk: Box<dyn DiskManager>, capacity: usize) -> Self {
+        Self::with_shards(disk, capacity, 1)
+    }
+
+    /// Creates a pool with `capacity` frames split across `shards`
+    /// sub-pools. `shards` is rounded up to a power of two and clamped so
+    /// every shard owns at least one frame.
+    ///
+    /// Aggregate `logical_reads` is identical for every shard count;
+    /// eviction (and so `physical_reads` under a finite buffer) is
+    /// per-shard LRU. Size `capacity ≫ shards` for sensible behavior.
+    ///
+    /// # Panics
+    /// Panics if `capacity` or `shards` is zero.
+    pub fn with_shards(disk: Box<dyn DiskManager>, capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        assert!(shards > 0, "buffer pool needs at least one shard");
+        let mut shards = shards.next_power_of_two();
+        while shards > capacity {
+            shards /= 2; // stay a power of two, every shard gets ≥ 1 frame
+        }
+        let page_size = disk.page_size();
+        let base = capacity / shards;
+        let rem = capacity % shards;
+        let shard_vec = (0..shards)
+            .map(|i| Shard::new(base + usize::from(i < rem), page_size))
+            .collect::<Vec<_>>();
+        Self {
+            disk,
+            shard_mask: (shards - 1) as u64,
+            shards: shard_vec,
             wal: None,
         }
+    }
+
+    /// Shard count sized for a thread hint: the next power of two at or
+    /// above `threads` (so each worker of a `threads`-wide batch tends to
+    /// land on its own latch).
+    pub fn shards_for_threads(threads: usize) -> usize {
+        threads.max(1).next_power_of_two()
     }
 
     /// Creates a pool whose page write-backs are journaled to `wal`
@@ -133,6 +229,11 @@ impl BufferPool {
         let mut pool = Self::new(disk, capacity);
         pool.wal = Some(wal);
         pool
+    }
+
+    #[inline]
+    fn shard_of(&self, id: PageId) -> &Shard {
+        &self.shards[(id.0 & self.shard_mask) as usize]
     }
 
     /// Journals a page image before it is written back to the device
@@ -164,20 +265,35 @@ impl BufferPool {
         self.disk.page_size()
     }
 
-    /// The number of frames.
+    /// The total number of frames across all shards.
     pub fn capacity(&self) -> usize {
-        self.inner.lock().frames.len()
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().frames.len())
+            .sum()
     }
 
-    /// Pool access counters.
+    /// The number of shards (a power of two; `1` for the default pool).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Aggregate access counters: the per-shard atomics summed. With one
+    /// shard this is exactly the classic pool's counters; with many, the
+    /// sum is still one increment per fetch, so `logical_reads` is
+    /// shard-count-independent.
     pub fn stats(&self) -> PoolStats {
-        PoolStats {
-            logical_reads: self.stats.logical_reads.load(Ordering::Relaxed),
-            hits: self.stats.hits.load(Ordering::Relaxed),
-            physical_reads: self.stats.physical_reads.load(Ordering::Relaxed),
-            evictions: self.stats.evictions.load(Ordering::Relaxed),
-            writebacks: self.stats.writebacks.load(Ordering::Relaxed),
+        let mut total = PoolStats::default();
+        for shard in &self.shards {
+            total.accumulate(shard.stats.snapshot());
         }
+        total
+    }
+
+    /// Per-shard counter snapshots, indexed by shard. Summing them equals
+    /// [`BufferPool::stats`].
+    pub fn shard_stats(&self) -> Vec<PoolStats> {
+        self.shards.iter().map(|s| s.stats.snapshot()).collect()
     }
 
     /// Counters of the underlying device.
@@ -192,11 +308,9 @@ impl BufferPool {
 
     /// Resets pool and device counters (used between experiment phases).
     pub fn reset_stats(&self) {
-        self.stats.logical_reads.store(0, Ordering::Relaxed);
-        self.stats.hits.store(0, Ordering::Relaxed);
-        self.stats.physical_reads.store(0, Ordering::Relaxed);
-        self.stats.evictions.store(0, Ordering::Relaxed);
-        self.stats.writebacks.store(0, Ordering::Relaxed);
+        for shard in &self.shards {
+            shard.stats.reset();
+        }
         self.disk.reset_stats();
     }
 
@@ -204,38 +318,41 @@ impl BufferPool {
     /// ones first), so the next fetches are cold. Used by experiments that
     /// measure cold-cache I/O.
     pub fn clear_cache(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let mut idx = 0;
-        while idx < inner.frames.len() {
-            let (page, dirty, pins) = {
-                let f = &inner.frames[idx];
-                (f.page, f.dirty, f.pins)
-            };
-            if page.is_valid() && pins == 0 {
-                if dirty {
-                    let data = Arc::clone(&inner.frames[idx].data);
-                    let buf = data.read();
-                    self.log_writeback(page, &buf)?;
-                    self.disk.write_page(page, &buf)?;
-                    self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            let mut idx = 0;
+            while idx < inner.frames.len() {
+                let (page, dirty, pins) = {
+                    let f = &inner.frames[idx];
+                    (f.page, f.dirty, f.pins)
+                };
+                if page.is_valid() && pins == 0 {
+                    if dirty {
+                        let data = Arc::clone(&inner.frames[idx].data);
+                        let buf = data.read();
+                        self.log_writeback(page, &buf)?;
+                        self.disk.write_page(page, &buf)?;
+                        shard.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    inner.map.remove(&page);
+                    let f = &mut inner.frames[idx];
+                    f.page = PageId::INVALID;
+                    f.dirty = false;
+                    inner.free.push(idx);
                 }
-                inner.map.remove(&page);
-                let f = &mut inner.frames[idx];
-                f.page = PageId::INVALID;
-                f.dirty = false;
-                inner.free.push(idx);
+                idx += 1;
             }
-            idx += 1;
         }
         Ok(())
     }
 
     /// Fetches a page for shared (read) access.
     pub fn fetch(&self, id: PageId) -> Result<PageReadGuard<'_>> {
-        let (frame_idx, data) = self.pin_frame(id, false)?;
+        let (shard_idx, frame_idx, data) = self.pin_frame(id, false)?;
         let guard = RwLock::read_arc(&data);
         Ok(PageReadGuard {
             pool: self,
+            shard: shard_idx,
             frame: frame_idx,
             guard,
         })
@@ -243,10 +360,11 @@ impl BufferPool {
 
     /// Fetches a page for exclusive (write) access and marks it dirty.
     pub fn fetch_write(&self, id: PageId) -> Result<PageWriteGuard<'_>> {
-        let (frame_idx, data) = self.pin_frame(id, true)?;
+        let (shard_idx, frame_idx, data) = self.pin_frame(id, true)?;
         let guard = RwLock::write_arc(&data);
         Ok(PageWriteGuard {
             pool: self,
+            shard: shard_idx,
             frame: frame_idx,
             guard,
         })
@@ -256,9 +374,11 @@ impl BufferPool {
     /// writing.
     pub fn new_page(&self) -> Result<(PageId, PageWriteGuard<'_>)> {
         let id = self.disk.allocate()?;
+        let shard_idx = (id.0 & self.shard_mask) as usize;
+        let shard = &self.shards[shard_idx];
         // The page is zeroed on the device; cache it without a device read.
-        let mut inner = self.inner.lock();
-        let frame_idx = self.acquire_frame(&mut inner)?;
+        let mut inner = shard.inner.lock();
+        let frame_idx = self.acquire_frame(shard, &mut inner)?;
         inner.map.insert(id, frame_idx);
         inner.tick += 1;
         let tick = inner.tick;
@@ -275,6 +395,7 @@ impl BufferPool {
             id,
             PageWriteGuard {
                 pool: self,
+                shard: shard_idx,
                 frame: frame_idx,
                 guard,
             },
@@ -286,7 +407,8 @@ impl BufferPool {
     /// Fails with [`StorageError::PoolExhausted`] if the page is currently
     /// pinned.
     pub fn delete_page(&self, id: PageId) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let shard = self.shard_of(id);
+        let mut inner = shard.inner.lock();
         if let Some(&frame_idx) = inner.map.get(&id) {
             if inner.frames[frame_idx].pins > 0 {
                 return Err(StorageError::PoolExhausted {
@@ -305,59 +427,62 @@ impl BufferPool {
 
     /// Writes all dirty frames back to the device and syncs it.
     pub fn flush_all(&self) -> Result<()> {
-        let inner = self.inner.lock();
-        // Collect (page, data) pairs first so the device I/O happens with a
-        // consistent view; frames stay resident and become clean.
-        let mut to_write = Vec::new();
-        for f in &inner.frames {
-            if f.page.is_valid() && f.dirty {
-                to_write.push((f.page, Arc::clone(&f.data)));
+        for shard in &self.shards {
+            let inner = shard.inner.lock();
+            // Collect (page, data) pairs first so the device I/O happens
+            // with a consistent view; frames stay resident, become clean.
+            let mut to_write = Vec::new();
+            for f in &inner.frames {
+                if f.page.is_valid() && f.dirty {
+                    to_write.push((f.page, Arc::clone(&f.data)));
+                }
+            }
+            drop(inner);
+            for (page, data) in to_write {
+                let buf = data.read();
+                self.log_writeback(page, &buf)?;
+                self.disk.write_page(page, &buf)?;
+                shard.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut inner = shard.inner.lock();
+            for f in &mut inner.frames {
+                if f.page.is_valid() {
+                    f.dirty = false;
+                }
             }
         }
-        drop(inner);
-        for (page, data) in to_write {
-            let buf = data.read();
-            self.log_writeback(page, &buf)?;
-            self.disk.write_page(page, &buf)?;
-            self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
-        }
-        let mut inner = self.inner.lock();
-        for f in &mut inner.frames {
-            if f.page.is_valid() {
-                f.dirty = false;
-            }
-        }
-        drop(inner);
         self.disk.sync()
     }
 
     // -- internals ---------------------------------------------------------
 
-    /// Pins the frame holding `id`, loading it from the device on a miss.
-    /// Returns the frame index and its data cell.
-    fn pin_frame(&self, id: PageId, write_intent: bool) -> Result<(usize, FrameData)> {
+    /// Pins the frame holding `id` in its shard, loading it from the device
+    /// on a miss. Returns the shard index, frame index, and its data cell.
+    fn pin_frame(&self, id: PageId, write_intent: bool) -> Result<(usize, usize, FrameData)> {
         if !id.is_valid() {
             return Err(StorageError::InvalidPage(id));
         }
-        let mut inner = self.inner.lock();
-        self.stats.logical_reads.fetch_add(1, Ordering::Relaxed);
+        let shard_idx = (id.0 & self.shard_mask) as usize;
+        let shard = &self.shards[shard_idx];
+        let mut inner = shard.inner.lock();
+        shard.stats.logical_reads.fetch_add(1, Ordering::Relaxed);
         inner.tick += 1;
         let tick = inner.tick;
 
         if let Some(&frame_idx) = inner.map.get(&id) {
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            shard.stats.hits.fetch_add(1, Ordering::Relaxed);
             let f = &mut inner.frames[frame_idx];
             f.pins += 1;
             f.tick = tick;
             if write_intent {
                 f.dirty = true;
             }
-            return Ok((frame_idx, Arc::clone(&f.data)));
+            return Ok((shard_idx, frame_idx, Arc::clone(&f.data)));
         }
 
         // Miss: find a frame, read from device.
-        self.stats.physical_reads.fetch_add(1, Ordering::Relaxed);
-        let frame_idx = self.acquire_frame(&mut inner)?;
+        shard.stats.physical_reads.fetch_add(1, Ordering::Relaxed);
+        let frame_idx = self.acquire_frame(shard, &mut inner)?;
         {
             let data = Arc::clone(&inner.frames[frame_idx].data);
             let mut buf = data.write();
@@ -373,12 +498,13 @@ impl BufferPool {
         f.dirty = write_intent;
         f.pins = 1;
         f.tick = tick;
-        Ok((frame_idx, Arc::clone(&f.data)))
+        Ok((shard_idx, frame_idx, Arc::clone(&f.data)))
     }
 
-    /// Gets a free frame, evicting the least-recently-used unpinned frame if
-    /// necessary. The returned frame is unmapped and unpinned.
-    fn acquire_frame(&self, inner: &mut Inner) -> Result<usize> {
+    /// Gets a free frame in `shard`, evicting its least-recently-used
+    /// unpinned frame if necessary. The returned frame is unmapped and
+    /// unpinned.
+    fn acquire_frame(&self, shard: &Shard, inner: &mut Inner) -> Result<usize> {
         if let Some(idx) = inner.free.pop() {
             return Ok(idx);
         }
@@ -402,18 +528,18 @@ impl BufferPool {
             let buf = data.read();
             self.log_writeback(page, &buf)?;
             self.disk.write_page(page, &buf)?;
-            self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+            shard.stats.writebacks.fetch_add(1, Ordering::Relaxed);
         }
         inner.map.remove(&page);
         let f = &mut inner.frames[victim];
         f.page = PageId::INVALID;
         f.dirty = false;
-        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
         Ok(victim)
     }
 
-    fn unpin(&self, frame_idx: usize) {
-        let mut inner = self.inner.lock();
+    fn unpin(&self, shard_idx: usize, frame_idx: usize) {
+        let mut inner = self.shards[shard_idx].inner.lock();
         let f = &mut inner.frames[frame_idx];
         debug_assert!(f.pins > 0, "unpin of unpinned frame");
         f.pins -= 1;
@@ -424,6 +550,7 @@ impl std::fmt::Debug for BufferPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BufferPool")
             .field("capacity", &self.capacity())
+            .field("shards", &self.shard_count())
             .field("page_size", &self.page_size())
             .field("stats", &self.stats())
             .finish()
@@ -434,6 +561,7 @@ impl std::fmt::Debug for BufferPool {
 /// lifetime; dereferences to the page bytes.
 pub struct PageReadGuard<'a> {
     pool: &'a BufferPool,
+    shard: usize,
     frame: usize,
     guard: ReadGuardInner,
 }
@@ -447,7 +575,7 @@ impl Deref for PageReadGuard<'_> {
 
 impl Drop for PageReadGuard<'_> {
     fn drop(&mut self) {
-        self.pool.unpin(self.frame);
+        self.pool.unpin(self.shard, self.frame);
     }
 }
 
@@ -455,6 +583,7 @@ impl Drop for PageReadGuard<'_> {
 /// it dirty for its lifetime; dereferences to the mutable page bytes.
 pub struct PageWriteGuard<'a> {
     pool: &'a BufferPool,
+    shard: usize,
     frame: usize,
     guard: WriteGuardInner,
 }
@@ -474,7 +603,7 @@ impl DerefMut for PageWriteGuard<'_> {
 
 impl Drop for PageWriteGuard<'_> {
     fn drop(&mut self) {
-        self.pool.unpin(self.frame);
+        self.pool.unpin(self.shard, self.frame);
     }
 }
 
@@ -485,6 +614,10 @@ mod tests {
 
     fn pool(frames: usize) -> BufferPool {
         BufferPool::new(Box::new(MemDisk::new(128)), frames)
+    }
+
+    fn sharded(frames: usize, shards: usize) -> BufferPool {
+        BufferPool::with_shards(Box::new(MemDisk::new(128)), frames, shards)
     }
 
     #[test]
@@ -680,5 +813,136 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    // -- sharded pools -----------------------------------------------------
+
+    #[test]
+    fn shard_count_is_pow2_and_clamped() {
+        assert_eq!(sharded(64, 1).shard_count(), 1);
+        assert_eq!(sharded(64, 3).shard_count(), 4);
+        assert_eq!(sharded(64, 8).shard_count(), 8);
+        // More shards than frames: clamped so each shard has ≥ 1 frame.
+        assert_eq!(sharded(2, 8).shard_count(), 2);
+        assert_eq!(sharded(3, 8).shard_count(), 2);
+    }
+
+    #[test]
+    fn sharded_capacity_is_preserved() {
+        for (frames, shards) in [(64, 4), (65, 4), (7, 8), (100, 16)] {
+            let p = sharded(frames, shards);
+            assert_eq!(p.capacity(), frames, "frames={frames} shards={shards}");
+        }
+    }
+
+    #[test]
+    fn shards_for_threads_rounds_up() {
+        assert_eq!(BufferPool::shards_for_threads(0), 1);
+        assert_eq!(BufferPool::shards_for_threads(1), 1);
+        assert_eq!(BufferPool::shards_for_threads(3), 4);
+        assert_eq!(BufferPool::shards_for_threads(8), 8);
+    }
+
+    #[test]
+    fn sharded_roundtrip_and_aggregate_stats() {
+        let p = sharded(32, 4);
+        let mut ids = Vec::new();
+        for i in 0..16u8 {
+            let (id, mut w) = p.new_page().unwrap();
+            w[0] = i;
+            ids.push(id);
+            drop(w);
+        }
+        p.reset_stats();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(p.fetch(id).unwrap()[0], i as u8);
+        }
+        let total = p.stats();
+        assert_eq!(total.logical_reads, 16);
+        assert_eq!(total.hits, 16);
+        // Per-shard counters sum to the aggregate.
+        let per_shard = p.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        let mut summed = PoolStats::default();
+        for s in per_shard {
+            summed.accumulate(s);
+        }
+        assert_eq!(summed, total);
+    }
+
+    #[test]
+    fn logical_reads_identical_across_shard_counts() {
+        // The same fetch sequence produces the same aggregate
+        // logical_reads for every shard count — the paper's "pages
+        // accessed" cannot depend on the latch layout.
+        let mut per_config = Vec::new();
+        for shards in [1usize, 2, 4, 8] {
+            let p = sharded(16, shards);
+            let mut ids = Vec::new();
+            for _ in 0..12 {
+                let (id, w) = p.new_page().unwrap();
+                ids.push(id);
+                drop(w);
+            }
+            p.reset_stats();
+            for round in 0..5 {
+                for &id in ids.iter().skip(round % 3) {
+                    drop(p.fetch(id).unwrap());
+                }
+            }
+            per_config.push(p.stats().logical_reads);
+        }
+        assert!(
+            per_config.windows(2).all(|w| w[0] == w[1]),
+            "{per_config:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_flush_clear_and_delete() {
+        let p = sharded(16, 4);
+        let mut ids = Vec::new();
+        for i in 0..8u8 {
+            let (id, mut w) = p.new_page().unwrap();
+            w[0] = i + 1;
+            ids.push(id);
+            drop(w);
+        }
+        p.flush_all().unwrap();
+        p.clear_cache().unwrap();
+        p.reset_stats();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(p.fetch(id).unwrap()[0], i as u8 + 1);
+        }
+        assert_eq!(p.stats().physical_reads, 8); // all cold
+        p.delete_page(ids[0]).unwrap();
+        assert!(p.fetch(ids[0]).is_err());
+    }
+
+    #[test]
+    fn sharded_concurrent_fetches() {
+        use std::sync::Arc;
+        let p = Arc::new(sharded(64, 8));
+        let mut ids = Vec::new();
+        for i in 0..32u8 {
+            let (id, mut w) = p.new_page().unwrap();
+            w[0] = i;
+            ids.push(id);
+            drop(w);
+        }
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let p = Arc::clone(&p);
+                let ids = ids.clone();
+                scope.spawn(move || {
+                    for round in 0..500 {
+                        let i = (t * 7 + round) % ids.len();
+                        let g = p.fetch(ids[i]).unwrap();
+                        assert_eq!(g[0] as usize, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.stats().logical_reads, 8 * 500);
     }
 }
