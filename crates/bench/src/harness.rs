@@ -4,7 +4,7 @@ use crate::datasets::Dataset;
 use nnq_core::{NnOptions, NnSearch, Refiner, SearchStats};
 use nnq_geom::{Point, Rect, Segment};
 use nnq_rtree::{BulkMethod, RTree, RTreeConfig, RecordId, SplitStrategy};
-use nnq_storage::{BufferPool, MemDisk, PAGE_SIZE};
+use nnq_storage::{BufferPool, LatencyDisk, LatencyProfile, MemDisk, PAGE_SIZE};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -78,6 +78,35 @@ pub fn build_tree_sharded(
         pool_frames,
         shards,
     ));
+    build_on_pool(pool, items, method)
+}
+
+/// [`build_tree`] over a latency-injecting in-memory disk with the pool's
+/// prefetch workers running (the I/O-pipeline configuration benchmarked by
+/// `benches/prefetch.rs`). Returns the latency handle so callers can dial
+/// the injected device latency per measurement phase; the build itself
+/// runs at zero injected latency.
+pub fn build_tree_with_latency(
+    items: &[(Rect<2>, RecordId)],
+    method: BuildMethod,
+    pool_frames: usize,
+    prefetch_workers: usize,
+) -> (BuiltTree, Arc<LatencyDisk<MemDisk>>) {
+    let latency = Arc::new(LatencyDisk::new(
+        MemDisk::new(PAGE_SIZE),
+        LatencyProfile::symmetric_us(0),
+    ));
+    let mut pool = BufferPool::with_shards(Box::new(Arc::clone(&latency)), pool_frames, 1);
+    pool.start_prefetch(prefetch_workers, 64);
+    let built = build_on_pool(Arc::new(pool), items, method);
+    (built, latency)
+}
+
+fn build_on_pool(
+    pool: Arc<BufferPool>,
+    items: &[(Rect<2>, RecordId)],
+    method: BuildMethod,
+) -> BuiltTree {
     let start = Instant::now();
     let tree = match method {
         BuildMethod::Dynamic(split) => {

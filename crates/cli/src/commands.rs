@@ -3,11 +3,13 @@
 use crate::args::{Args, CliError};
 use nnq_core::{
     metric_knn, within_radius_with, FnRefiner, JoinOrder, KernelMode, MbrRefiner, NnOptions,
-    NnSearch,
+    NnSearch, PrefetchPolicy,
 };
 use nnq_geom::{Metric, Point, Segment};
 use nnq_rtree::{BulkMethod, RTree, RTreeConfig, RecordId, SplitStrategy};
-use nnq_storage::{BufferPool, FileDisk, PageId, PAGE_SIZE};
+use nnq_storage::{
+    BufferPool, DiskManager, FileDisk, LatencyDisk, LatencyProfile, PageId, PAGE_SIZE,
+};
 use nnq_workloads::{
     default_bounds, gaussian_clusters, load_segments_csv, save_segments_csv, segments_to_items,
     tiger_like_segments, uniform_points, TigerParams,
@@ -109,12 +111,33 @@ pub fn build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn open_index(path: &str) -> Result<(RTree<2>, Arc<BufferPool>), CliError> {
-    open_index_sharded(path, 1)
+    open_index_tuned(path, 1, 0, PrefetchPolicy::Off)
 }
 
-fn open_index_sharded(path: &str, shards: usize) -> Result<(RTree<2>, Arc<BufferPool>), CliError> {
+/// Opens an index with the full I/O tuning surface: pool shard count,
+/// injected per-access device latency (0 = raw disk), and the prefetch
+/// policy (any policy other than `off` starts the pool's background I/O
+/// workers).
+fn open_index_tuned(
+    path: &str,
+    shards: usize,
+    io_lat_us: u64,
+    prefetch: PrefetchPolicy,
+) -> Result<(RTree<2>, Arc<BufferPool>), CliError> {
     let disk = FileDisk::open(path, PAGE_SIZE)?;
-    let pool = Arc::new(BufferPool::with_shards(Box::new(disk), 4096, shards));
+    let disk: Box<dyn DiskManager> = if io_lat_us > 0 {
+        Box::new(LatencyDisk::new(
+            disk,
+            LatencyProfile::symmetric_us(io_lat_us),
+        ))
+    } else {
+        Box::new(disk)
+    };
+    let mut pool = BufferPool::with_shards(disk, 4096, shards);
+    if prefetch != PrefetchPolicy::Off {
+        pool.start_prefetch(2, 64);
+    }
+    let pool = Arc::new(pool);
     let tree = RTree::<2>::open(Arc::clone(&pool), PageId(0))?;
     Ok((tree, pool))
 }
@@ -140,6 +163,34 @@ fn parse_pool_shards(args: &Args) -> Result<usize, CliError> {
         ));
     }
     Ok(shards)
+}
+
+/// `--prefetch <off|N|adaptive>`: traversal prefetch policy (default off).
+fn parse_prefetch(args: &Args) -> Result<PrefetchPolicy, CliError> {
+    match args.opt("prefetch") {
+        None => Ok(PrefetchPolicy::Off),
+        Some(v) => v
+            .parse()
+            .map_err(|e| CliError::Usage(format!("flag `--prefetch`: {e}"))),
+    }
+}
+
+/// The prefetch summary printed by `query` and `bench` when the pipeline
+/// is on. Quiesces first so every issued hint has been classified.
+fn prefetch_report(pool: &BufferPool, policy: PrefetchPolicy) -> Option<String> {
+    if !pool.prefetch_active() {
+        return None;
+    }
+    pool.prefetch_quiesce();
+    let pf = pool.prefetch_stats();
+    Some(format!(
+        "prefetch {policy}: {} issued, {} useful, {} wasted, {} dropped, useful rate {:.1}%",
+        pf.issued,
+        pf.useful,
+        pf.wasted,
+        pf.dropped,
+        pf.useful_rate() * 100.0
+    ))
 }
 
 /// `nnq stats` — print the structure of an index file.
@@ -170,7 +221,9 @@ pub fn stats(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let threads = parse_threads(args)?;
     let pool_shards = parse_pool_shards(args)?;
-    let (tree, pool) = open_index_sharded(args.req("index")?, pool_shards)?;
+    let prefetch = parse_prefetch(args)?;
+    let io_lat_us: u64 = args.num("io-lat-us", 0)?;
+    let (tree, pool) = open_index_tuned(args.req("index")?, pool_shards, io_lat_us, prefetch)?;
     let segments = load_segments_csv(args.req("data")?)?;
     if segments.len() as u64 != tree.len() {
         return Err(CliError::Run(format!(
@@ -212,8 +265,11 @@ pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         metric_knn(&tree, &q, k, metric)?
     } else {
         let k: usize = args.num("k", 1)?;
-        NnSearch::with_options(&tree, NnOptions::with_kernel(kernel))
-            .query_refined(&q, k, &refiner)?
+        let opts = NnOptions {
+            prefetch,
+            ..NnOptions::with_kernel(kernel)
+        };
+        NnSearch::with_options(&tree, opts).query_refined(&q, k, &refiner)?
     };
     let elapsed = start.elapsed();
 
@@ -244,6 +300,9 @@ pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         pool.stats().hit_rate() * 100.0,
         elapsed.as_secs_f64() * 1e6
     )?;
+    if let Some(report) = prefetch_report(&pool, prefetch) {
+        writeln!(out, "({report})")?;
+    }
     Ok(())
 }
 
@@ -252,7 +311,9 @@ pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let threads = parse_threads(args)?;
     let pool_shards = parse_pool_shards(args)?;
-    let (tree, pool) = open_index_sharded(args.req("index")?, pool_shards)?;
+    let prefetch = parse_prefetch(args)?;
+    let io_lat_us: u64 = args.num("io-lat-us", 0)?;
+    let (tree, pool) = open_index_tuned(args.req("index")?, pool_shards, io_lat_us, prefetch)?;
     let segments = load_segments_csv(args.req("data")?)?;
     let n_queries: usize = args.num("queries", 1000)?;
     let k: usize = args.num("k", 10)?;
@@ -263,24 +324,21 @@ pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         segments[rid.0 as usize].dist_sq_to_point(p)
     });
 
+    let opts = NnOptions {
+        prefetch,
+        ..NnOptions::with_kernel(kernel)
+    };
     pool.reset_stats();
     let start = Instant::now();
     if threads == 1 {
-        let search = NnSearch::with_options(&tree, NnOptions::with_kernel(kernel));
+        let search = NnSearch::with_options(&tree, opts);
         let mut cursor = nnq_core::QueryCursor::new();
         for q in &queries {
             search.query_refined_with(&mut cursor, q, k, &refiner)?;
         }
     } else {
-        nnq_core::par_knn_batch(
-            &tree,
-            &queries,
-            k,
-            NnOptions::with_kernel(kernel),
-            &refiner,
-            threads,
-        )
-        .map_err(|e| CliError::Run(e.to_string()))?;
+        nnq_core::par_knn_batch(&tree, &queries, k, opts, &refiner, threads)
+            .map_err(|e| CliError::Run(e.to_string()))?;
     }
     let elapsed = start.elapsed();
     // Aggregated over all shards; per-query logical reads (the paper's
@@ -306,6 +364,9 @@ pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         threads,
         pool.shard_count()
     )?;
+    if let Some(report) = prefetch_report(&pool, prefetch) {
+        writeln!(out, "{report}")?;
+    }
     Ok(())
 }
 

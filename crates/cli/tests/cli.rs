@@ -455,3 +455,142 @@ fn threads_and_pool_shards_flags() {
     std::fs::remove_file(&data).ok();
     std::fs::remove_file(&index).ok();
 }
+
+#[test]
+fn prefetch_and_io_latency_flags() {
+    let data = tmp("pf.csv");
+    let index = tmp("pf.rtree");
+    run_ok(&["gen", "--kind", "uniform", "--n", "4000", "--out", &data]);
+    run_ok(&["build", "--input", &data, "--index", &index]);
+
+    // Query with the pipeline on reports the prefetch stats line, and the
+    // result set is byte-identical to the prefetch-off run.
+    let query_out = |extra: &[&str]| -> String {
+        let mut args = vec![
+            "query",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--at",
+            "50000,50000",
+            "-k",
+            "5",
+        ];
+        args.extend_from_slice(extra);
+        run_ok(&args)
+    };
+    let hits = |out: &str| -> Vec<String> {
+        out.lines()
+            .filter(|l| l.contains("segment #"))
+            .map(str::to_string)
+            .collect()
+    };
+    let off = query_out(&[]);
+    assert!(!off.contains("prefetch"), "{off}");
+    for policy in ["2", "8", "adaptive"] {
+        let on = query_out(&["--prefetch", policy, "--io-lat-us", "50"]);
+        assert_eq!(hits(&on), hits(&off), "policy {policy}: {on}");
+        assert!(on.contains(&format!("prefetch {policy}:")), "{on}");
+        assert!(on.contains("issued"), "{on}");
+        assert!(on.contains("useful rate"), "{on}");
+    }
+    // `--prefetch off` is accepted and stays silent (no workers started).
+    let off_explicit = query_out(&["--prefetch", "off"]);
+    assert!(!off_explicit.contains("prefetch"), "{off_explicit}");
+
+    // Bench: the paper's pages/query metric must not move with prefetch,
+    // and the stats line reports useful/wasted counts and the useful rate.
+    let bench_out = |extra: &[&str]| -> String {
+        let mut args = vec![
+            "bench",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--queries",
+            "40",
+        ];
+        args.extend_from_slice(extra);
+        run_ok(&args)
+    };
+    let pages = |out: &str| -> String {
+        out.lines()
+            .next()
+            .unwrap()
+            .split(", ")
+            .find(|f| f.ends_with("pages/query"))
+            .unwrap()
+            .to_string()
+    };
+    let base = bench_out(&[]);
+    let pf = bench_out(&["--prefetch", "4", "--io-lat-us", "20"]);
+    assert_eq!(pages(&pf), pages(&base), "{pf}");
+    assert!(pf.contains("prefetch 4:"), "{pf}");
+    assert!(pf.contains("useful"), "{pf}");
+    assert!(pf.contains("wasted"), "{pf}");
+
+    // Bad values are usage errors on both commands.
+    let mut sink = Vec::new();
+    for bad in [
+        vec![
+            "query",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--at",
+            "0,0",
+            "--prefetch",
+            "sometimes",
+        ],
+        vec![
+            "query",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--at",
+            "0,0",
+            "--prefetch",
+            "-3",
+        ],
+        vec![
+            "query",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--at",
+            "0,0",
+            "--io-lat-us",
+            "fast",
+        ],
+        vec![
+            "bench",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--prefetch",
+            "deep",
+        ],
+        vec![
+            "bench",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--io-lat-us",
+            "-1",
+        ],
+    ] {
+        assert!(
+            matches!(run(&argv(&bad), &mut sink), Err(CliError::Usage(_))),
+            "expected usage error for {bad:?}"
+        );
+    }
+
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&index).ok();
+}

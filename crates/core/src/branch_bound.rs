@@ -180,6 +180,7 @@ impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
         let mut cursor = QueryCursor::new();
         cursor.heap.reset(k);
         let mut trace = Trace::default();
+        let prefetch_depth = self.opts.prefetch.resolve(self.tree.io_miss_rate());
         let mut ctx = Ctx {
             tree: self.tree,
             opts: self.opts,
@@ -189,6 +190,7 @@ impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
             cursor: &mut cursor,
             stats: SearchStats::default(),
             trace: Some(&mut trace),
+            prefetch_depth,
         };
         if let Some(root) = self.tree.access_root() {
             ctx.visit(root, 0)?;
@@ -214,6 +216,7 @@ impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
             opts.prune_object = false;
         }
         cursor.heap.reset(k);
+        let prefetch_depth = opts.prefetch.resolve(self.tree.io_miss_rate());
         let mut ctx = Ctx {
             tree: self.tree,
             opts,
@@ -223,6 +226,7 @@ impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
             cursor,
             stats: SearchStats::default(),
             trace: None,
+            prefetch_depth,
         };
         if let Some(root) = self.tree.access_root() {
             ctx.visit(root, 0)?;
@@ -241,6 +245,9 @@ struct Ctx<'t, 'r, const D: usize, T: ?Sized, R> {
     cursor: &'r mut QueryCursor<D>,
     stats: SearchStats,
     trace: Option<&'r mut Trace>,
+    /// Prefetch-hint depth, resolved from `opts.prefetch` once per query
+    /// (the adaptive policy samples the backend miss rate at query start).
+    prefetch_depth: usize,
 }
 
 /// k-th smallest value of `values` (`+∞` when fewer than k values).
@@ -450,6 +457,17 @@ impl<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>> Ctx<'_, '_, D, T,
             }
             AblOrdering::MinMaxDist => {
                 abl.sort_by(|a, b| a.minmaxdist.total_cmp(&b.minmaxdist));
+            }
+        }
+
+        // ABL-guided prefetch: the sorted list is the paper's own oracle
+        // for which pages are visited next, so hint the entries past the
+        // head (abl[0] is fetched synchronously by the descent below) to
+        // the backend's asynchronous prefetcher. Advisory only — results,
+        // traversal order, SearchStats, and logical_reads are untouched.
+        if self.prefetch_depth > 0 {
+            for a in abl.iter().skip(1).take(self.prefetch_depth) {
+                self.tree.prefetch_node(a.child);
             }
         }
 

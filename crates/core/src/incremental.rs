@@ -6,7 +6,7 @@
 //! popping in globally nondecreasing distance order yields neighbors one
 //! at a time, lazily reading only the nodes that are actually needed.
 
-use crate::options::{KernelMode, Neighbor, SearchStats};
+use crate::options::{KernelMode, Neighbor, NnOptions, SearchStats};
 use crate::refine::Refiner;
 use nnq_geom::{mindist_sq, mindist_sq_batch, Point, Rect};
 use nnq_rtree::{RTree, RecordId, TreeAccess};
@@ -78,9 +78,15 @@ pub struct IncrementalNn<'t, const D: usize, R, T: TreeAccess<D> + ?Sized = RTre
     queue: BinaryHeap<Reverse<Keyed<D>>>,
     stats: SearchStats,
     kernel: KernelMode,
+    /// Number of non-nearest children hinted to the store per internal-node
+    /// expansion (0 = no prefetch). Advisory only; never changes results.
+    prefetch_depth: usize,
     /// Scratch for the batched per-node `MINDIST` pass, reused across the
     /// whole iteration.
     mindists: Vec<f64>,
+    /// Scratch for ordering prefetch hints by distance, reused across the
+    /// whole iteration.
+    hint_scratch: Vec<(f64, PageId)>,
 }
 
 impl<'t, const D: usize, R: Refiner<D>, T: TreeAccess<D> + ?Sized> IncrementalNn<'t, D, R, T> {
@@ -92,6 +98,15 @@ impl<'t, const D: usize, R: Refiner<D>, T: TreeAccess<D> + ?Sized> IncrementalNn
     /// [`IncrementalNn::new`] with an explicit distance-kernel mode. Both
     /// modes produce bit-identical neighbors and statistics.
     pub fn with_kernel(tree: &'t T, q: Point<D>, refiner: R, kernel: KernelMode) -> Self {
+        Self::with_options(tree, q, refiner, NnOptions::with_kernel(kernel))
+    }
+
+    /// [`IncrementalNn::new`] honoring the kernel and prefetch fields of
+    /// `opts` (the pruning toggles do not apply — distance browsing has no
+    /// ABL). Neither knob ever changes the yielded neighbors or statistics;
+    /// the prefetch policy is resolved once, at construction.
+    pub fn with_options(tree: &'t T, q: Point<D>, refiner: R, opts: NnOptions) -> Self {
+        let prefetch_depth = opts.prefetch.resolve(tree.io_miss_rate());
         let mut queue = BinaryHeap::new();
         if let Some(root) = tree.access_root() {
             queue.push(Reverse(Keyed {
@@ -106,8 +121,10 @@ impl<'t, const D: usize, R: Refiner<D>, T: TreeAccess<D> + ?Sized> IncrementalNn
             refiner,
             queue,
             stats: SearchStats::default(),
-            kernel,
+            kernel: opts.kernel,
+            prefetch_depth,
             mindists: Vec::new(),
+            hint_scratch: Vec::new(),
         }
     }
 
@@ -175,6 +192,30 @@ impl<const D: usize, R: Refiner<D>, T: TreeAccess<D> + ?Sized> Iterator
                                 rank: 2,
                                 item: Item::Node(e.child()),
                             }));
+                        }
+                        // Queue-guided prefetch: hint this node's nearest
+                        // children past the nearest one (the closest child is
+                        // typically the very next node pop, fetched
+                        // synchronously before a hint could help). Advisory
+                        // only — never affects what `next` yields.
+                        if self.prefetch_depth > 0 {
+                            self.hint_scratch.clear();
+                            self.hint_scratch
+                                .extend(node.entries().iter().enumerate().map(|(j, e)| {
+                                    let d = if batch {
+                                        self.mindists[j]
+                                    } else {
+                                        mindist_sq(&self.q, &e.mbr)
+                                    };
+                                    (d, e.child())
+                                }));
+                            self.hint_scratch
+                                .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                            for &(_, child) in
+                                self.hint_scratch.iter().skip(1).take(self.prefetch_depth)
+                            {
+                                self.tree.prefetch_node(child);
+                            }
                         }
                     }
                 }

@@ -65,6 +65,88 @@ impl std::str::FromStr for KernelMode {
     }
 }
 
+/// How aggressively the traversals hint upcoming node reads to the
+/// storage backend's asynchronous prefetcher.
+///
+/// The Active Branch List is a ready-made prefetch oracle: after sorting,
+/// its MINDIST-ordered entries are — by the paper's own Theorem-2 argument
+/// — the pages most likely visited next. Under `Depth(n)`, each traversal
+/// issues hints for the `n` entries *past the head* of its local ordering
+/// (the head itself is fetched synchronously right after, so hinting it
+/// buys nothing).
+///
+/// Hints are advisory: a policy **never** changes results, traversal
+/// order, [`SearchStats`], or the pool's `logical_reads` — only wall-clock
+/// time under real or injected I/O latency. Prefetch activity is accounted
+/// separately (`nnq_storage::PrefetchStats`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PrefetchPolicy {
+    /// Issue no hints. The default.
+    #[default]
+    Off,
+    /// Hint the next `n` entries past the head of the ABL / child ordering
+    /// at every internal node (`Depth(0)` behaves like `Off`).
+    Depth(usize),
+    /// Pick a depth per query from the backend's observed cache miss rate:
+    /// off while the cache is absorbing nearly everything, depth 2 under
+    /// moderate miss rates, depth 8 when mostly cold.
+    Adaptive,
+}
+
+impl PrefetchPolicy {
+    /// Resolves the policy to a concrete hint depth for one query, given
+    /// the backend's current miss rate (`TreeAccess::io_miss_rate`).
+    pub fn resolve(self, miss_rate: f64) -> usize {
+        match self {
+            PrefetchPolicy::Off => 0,
+            PrefetchPolicy::Depth(n) => n,
+            PrefetchPolicy::Adaptive => {
+                if miss_rate >= 0.5 {
+                    8
+                } else if miss_rate >= 0.05 {
+                    2
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Lower-case label for CLI/bench output (`off`, `adaptive`, or the
+    /// depth as a number).
+    pub fn label(self) -> String {
+        match self {
+            PrefetchPolicy::Off => "off".to_string(),
+            PrefetchPolicy::Depth(n) => n.to_string(),
+            PrefetchPolicy::Adaptive => "adaptive".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for PrefetchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl std::str::FromStr for PrefetchPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(PrefetchPolicy::Off),
+            "adaptive" => Ok(PrefetchPolicy::Adaptive),
+            other => match other.parse::<usize>() {
+                Ok(0) => Ok(PrefetchPolicy::Off),
+                Ok(n) => Ok(PrefetchPolicy::Depth(n)),
+                Err(_) => Err(format!(
+                    "unknown prefetch policy `{other}` (want off, adaptive, or a depth)"
+                )),
+            },
+        }
+    }
+}
+
 /// Options controlling the branch-and-bound search.
 ///
 /// The defaults enable everything, matching the paper's full algorithm;
@@ -92,6 +174,9 @@ pub struct NnOptions {
     /// Distance-kernel implementation (scalar reference vs batched SoA);
     /// never changes results, only speed.
     pub kernel: KernelMode,
+    /// Prefetch-hint policy (see [`PrefetchPolicy`]); never changes
+    /// results or page-access accounting, only wall-clock under latency.
+    pub prefetch: PrefetchPolicy,
 }
 
 impl Default for NnOptions {
@@ -103,6 +188,7 @@ impl Default for NnOptions {
             prune_upward: true,
             epsilon: 0.0,
             kernel: KernelMode::default(),
+            prefetch: PrefetchPolicy::default(),
         }
     }
 }
@@ -130,6 +216,14 @@ impl NnOptions {
     pub fn with_kernel(kernel: KernelMode) -> Self {
         Self {
             kernel,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's full algorithm with an explicit prefetch policy.
+    pub fn with_prefetch(prefetch: PrefetchPolicy) -> Self {
+        Self {
+            prefetch,
             ..Self::default()
         }
     }
@@ -227,6 +321,43 @@ mod tests {
             NnOptions::with_kernel(KernelMode::Scalar).kernel,
             KernelMode::Scalar
         );
+    }
+
+    #[test]
+    fn prefetch_policy_parses_and_prints() {
+        assert_eq!(
+            "off".parse::<PrefetchPolicy>().unwrap(),
+            PrefetchPolicy::Off
+        );
+        assert_eq!(
+            "adaptive".parse::<PrefetchPolicy>().unwrap(),
+            PrefetchPolicy::Adaptive
+        );
+        assert_eq!(
+            "8".parse::<PrefetchPolicy>().unwrap(),
+            PrefetchPolicy::Depth(8)
+        );
+        // Depth 0 normalizes to Off.
+        assert_eq!("0".parse::<PrefetchPolicy>().unwrap(), PrefetchPolicy::Off);
+        assert!("-2".parse::<PrefetchPolicy>().is_err());
+        assert!("always".parse::<PrefetchPolicy>().is_err());
+        assert_eq!(PrefetchPolicy::Off.to_string(), "off");
+        assert_eq!(PrefetchPolicy::Depth(4).to_string(), "4");
+        assert_eq!(PrefetchPolicy::Adaptive.to_string(), "adaptive");
+        assert_eq!(NnOptions::default().prefetch, PrefetchPolicy::Off);
+        assert_eq!(
+            NnOptions::with_prefetch(PrefetchPolicy::Adaptive).prefetch,
+            PrefetchPolicy::Adaptive
+        );
+    }
+
+    #[test]
+    fn prefetch_policy_resolution() {
+        assert_eq!(PrefetchPolicy::Off.resolve(1.0), 0);
+        assert_eq!(PrefetchPolicy::Depth(5).resolve(0.0), 5);
+        assert_eq!(PrefetchPolicy::Adaptive.resolve(0.0), 0);
+        assert_eq!(PrefetchPolicy::Adaptive.resolve(0.2), 2);
+        assert_eq!(PrefetchPolicy::Adaptive.resolve(0.9), 8);
     }
 
     #[test]

@@ -17,8 +17,15 @@
 //! Determinism: each query is computed independently from the shared tree
 //! snapshot, so results are bit-identical to `threads = 1` regardless of
 //! which worker claims which block.
+//!
+//! Scheduling order is orthogonal to result order: [`par_knn_batch_ordered`]
+//! can walk the batch along a Hilbert curve (mirroring
+//! [`JoinOrder::Hilbert`](crate::join::JoinOrder)) so consecutive claimed
+//! queries touch overlapping subtrees — warmer node cache, tighter prefetch
+//! reuse — while results still come back in submission order.
 
 use crate::branch_bound::{NnSearch, QueryCursor};
+use crate::join::{hilbert_schedule, JoinOrder};
 use crate::options::{Neighbor, NnOptions};
 use crate::refine::Refiner;
 use crate::Result;
@@ -83,6 +90,29 @@ where
     par_knn_batch_stats(tree, queries, k, opts, refiner, threads).map(|(results, _)| results)
 }
 
+/// [`par_knn_batch`] with an explicit claim order. `JoinOrder::Hilbert`
+/// walks the batch along a Hilbert curve over the query points (reusing the
+/// [`knn_join`](crate::join::knn_join) schedule), so queries claimed
+/// back-to-back land in overlapping subtrees and share cached / prefetched
+/// nodes. Results are still returned in submission order and are
+/// bit-identical to the sequential as-given run — the schedule only changes
+/// *when* each query executes, never *what* it computes.
+pub fn par_knn_batch_ordered<const D: usize, T, R>(
+    tree: &T,
+    queries: &[Point<D>],
+    k: usize,
+    opts: NnOptions,
+    refiner: &R,
+    threads: usize,
+    order: JoinOrder,
+) -> Result<Vec<Vec<Neighbor<D>>>>
+where
+    T: TreeAccess<D> + Sync + ?Sized,
+    R: Refiner<D> + Sync,
+{
+    run_batch(tree, queries, k, opts, refiner, threads, order).map(|(results, _)| results)
+}
+
 /// [`par_knn_batch`] plus the scheduling telemetry: how many queries each
 /// worker claimed off the shared cursor.
 pub fn par_knn_batch_stats<const D: usize, T, R>(
@@ -92,6 +122,22 @@ pub fn par_knn_batch_stats<const D: usize, T, R>(
     opts: NnOptions,
     refiner: &R,
     threads: usize,
+) -> Result<(Vec<Vec<Neighbor<D>>>, BatchStats)>
+where
+    T: TreeAccess<D> + Sync + ?Sized,
+    R: Refiner<D> + Sync,
+{
+    run_batch(tree, queries, k, opts, refiner, threads, JoinOrder::AsGiven)
+}
+
+fn run_batch<const D: usize, T, R>(
+    tree: &T,
+    queries: &[Point<D>],
+    k: usize,
+    opts: NnOptions,
+    refiner: &R,
+    threads: usize,
+    order: JoinOrder,
 ) -> Result<(Vec<Vec<Neighbor<D>>>, BatchStats)>
 where
     T: TreeAccess<D> + Sync + ?Sized,
@@ -108,17 +154,22 @@ where
             },
         ));
     }
+    // The claim schedule: a permutation of query indices. Workers walk it
+    // front to back, but every result lands at its submission-order slot, so
+    // the schedule is invisible in the output.
+    let schedule: Vec<usize> = match order {
+        JoinOrder::AsGiven => (0..queries.len()).collect(),
+        JoinOrder::Hilbert => hilbert_schedule(queries),
+    };
+
     if threads == 1 || queries.len() == 1 {
         let search = NnSearch::with_options(tree, opts);
         let mut cursor = QueryCursor::new();
-        let results = queries
-            .iter()
-            .map(|q| {
-                search
-                    .query_refined_with(&mut cursor, q, k, refiner)
-                    .map(|(n, _)| n)
-            })
-            .collect::<Result<Vec<_>>>()?;
+        let mut results: Vec<Vec<Neighbor<D>>> = vec![Vec::new(); queries.len()];
+        for &idx in &schedule {
+            let (found, _) = search.query_refined_with(&mut cursor, &queries[idx], k, refiner)?;
+            results[idx] = found;
+        }
         let stats = BatchStats {
             threads: 1,
             block: queries.len(),
@@ -139,6 +190,7 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
+                let schedule = &schedule;
                 scope.spawn(move || -> WorkerOut<D> {
                     let search = NnSearch::with_options(tree, opts);
                     // One cursor per worker: all per-query scratch (ABL
@@ -152,9 +204,9 @@ where
                             break;
                         }
                         let end = (start + block).min(len);
-                        for (i, q) in queries.iter().enumerate().take(end).skip(start) {
+                        for &i in &schedule[start..end] {
                             let (found, _) =
-                                search.query_refined_with(&mut cursor, q, k, refiner)?;
+                                search.query_refined_with(&mut cursor, &queries[i], k, refiner)?;
                             out.push((i, found));
                         }
                     }

@@ -52,6 +52,19 @@ pub trait NodeStore<const D: usize> {
 
     /// Persists the tree metadata.
     fn write_meta(&self, meta: &Meta) -> Result<()>;
+
+    /// Hints that `id` will likely be read soon. Purely advisory and
+    /// non-blocking; the default does nothing (in-memory backends have no
+    /// I/O to hide). Must never change what any subsequent `read` returns
+    /// or how it is accounted.
+    fn prefetch(&self, _id: PageId) {}
+
+    /// Fraction of recent page requests that missed the backend's cache,
+    /// in `[0, 1]` (`0.0` where the notion does not apply). The adaptive
+    /// prefetch policy in `nnq-core` keys on this.
+    fn io_miss_rate(&self) -> f64 {
+        0.0
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -459,6 +472,17 @@ impl<const D: usize> NodeStore<D> for PagedStore<D> {
         let mut guard = self.pool.fetch_write(self.meta_page)?;
         encode_meta(&mut guard, meta);
         Ok(())
+    }
+
+    fn prefetch(&self, id: PageId) {
+        // Forward to the pool even when the node is in the decoded cache:
+        // `read` always fetches the page first (for the accounting above),
+        // so having the frame resident pays off either way.
+        self.pool.prefetch(id);
+    }
+
+    fn io_miss_rate(&self) -> f64 {
+        self.pool.stats().miss_rate()
     }
 }
 

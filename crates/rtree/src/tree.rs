@@ -92,6 +92,19 @@ pub trait TreeAccess<const D: usize> {
 
     /// Number of data entries in the tree.
     fn num_records(&self) -> u64;
+
+    /// Hints that `page` will likely be accessed soon. Advisory and
+    /// non-blocking; the default does nothing. Implementations must not
+    /// let a hint change the result or the accounting of any subsequent
+    /// [`TreeAccess::access_node`].
+    fn prefetch_node(&self, _page: PageId) {}
+
+    /// Fraction of recent node accesses that missed the backend's page
+    /// cache, in `[0, 1]` (`0.0` where there is no I/O). Drives the
+    /// adaptive prefetch policy.
+    fn io_miss_rate(&self) -> f64 {
+        0.0
+    }
 }
 
 impl<const D: usize, S: NodeStore<D>> TreeAccess<D> for RTree<D, S> {
@@ -105,6 +118,14 @@ impl<const D: usize, S: NodeStore<D>> TreeAccess<D> for RTree<D, S> {
 
     fn num_records(&self) -> u64 {
         self.len()
+    }
+
+    fn prefetch_node(&self, page: PageId) {
+        self.store.prefetch(page);
+    }
+
+    fn io_miss_rate(&self) -> f64 {
+        self.store.io_miss_rate()
     }
 }
 

@@ -471,6 +471,190 @@ impl DiskManager for FileDisk {
     }
 }
 
+// ---------------------------------------------------------------------------
+// LatencyDisk
+// ---------------------------------------------------------------------------
+
+/// Latency profile for a [`LatencyDisk`]: per-operation service times plus a
+/// discount for sequential reads.
+///
+/// The discount models the seek-vs-transfer split of a spinning disk (the
+/// hardware RKV'95 costs queries against): a read whose page id immediately
+/// follows the previous read's id skips the "seek" and pays only
+/// `sequential_discount` of the nominal read latency.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyProfile {
+    /// Service time of a random page read.
+    pub read: std::time::Duration,
+    /// Service time of a page write.
+    pub write: std::time::Duration,
+    /// Fraction of `read` charged when the read is sequential (previous
+    /// read was page `id - 1`). Clamped to `[0, 1]`.
+    pub sequential_discount: f64,
+}
+
+impl LatencyProfile {
+    /// A profile charging `us` microseconds for both reads and writes,
+    /// with sequential reads at a quarter of that.
+    pub fn symmetric_us(us: u64) -> Self {
+        Self {
+            read: std::time::Duration::from_micros(us),
+            write: std::time::Duration::from_micros(us),
+            sequential_discount: 0.25,
+        }
+    }
+
+    /// Replaces the sequential-read discount factor.
+    pub fn with_sequential_discount(mut self, discount: f64) -> Self {
+        self.sequential_discount = discount.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// A [`DiskManager`] decorator that injects configurable service-time
+/// latency into reads and writes, so I/O-overlap optimizations are
+/// measurable on the otherwise-instant [`MemDisk`].
+///
+/// Latencies are runtime-adjustable ([`LatencyDisk::set_latency`]): build
+/// the index at zero latency, then dial the device up for the query phase.
+/// Keep a handle via the `Arc<T>: DiskManager` delegation impl:
+///
+/// ```
+/// use nnq_storage::{BufferPool, DiskManager, LatencyDisk, LatencyProfile, MemDisk, PAGE_SIZE};
+/// use std::sync::Arc;
+///
+/// let disk = Arc::new(LatencyDisk::new(MemDisk::new(PAGE_SIZE), LatencyProfile::symmetric_us(0)));
+/// let pool = BufferPool::new(Box::new(Arc::clone(&disk)), 64);
+/// // ... build ...
+/// disk.set_latency(LatencyProfile::symmetric_us(200));
+/// ```
+///
+/// Timing uses `thread::sleep` for latencies of 20 µs and above (yielding
+/// the core, which matters on small hosts) and a spin-wait below that
+/// (sleep granularity would swamp the target). Stats, allocation, and page
+/// contents delegate unchanged to the inner device.
+pub struct LatencyDisk<T: DiskManager> {
+    inner: T,
+    read_nanos: AtomicU64,
+    write_nanos: AtomicU64,
+    /// Discount in parts-per-million, stored atomically alongside the
+    /// latencies so `set_latency` needs no lock.
+    seq_discount_ppm: AtomicU64,
+    /// Page id of the most recent read, for the sequential discount.
+    last_read: AtomicU64,
+    /// Total nanoseconds of latency injected (reads + writes).
+    injected_nanos: AtomicU64,
+}
+
+impl<T: DiskManager> LatencyDisk<T> {
+    /// Wraps `inner`, charging latencies per `profile`.
+    pub fn new(inner: T, profile: LatencyProfile) -> Self {
+        let d = Self {
+            inner,
+            read_nanos: AtomicU64::new(0),
+            write_nanos: AtomicU64::new(0),
+            seq_discount_ppm: AtomicU64::new(0),
+            last_read: AtomicU64::new(u64::MAX),
+            injected_nanos: AtomicU64::new(0),
+        };
+        d.set_latency(profile);
+        d
+    }
+
+    /// Replaces the latency profile (takes effect on the next operation).
+    pub fn set_latency(&self, profile: LatencyProfile) {
+        self.read_nanos
+            .store(profile.read.as_nanos() as u64, Ordering::Relaxed);
+        self.write_nanos
+            .store(profile.write.as_nanos() as u64, Ordering::Relaxed);
+        let ppm = (profile.sequential_discount.clamp(0.0, 1.0) * 1_000_000.0) as u64;
+        self.seq_discount_ppm.store(ppm, Ordering::Relaxed);
+    }
+
+    /// Total latency injected so far (reads + writes).
+    pub fn injected(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.injected_nanos.load(Ordering::Relaxed))
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    fn inject(&self, nanos: u64) {
+        if nanos == 0 {
+            return;
+        }
+        self.injected_nanos.fetch_add(nanos, Ordering::Relaxed);
+        // Sleep yields the core (essential when prefetch workers share a
+        // small host with the query thread); spin only when the target is
+        // finer than sleep granularity.
+        if nanos >= 20_000 {
+            std::thread::sleep(std::time::Duration::from_nanos(nanos));
+        } else {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_nanos(nanos);
+            while std::time::Instant::now() < deadline {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    fn read_cost(&self, id: PageId) -> u64 {
+        let nominal = self.read_nanos.load(Ordering::Relaxed);
+        let prev = self.last_read.swap(id.0, Ordering::Relaxed);
+        if prev != u64::MAX && id.0 == prev.wrapping_add(1) {
+            let ppm = self.seq_discount_ppm.load(Ordering::Relaxed);
+            nominal.saturating_mul(ppm) / 1_000_000
+        } else {
+            nominal
+        }
+    }
+}
+
+impl<T: DiskManager> DiskManager for LatencyDisk<T> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        self.inject(self.read_cost(id));
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        self.inject(self.write_nanos.load(Ordering::Relaxed));
+        self.inner.write_page(id, buf)
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        self.inner.allocate()
+    }
+
+    fn deallocate(&self, id: PageId) -> Result<()> {
+        self.inner.deallocate(id)
+    }
+
+    fn live_pages(&self) -> u64 {
+        self.inner.live_pages()
+    }
+
+    fn stats(&self) -> DiskStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+
+    fn ensure_allocated(&self, id: PageId) -> Result<()> {
+        self.inner.ensure_allocated(id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,6 +781,57 @@ mod tests {
         d.read_page(PageId(0), &mut out).unwrap();
         assert_eq!(out, payload);
         std::fs::remove_file(&path).ok();
+    }
+
+    // -- LatencyDisk -------------------------------------------------------
+
+    #[test]
+    fn latency_disk_delegates_contents_and_stats() {
+        let d = LatencyDisk::new(MemDisk::new(128), LatencyProfile::symmetric_us(0));
+        roundtrip(&d);
+        // Counters come from the inner device, unchanged.
+        assert_eq!(d.stats(), d.inner().stats());
+        assert!(d.stats().reads >= 1);
+        d.reset_stats();
+        assert_eq!(d.stats(), DiskStats::default());
+    }
+
+    #[test]
+    fn latency_disk_injects_read_and_write_latency() {
+        let d = LatencyDisk::new(MemDisk::new(128), LatencyProfile::symmetric_us(100));
+        let a = d.allocate().unwrap();
+        let buf = vec![0u8; 128];
+        let mut out = vec![0u8; 128];
+        d.write_page(a, &buf).unwrap();
+        d.read_page(a, &mut out).unwrap();
+        d.read_page(a, &mut out).unwrap(); // same id again: random, full price
+                                           // 1 write + 2 non-sequential reads at 100 µs nominal each.
+        assert_eq!(d.injected(), std::time::Duration::from_micros(300));
+    }
+
+    #[test]
+    fn latency_disk_discounts_sequential_reads() {
+        let profile = LatencyProfile::symmetric_us(100).with_sequential_discount(0.25);
+        let d = LatencyDisk::new(MemDisk::new(128), profile);
+        let a = d.allocate().unwrap();
+        let b = d.allocate().unwrap();
+        assert_eq!(b.0, a.0 + 1);
+        let mut out = vec![0u8; 128];
+        d.read_page(a, &mut out).unwrap(); // random: 100 µs
+        d.read_page(b, &mut out).unwrap(); // sequential: 25 µs
+        d.read_page(a, &mut out).unwrap(); // backward jump: 100 µs
+        assert_eq!(d.injected(), std::time::Duration::from_micros(225));
+    }
+
+    #[test]
+    fn latency_disk_profile_is_runtime_adjustable() {
+        let d = LatencyDisk::new(MemDisk::new(128), LatencyProfile::symmetric_us(500));
+        let a = d.allocate().unwrap();
+        d.set_latency(LatencyProfile::symmetric_us(0));
+        let mut out = vec![0u8; 128];
+        d.read_page(a, &mut out).unwrap();
+        d.write_page(a, &out).unwrap();
+        assert_eq!(d.injected(), std::time::Duration::ZERO);
     }
 
     #[test]

@@ -41,10 +41,10 @@ mod heap;
 mod pool;
 mod wal;
 
-pub use disk::{DiskManager, DiskStats, FileDisk, MemDisk};
+pub use disk::{DiskManager, DiskStats, FileDisk, LatencyDisk, LatencyProfile, MemDisk};
 pub use error::{Result, StorageError};
 pub use heap::{HeapFile, HeapRecordId};
-pub use pool::{BufferPool, PageReadGuard, PageWriteGuard, PoolStats};
+pub use pool::{BufferPool, PageReadGuard, PageWriteGuard, PoolStats, PrefetchStats};
 pub use wal::Wal;
 
 /// The default page size in bytes (4 KiB, the classical database page).

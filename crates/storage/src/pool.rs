@@ -1,5 +1,6 @@
 //! A fixed-capacity buffer pool with LRU eviction and pin/unpin semantics,
-//! optionally sharded for concurrent readers.
+//! optionally sharded for concurrent readers, with an optional background
+//! prefetch pipeline.
 //!
 //! The pool is split into `S` sub-pools ("shards", `S` a power of two),
 //! each with its own mutex, frame table, free list, and LRU clock. A page
@@ -15,14 +16,32 @@
 //! buffer) is per-shard LRU, which only coincides with global LRU at
 //! `S = 1`; experiments that reproduce the paper's buffering curves use a
 //! single shard.
+//!
+//! # Prefetch
+//!
+//! [`BufferPool::prefetch`] enqueues a page id to a small pool of
+//! background I/O workers (started with [`BufferPool::start_prefetch`]).
+//! Hints are deduplicated against resident, queued, and in-flight pages
+//! and dropped when the bounded queue is full; a frame being filled by a
+//! prefetch is pinned and exclusively latched for the duration of the
+//! device read, so LRU cannot evict it mid-read and a racing demand fetch
+//! blocks on the latch instead of observing stale bytes.
+//!
+//! Prefetch accounting is kept strictly separate from [`PoolStats`] in
+//! [`PrefetchStats`]: issuing or completing a hint never moves
+//! `logical_reads`, so the paper's page-access figures are bit-identical
+//! with prefetch on, off, or compiled out (disable the crate's `prefetch`
+//! feature). After [`BufferPool::prefetch_quiesce`] plus
+//! [`BufferPool::clear_cache`], `useful + wasted + dropped == issued`.
 
 use crate::wal::Wal;
 use crate::{DiskManager, DiskStats, PageId, Result, StorageError};
 use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RawRwLock, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 type FrameData = Arc<RwLock<Vec<u8>>>;
 type ReadGuardInner = ArcRwLockReadGuard<RawRwLock, Vec<u8>>;
@@ -63,12 +82,64 @@ impl PoolStats {
         }
     }
 
+    /// Fraction of fetches that missed the cache, in `[0, 1]` (`0.0` for
+    /// an untouched pool, same convention as [`PoolStats::hit_rate`]).
+    /// This is the signal the adaptive prefetch policy keys on.
+    pub fn miss_rate(&self) -> f64 {
+        if self.logical_reads == 0 {
+            0.0
+        } else {
+            self.physical_reads as f64 / self.logical_reads as f64
+        }
+    }
+
     fn accumulate(&mut self, other: PoolStats) {
         self.logical_reads += other.logical_reads;
         self.hits += other.hits;
         self.physical_reads += other.physical_reads;
         self.evictions += other.evictions;
         self.writebacks += other.writebacks;
+    }
+}
+
+/// Counters of the asynchronous prefetch pipeline.
+///
+/// Kept strictly separate from [`PoolStats`]: prefetch activity never moves
+/// `logical_reads`, the paper's "pages accessed" figure. Every issued hint
+/// is eventually classified exactly once:
+///
+/// * `useful` — the frame a prefetch loaded was later claimed by a demand
+///   fetch (which counts as a pool *hit*).
+/// * `wasted` — the frame was evicted, cleared, or deleted before any
+///   demand fetch touched it (the device read bought nothing).
+/// * `dropped` — the hint never performed a device read: deduplicated
+///   against a resident/queued/in-flight page, bounced off a full queue,
+///   cancelled, or failed.
+///
+/// So after the queue drains and the cache is cleared,
+/// `useful + wasted + dropped == issued`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Hints passed to [`BufferPool::prefetch`] while a prefetcher was
+    /// running.
+    pub issued: u64,
+    /// Prefetched frames later claimed by a demand fetch.
+    pub useful: u64,
+    /// Prefetched frames evicted/cleared/deleted untouched.
+    pub wasted: u64,
+    /// Hints that never reached the device (dedup, full queue, cancel).
+    pub dropped: u64,
+}
+
+impl PrefetchStats {
+    /// Fraction of issued hints that turned into demand hits, in `[0, 1]`
+    /// (`0.0` when nothing was issued).
+    pub fn useful_rate(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.useful as f64 / self.issued as f64
+        }
     }
 }
 
@@ -108,6 +179,10 @@ struct Frame {
     pins: u32,
     /// Recency stamp for LRU: larger = more recently used.
     tick: u64,
+    /// Loaded by a prefetch and not yet claimed by a demand fetch. The
+    /// first demand hit clears the flag and counts `prefetch_useful`;
+    /// eviction/clear/delete of a flagged frame counts `prefetch_wasted`.
+    prefetched: bool,
 }
 
 struct Inner {
@@ -133,6 +208,7 @@ impl Shard {
                 dirty: false,
                 pins: 0,
                 tick: 0,
+                prefetched: false,
             })
             .collect::<Vec<_>>();
         let capacity = frames.len();
@@ -148,6 +224,75 @@ impl Shard {
     }
 }
 
+/// Queue shared between [`BufferPool::prefetch`] and the background I/O
+/// workers. Uses `std::sync` primitives because the queue pairs a mutex
+/// with a condition variable.
+struct PrefetchState {
+    queue: VecDeque<PageId>,
+    queued: HashSet<PageId>,
+    in_flight: HashSet<PageId>,
+    cap: usize,
+    shutdown: bool,
+}
+
+struct PrefetchShared {
+    state: std::sync::Mutex<PrefetchState>,
+    cvar: std::sync::Condvar,
+    /// Set once a prefetcher is started; the hot paths early-out on it.
+    active: AtomicBool,
+    issued: AtomicU64,
+    useful: AtomicU64,
+    wasted: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl PrefetchShared {
+    fn new() -> Self {
+        Self {
+            state: std::sync::Mutex::new(PrefetchState {
+                queue: VecDeque::new(),
+                queued: HashSet::new(),
+                in_flight: HashSet::new(),
+                cap: 0,
+                shutdown: false,
+            }),
+            cvar: std::sync::Condvar::new(),
+            active: AtomicBool::new(false),
+            issued: AtomicU64::new(0),
+            useful: AtomicU64::new(0),
+            wasted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> PrefetchStats {
+        PrefetchStats {
+            issued: self.issued.load(Ordering::Relaxed),
+            useful: self.useful.load(Ordering::Relaxed),
+            wasted: self.wasted.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.issued.store(0, Ordering::Relaxed);
+        self.useful.store(0, Ordering::Relaxed);
+        self.wasted.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The shareable interior of a [`BufferPool`]: everything except the
+/// worker join handles, so background prefetch threads can hold an `Arc`
+/// of it without the pool becoming self-referential.
+struct PoolCore {
+    disk: Box<dyn DiskManager>,
+    shards: Vec<Shard>,
+    shard_mask: u64,
+    wal: Option<Wal>,
+    prefetch: PrefetchShared,
+}
+
 /// A page cache over a [`DiskManager`].
 ///
 /// * Fixed number of frames, chosen at construction, split across one or
@@ -159,14 +304,15 @@ impl Shard {
 ///   be shared across threads. With `shards > 1`
 ///   ([`BufferPool::with_shards`]) concurrent fetches of pages in
 ///   different shards do not contend on any lock.
+/// * [`BufferPool::start_prefetch`] attaches background I/O workers that
+///   service [`BufferPool::prefetch`] hints without touching the demand
+///   counters.
 ///
 /// Callers must not fetch a page while holding a *write* guard on that same
 /// page from the same thread (the per-frame latch is not reentrant).
 pub struct BufferPool {
-    disk: Box<dyn DiskManager>,
-    shards: Vec<Shard>,
-    shard_mask: u64,
-    wal: Option<Wal>,
+    core: Arc<PoolCore>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl BufferPool {
@@ -204,10 +350,14 @@ impl BufferPool {
             .map(|i| Shard::new(base + usize::from(i < rem), page_size))
             .collect::<Vec<_>>();
         Self {
-            disk,
-            shard_mask: (shards - 1) as u64,
-            shards: shard_vec,
-            wal: None,
+            core: Arc::new(PoolCore {
+                disk,
+                shard_mask: (shards - 1) as u64,
+                shards: shard_vec,
+                wal: None,
+                prefetch: PrefetchShared::new(),
+            }),
+            workers: Vec::new(),
         }
     }
 
@@ -227,22 +377,78 @@ impl BufferPool {
     /// with both.
     pub fn with_wal(disk: Box<dyn DiskManager>, capacity: usize, wal: Wal) -> Self {
         let mut pool = Self::new(disk, capacity);
-        pool.wal = Some(wal);
+        Arc::get_mut(&mut pool.core)
+            .expect("pool not yet shared")
+            .wal = Some(wal);
         pool
     }
 
-    #[inline]
-    fn shard_of(&self, id: PageId) -> &Shard {
-        &self.shards[(id.0 & self.shard_mask) as usize]
+    /// Starts `workers` background prefetch threads servicing a bounded
+    /// queue of `queue_cap` hints. Must be called before the pool is
+    /// shared (it takes `&mut self`); calling it more than once adds
+    /// workers to the same queue. A zero worker count or queue capacity
+    /// leaves the prefetcher off.
+    ///
+    /// With the crate's `prefetch` feature disabled this is a no-op and
+    /// [`BufferPool::prefetch`] hints are ignored — the compile-time "off"
+    /// the accounting contract promises.
+    #[allow(unused_variables)]
+    pub fn start_prefetch(&mut self, workers: usize, queue_cap: usize) {
+        #[cfg(feature = "prefetch")]
+        {
+            if workers == 0 || queue_cap == 0 {
+                return;
+            }
+            {
+                let mut st = self.core.prefetch.state.lock().unwrap();
+                st.cap = queue_cap;
+                st.shutdown = false;
+            }
+            self.core.prefetch.active.store(true, Ordering::Relaxed);
+            for i in 0..workers {
+                let core = Arc::clone(&self.core);
+                let handle = std::thread::Builder::new()
+                    .name(format!("nnq-prefetch-{i}"))
+                    .spawn(move || prefetch_worker(core))
+                    .expect("failed to spawn prefetch worker");
+                self.workers.push(handle);
+            }
+        }
+    }
+
+    /// Whether a prefetcher is attached and running.
+    pub fn prefetch_active(&self) -> bool {
+        self.core.prefetch.active.load(Ordering::Relaxed)
+    }
+
+    /// Hints that `id` will likely be fetched soon. Non-blocking: the page
+    /// is queued for a background read and the hint is dropped if it is
+    /// already resident, queued, in flight, or the queue is full. A no-op
+    /// (not even counted) unless [`BufferPool::start_prefetch`] ran.
+    ///
+    /// Never touches [`PoolStats`]: the demand-path `logical_reads` /
+    /// `physical_reads` accounting is identical with prefetch on or off.
+    pub fn prefetch(&self, id: PageId) {
+        self.core.prefetch_enqueue(id);
+    }
+
+    /// Snapshot of the prefetch counters.
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        self.core.prefetch.snapshot()
+    }
+
+    /// Blocks until the prefetch queue is empty and no read is in flight.
+    /// Used by experiments before reading counters, so every issued hint
+    /// has been classified (or is resident awaiting `useful`/`wasted`
+    /// classification by [`BufferPool::clear_cache`]).
+    pub fn prefetch_quiesce(&self) {
+        self.core.quiesce_prefetch();
     }
 
     /// Journals a page image before it is written back to the device
     /// (no-op without a WAL).
     fn log_writeback(&self, page: PageId, image: &[u8]) -> Result<()> {
-        if let Some(wal) = &self.wal {
-            wal.append(page, image)?;
-        }
-        Ok(())
+        self.core.log_writeback(page, image)
     }
 
     /// Crash-consistent checkpoint: journals and writes back every dirty
@@ -251,7 +457,7 @@ impl BufferPool {
     /// after a crash at any point, [`Wal::replay`] restores it.
     pub fn checkpoint(&self) -> Result<()> {
         self.flush_all()?;
-        if let Some(wal) = &self.wal {
+        if let Some(wal) = &self.core.wal {
             wal.sync()?;
             // Device is durably up to date (flush_all syncs); the journal
             // has served its purpose.
@@ -262,12 +468,13 @@ impl BufferPool {
 
     /// The page size of the underlying device.
     pub fn page_size(&self) -> usize {
-        self.disk.page_size()
+        self.core.disk.page_size()
     }
 
     /// The total number of frames across all shards.
     pub fn capacity(&self) -> usize {
-        self.shards
+        self.core
+            .shards
             .iter()
             .map(|s| s.inner.lock().frames.len())
             .sum()
@@ -275,7 +482,7 @@ impl BufferPool {
 
     /// The number of shards (a power of two; `1` for the default pool).
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.core.shards.len()
     }
 
     /// Aggregate access counters: the per-shard atomics summed. With one
@@ -284,7 +491,7 @@ impl BufferPool {
     /// shard-count-independent.
     pub fn stats(&self) -> PoolStats {
         let mut total = PoolStats::default();
-        for shard in &self.shards {
+        for shard in &self.core.shards {
             total.accumulate(shard.stats.snapshot());
         }
         total
@@ -293,32 +500,45 @@ impl BufferPool {
     /// Per-shard counter snapshots, indexed by shard. Summing them equals
     /// [`BufferPool::stats`].
     pub fn shard_stats(&self) -> Vec<PoolStats> {
-        self.shards.iter().map(|s| s.stats.snapshot()).collect()
+        self.core
+            .shards
+            .iter()
+            .map(|s| s.stats.snapshot())
+            .collect()
     }
 
     /// Counters of the underlying device.
     pub fn disk_stats(&self) -> DiskStats {
-        self.disk.stats()
+        self.core.disk.stats()
     }
 
     /// Number of live pages on the underlying device.
     pub fn live_pages(&self) -> u64 {
-        self.disk.live_pages()
+        self.core.disk.live_pages()
     }
 
-    /// Resets pool and device counters (used between experiment phases).
+    /// Resets pool, prefetch, and device counters (used between experiment
+    /// phases). For the prefetch-classification invariant to hold across a
+    /// reset, quiesce and clear the cache first so no frame still carries
+    /// an unclassified prefetch.
     pub fn reset_stats(&self) {
-        for shard in &self.shards {
+        for shard in &self.core.shards {
             shard.stats.reset();
         }
-        self.disk.reset_stats();
+        self.core.prefetch.reset();
+        self.core.disk.reset_stats();
     }
 
     /// Drops every unpinned clean frame from the cache (writes back dirty
     /// ones first), so the next fetches are cold. Used by experiments that
     /// measure cold-cache I/O.
+    ///
+    /// Queued prefetch hints are cancelled (counted `dropped`) and
+    /// in-flight reads drained first; prefetched frames that were never
+    /// claimed by a demand fetch are counted `wasted` as they go.
     pub fn clear_cache(&self) -> Result<()> {
-        for shard in &self.shards {
+        self.core.drain_prefetch();
+        for shard in &self.core.shards {
             let mut inner = shard.inner.lock();
             let mut idx = 0;
             while idx < inner.frames.len() {
@@ -331,11 +551,15 @@ impl BufferPool {
                         let data = Arc::clone(&inner.frames[idx].data);
                         let buf = data.read();
                         self.log_writeback(page, &buf)?;
-                        self.disk.write_page(page, &buf)?;
+                        self.core.disk.write_page(page, &buf)?;
                         shard.stats.writebacks.fetch_add(1, Ordering::Relaxed);
                     }
                     inner.map.remove(&page);
                     let f = &mut inner.frames[idx];
+                    if f.prefetched {
+                        f.prefetched = false;
+                        self.core.prefetch.wasted.fetch_add(1, Ordering::Relaxed);
+                    }
                     f.page = PageId::INVALID;
                     f.dirty = false;
                     inner.free.push(idx);
@@ -348,7 +572,7 @@ impl BufferPool {
 
     /// Fetches a page for shared (read) access.
     pub fn fetch(&self, id: PageId) -> Result<PageReadGuard<'_>> {
-        let (shard_idx, frame_idx, data) = self.pin_frame(id, false)?;
+        let (shard_idx, frame_idx, data) = self.core.pin_frame(id, false)?;
         let guard = RwLock::read_arc(&data);
         Ok(PageReadGuard {
             pool: self,
@@ -360,7 +584,7 @@ impl BufferPool {
 
     /// Fetches a page for exclusive (write) access and marks it dirty.
     pub fn fetch_write(&self, id: PageId) -> Result<PageWriteGuard<'_>> {
-        let (shard_idx, frame_idx, data) = self.pin_frame(id, true)?;
+        let (shard_idx, frame_idx, data) = self.core.pin_frame(id, true)?;
         let guard = RwLock::write_arc(&data);
         Ok(PageWriteGuard {
             pool: self,
@@ -373,12 +597,15 @@ impl BufferPool {
     /// Allocates a fresh zeroed page on the device and returns it pinned for
     /// writing.
     pub fn new_page(&self) -> Result<(PageId, PageWriteGuard<'_>)> {
-        let id = self.disk.allocate()?;
-        let shard_idx = (id.0 & self.shard_mask) as usize;
-        let shard = &self.shards[shard_idx];
+        let id = self.core.disk.allocate()?;
+        // The device can re-issue a freed id; make sure no stale hint for
+        // it is queued or being read before mapping the fresh page.
+        self.core.cancel_prefetch(id);
+        let shard_idx = (id.0 & self.core.shard_mask) as usize;
+        let shard = &self.core.shards[shard_idx];
         // The page is zeroed on the device; cache it without a device read.
         let mut inner = shard.inner.lock();
-        let frame_idx = self.acquire_frame(shard, &mut inner)?;
+        let frame_idx = self.core.acquire_frame(shard, &mut inner)?;
         inner.map.insert(id, frame_idx);
         inner.tick += 1;
         let tick = inner.tick;
@@ -404,10 +631,13 @@ impl BufferPool {
 
     /// Deletes a page: removes it from the cache and frees it on the device.
     ///
-    /// Fails with [`StorageError::PoolExhausted`] if the page is currently
-    /// pinned.
+    /// A queued prefetch of the page is cancelled and an in-flight one
+    /// drained first, so a background read cannot resurrect the freed page
+    /// into a frame. Fails with [`StorageError::PoolExhausted`] if the
+    /// page is currently pinned by a demand guard.
     pub fn delete_page(&self, id: PageId) -> Result<()> {
-        let shard = self.shard_of(id);
+        self.core.cancel_prefetch(id);
+        let shard = self.core.shard_of(id);
         let mut inner = shard.inner.lock();
         if let Some(&frame_idx) = inner.map.get(&id) {
             if inner.frames[frame_idx].pins > 0 {
@@ -417,17 +647,21 @@ impl BufferPool {
             }
             inner.map.remove(&id);
             let f = &mut inner.frames[frame_idx];
+            if f.prefetched {
+                f.prefetched = false;
+                self.core.prefetch.wasted.fetch_add(1, Ordering::Relaxed);
+            }
             f.page = PageId::INVALID;
             f.dirty = false;
             inner.free.push(frame_idx);
         }
         drop(inner);
-        self.disk.deallocate(id)
+        self.core.disk.deallocate(id)
     }
 
     /// Writes all dirty frames back to the device and syncs it.
     pub fn flush_all(&self) -> Result<()> {
-        for shard in &self.shards {
+        for shard in &self.core.shards {
             let inner = shard.inner.lock();
             // Collect (page, data) pairs first so the device I/O happens
             // with a consistent view; frames stay resident, become clean.
@@ -441,7 +675,7 @@ impl BufferPool {
             for (page, data) in to_write {
                 let buf = data.read();
                 self.log_writeback(page, &buf)?;
-                self.disk.write_page(page, &buf)?;
+                self.core.disk.write_page(page, &buf)?;
                 shard.stats.writebacks.fetch_add(1, Ordering::Relaxed);
             }
             let mut inner = shard.inner.lock();
@@ -451,10 +685,70 @@ impl BufferPool {
                 }
             }
         }
-        self.disk.sync()
+        self.core.disk.sync()
+    }
+}
+
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        self.core.prefetch.active.store(false, Ordering::Relaxed);
+        {
+            let mut st = self.core.prefetch.state.lock().unwrap();
+            st.shutdown = true;
+            st.queue.clear();
+            st.queued.clear();
+        }
+        self.core.prefetch.cvar.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Background prefetch worker: pops hints off the shared queue and loads
+/// them into frames until shutdown.
+fn prefetch_worker(core: Arc<PoolCore>) {
+    loop {
+        let id = {
+            let mut st = core.prefetch.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(id) = st.queue.pop_front() {
+                    st.queued.remove(&id);
+                    st.in_flight.insert(id);
+                    break id;
+                }
+                st = core.prefetch.cvar.wait(st).unwrap();
+            }
+        };
+        core.prefetch_read(id);
+        let mut st = core.prefetch.state.lock().unwrap();
+        st.in_flight.remove(&id);
+        drop(st);
+        // Wake cancel/drain/quiesce waiters (and idle workers).
+        core.prefetch.cvar.notify_all();
+    }
+}
+
+impl PoolCore {
+    #[inline]
+    fn shard_of(&self, id: PageId) -> &Shard {
+        &self.shards[(id.0 & self.shard_mask) as usize]
     }
 
-    // -- internals ---------------------------------------------------------
+    fn log_writeback(&self, page: PageId, image: &[u8]) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            wal.append(page, image)?;
+        }
+        Ok(())
+    }
+
+    // -- demand path -------------------------------------------------------
 
     /// Pins the frame holding `id` in its shard, loading it from the device
     /// on a miss. Returns the shard index, frame index, and its data cell.
@@ -472,6 +766,14 @@ impl BufferPool {
         if let Some(&frame_idx) = inner.map.get(&id) {
             shard.stats.hits.fetch_add(1, Ordering::Relaxed);
             let f = &mut inner.frames[frame_idx];
+            if f.prefetched {
+                // First demand claim of a prefetched frame: the hint paid
+                // off. (If the background read is still running, the latch
+                // acquired by the caller after this returns will block
+                // until the bytes are in place.)
+                f.prefetched = false;
+                self.prefetch.useful.fetch_add(1, Ordering::Relaxed);
+            }
             f.pins += 1;
             f.tick = tick;
             if write_intent {
@@ -532,6 +834,12 @@ impl BufferPool {
         }
         inner.map.remove(&page);
         let f = &mut inner.frames[victim];
+        if f.prefetched {
+            // Evicted before any demand fetch touched it: the device read
+            // bought nothing.
+            f.prefetched = false;
+            self.prefetch.wasted.fetch_add(1, Ordering::Relaxed);
+        }
         f.page = PageId::INVALID;
         f.dirty = false;
         shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
@@ -543,6 +851,163 @@ impl BufferPool {
         let f = &mut inner.frames[frame_idx];
         debug_assert!(f.pins > 0, "unpin of unpinned frame");
         f.pins -= 1;
+        if f.pins == 0 && !f.page.is_valid() {
+            // The frame was unmapped while pinned (a failed prefetch read
+            // raced with demand readers); the last unpin reclaims it.
+            inner.free.push(frame_idx);
+        }
+    }
+
+    // -- prefetch path -----------------------------------------------------
+
+    /// Foreground half of a prefetch: classify-or-enqueue, never blocking
+    /// on I/O.
+    #[allow(unused_variables)]
+    fn prefetch_enqueue(&self, id: PageId) {
+        #[cfg(feature = "prefetch")]
+        {
+            if !self.prefetch.active.load(Ordering::Relaxed) {
+                return;
+            }
+            self.prefetch.issued.fetch_add(1, Ordering::Relaxed);
+            if !id.is_valid() {
+                self.prefetch.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // Dedup against resident pages. Advisory only — the worker
+            // re-checks under the shard lock before reading.
+            let resident = { self.shard_of(id).inner.lock().map.contains_key(&id) };
+            if resident {
+                self.prefetch.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let mut st = self.prefetch.state.lock().unwrap();
+            if st.shutdown
+                || st.queued.contains(&id)
+                || st.in_flight.contains(&id)
+                || st.queue.len() >= st.cap
+            {
+                drop(st);
+                self.prefetch.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            st.queue.push_back(id);
+            st.queued.insert(id);
+            drop(st);
+            self.prefetch.cvar.notify_all();
+        }
+    }
+
+    /// Background half of a prefetch: load `id` into a frame without
+    /// touching the demand-path counters. The frame stays pinned and its
+    /// contents exclusively latched for the duration of the device read,
+    /// so LRU cannot evict it mid-read and a racing demand fetch blocks on
+    /// the latch rather than observing stale bytes.
+    fn prefetch_read(&self, id: PageId) {
+        let shard_idx = (id.0 & self.shard_mask) as usize;
+        let shard = &self.shards[shard_idx];
+        let mut inner = shard.inner.lock();
+        if inner.map.contains_key(&id) {
+            // Demand-fetched since the hint was queued.
+            self.prefetch.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let frame_idx = match self.acquire_frame(shard, &mut inner) {
+            Ok(idx) => idx,
+            Err(_) => {
+                // Every frame pinned (or the write-back failed): give up
+                // on the hint rather than stall the worker.
+                self.prefetch.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        inner.map.insert(id, frame_idx);
+        inner.tick += 1;
+        let tick = inner.tick;
+        let f = &mut inner.frames[frame_idx];
+        f.page = id;
+        f.dirty = false;
+        f.pins = 1;
+        f.tick = tick;
+        f.prefetched = true;
+        let data = Arc::clone(&f.data);
+        // Latch the contents before the mapping becomes visible (the shard
+        // lock is still held): a concurrent demand fetch will find the
+        // mapping, pin, and then block on this latch until the read below
+        // has filled the frame.
+        let mut buf = RwLock::write_arc(&data);
+        drop(inner);
+        let read = self.disk.read_page(id, &mut buf);
+        if read.is_err() {
+            buf.fill(0);
+        }
+        drop(buf);
+        let mut inner = shard.inner.lock();
+        inner.frames[frame_idx].pins -= 1;
+        if read.is_err() {
+            // Unreachable for hints derived from live tree nodes; unmap so
+            // future fetches fail cleanly instead of serving zeroes.
+            if inner.frames[frame_idx].prefetched {
+                inner.frames[frame_idx].prefetched = false;
+                self.prefetch.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            inner.map.remove(&id);
+            let f = &mut inner.frames[frame_idx];
+            f.page = PageId::INVALID;
+            f.dirty = false;
+            if f.pins == 0 {
+                inner.free.push(frame_idx);
+            }
+            // else: racing demand readers still hold pins; the last unpin
+            // reclaims the frame (see `unpin`).
+        }
+    }
+
+    /// Removes any queued prefetch of `id` and waits out an in-flight one,
+    /// so the caller can free or re-allocate the page without a background
+    /// read racing the operation.
+    fn cancel_prefetch(&self, id: PageId) {
+        if !self.prefetch.active.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut st = self.prefetch.state.lock().unwrap();
+        if st.queued.remove(&id) {
+            st.queue.retain(|&p| p != id);
+            self.prefetch.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        while st.in_flight.contains(&id) {
+            st = self.prefetch.cvar.wait(st).unwrap();
+        }
+    }
+
+    /// Cancels every queued hint (counted `dropped`) and waits for all
+    /// in-flight reads to finish.
+    fn drain_prefetch(&self) {
+        if !self.prefetch.active.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut st = self.prefetch.state.lock().unwrap();
+        let n = st.queue.len() as u64;
+        if n > 0 {
+            self.prefetch.dropped.fetch_add(n, Ordering::Relaxed);
+            st.queue.clear();
+            st.queued.clear();
+        }
+        while !st.in_flight.is_empty() {
+            st = self.prefetch.cvar.wait(st).unwrap();
+        }
+    }
+
+    /// Waits until the queue is empty and nothing is in flight, without
+    /// cancelling anything.
+    fn quiesce_prefetch(&self) {
+        if !self.prefetch.active.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut st = self.prefetch.state.lock().unwrap();
+        while !st.queue.is_empty() || !st.in_flight.is_empty() {
+            st = self.prefetch.cvar.wait(st).unwrap();
+        }
     }
 }
 
@@ -553,6 +1018,7 @@ impl std::fmt::Debug for BufferPool {
             .field("shards", &self.shard_count())
             .field("page_size", &self.page_size())
             .field("stats", &self.stats())
+            .field("prefetch", &self.prefetch_stats())
             .finish()
     }
 }
@@ -575,7 +1041,7 @@ impl Deref for PageReadGuard<'_> {
 
 impl Drop for PageReadGuard<'_> {
     fn drop(&mut self) {
-        self.pool.unpin(self.shard, self.frame);
+        self.pool.core.unpin(self.shard, self.frame);
     }
 }
 
@@ -603,14 +1069,14 @@ impl DerefMut for PageWriteGuard<'_> {
 
 impl Drop for PageWriteGuard<'_> {
     fn drop(&mut self) {
-        self.pool.unpin(self.shard, self.frame);
+        self.pool.core.unpin(self.shard, self.frame);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::MemDisk;
+    use crate::{LatencyDisk, LatencyProfile, MemDisk};
 
     fn pool(frames: usize) -> BufferPool {
         BufferPool::new(Box::new(MemDisk::new(128)), frames)
@@ -654,6 +1120,7 @@ mod tests {
         let s = p.stats();
         assert_eq!(s.logical_reads, 0);
         assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.miss_rate(), 0.0);
 
         // Same after a reset wipes earlier activity.
         let (id, w) = p.new_page().unwrap();
@@ -782,6 +1249,7 @@ mod tests {
         p.reset_stats();
         assert_eq!(p.stats(), PoolStats::default());
         assert_eq!(p.disk_stats(), DiskStats::default());
+        assert_eq!(p.prefetch_stats(), PrefetchStats::default());
     }
 
     #[test]
@@ -944,5 +1412,252 @@ mod tests {
             }
         });
         assert_eq!(p.stats().logical_reads, 8 * 500);
+    }
+
+    // -- prefetch ----------------------------------------------------------
+
+    /// A pool with a running prefetcher over a zero-latency MemDisk.
+    #[cfg(feature = "prefetch")]
+    fn prefetch_pool(frames: usize) -> BufferPool {
+        let mut p = BufferPool::new(Box::new(MemDisk::new(128)), frames);
+        p.start_prefetch(2, 16);
+        p
+    }
+
+    /// Creates `n` flushed pages (payload = index + 1) and clears the
+    /// cache, so every page is cold on the device.
+    fn cold_pages(p: &BufferPool, n: u8) -> Vec<PageId> {
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let (id, mut w) = p.new_page().unwrap();
+            w[0] = i + 1;
+            ids.push(id);
+            drop(w);
+        }
+        p.flush_all().unwrap();
+        p.clear_cache().unwrap();
+        p.reset_stats();
+        ids
+    }
+
+    #[test]
+    fn prefetch_without_prefetcher_is_a_silent_noop() {
+        let p = pool(4);
+        let ids = cold_pages(&p, 2);
+        p.prefetch(ids[0]);
+        p.prefetch_quiesce();
+        assert_eq!(p.prefetch_stats(), PrefetchStats::default());
+        assert_eq!(p.stats(), PoolStats::default());
+        // The page is still cold.
+        drop(p.fetch(ids[0]).unwrap());
+        assert_eq!(p.stats().physical_reads, 1);
+    }
+
+    #[cfg(feature = "prefetch")]
+    #[test]
+    fn prefetch_loads_page_without_touching_demand_counters() {
+        let p = prefetch_pool(8);
+        let ids = cold_pages(&p, 3);
+        p.prefetch(ids[0]);
+        p.prefetch_quiesce();
+        // The background read moved no demand counter.
+        assert_eq!(p.stats(), PoolStats::default());
+        let pf = p.prefetch_stats();
+        assert_eq!(pf.issued, 1);
+        assert_eq!(pf.useful + pf.wasted + pf.dropped, 0); // unclassified: resident
+                                                           // Demand fetch now hits and classifies the frame useful.
+        let g = p.fetch(ids[0]).unwrap();
+        assert_eq!(g[0], 1);
+        drop(g);
+        let s = p.stats();
+        assert_eq!(s.logical_reads, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.physical_reads, 0);
+        let pf = p.prefetch_stats();
+        assert_eq!(pf.useful, 1);
+        assert_eq!(pf.useful + pf.wasted + pf.dropped, pf.issued);
+        assert_eq!(pf.useful_rate(), 1.0);
+    }
+
+    #[cfg(feature = "prefetch")]
+    #[test]
+    fn prefetch_dedups_resident_queued_and_invalid() {
+        let p = prefetch_pool(8);
+        let ids = cold_pages(&p, 2);
+        // Resident page: dropped.
+        drop(p.fetch(ids[0]).unwrap());
+        p.prefetch(ids[0]);
+        // Invalid id: dropped.
+        p.prefetch(PageId::INVALID);
+        p.prefetch_quiesce();
+        let pf = p.prefetch_stats();
+        assert_eq!(pf.issued, 2);
+        assert_eq!(pf.dropped, 2);
+        assert_eq!(pf.useful, 0);
+        assert_eq!(pf.wasted, 0);
+    }
+
+    #[cfg(feature = "prefetch")]
+    #[test]
+    fn clear_cache_classifies_unclaimed_prefetches_as_wasted() {
+        let p = prefetch_pool(8);
+        let ids = cold_pages(&p, 4);
+        for &id in &ids {
+            p.prefetch(id);
+        }
+        p.prefetch_quiesce();
+        p.clear_cache().unwrap();
+        let pf = p.prefetch_stats();
+        assert_eq!(pf.issued, 4);
+        assert_eq!(pf.useful + pf.wasted + pf.dropped, pf.issued);
+        // Nothing demand-fetched them, so none were useful.
+        assert_eq!(pf.useful, 0);
+        assert!(pf.wasted > 0);
+        // Demand counters never moved.
+        assert_eq!(p.stats(), PoolStats::default());
+    }
+
+    #[cfg(feature = "prefetch")]
+    #[test]
+    fn eviction_of_prefetched_frame_counts_wasted() {
+        // 2 frames: prefetch two pages, then demand-fetch two others so
+        // the prefetched frames get evicted untouched.
+        let p = prefetch_pool(2);
+        let ids = cold_pages(&p, 4);
+        p.prefetch(ids[0]);
+        p.prefetch(ids[1]);
+        p.prefetch_quiesce();
+        drop(p.fetch(ids[2]).unwrap());
+        drop(p.fetch(ids[3]).unwrap());
+        p.prefetch_quiesce();
+        p.clear_cache().unwrap();
+        let pf = p.prefetch_stats();
+        assert_eq!(pf.issued, 2);
+        assert_eq!(pf.useful, 0);
+        assert_eq!(pf.useful + pf.wasted + pf.dropped, pf.issued);
+        // The demand fetches were honest cold misses.
+        let s = p.stats();
+        assert_eq!(s.logical_reads, 2);
+        assert_eq!(s.physical_reads, 2);
+    }
+
+    #[cfg(feature = "prefetch")]
+    #[test]
+    fn queue_overflow_drops_hints() {
+        // One worker, tiny queue, slow device: most hints must bounce.
+        let disk = LatencyDisk::new(MemDisk::new(128), LatencyProfile::symmetric_us(500));
+        let mut p = BufferPool::new(Box::new(disk), 64);
+        p.start_prefetch(1, 2);
+        let ids = cold_pages(&p, 32);
+        for &id in &ids {
+            p.prefetch(id);
+        }
+        p.prefetch_quiesce();
+        p.clear_cache().unwrap();
+        let pf = p.prefetch_stats();
+        assert_eq!(pf.issued, 32);
+        assert!(pf.dropped > 0, "{pf:?}");
+        assert_eq!(pf.useful + pf.wasted + pf.dropped, pf.issued);
+    }
+
+    #[cfg(feature = "prefetch")]
+    #[test]
+    fn delete_while_prefetching_does_not_resurrect_the_page() {
+        // Regression test: a freed page must not reappear in a frame via a
+        // background read that was queued or in flight when it was freed.
+        let disk = LatencyDisk::new(MemDisk::new(128), LatencyProfile::symmetric_us(200));
+        let mut p = BufferPool::new(Box::new(disk), 8);
+        p.start_prefetch(2, 16);
+        for round in 0..20 {
+            let ids = cold_pages(&p, 3);
+            let victim = ids[round % ids.len()];
+            for &id in &ids {
+                p.prefetch(id);
+            }
+            // Delete while hints are queued/in flight.
+            p.delete_page(victim).unwrap();
+            p.prefetch_quiesce();
+            assert!(
+                p.fetch(victim).is_err(),
+                "freed page served from cache (round {round})"
+            );
+            // Survivors are intact, and the pool still works end to end.
+            for &id in ids.iter().filter(|&&id| id != victim) {
+                let g = p.fetch(id).unwrap();
+                assert!(g[0] >= 1);
+                drop(g);
+            }
+            for &id in ids.iter().filter(|&&id| id != victim) {
+                p.delete_page(id).unwrap();
+            }
+        }
+        p.prefetch_quiesce();
+        p.clear_cache().unwrap();
+        let pf = p.prefetch_stats();
+        assert_eq!(pf.useful + pf.wasted + pf.dropped, pf.issued, "{pf:?}");
+        assert_eq!(p.live_pages(), 0);
+        // Allocation still hands out clean pages afterwards.
+        let (_, mut w) = p.new_page().unwrap();
+        assert!(w.iter().all(|&b| b == 0));
+        w[0] = 1;
+    }
+
+    #[cfg(feature = "prefetch")]
+    #[test]
+    fn concurrent_demand_and_prefetch_agree() {
+        use std::sync::Arc;
+        let disk = LatencyDisk::new(MemDisk::new(128), LatencyProfile::symmetric_us(50));
+        let mut p = BufferPool::new(Box::new(disk), 16);
+        p.start_prefetch(2, 32);
+        let p = Arc::new(p);
+        let ids = cold_pages(&p, 12);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let p = Arc::clone(&p);
+                let ids = ids.clone();
+                scope.spawn(move || {
+                    for round in 0..100 {
+                        let i = (t * 5 + round) % ids.len();
+                        p.prefetch(ids[(i + 1) % ids.len()]);
+                        let g = p.fetch(ids[i]).unwrap();
+                        assert_eq!(g[0] as usize, i + 1, "wrong bytes for page {i}");
+                    }
+                });
+            }
+        });
+        p.prefetch_quiesce();
+        p.clear_cache().unwrap();
+        let pf = p.prefetch_stats();
+        assert_eq!(pf.useful + pf.wasted + pf.dropped, pf.issued, "{pf:?}");
+        assert_eq!(p.stats().logical_reads, 4 * 100);
+    }
+
+    #[cfg(feature = "prefetch")]
+    #[test]
+    fn logical_reads_identical_with_and_without_prefetch() {
+        // The same fetch sequence, one pool hinting ahead, one not: the
+        // paper's page-access counter must not move by a single unit.
+        let run = |use_prefetch: bool| -> (u64, PoolStats) {
+            let mut p = BufferPool::new(Box::new(MemDisk::new(128)), 4);
+            if use_prefetch {
+                p.start_prefetch(2, 16);
+            }
+            let ids = cold_pages(&p, 12);
+            for round in 0..6 {
+                for (i, &id) in ids.iter().enumerate().skip(round % 2) {
+                    if use_prefetch {
+                        for &next in ids.iter().skip(i + 1).take(3) {
+                            p.prefetch(next);
+                        }
+                    }
+                    drop(p.fetch(id).unwrap());
+                }
+            }
+            p.prefetch_quiesce();
+            (p.stats().logical_reads, p.stats())
+        };
+        let (without, _) = run(false);
+        let (with, _) = run(true);
+        assert_eq!(without, with);
     }
 }
