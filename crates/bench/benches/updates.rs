@@ -1,101 +1,257 @@
-//! Criterion bench: index-maintenance cost (inserts and deletes) per
-//! split strategy — the price a dynamic R-tree pays for its query quality.
+//! Index-maintenance and mixed-workload bench for the copy-on-write
+//! write path.
+//!
+//! Two sections, both written to `BENCH_UPDATES.json` at the repo root:
+//!
+//! * **maintenance** — insert/delete cost per split strategy (the price a
+//!   dynamic R-tree pays for its query quality), now through the COW
+//!   transaction path.
+//! * **mixed** — reader threads running snapshot kNN queries while one
+//!   writer applies record moves at a target write:read ratio
+//!   (0%, 10%, 50%). Reports the reader p50/p95 latency and its
+//!   degradation versus the read-only baseline — the headline number for
+//!   "updates run concurrently with queries".
+//!
+//! Not a criterion harness: the mixed section needs wall-clock latency
+//! percentiles across racing threads, and the output is the JSON file.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use nnq_bench::datasets::Dataset;
+use nnq_bench::harness::queries_for;
+use nnq_core::NnSearch;
 use nnq_geom::{Point, Rect};
 use nnq_rtree::{RTree, RTreeConfig, RecordId, SplitStrategy};
 use nnq_storage::{BufferPool, MemDisk, PAGE_SIZE};
-use std::hint::black_box;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-fn bench_updates(c: &mut Criterion) {
-    let dataset = Dataset::uniform(10_000, 29);
-    let extra = Dataset::uniform(1_000, 31);
-    let mut group = c.benchmark_group("updates");
-    group.sample_size(10);
+const N: usize = 20_000;
+const N_EXTRA: usize = 1_000;
+const K: usize = 10;
+const READERS: usize = 4;
+const QUERIES_PER_READER: usize = 1_200;
+const WRITER_RATES: [f64; 3] = [0.0, 0.10, 0.50];
+
+fn build(split: SplitStrategy, items: &[(Rect<2>, RecordId)]) -> RTree<2> {
+    let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1 << 15));
+    let tree = RTree::<2>::create(pool, RTreeConfig::with_split(split)).unwrap();
+    for (mbr, rid) in items {
+        tree.insert(mbr, *rid).unwrap();
+    }
+    tree
+}
+
+struct Maintenance {
+    split: SplitStrategy,
+    insert_us: f64,
+    delete_us: f64,
+}
+
+fn bench_maintenance(dataset: &Dataset, extra: &Dataset) -> Vec<Maintenance> {
+    let mut rows = Vec::new();
     for split in [
         SplitStrategy::Linear,
         SplitStrategy::Quadratic,
         SplitStrategy::RStar,
     ] {
-        // Insert throughput into a pre-populated tree.
-        group.bench_with_input(
-            BenchmarkId::new("insert_1k", format!("{split:?}")),
-            &split,
-            |b, &split| {
-                b.iter_batched(
-                    || {
-                        let pool =
-                            Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1 << 15));
-                        let mut tree =
-                            RTree::<2>::create(pool, RTreeConfig::with_split(split)).unwrap();
-                        for (mbr, rid) in &dataset.items {
-                            tree.insert(*mbr, *rid).unwrap();
-                        }
-                        tree
-                    },
-                    |mut tree| {
-                        for (i, (mbr, _)) in extra.items.iter().enumerate() {
-                            tree.insert(*mbr, RecordId(1_000_000 + i as u64)).unwrap();
-                        }
-                        black_box(tree)
-                    },
-                    BatchSize::LargeInput,
-                )
-            },
-        );
-        // Delete throughput.
-        group.bench_with_input(
-            BenchmarkId::new("delete_1k", format!("{split:?}")),
-            &split,
-            |b, &split| {
-                b.iter_batched(
-                    || {
-                        let pool =
-                            Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1 << 15));
-                        let mut tree =
-                            RTree::<2>::create(pool, RTreeConfig::with_split(split)).unwrap();
-                        for (mbr, rid) in &dataset.items {
-                            tree.insert(*mbr, *rid).unwrap();
-                        }
-                        tree
-                    },
-                    |mut tree| {
-                        for (mbr, rid) in dataset.items.iter().take(1_000) {
-                            tree.delete(mbr, *rid).unwrap();
-                        }
-                        black_box(tree)
-                    },
-                    BatchSize::LargeInput,
-                )
-            },
-        );
-    }
-    // Update (move) as a single op.
-    group.bench_function("update_move", |b| {
-        let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1 << 15));
-        let mut tree = RTree::<2>::create(pool, RTreeConfig::default()).unwrap();
-        for (mbr, rid) in &dataset.items {
-            tree.insert(*mbr, *rid).unwrap();
+        let tree = build(split, &dataset.items);
+        let start = Instant::now();
+        for (i, (mbr, _)) in extra.items.iter().enumerate() {
+            tree.insert(mbr, RecordId(1_000_000 + i as u64)).unwrap();
         }
-        let mut i = 0usize;
-        let mut positions: Vec<Rect<2>> = dataset.items.iter().map(|(mbr, _)| *mbr).collect();
-        b.iter(|| {
-            let idx = i % positions.len();
-            let old = positions[idx];
-            let c = old.center();
-            let new = Rect::from_point(Point::new([
-                (c[0] + 97.0) % 100_000.0,
-                (c[1] + 211.0) % 100_000.0,
-            ]));
-            tree.update(&old, RecordId(idx as u64), new).unwrap();
-            positions[idx] = new;
-            i += 1;
-        })
-    });
-    group.finish();
+        let insert_us = start.elapsed().as_secs_f64() * 1e6 / N_EXTRA as f64;
+        let start = Instant::now();
+        for (i, (mbr, _)) in extra.items.iter().enumerate() {
+            tree.delete(mbr, RecordId(1_000_000 + i as u64)).unwrap();
+        }
+        let delete_us = start.elapsed().as_secs_f64() * 1e6 / N_EXTRA as f64;
+        tree.validate().unwrap();
+        eprintln!("{split:?}: insert {insert_us:.1} us/op, delete {delete_us:.1} us/op");
+        rows.push(Maintenance {
+            split,
+            insert_us,
+            delete_us,
+        });
+    }
+    rows
 }
 
-criterion_group!(benches, bench_updates);
-criterion_main!(benches);
+struct Mixed {
+    writer_rate: f64,
+    achieved_rate: f64,
+    p50_us: f64,
+    p95_us: f64,
+    qps: f64,
+    writer_ops: u64,
+}
+
+/// Readers run snapshot kNN queries; a writer moves records, pacing
+/// itself so `writes : reads` tracks `rate`.
+fn bench_mixed(dataset: &Dataset, queries: &[Point<2>], rate: f64) -> Mixed {
+    let tree = build(SplitStrategy::Quadratic, &dataset.items);
+    let queries_done = AtomicU64::new(0);
+    let readers_running = AtomicBool::new(true);
+    let writer_ops = AtomicU64::new(0);
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let wall = Instant::now();
+    std::thread::scope(|s| {
+        let writer = (rate > 0.0).then(|| {
+            let (tree, queries_done, readers_running, writer_ops) =
+                (&tree, &queries_done, &readers_running, &writer_ops);
+            s.spawn(move || {
+                let mut positions: Vec<(Rect<2>, RecordId)> = tree.scan().unwrap();
+                let mut i = 0usize;
+                let mut done = 0u64;
+                while readers_running.load(Ordering::Acquire) {
+                    // Pace against reader progress: stay at `rate` writes
+                    // per completed query.
+                    let budget = (queries_done.load(Ordering::Acquire) as f64 * rate) as u64;
+                    if done >= budget {
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    let idx = i % positions.len();
+                    let (old, rid) = positions[idx];
+                    let c = old.center();
+                    let new = Rect::from_point(Point::new([
+                        (c[0] + 97.0) % 100_000.0,
+                        (c[1] + 211.0) % 100_000.0,
+                    ]));
+                    tree.update(&old, rid, &new).unwrap();
+                    positions[idx] = (new, rid);
+                    i += 1;
+                    done += 1;
+                }
+                writer_ops.store(done, Ordering::Release);
+            })
+        });
+
+        let readers: Vec<_> = (0..READERS)
+            .map(|tid| {
+                let (tree, queries_done) = (&tree, &queries_done);
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(QUERIES_PER_READER);
+                    for it in 0..QUERIES_PER_READER {
+                        let q = &queries[(it * READERS + tid) % queries.len()];
+                        let start = Instant::now();
+                        let snap = tree.snapshot();
+                        let got = NnSearch::new(&snap).query(q, K).unwrap();
+                        lat.push(start.elapsed().as_nanos() as u64);
+                        assert_eq!(got.len(), K);
+                        queries_done.fetch_add(1, Ordering::Release);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for r in readers {
+            latencies.extend(r.join().unwrap());
+        }
+        readers_running.store(false, Ordering::Release);
+        if let Some(w) = writer {
+            w.join().unwrap();
+        }
+    });
+    let wall_secs = wall.elapsed().as_secs_f64();
+    tree.validate().unwrap();
+
+    latencies.sort_unstable();
+    let pct = |p: f64| latencies[(latencies.len() as f64 * p) as usize] as f64 / 1e3;
+    let ops = writer_ops.load(Ordering::Acquire);
+    let row = Mixed {
+        writer_rate: rate,
+        // The target ratio is a ceiling; a single writer may saturate
+        // below it (each update is a full COW transaction), so record
+        // what actually ran.
+        achieved_rate: ops as f64 / latencies.len() as f64,
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        qps: latencies.len() as f64 / wall_secs,
+        writer_ops: ops,
+    };
+    eprintln!(
+        "writer rate {:.0}% (achieved {:.1}%): reader p50 {:.1} us, p95 {:.1} us, {:.0} q/s, {} writes",
+        rate * 100.0,
+        row.achieved_rate * 100.0,
+        row.p50_us,
+        row.p95_us,
+        row.qps,
+        row.writer_ops
+    );
+    row
+}
+
+fn main() {
+    let dataset = Dataset::uniform(N, 29);
+    let extra = Dataset::uniform(N_EXTRA, 31);
+    let queries = queries_for(512, 7);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let maintenance = bench_maintenance(&dataset, &extra);
+    let mixed: Vec<Mixed> = WRITER_RATES
+        .iter()
+        .map(|&rate| bench_mixed(&dataset, &queries, rate))
+        .collect();
+
+    let json = render_json(&maintenance, &mixed, cores);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_UPDATES.json");
+    std::fs::write(path, &json).unwrap();
+    eprintln!("wrote {path}");
+}
+
+fn render_json(maintenance: &[Maintenance], mixed: &[Mixed], cores: usize) -> String {
+    let mut mrows = String::new();
+    for (i, m) in maintenance.iter().enumerate() {
+        let sep = if i + 1 == maintenance.len() { "" } else { "," };
+        let _ = write!(
+            mrows,
+            r#"
+    {{ "split": "{:?}", "insert_us_per_op": {:.2}, "delete_us_per_op": {:.2} }}{sep}"#,
+            m.split, m.insert_us, m.delete_us
+        );
+    }
+    let baseline_p50 = mixed
+        .iter()
+        .find(|m| m.writer_rate == 0.0)
+        .map(|m| m.p50_us)
+        .unwrap_or(1.0);
+    let mut xrows = String::new();
+    for (i, m) in mixed.iter().enumerate() {
+        let sep = if i + 1 == mixed.len() { "" } else { "," };
+        let _ = write!(
+            xrows,
+            r#"
+    {{ "writer_rate": {:.2}, "achieved_write_ratio": {:.3}, "readers": {READERS}, "reader_p50_us": {:.2}, "reader_p95_us": {:.2}, "reader_qps": {:.0}, "writer_ops": {}, "p50_degradation_vs_readonly": {:.2} }}{sep}"#,
+            m.writer_rate,
+            m.achieved_rate,
+            m.p50_us,
+            m.p95_us,
+            m.qps,
+            m.writer_ops,
+            m.p50_us / baseline_p50,
+        );
+    }
+    format!(
+        r#"{{
+  "bench": "updates",
+  "description": "Copy-on-write write path (crates/bench/benches/updates.rs). maintenance: per-op insert/delete cost by split strategy, each op one COW transaction. mixed: {READERS} reader threads of snapshot kNN (k={K}) racing one writer that moves records at up to the given write:read ratio (achieved_write_ratio is what the single COW writer actually sustained); reader latency percentiles in microseconds, degradation relative to the 0%-writer baseline. Latency ratios depend on host parallelism (host_hardware_threads).",
+  "config": {{
+    "dataset": "uniform",
+    "n": {N},
+    "k": {K},
+    "readers": {READERS},
+    "queries_per_reader": {QUERIES_PER_READER},
+    "host_hardware_threads": {cores}
+  }},
+  "maintenance": [{mrows}
+  ],
+  "mixed": [{xrows}
+  ]
+}}
+"#
+    )
+}

@@ -197,9 +197,9 @@ pub fn e5() {
         Box::new(Arc::clone(&disk)),
         QUERY_POOL_FRAMES,
     ));
-    let mut tree = RTree::<2>::create(Arc::clone(&build_pool), RTreeConfig::default()).unwrap();
+    let tree = RTree::<2>::create(Arc::clone(&build_pool), RTreeConfig::default()).unwrap();
     for (mbr, rid) in &d.items {
-        tree.insert(*mbr, *rid).unwrap();
+        tree.insert(mbr, *rid).unwrap();
     }
     build_pool.flush_all().unwrap();
     let meta_page = tree.meta_page();
@@ -461,9 +461,9 @@ pub fn e11() {
     let queries = queries_for(500, SEED + 10);
 
     let paged = default_build(&d);
-    let mut mem = nnq_rtree::MemRTree::<2>::new();
+    let mem = nnq_rtree::MemRTree::<2>::new();
     for (mbr, rid) in &d.items {
-        mem.insert(*mbr, *rid).unwrap();
+        mem.insert(mbr, *rid).unwrap();
     }
     let kd_points: Vec<(nnq_geom::Point<2>, nnq_rtree::RecordId)> = d
         .items
@@ -589,9 +589,9 @@ pub fn e13() {
     let n = scaled(200_000);
     let n_queries = scaled(20_000);
     let d = Dataset::uniform(n, SEED + 12);
-    let mut tree = nnq_rtree::MemRTree::<2>::new();
+    let tree = nnq_rtree::MemRTree::<2>::new();
     for (mbr, rid) in &d.items {
-        tree.insert(*mbr, *rid).unwrap();
+        tree.insert(mbr, *rid).unwrap();
     }
     let queries =
         nnq_workloads::uniform_queries(n_queries, &nnq_workloads::default_bounds(), SEED + 12);
@@ -657,9 +657,9 @@ pub fn e14() {
         QUERY_POOL_FRAMES,
     ));
     let (heap, items) = nnq_workloads::segments_to_heap(Arc::clone(&pool), &segments).unwrap();
-    let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+    let tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
     for (mbr, rid) in &items {
-        tree.insert(*mbr, *rid).unwrap();
+        tree.insert(mbr, *rid).unwrap();
     }
     let index_pages = tree.stats().unwrap().nodes;
     let heap_pages = heap.pages().len();

@@ -110,10 +110,9 @@ fn build_on_pool(
     let start = Instant::now();
     let tree = match method {
         BuildMethod::Dynamic(split) => {
-            let mut tree =
-                RTree::create(Arc::clone(&pool), RTreeConfig::with_split(split)).unwrap();
+            let tree = RTree::create(Arc::clone(&pool), RTreeConfig::with_split(split)).unwrap();
             for (mbr, rid) in items {
-                tree.insert(*mbr, *rid).unwrap();
+                tree.insert(mbr, *rid).unwrap();
             }
             tree
         }

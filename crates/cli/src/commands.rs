@@ -8,7 +8,7 @@ use nnq_core::{
 use nnq_geom::{Metric, Point, Segment};
 use nnq_rtree::{BulkMethod, RTree, RTreeConfig, RecordId, SplitStrategy};
 use nnq_storage::{
-    BufferPool, DiskManager, FileDisk, LatencyDisk, LatencyProfile, PageId, PAGE_SIZE,
+    BufferPool, DiskManager, FileDisk, LatencyDisk, LatencyProfile, PageId, Wal, PAGE_SIZE,
 };
 use nnq_workloads::{
     default_bounds, gaussian_clusters, load_segments_csv, save_segments_csv, segments_to_items,
@@ -80,9 +80,9 @@ pub fn build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let start = Instant::now();
     let tree = match method {
         Ok(split) => {
-            let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::with_split(split))?;
+            let tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::with_split(split))?;
             for (mbr, rid) in &items {
-                tree.insert(*mbr, *rid)?;
+                tree.insert(mbr, *rid)?;
             }
             tree
         }
@@ -432,5 +432,98 @@ pub fn join(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             cstats.hit_rate() * 100.0
         )?;
     }
+    Ok(())
+}
+
+enum MutateOp {
+    Insert,
+    Delete,
+}
+
+/// `nnq ingest` — insert a dataset into an existing index through the
+/// copy-on-write write path, optionally journaled (`--wal`) with a
+/// group-commit window (`--group-commit-us`).
+pub fn ingest(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    mutate(args, out, MutateOp::Insert)
+}
+
+/// `nnq delete` — remove a dataset's entries from an existing index
+/// (same flags as `ingest`; entries are matched by rectangle + record id).
+pub fn delete(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    mutate(args, out, MutateOp::Delete)
+}
+
+fn mutate(args: &Args, out: &mut dyn Write, op: MutateOp) -> Result<(), CliError> {
+    let index = args.req("index")?;
+    let input = args.req("input")?;
+    // Record ids are assigned per input line, offset by --id-base; `build`
+    // numbers from 0, so deleting built entries wants the default, while
+    // ingesting a second dataset should pass a disjoint base.
+    let id_base: u64 = args.num("id-base", 0)?;
+    let group_commit_us: u64 = args.num("group-commit-us", 1_000)?;
+    let segments = load_segments_csv(input)?;
+    let items = segments_to_items(&segments);
+
+    let disk = FileDisk::open(index, PAGE_SIZE)?;
+    let pool = match args.opt("wal") {
+        Some(path) => {
+            let wal = if std::path::Path::new(path).exists() {
+                let wal = Wal::open(path)?;
+                // Finish any interrupted commit before touching the tree.
+                wal.replay(&disk)?;
+                wal
+            } else {
+                Wal::create(path)?
+            };
+            Arc::new(BufferPool::with_wal(Box::new(disk), 4096, wal))
+        }
+        None => Arc::new(BufferPool::new(Box::new(disk), 4096)),
+    };
+    let tree = RTree::<2>::open(Arc::clone(&pool), PageId(0))?;
+    tree.set_group_commit_us(group_commit_us);
+
+    let start = Instant::now();
+    let mut applied = 0u64;
+    let mut missing = 0u64;
+    for (i, (mbr, _)) in items.iter().enumerate() {
+        let rid = RecordId(id_base + i as u64);
+        match op {
+            MutateOp::Insert => {
+                tree.insert(mbr, rid)?;
+                applied += 1;
+            }
+            MutateOp::Delete => match tree.delete(mbr, rid) {
+                Ok(()) => applied += 1,
+                Err(nnq_rtree::RTreeError::NotFound) => missing += 1,
+                Err(e) => return Err(e.into()),
+            },
+        }
+    }
+    let syncs = pool.wal().map(nnq_storage::Wal::sync_count);
+    // A journaled run ends with a checkpoint (device standalone, journal
+    // truncated); an unjournaled one just flushes.
+    if pool.wal().is_some() {
+        pool.checkpoint()?;
+    } else {
+        pool.flush_all()?;
+    }
+    let elapsed = start.elapsed();
+    let verb = match op {
+        MutateOp::Insert => "ingested",
+        MutateOp::Delete => "deleted",
+    };
+    write!(
+        out,
+        "{verb} {applied} entries ({index}: {} total, height {})",
+        tree.len(),
+        tree.height()
+    )?;
+    if missing > 0 {
+        write!(out, ", {missing} not found")?;
+    }
+    if let Some(s) = syncs {
+        write!(out, ", {s} wal syncs (group window {group_commit_us} us)")?;
+    }
+    writeln!(out, ", {:.0} ms", elapsed.as_secs_f64() * 1e3)?;
     Ok(())
 }

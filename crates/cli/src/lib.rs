@@ -7,6 +7,8 @@
 //! ```text
 //! nnq gen    --kind tiger --n 50000 --seed 7 --out roads.csv
 //! nnq build  --input roads.csv --index roads.rtree --method str
+//! nnq ingest --input more.csv --index roads.rtree --wal roads.wal --group-commit-us 500 --id-base 1000000
+//! nnq delete --input more.csv --index roads.rtree --wal roads.wal --id-base 1000000
 //! nnq stats  --index roads.rtree
 //! nnq query  --index roads.rtree --data roads.csv --at 50000,50000 -k 5
 //! nnq query  --index roads.rtree --data roads.csv --at 50000,50000 --radius 2000
@@ -31,6 +33,8 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
     match cmd.as_str() {
         "gen" => commands::generate(&args, out),
         "build" => commands::build(&args, out),
+        "ingest" => commands::ingest(&args, out),
+        "delete" => commands::delete(&args, out),
         "stats" => commands::stats(&args, out),
         "query" => commands::query(&args, out),
         "bench" => commands::bench(&args, out),
@@ -53,6 +57,8 @@ nnq — nearest-neighbor queries over R-trees (RKV'95)
 USAGE:
   nnq gen    --kind <tiger|uniform|clustered> --n <N> [--seed <S>] --out <FILE>
   nnq build  --input <FILE> --index <FILE> [--method <quadratic|linear|rstar|str|hilbert|lowx>]
+  nnq ingest --input <FILE> --index <FILE> [--wal <FILE>] [--group-commit-us <N>] [--id-base <N>]
+  nnq delete --input <FILE> --index <FILE> [--wal <FILE>] [--group-commit-us <N>] [--id-base <N>]
   nnq stats  --index <FILE>
   nnq query  --index <FILE> --data <FILE> --at <X,Y> [-k <K>] [--radius <R>] [--metric <l1|l2|linf>] [--kernel <scalar|batch>] [--threads <N>] [--pool-shards <P2>] [--prefetch <off|N|adaptive>] [--io-lat-us <N>]
   nnq bench  --index <FILE> --data <FILE> [--queries <N>] [-k <K>] [--seed <S>] [--kernel <scalar|batch>] [--threads <N>] [--pool-shards <P2>] [--prefetch <off|N|adaptive>] [--io-lat-us <N>]

@@ -594,3 +594,119 @@ fn prefetch_and_io_latency_flags() {
     std::fs::remove_file(&data).ok();
     std::fs::remove_file(&index).ok();
 }
+
+#[test]
+fn ingest_and_delete_roundtrip_with_wal() {
+    let base = tmp("ing-base.csv");
+    let extra = tmp("ing-extra.csv");
+    let index = tmp("ing.rtree");
+    let wal = tmp("ing.wal");
+
+    run_ok(&[
+        "gen", "--kind", "uniform", "--n", "1500", "--seed", "5", "--out", &base,
+    ]);
+    run_ok(&[
+        "gen", "--kind", "uniform", "--n", "400", "--seed", "6", "--out", &extra,
+    ]);
+    run_ok(&[
+        "build",
+        "--input",
+        &base,
+        "--index",
+        &index,
+        "--method",
+        "quadratic",
+    ]);
+
+    // Journaled ingest of a second dataset under a disjoint id range.
+    let out = run_ok(&[
+        "ingest",
+        "--input",
+        &extra,
+        "--index",
+        &index,
+        "--wal",
+        &wal,
+        "--group-commit-us",
+        "0",
+        "--id-base",
+        "1000000",
+    ]);
+    assert!(out.contains("ingested 400 entries"), "{out}");
+    assert!(out.contains("1900 total"), "{out}");
+    assert!(out.contains("wal syncs"), "{out}");
+
+    let out = run_ok(&["stats", "--index", &index]);
+    assert!(out.contains("entries:      1900"), "{out}");
+
+    // Journaled delete of exactly what was ingested restores the count;
+    // a second delete finds nothing (idempotent from the caller's view).
+    let out = run_ok(&[
+        "delete",
+        "--input",
+        &extra,
+        "--index",
+        &index,
+        "--wal",
+        &wal,
+        "--id-base",
+        "1000000",
+    ]);
+    assert!(out.contains("deleted 400 entries"), "{out}");
+    assert!(out.contains("1500 total"), "{out}");
+    let out = run_ok(&[
+        "delete",
+        "--input",
+        &extra,
+        "--index",
+        &index,
+        "--wal",
+        &wal,
+        "--id-base",
+        "1000000",
+    ]);
+    assert!(out.contains("deleted 0 entries"), "{out}");
+    assert!(out.contains("400 not found"), "{out}");
+
+    // The mutated index still answers queries.
+    let out = run_ok(&[
+        "query",
+        "--index",
+        &index,
+        "--data",
+        &base,
+        "--at",
+        "50000,50000",
+        "-k",
+        "3",
+    ]);
+    assert!(out.contains("3 results"), "{out}");
+
+    for f in [&base, &extra, &index, &wal] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn ingest_without_wal_and_unjournaled_flags() {
+    let data = tmp("plain.csv");
+    let index = tmp("plain.rtree");
+    run_ok(&[
+        "gen", "--kind", "uniform", "--n", "500", "--seed", "8", "--out", &data,
+    ]);
+    run_ok(&["build", "--input", &data, "--index", &index]);
+    let out = run_ok(&[
+        "ingest",
+        "--input",
+        &data,
+        "--index",
+        &index,
+        "--id-base",
+        "5000",
+    ]);
+    assert!(out.contains("ingested 500 entries"), "{out}");
+    assert!(out.contains("1000 total"), "{out}");
+    assert!(!out.contains("wal syncs"), "{out}");
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&index).ok();
+}

@@ -150,11 +150,11 @@ mod tests {
 
     fn random_tree(n: usize, seed: u64) -> RTree<2> {
         let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 8192));
-        let mut tree = RTree::<2>::create(pool, RTreeConfig::for_testing(8)).unwrap();
+        let tree = RTree::<2>::create(pool, RTreeConfig::for_testing(8)).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         for i in 0..n {
             let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
-            tree.insert(Rect::from_point(p), RecordId(i as u64))
+            tree.insert(&Rect::from_point(p), RecordId(i as u64))
                 .unwrap();
         }
         tree

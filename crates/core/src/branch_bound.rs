@@ -514,11 +514,11 @@ mod tests {
 
     fn grid_tree(n_side: u64, fanout: usize) -> RTree<2> {
         let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 4096));
-        let mut tree = RTree::<2>::create(pool, RTreeConfig::for_testing(fanout)).unwrap();
+        let tree = RTree::<2>::create(pool, RTreeConfig::for_testing(fanout)).unwrap();
         for x in 0..n_side {
             for y in 0..n_side {
                 let p = Point::new([x as f64, y as f64]);
-                tree.insert(Rect::from_point(p), RecordId(x * n_side + y))
+                tree.insert(&Rect::from_point(p), RecordId(x * n_side + y))
                     .unwrap();
             }
         }
@@ -636,9 +636,9 @@ mod tests {
             Segment::new(Point::new([4.0, -10.0]), Point::new([6.0, 10.0])),
         ];
         let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 64));
-        let mut tree = RTree::<2>::create(pool, RTreeConfig::default()).unwrap();
+        let tree = RTree::<2>::create(pool, RTreeConfig::default()).unwrap();
         for (i, s) in segments.iter().enumerate() {
-            tree.insert(s.mbr(), RecordId(i as u64)).unwrap();
+            tree.insert(&s.mbr(), RecordId(i as u64)).unwrap();
         }
         let refiner = crate::FnRefiner::new(|rid: RecordId, _: &Rect<2>, q: &Point<2>| {
             segments[rid.0 as usize].dist_sq_to_point(q)

@@ -179,11 +179,11 @@ mod tests {
 
     fn random_setup(n: usize, seed: u64) -> (MemRTree<2>, Vec<Point<2>>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut tree = MemRTree::new();
+        let tree = MemRTree::new();
         let mut pts = Vec::new();
         for i in 0..n {
             let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
-            tree.insert(Rect::from_point(p), RecordId(i as u64))
+            tree.insert(&Rect::from_point(p), RecordId(i as u64))
                 .unwrap();
             pts.push(p);
         }

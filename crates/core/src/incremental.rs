@@ -62,7 +62,7 @@ impl<const D: usize> Ord for Keyed<D> {
 /// let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 64));
 /// let mut tree = RTree::<2>::create(pool, RTreeConfig::default()).unwrap();
 /// for i in 0..10u64 {
-///     tree.insert(Rect::from_point(Point::new([i as f64, 0.0])), RecordId(i)).unwrap();
+///     tree.insert(&Rect::from_point(Point::new([i as f64, 0.0])), RecordId(i)).unwrap();
 /// }
 /// let mut iter = IncrementalNn::new(&tree, Point::new([3.2, 0.0]), MbrRefiner);
 /// let first = iter.next().unwrap().unwrap();
@@ -238,11 +238,11 @@ mod tests {
 
     fn random_tree(n: usize, seed: u64) -> RTree<2> {
         let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 8192));
-        let mut tree = RTree::<2>::create(pool, RTreeConfig::for_testing(8)).unwrap();
+        let tree = RTree::<2>::create(pool, RTreeConfig::for_testing(8)).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         for i in 0..n {
             let p = Point::new([rng.random_range(0.0..50.0), rng.random_range(0.0..50.0)]);
-            tree.insert(Rect::from_point(p), RecordId(i as u64))
+            tree.insert(&Rect::from_point(p), RecordId(i as u64))
                 .unwrap();
         }
         tree

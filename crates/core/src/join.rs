@@ -98,12 +98,12 @@ mod tests {
 
     fn setup(n: usize, seed: u64) -> (MemRTree<2>, Vec<(Rect<2>, RecordId)>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut tree = MemRTree::new();
+        let tree = MemRTree::new();
         let mut items = Vec::new();
         for i in 0..n {
             let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
             let r = Rect::from_point(p);
-            tree.insert(r, RecordId(i as u64)).unwrap();
+            tree.insert(&r, RecordId(i as u64)).unwrap();
             items.push((r, RecordId(i as u64)));
         }
         (tree, items)

@@ -49,7 +49,7 @@
 //! let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 256));
 //! let mut tree = RTree::<2>::create(pool, RTreeConfig::default()).unwrap();
 //! for i in 0..100u64 {
-//!     tree.insert(Rect::from_point(Point::new([i as f64, 0.0])), RecordId(i)).unwrap();
+//!     tree.insert(&Rect::from_point(Point::new([i as f64, 0.0])), RecordId(i)).unwrap();
 //! }
 //! let nn = NnSearch::new(&tree);
 //! let found = nn.query(&Point::new([42.3, 0.0]), 3).unwrap();

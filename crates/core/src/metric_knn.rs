@@ -41,8 +41,8 @@ impl Ord for Key {
 /// use nnq_rtree::{MemRTree, RecordId};
 ///
 /// let mut tree = MemRTree::<2>::new();
-/// tree.insert(Rect::from_point(Point::new([3.0, 0.0])), RecordId(0)).unwrap();
-/// tree.insert(Rect::from_point(Point::new([2.0, 2.0])), RecordId(1)).unwrap();
+/// tree.insert(&Rect::from_point(Point::new([3.0, 0.0])), RecordId(0)).unwrap();
+/// tree.insert(&Rect::from_point(Point::new([2.0, 2.0])), RecordId(1)).unwrap();
 /// // Under L1, (2,2) is at distance 4 and (3,0) at 3; under L∞ they swap.
 /// let (l1, _) = metric_knn(&tree, &Point::new([0.0, 0.0]), 1, Metric::Manhattan).unwrap();
 /// assert_eq!(l1[0].record, RecordId(0));
@@ -99,11 +99,11 @@ mod tests {
 
     fn random_setup(n: usize, seed: u64) -> (MemRTree<2>, Vec<Point<2>>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut tree = MemRTree::new();
+        let tree = MemRTree::new();
         let mut pts = Vec::new();
         for i in 0..n {
             let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
-            tree.insert(Rect::from_point(p), RecordId(i as u64))
+            tree.insert(&Rect::from_point(p), RecordId(i as u64))
                 .unwrap();
             pts.push(p);
         }

@@ -68,7 +68,7 @@ fn block_size(len: usize, threads: usize) -> usize {
 /// let mut tree = MemRTree::<2>::new();
 /// for i in 0..1000u64 {
 ///     let p = Point::new([(i % 50) as f64, (i / 50) as f64]);
-///     tree.insert(Rect::from_point(p), RecordId(i)).unwrap();
+///     tree.insert(&Rect::from_point(p), RecordId(i)).unwrap();
 /// }
 /// let queries: Vec<_> = (0..64).map(|i| Point::new([i as f64, i as f64])).collect();
 /// let results = par_knn_batch(&tree, &queries, 3, NnOptions::default(), &MbrRefiner, 4).unwrap();
@@ -248,10 +248,10 @@ mod tests {
 
     fn tree_and_queries(n: usize, nq: usize) -> (MemRTree<2>, Vec<Point<2>>) {
         let mut rng = StdRng::seed_from_u64(12);
-        let mut tree = MemRTree::new();
+        let tree = MemRTree::new();
         for i in 0..n {
             let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
-            tree.insert(Rect::from_point(p), RecordId(i as u64))
+            tree.insert(&Rect::from_point(p), RecordId(i as u64))
                 .unwrap();
         }
         let queries = (0..nq)

@@ -116,11 +116,11 @@ mod tests {
 
     fn grid_tree(n_side: u64) -> RTree<2> {
         let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 4096));
-        let mut tree = RTree::<2>::create(pool, RTreeConfig::for_testing(6)).unwrap();
+        let tree = RTree::<2>::create(pool, RTreeConfig::for_testing(6)).unwrap();
         for x in 0..n_side {
             for y in 0..n_side {
                 let p = Point::new([x as f64, y as f64]);
-                tree.insert(Rect::from_point(p), RecordId(x * n_side + y))
+                tree.insert(&Rect::from_point(p), RecordId(x * n_side + y))
                     .unwrap();
             }
         }

@@ -74,7 +74,7 @@ mod tests {
     #[test]
     fn scan_matches_slice_ground_truth() {
         let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1024));
-        let mut tree = RTree::<2>::create(pool, RTreeConfig::for_testing(8)).unwrap();
+        let tree = RTree::<2>::create(pool, RTreeConfig::for_testing(8)).unwrap();
         let items: Vec<(Rect<2>, RecordId)> = (0..300u64)
             .map(|i| {
                 let p = Point::new([(i % 17) as f64, (i % 23) as f64]);
@@ -82,7 +82,7 @@ mod tests {
             })
             .collect();
         for (r, id) in &items {
-            tree.insert(*r, *id).unwrap();
+            tree.insert(r, *id).unwrap();
         }
         let q = Point::new([8.5, 11.5]);
         let (a, stats) = linear_scan_knn(&tree, &q, 5, &MbrRefiner).unwrap();

@@ -241,9 +241,9 @@ mod tests {
     }
 
     fn build(items: &[(Rect<2>, RecordId)], fanout: usize) -> MemRTree<2> {
-        let mut tree = MemRTree::with_config(RTreeConfig::default(), fanout);
+        let tree = MemRTree::with_config(RTreeConfig::default(), fanout);
         for (r, id) in items {
-            tree.insert(*r, *id).unwrap();
+            tree.insert(r, *id).unwrap();
         }
         tree
     }

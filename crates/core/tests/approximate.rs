@@ -11,12 +11,12 @@ use rand::{Rng, SeedableRng};
 
 fn build(n: usize, seed: u64) -> (MemRTree<2>, Vec<(Rect<2>, RecordId)>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut tree = MemRTree::with_config(nnq_rtree::RTreeConfig::default(), 8);
+    let tree = MemRTree::with_config(nnq_rtree::RTreeConfig::default(), 8);
     let mut items = Vec::new();
     for i in 0..n {
         let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
         let r = Rect::from_point(p);
-        tree.insert(r, RecordId(i as u64)).unwrap();
+        tree.insert(&r, RecordId(i as u64)).unwrap();
         items.push((r, RecordId(i as u64)));
     }
     (tree, items)
@@ -103,9 +103,9 @@ proptest! {
             .enumerate()
             .map(|(i, &(x, y))| (Rect::from_point(Point::new([x, y])), RecordId(i as u64)))
             .collect();
-        let mut tree = MemRTree::with_config(nnq_rtree::RTreeConfig::default(), 6);
+        let tree = MemRTree::with_config(nnq_rtree::RTreeConfig::default(), 6);
         for (r, id) in &items {
-            tree.insert(*r, *id).unwrap();
+            tree.insert(r, *id).unwrap();
         }
         let q = Point::new([qx, qy]);
         let got = NnSearch::with_options(&tree, NnOptions::approximate(eps))

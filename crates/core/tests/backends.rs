@@ -24,17 +24,17 @@ fn random_items(n: usize, seed: u64) -> Vec<(Rect<2>, RecordId)> {
 
 fn paged_tree(items: &[(Rect<2>, RecordId)]) -> RTree<2> {
     let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 8192));
-    let mut tree = RTree::create(pool, RTreeConfig::default()).unwrap();
+    let tree = RTree::create(pool, RTreeConfig::default()).unwrap();
     for (mbr, rid) in items {
-        tree.insert(*mbr, *rid).unwrap();
+        tree.insert(mbr, *rid).unwrap();
     }
     tree
 }
 
 fn mem_tree(items: &[(Rect<2>, RecordId)]) -> MemRTree<2> {
-    let mut tree = MemRTree::new();
+    let tree = MemRTree::new();
     for (mbr, rid) in items {
-        tree.insert(*mbr, *rid).unwrap();
+        tree.insert(mbr, *rid).unwrap();
     }
     tree
 }
@@ -42,7 +42,7 @@ fn mem_tree(items: &[(Rect<2>, RecordId)]) -> MemRTree<2> {
 #[test]
 fn mem_tree_supports_full_lifecycle() {
     let items = random_items(3_000, 1);
-    let mut tree = mem_tree(&items);
+    let tree = mem_tree(&items);
     assert_eq!(tree.len(), 3_000);
     tree.validate_strict().unwrap();
     // Delete a third, still valid, queries still exact.

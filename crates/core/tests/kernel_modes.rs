@@ -43,18 +43,18 @@ fn random_items(n: usize, seed: u64) -> Vec<(Rect<2>, RecordId)> {
 }
 
 fn mem_tree(items: &[(Rect<2>, RecordId)]) -> MemRTree<2> {
-    let mut tree = MemRTree::new();
+    let tree = MemRTree::new();
     for (mbr, rid) in items {
-        tree.insert(*mbr, *rid).unwrap();
+        tree.insert(mbr, *rid).unwrap();
     }
     tree
 }
 
 fn paged_tree(items: &[(Rect<2>, RecordId)]) -> RTree<2> {
     let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 8192));
-    let mut tree = RTree::create(pool, RTreeConfig::default()).unwrap();
+    let tree = RTree::create(pool, RTreeConfig::default()).unwrap();
     for (mbr, rid) in items {
-        tree.insert(*mbr, *rid).unwrap();
+        tree.insert(mbr, *rid).unwrap();
     }
     tree
 }

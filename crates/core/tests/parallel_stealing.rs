@@ -17,10 +17,10 @@ const EXPENSIVE: [f64; 2] = [-1000.0, -1000.0];
 
 fn build(n: usize) -> (MemRTree<2>, Vec<Point<2>>) {
     let mut rng = StdRng::seed_from_u64(77);
-    let mut tree = MemRTree::new();
+    let tree = MemRTree::new();
     for i in 0..n {
         let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
-        tree.insert(Rect::from_point(p), RecordId(i as u64))
+        tree.insert(&Rect::from_point(p), RecordId(i as u64))
             .unwrap();
     }
     let mut queries: Vec<Point<2>> = (0..256)

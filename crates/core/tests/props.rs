@@ -25,9 +25,9 @@ fn build_tree(
     match bulk {
         Some(method) => RTree::bulk_load(mem_pool(), cfg, items.to_vec(), method, 1.0).unwrap(),
         None => {
-            let mut tree = RTree::create(mem_pool(), cfg).unwrap();
+            let tree = RTree::create(mem_pool(), cfg).unwrap();
             for (r, id) in items {
-                tree.insert(*r, *id).unwrap();
+                tree.insert(r, *id).unwrap();
             }
             tree
         }

@@ -9,10 +9,10 @@ use rand::{Rng, SeedableRng};
 
 fn tree(n: usize, seed: u64) -> MemRTree<2> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut tree = MemRTree::with_config(nnq_rtree::RTreeConfig::default(), 8);
+    let tree = MemRTree::with_config(nnq_rtree::RTreeConfig::default(), 8);
     for i in 0..n {
         let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
-        tree.insert(Rect::from_point(p), RecordId(i as u64))
+        tree.insert(&Rect::from_point(p), RecordId(i as u64))
             .unwrap();
     }
     tree

@@ -90,9 +90,9 @@ fn agrees_with_rtree_search() {
     // identical distance sequences.
     let pts = random_points(8_000, 11);
     let kd = KdTree::build(pts.clone(), 16);
-    let mut rtree = MemRTree::<2>::new();
+    let rtree = MemRTree::<2>::new();
     for (p, id) in &pts {
-        rtree.insert(Rect::from_point(*p), *id).unwrap();
+        rtree.insert(&Rect::from_point(*p), *id).unwrap();
     }
     let search = NnSearch::new(&rtree);
     let mut rng = StdRng::seed_from_u64(12);

@@ -57,8 +57,8 @@ impl<const D: usize> RTree<D, PagedStore<D>> {
         fill: f64,
     ) -> Result<Self> {
         let store = PagedStore::create(pool)?;
-        let mut tree = RTree::empty_on(store, config);
-        pack_into(&mut tree, items, method, fill)?;
+        let tree = RTree::empty_on(store, config);
+        pack_into(&tree, items, method, fill)?;
         Ok(tree)
     }
 }
@@ -72,15 +72,15 @@ impl<const D: usize> MemRTree<D> {
         fanout: usize,
     ) -> Result<Self> {
         let store = MemStore::new(fanout);
-        let mut tree = RTree::empty_on(store, config);
-        pack_into(&mut tree, items, method, 1.0)?;
+        let tree = RTree::empty_on(store, config);
+        pack_into(&tree, items, method, 1.0)?;
         Ok(tree)
     }
 }
 
 /// The shared bottom-up packing pass.
 fn pack_into<const D: usize, S: NodeStore<D>>(
-    tree: &mut RTree<D, S>,
+    tree: &RTree<D, S>,
     items: Vec<(Rect<D>, RecordId)>,
     method: BulkMethod,
     fill: f64,
@@ -107,7 +107,7 @@ fn pack_into<const D: usize, S: NodeStore<D>>(
         // Pack runs of `per_node` entries into nodes at this level.
         let mut parents: Vec<Entry<D>> = Vec::with_capacity(entries.len() / per_node + 1);
         for chunk in entries.chunks(per_node) {
-            let page = tree.store_mut().alloc(level, chunk)?;
+            let page = tree.store().alloc(level, chunk)?;
             parents.push(Entry::for_child(entries_mbr(chunk), page));
         }
         if parents.len() == 1 {

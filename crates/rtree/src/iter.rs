@@ -95,33 +95,21 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
 
     /// Moves a record to a new bounding rectangle
     /// (delete + insert; the classical R-tree update).
-    pub fn update(&mut self, old_mbr: &Rect<D>, rid: RecordId, new_mbr: Rect<D>) -> Result<()> {
+    ///
+    /// The two halves commit as separate copy-on-write transactions, so a
+    /// concurrent snapshot reader may observe the state between them
+    /// (record absent); it never observes the record at both rectangles.
+    pub fn update(&self, old_mbr: &Rect<D>, rid: RecordId, new_mbr: &Rect<D>) -> Result<()> {
         self.delete(old_mbr, rid)?;
         self.insert(new_mbr, rid)
     }
 
-    /// Removes every entry, freeing all node pages. The tree remains
-    /// usable (equivalent to a freshly created one).
-    pub fn clear(&mut self) -> Result<()> {
-        if !self.root().is_valid() {
-            return Ok(());
-        }
-        // Free bottom-up via a simple stack walk.
-        let mut stack = vec![self.root()];
-        let mut pages = Vec::new();
-        while let Some(page) = stack.pop() {
-            let node = self.read_node(page)?;
-            if !node.is_leaf() {
-                for e in node.entries() {
-                    stack.push(e.child());
-                }
-            }
-            pages.push(page);
-        }
-        for page in pages {
-            self.store().free(page)?;
-        }
-        self.set_meta_after_bulk(PageId::INVALID, 0, 0)
+    /// Removes every entry. The tree remains usable (equivalent to a
+    /// freshly created one). Publishes an empty root atomically; the old
+    /// pages are retired through the epoch list, so live snapshots keep
+    /// reading the pre-clear tree.
+    pub fn clear(&self) -> Result<()> {
+        self.clear_cow()
     }
 }
 
@@ -133,11 +121,11 @@ mod tests {
     use nnq_geom::Point;
 
     fn grid(n: u64) -> MemRTree<2> {
-        let mut tree = MemRTree::with_config(RTreeConfig::default(), 8);
+        let tree = MemRTree::with_config(RTreeConfig::default(), 8);
         for x in 0..n {
             for y in 0..n {
                 tree.insert(
-                    Rect::from_point(Point::new([x as f64, y as f64])),
+                    &Rect::from_point(Point::new([x as f64, y as f64])),
                     RecordId(x * n + y),
                 )
                 .unwrap();
@@ -194,10 +182,10 @@ mod tests {
 
     #[test]
     fn update_moves_a_record() {
-        let mut tree = grid(5);
+        let tree = grid(5);
         let old = Rect::from_point(Point::new([2.0, 2.0]));
         let new = Rect::from_point(Point::new([100.0, 100.0]));
-        tree.update(&old, RecordId(2 * 5 + 2), new).unwrap();
+        tree.update(&old, RecordId(2 * 5 + 2), &new).unwrap();
         tree.validate_strict().unwrap();
         assert!(tree
             .point_query(&Point::new([2.0, 2.0]))
@@ -210,14 +198,14 @@ mod tests {
 
     #[test]
     fn clear_frees_everything_and_tree_is_reusable() {
-        let mut tree = grid(12);
+        let tree = grid(12);
         assert!(tree.store().live_nodes() > 1);
         tree.clear().unwrap();
         assert!(tree.is_empty());
         assert_eq!(tree.height(), 0);
         assert_eq!(tree.store().live_nodes(), 0);
         tree.validate().unwrap();
-        tree.insert(Rect::from_point(Point::new([1.0, 1.0])), RecordId(0))
+        tree.insert(&Rect::from_point(Point::new([1.0, 1.0])), RecordId(0))
             .unwrap();
         assert_eq!(tree.len(), 1);
         tree.validate_strict().unwrap();

@@ -34,7 +34,7 @@
 //! let mut tree = RTree::<2>::create(pool, RTreeConfig::default()).unwrap();
 //! for i in 0..1000u64 {
 //!     let p = Point::new([i as f64, (i * 7 % 1000) as f64]);
-//!     tree.insert(Rect::from_point(p), RecordId(i)).unwrap();
+//!     tree.insert(&Rect::from_point(p), RecordId(i)).unwrap();
 //! }
 //! assert_eq!(tree.len(), 1000);
 //! let hits = tree

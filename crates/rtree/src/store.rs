@@ -53,6 +53,18 @@ pub trait NodeStore<const D: usize> {
     /// Persists the tree metadata.
     fn write_meta(&self, meta: &Meta) -> Result<()>;
 
+    /// Atomically publishes a new tree state built copy-on-write: `meta`
+    /// is the new root/height/count and `shadow` lists the freshly
+    /// allocated pages the new state introduces. Backends with a journal
+    /// append the shadow images and the new meta image as one WAL commit
+    /// group, make the group durable per their group-commit policy, and
+    /// only then install the meta page — so a crash at any point either
+    /// replays the whole commit or none of it. The default (no journal)
+    /// just writes the metadata.
+    fn publish(&self, meta: &Meta, _shadow: &[PageId]) -> Result<()> {
+        self.write_meta(meta)
+    }
+
     /// Hints that `id` will likely be read soon. Purely advisory and
     /// non-blocking; the default does nothing (in-memory backends have no
     /// I/O to hide). Must never change what any subsequent `read` returns
@@ -351,6 +363,10 @@ pub struct PagedStore<const D: usize> {
     pool: Arc<BufferPool>,
     meta_page: PageId,
     cache: NodeCache<D>,
+    /// Commit-group ids for WAL publication, unique per store.
+    txn_counter: AtomicU64,
+    /// Group-commit window in microseconds (`0` = sync every commit).
+    group_commit_us: AtomicU64,
 }
 
 impl<const D: usize> PagedStore<D> {
@@ -358,6 +374,11 @@ impl<const D: usize> PagedStore<D> {
     /// size a 2-d node is ~4 KiB of entries, so this is a few MiB — small
     /// next to the buffer pool it shadows.
     pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+    /// Default group-commit window in microseconds: commits within a
+    /// millisecond of the last WAL sync share its durability point. `0`
+    /// would sync the journal on every commit.
+    pub const DEFAULT_GROUP_COMMIT_US: u64 = 1_000;
 
     /// Creates a store, allocating a fresh meta page.
     pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
@@ -373,6 +394,8 @@ impl<const D: usize> PagedStore<D> {
             pool,
             meta_page,
             cache: NodeCache::new(cache_capacity),
+            txn_counter: AtomicU64::new(0),
+            group_commit_us: AtomicU64::new(Self::DEFAULT_GROUP_COMMIT_US),
         })
     }
 
@@ -398,9 +421,23 @@ impl<const D: usize> PagedStore<D> {
                 pool,
                 meta_page,
                 cache: NodeCache::new(cache_capacity),
+                txn_counter: AtomicU64::new(0),
+                group_commit_us: AtomicU64::new(Self::DEFAULT_GROUP_COMMIT_US),
             },
             meta,
         ))
+    }
+
+    /// Sets the group-commit window: a publish syncs the WAL only if at
+    /// least this many microseconds passed since the last sync (`0` syncs
+    /// every commit). No effect on pools without a WAL.
+    pub fn set_group_commit_us(&self, us: u64) {
+        self.group_commit_us.store(us, Ordering::Relaxed);
+    }
+
+    /// The current group-commit window in microseconds.
+    pub fn group_commit_us(&self) -> u64 {
+        self.group_commit_us.load(Ordering::Relaxed)
     }
 
     /// The buffer pool under this store.
@@ -472,6 +509,32 @@ impl<const D: usize> NodeStore<D> for PagedStore<D> {
         let mut guard = self.pool.fetch_write(self.meta_page)?;
         encode_meta(&mut guard, meta);
         Ok(())
+    }
+
+    fn publish(&self, meta: &Meta, shadow: &[PageId]) -> Result<()> {
+        if let Some(wal) = self.pool.wal() {
+            // One commit group: every shadow page image, then the new
+            // meta image, sealed by the commit record. Replay applies the
+            // group only if the commit record made it to the log, so a
+            // crash mid-publish rolls back to the previous root.
+            let txn = self.txn_counter.fetch_add(1, Ordering::Relaxed) + 1;
+            for &page in shadow {
+                let image = self.pool.page_image(page)?;
+                wal.append_txn_image(txn, page, &image)?;
+            }
+            let mut meta_image = vec![0u8; self.pool.page_size()];
+            encode_meta(&mut meta_image, meta);
+            wal.append_txn_image(txn, self.meta_page, &meta_image)?;
+            wal.append_commit(txn)?;
+            // Durability point, batched across the commit window: commits
+            // landing inside the window become durable with the next sync
+            // (or an explicit checkpoint).
+            let window =
+                std::time::Duration::from_micros(self.group_commit_us.load(Ordering::Relaxed));
+            wal.group_sync(window)?;
+        }
+        // The in-pool root swap: a single meta-page write.
+        self.write_meta(meta)
     }
 
     fn prefetch(&self, id: PageId) {

@@ -4,6 +4,21 @@
 //! [`PagedStore`] keeps one node per disk page (the paper's setting);
 //! [`MemRTree`] is the same tree over a heap arena. All mutation and query
 //! logic is written once against the store trait.
+//!
+//! # Copy-on-write updates
+//!
+//! Mutations never overwrite a published page. Each `insert`/`delete`
+//! runs as a transaction that builds its modified subtree in freshly
+//! allocated pages (path copying: the touched leaf, every ancestor up to
+//! the root, and any split siblings), then commits by publishing the new
+//! root in a single atomic meta swap ([`NodeStore::publish`] journals the
+//! shadow pages and new meta as one WAL commit group on paged backends).
+//! Readers holding a [`Snapshot`] keep traversing the old root: every
+//! page it references is immutable until the snapshot is dropped.
+//! Replaced pages are *retired* into an epoch-tagged limbo list and freed
+//! only when no snapshot pinned at or before the retiring epoch remains —
+//! so page reclamation (and with it decoded-node-cache invalidation) is
+//! keyed to publication, never to a traversal in progress.
 
 use crate::codec::{Meta, RawNode};
 use crate::config::{RTreeConfig, SplitStrategy};
@@ -13,7 +28,8 @@ use crate::store::{MemStore, NodeStore, PagedStore};
 use crate::{RTreeError, Result};
 use nnq_geom::{Point, Rect, SoaRects};
 use nnq_storage::{BufferPool, PageId};
-use std::collections::HashSet;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// A shared view of a decoded R-tree node, as returned by
@@ -109,7 +125,8 @@ pub trait TreeAccess<const D: usize> {
 
 impl<const D: usize, S: NodeStore<D>> TreeAccess<D> for RTree<D, S> {
     fn access_root(&self) -> Option<PageId> {
-        self.meta.root.is_valid().then_some(self.meta.root)
+        let root = self.meta.read().root;
+        root.is_valid().then_some(root)
     }
 
     fn access_node(&self, page: PageId) -> Result<NodeView<D>> {
@@ -129,14 +146,172 @@ impl<const D: usize, S: NodeStore<D>> TreeAccess<D> for RTree<D, S> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Epoch-based deferred reclamation
+// ---------------------------------------------------------------------------
+
+/// Epoch bookkeeping for deferred page reclamation.
+///
+/// Snapshots pin the epoch current at their creation. A commit retires
+/// its replaced pages tagged with the epoch current at publication, then
+/// advances the epoch — so any snapshot that could still reach those
+/// pages holds a pin at or before the tag. A batch is freed once the
+/// minimum pinned epoch moves past its tag (or no pins remain).
+#[derive(Default)]
+struct Epochs {
+    inner: Mutex<EpochState>,
+}
+
+#[derive(Default)]
+struct EpochState {
+    current: u64,
+    /// Live snapshot pins per epoch.
+    pins: BTreeMap<u64, usize>,
+    /// Retired page batches, tagged with their retirement epoch.
+    limbo: VecDeque<(u64, Vec<PageId>)>,
+}
+
+impl Epochs {
+    fn pin(&self) -> u64 {
+        let mut st = self.inner.lock();
+        let epoch = st.current;
+        *st.pins.entry(epoch).or_insert(0) += 1;
+        epoch
+    }
+
+    /// Drops one pin on `epoch`; returns pages that became reclaimable.
+    fn unpin(&self, epoch: u64) -> Vec<PageId> {
+        let mut st = self.inner.lock();
+        if let Some(n) = st.pins.get_mut(&epoch) {
+            *n -= 1;
+            if *n == 0 {
+                st.pins.remove(&epoch);
+            }
+        }
+        Self::drain_reclaimable(&mut st)
+    }
+
+    /// Tags `pages` with the current epoch, advances the epoch, and
+    /// returns every limbo page no live pin can still reach.
+    fn retire(&self, pages: Vec<PageId>) -> Vec<PageId> {
+        let mut st = self.inner.lock();
+        if !pages.is_empty() {
+            let tag = st.current;
+            st.limbo.push_back((tag, pages));
+        }
+        st.current += 1;
+        Self::drain_reclaimable(&mut st)
+    }
+
+    fn drain_reclaimable(st: &mut EpochState) -> Vec<PageId> {
+        let min_pinned = st.pins.keys().next().copied().unwrap_or(u64::MAX);
+        let mut out = Vec::new();
+        while let Some((tag, _)) = st.limbo.front() {
+            if *tag < min_pinned {
+                out.extend(st.limbo.pop_front().expect("front exists").1);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// A consistent read view of the tree, valid across concurrent mutations.
+///
+/// A snapshot pins the reclamation epoch and copies the tree's committed
+/// metadata at creation: every page reachable from its root stays
+/// allocated and byte-identical until the snapshot is dropped, no matter
+/// how many inserts and deletes commit in the meantime. It implements
+/// [`TreeAccess`], so every query algorithm in `nnq-core` runs against a
+/// snapshot unchanged.
+///
+/// Concurrent readers racing a mutator **must** hold a snapshot; querying
+/// the tree reference directly is only safe while no mutation is running
+/// (a commit may reclaim pages an unpinned traversal still wants).
+pub struct Snapshot<'t, const D: usize, S: NodeStore<D> = PagedStore<D>> {
+    tree: &'t RTree<D, S>,
+    meta: Meta,
+    epoch: u64,
+}
+
+impl<const D: usize, S: NodeStore<D>> Snapshot<'_, D, S> {
+    /// Number of data entries visible in this snapshot.
+    pub fn len(&self) -> u64 {
+        self.meta.count
+    }
+
+    /// Whether the snapshot sees an empty tree.
+    pub fn is_empty(&self) -> bool {
+        self.meta.count == 0
+    }
+
+    /// The snapshot's root handle ([`PageId::INVALID`] when empty).
+    pub fn root(&self) -> PageId {
+        self.meta.root
+    }
+
+    /// Tree height as of the snapshot.
+    pub fn height(&self) -> u32 {
+        self.meta.height
+    }
+}
+
+impl<const D: usize, S: NodeStore<D>> TreeAccess<D> for Snapshot<'_, D, S> {
+    fn access_root(&self) -> Option<PageId> {
+        self.meta.root.is_valid().then_some(self.meta.root)
+    }
+
+    fn access_node(&self, page: PageId) -> Result<NodeView<D>> {
+        self.tree.read_node(page)
+    }
+
+    fn num_records(&self) -> u64 {
+        self.meta.count
+    }
+
+    fn prefetch_node(&self, page: PageId) {
+        self.tree.store.prefetch(page);
+    }
+
+    fn io_miss_rate(&self) -> f64 {
+        self.tree.store.io_miss_rate()
+    }
+}
+
+impl<const D: usize, S: NodeStore<D>> Drop for Snapshot<'_, D, S> {
+    fn drop(&mut self) {
+        for page in self.tree.epochs.unpin(self.epoch) {
+            // Failing to free leaks the page but corrupts nothing; a drop
+            // handler has nowhere to report it.
+            let _ = self.tree.store.free(page);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The tree
+// ---------------------------------------------------------------------------
+
 /// A dynamic R-tree over `D`-dimensional rectangles.
 ///
-/// See the crate docs for an overview and example. All read operations take
-/// `&self`; mutations take `&mut self` (one writer at a time, many readers —
-/// matching the single-writer discipline of the original systems).
+/// See the crate docs for an overview and example. All operations take
+/// `&self`: queries read the committed snapshot, and mutations are
+/// serialized by an internal writer lock (single-writer, many-readers —
+/// the discipline of the original systems, but with copy-on-write
+/// publication so the readers never block). Readers that race a mutator
+/// must hold a [`Snapshot`] (see [`RTree::snapshot`]).
 pub struct RTree<const D: usize, S = PagedStore<D>> {
     store: S,
-    meta: Meta,
+    /// The committed tree state; swapped atomically at commit.
+    meta: RwLock<Meta>,
+    /// The tree configuration (immutable after construction; also carried
+    /// inside `meta` for persistence).
+    config: RTreeConfig,
+    /// Serializes mutators. Readers never take this.
+    writer: Mutex<()>,
+    /// Deferred reclamation of pages replaced by commits.
+    epochs: Epochs,
     max_entries: usize,
     min_entries: usize,
 }
@@ -149,9 +324,9 @@ pub struct RTree<const D: usize, S = PagedStore<D>> {
 /// use nnq_rtree::{MemRTree, RecordId};
 /// use nnq_geom::{Point, Rect};
 ///
-/// let mut tree = MemRTree::<2>::new();
+/// let tree = MemRTree::<2>::new();
 /// for i in 0..100u64 {
-///     tree.insert(Rect::from_point(Point::new([i as f64, 0.0])), RecordId(i)).unwrap();
+///     tree.insert(&Rect::from_point(Point::new([i as f64, 0.0])), RecordId(i)).unwrap();
 /// }
 /// assert_eq!(tree.len(), 100);
 /// tree.validate().unwrap();
@@ -176,7 +351,10 @@ impl<const D: usize> RTree<D, PagedStore<D>> {
         NodeStore::<D>::write_meta(&store, &meta)?;
         Ok(Self {
             store,
-            meta,
+            meta: RwLock::new(meta),
+            config,
+            writer: Mutex::new(()),
+            epochs: Epochs::default(),
             max_entries,
             min_entries,
         })
@@ -197,9 +375,13 @@ impl<const D: usize> RTree<D, PagedStore<D>> {
         let capacity = <PagedStore<D> as NodeStore<D>>::node_capacity(&store);
         let max_entries = meta.config.effective_max(capacity);
         let min_entries = meta.config.min_entries(max_entries);
+        let config = meta.config;
         Ok(Self {
             store,
-            meta,
+            meta: RwLock::new(meta),
+            config,
+            writer: Mutex::new(()),
+            epochs: Epochs::default(),
             max_entries,
             min_entries,
         })
@@ -214,6 +396,12 @@ impl<const D: usize> RTree<D, PagedStore<D>> {
     pub fn pool(&self) -> &Arc<BufferPool> {
         self.store.pool()
     }
+
+    /// Sets the WAL group-commit window in microseconds (`0` syncs the
+    /// journal on every commit). See [`PagedStore::set_group_commit_us`].
+    pub fn set_group_commit_us(&self, us: u64) {
+        self.store.set_group_commit_us(us);
+    }
 }
 
 impl<const D: usize> MemRTree<D> {
@@ -226,22 +414,7 @@ impl<const D: usize> MemRTree<D> {
     /// Creates an empty in-memory tree with an explicit configuration and
     /// node fanout.
     pub fn with_config(config: RTreeConfig, fanout: usize) -> Self {
-        let store = MemStore::new(fanout);
-        let capacity = <MemStore<D> as NodeStore<D>>::node_capacity(&store);
-        let max_entries = config.effective_max(capacity);
-        let min_entries = config.min_entries(max_entries);
-        Self {
-            store,
-            meta: Meta {
-                dims: D as u16,
-                root: PageId::INVALID,
-                height: 0,
-                count: 0,
-                config,
-            },
-            max_entries,
-            min_entries,
-        }
+        Self::empty_on(MemStore::new(fanout), config)
     }
 }
 
@@ -251,32 +424,49 @@ impl<const D: usize> Default for MemRTree<D> {
     }
 }
 
+/// A copy-on-write transaction: the private working state of one mutation.
+///
+/// `root`/`height`/`count` are the transaction's view of the tree;
+/// nothing becomes visible to readers until [`RTree::commit`] publishes
+/// them. `fresh` pages were allocated by this transaction — they are
+/// invisible to readers, so the transaction may rewrite them in place
+/// (one copy per page per transaction, not per touch). `retired` pages
+/// belong to the committed tree and are handed to the epoch limbo at
+/// commit (or simply kept, on abort).
+struct Txn {
+    root: PageId,
+    height: u32,
+    count: u64,
+    fresh: HashSet<PageId>,
+    retired: Vec<PageId>,
+}
+
 impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
     // -- introspection -------------------------------------------------------
 
     /// The tree's configuration.
     pub fn config(&self) -> &RTreeConfig {
-        &self.meta.config
+        &self.config
     }
 
     /// Number of data entries in the tree.
     pub fn len(&self) -> u64 {
-        self.meta.count
+        self.meta.read().count
     }
 
     /// Whether the tree holds no data.
     pub fn is_empty(&self) -> bool {
-        self.meta.count == 0
+        self.len() == 0
     }
 
     /// Tree height in levels (0 for an empty tree, 1 for a root-only leaf).
     pub fn height(&self) -> u32 {
-        self.meta.height
+        self.meta.read().height
     }
 
     /// The root handle, or [`PageId::INVALID`] when empty.
     pub fn root(&self) -> PageId {
-        self.meta.root
+        self.meta.read().root
     }
 
     /// Maximum entries per node.
@@ -297,10 +487,26 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
     /// The MBR of the whole dataset ([`Rect::empty`] when the tree is
     /// empty).
     pub fn bounds(&self) -> Result<Rect<D>> {
-        if !self.meta.root.is_valid() {
+        let root = self.root();
+        if !root.is_valid() {
             return Ok(Rect::empty());
         }
-        Ok(self.read_node(self.meta.root)?.mbr())
+        Ok(self.read_node(root)?.mbr())
+    }
+
+    /// Takes a consistent read view of the current committed state. Pages
+    /// reachable from it stay live until the snapshot drops; see
+    /// [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot<'_, D, S> {
+        // Pin before reading the meta: a commit that publishes after the
+        // pin retires its pages at an epoch >= ours, so they stay live.
+        let epoch = self.epochs.pin();
+        let meta = *self.meta.read();
+        Snapshot {
+            tree: self,
+            meta,
+            epoch,
+        }
     }
 
     // -- node I/O ------------------------------------------------------------
@@ -314,18 +520,23 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
         Ok(NodeView::new(page, self.store.read(page)?))
     }
 
+    pub(crate) fn make_meta(&self, root: PageId, height: u32, count: u64) -> Meta {
+        Meta {
+            dims: D as u16,
+            root,
+            height,
+            count,
+            config: self.config,
+        }
+    }
+
     /// Installs the root pointer, height, and entry count after a bulk
     /// load (see `bulk.rs`).
-    pub(crate) fn set_meta_after_bulk(
-        &mut self,
-        root: PageId,
-        height: u32,
-        count: u64,
-    ) -> Result<()> {
-        self.meta.root = root;
-        self.meta.height = height;
-        self.meta.count = count;
-        self.store.write_meta(&self.meta)
+    pub(crate) fn set_meta_after_bulk(&self, root: PageId, height: u32, count: u64) -> Result<()> {
+        let meta = self.make_meta(root, height, count);
+        self.store.write_meta(&meta)?;
+        *self.meta.write() = meta;
+        Ok(())
     }
 
     /// Constructs an empty tree over an existing store (bulk-load entry
@@ -336,58 +547,223 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
         let min_entries = config.min_entries(max_entries);
         Self {
             store,
-            meta: Meta {
+            meta: RwLock::new(Meta {
                 dims: D as u16,
                 root: PageId::INVALID,
                 height: 0,
                 count: 0,
                 config,
-            },
+            }),
+            config,
+            writer: Mutex::new(()),
+            epochs: Epochs::default(),
             max_entries,
             min_entries,
         }
     }
 
-    pub(crate) fn store_mut(&mut self) -> &mut S {
-        &mut self.store
+    // -- copy-on-write transaction machinery ---------------------------------
+
+    fn begin(&self) -> Txn {
+        let meta = self.meta.read();
+        Txn {
+            root: meta.root,
+            height: meta.height,
+            count: meta.count,
+            fresh: HashSet::new(),
+            retired: Vec::new(),
+        }
+    }
+
+    /// Publishes the transaction: journals + installs the new meta
+    /// (readers switch roots here), then retires replaced pages into the
+    /// epoch limbo, freeing whatever no snapshot can still reach.
+    fn commit(&self, mut txn: Txn) -> Result<()> {
+        let meta = self.make_meta(txn.root, txn.height, txn.count);
+        let mut shadow: Vec<PageId> = txn.fresh.iter().copied().collect();
+        shadow.sort_unstable(); // deterministic journal order
+        if let Err(e) = self.store.publish(&meta, &shadow) {
+            self.rollback(&mut txn);
+            return Err(e);
+        }
+        *self.meta.write() = meta;
+        for page in self.epochs.retire(std::mem::take(&mut txn.retired)) {
+            self.store.free(page)?;
+        }
+        Ok(())
+    }
+
+    /// Releases a failed transaction's fresh pages; retired pages stay
+    /// live (they are still referenced by the committed tree).
+    fn rollback(&self, txn: &mut Txn) {
+        for page in txn.fresh.drain() {
+            let _ = self.store.free(page);
+        }
+    }
+
+    /// Writes `entries` for the node currently stored at `page`,
+    /// copy-on-write: a page this transaction allocated is rewritten in
+    /// place (readers cannot see it yet); a committed page is left
+    /// untouched — the new contents go to a fresh page and the old one is
+    /// retired. Returns the page id now holding the node.
+    fn cow_write(
+        &self,
+        txn: &mut Txn,
+        page: PageId,
+        level: u16,
+        entries: &[Entry<D>],
+    ) -> Result<PageId> {
+        if txn.fresh.contains(&page) {
+            self.store.write(page, level, entries)?;
+            Ok(page)
+        } else {
+            let fresh = self.store.alloc(level, entries)?;
+            txn.fresh.insert(fresh);
+            txn.retired.push(page);
+            Ok(fresh)
+        }
+    }
+
+    /// Allocates a brand-new node owned by this transaction.
+    fn cow_alloc(&self, txn: &mut Txn, level: u16, entries: &[Entry<D>]) -> Result<PageId> {
+        let page = self.store.alloc(level, entries)?;
+        txn.fresh.insert(page);
+        Ok(page)
+    }
+
+    /// Discards the node at `page`: immediately if this transaction
+    /// allocated it, else deferred to the commit's retirement batch.
+    fn cow_free(&self, txn: &mut Txn, page: PageId) -> Result<()> {
+        if txn.fresh.remove(&page) {
+            self.store.free(page)
+        } else {
+            txn.retired.push(page);
+            Ok(())
+        }
+    }
+
+    /// Rewrites the ancestors along `path` (deepest last) after the node
+    /// at the path's end moved from `old_child` to `new_child` with MBR
+    /// `child_mbr`: each parent entry gets the child's new id and a tight
+    /// MBR, and the parent itself is republished copy-on-write — so the
+    /// whole ancestor chain (up to and including the root) is path-copied
+    /// bottom-up. Stops early when neither the child id nor its MBR
+    /// changed at some level (possible once pages are transaction-fresh
+    /// and rewritten in place).
+    fn replace_in_path(
+        &self,
+        txn: &mut Txn,
+        path: &[(PageId, usize)],
+        mut old_child: PageId,
+        mut new_child: PageId,
+        mut child_mbr: Rect<D>,
+    ) -> Result<()> {
+        for &(page, idx) in path.iter().rev() {
+            let node = self.read_node(page)?;
+            let mut entries = node.entries().to_vec();
+            debug_assert_eq!(entries[idx].child(), old_child, "stale path");
+            if new_child == old_child && entries[idx].mbr == child_mbr {
+                return Ok(()); // nothing changed at this level or above
+            }
+            entries[idx] = Entry::for_child(child_mbr, new_child);
+            let new_page = self.cow_write(txn, page, node.level(), &entries)?;
+            old_child = page;
+            new_child = new_page;
+            child_mbr = entries_mbr(&entries);
+        }
+        if txn.root == old_child {
+            txn.root = new_child;
+        }
+        Ok(())
+    }
+
+    /// Copy-on-write `clear`: publish an empty meta, retire every page of
+    /// the old tree (see [`RTree::clear`] in `iter.rs` for the public
+    /// docs).
+    pub(crate) fn clear_cow(&self) -> Result<()> {
+        let _writer = self.writer.lock();
+        let root = self.root();
+        if !root.is_valid() {
+            return Ok(());
+        }
+        let mut stack = vec![root];
+        let mut pages = Vec::new();
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page)?;
+            if !node.is_leaf() {
+                for e in node.entries() {
+                    stack.push(e.child());
+                }
+            }
+            pages.push(page);
+        }
+        let meta = self.make_meta(PageId::INVALID, 0, 0);
+        self.store.publish(&meta, &[])?;
+        *self.meta.write() = meta;
+        for page in self.epochs.retire(pages) {
+            self.store.free(page)?;
+        }
+        Ok(())
     }
 
     // -- insertion -----------------------------------------------------------
 
     /// Inserts a record with the given bounding rectangle.
     ///
+    /// Both `insert` and [`RTree::delete`] take the rectangle by
+    /// reference: `Rect<D>` is `Copy`, but the uniform `&Rect<D>` surface
+    /// lets call sites iterate `&items` without copying out per call and
+    /// keeps the two halves of the mutation API symmetric.
+    ///
+    /// Runs as one copy-on-write transaction: concurrent [`Snapshot`]
+    /// readers see the tree either entirely without or entirely with the
+    /// new record, never an intermediate state.
+    ///
     /// # Panics
     /// Panics if `mbr` is not a valid finite rectangle.
-    pub fn insert(&mut self, mbr: Rect<D>, rid: RecordId) -> Result<()> {
+    pub fn insert(&self, mbr: &Rect<D>, rid: RecordId) -> Result<()> {
         assert!(mbr.is_valid(), "cannot index an invalid rectangle");
-        if self.meta.height == 0 {
-            let root = self.store.alloc(0, &[Entry::for_record(mbr, rid)])?;
-            self.meta.root = root;
-            self.meta.height = 1;
-            self.meta.count = 1;
-            return self.store.write_meta(&self.meta);
+        let _writer = self.writer.lock();
+        let mut txn = self.begin();
+        match self.insert_txn(&mut txn, Entry::for_record(*mbr, rid)) {
+            Ok(()) => self.commit(txn),
+            Err(e) => {
+                self.rollback(&mut txn);
+                Err(e)
+            }
+        }
+    }
+
+    fn insert_txn(&self, txn: &mut Txn, entry: Entry<D>) -> Result<()> {
+        if txn.height == 0 {
+            txn.root = self.cow_alloc(txn, 0, &[entry])?;
+            txn.height = 1;
+            txn.count = 1;
+            return Ok(());
         }
         let mut reinserted = HashSet::new();
-        self.insert_at(Entry::for_record(mbr, rid), 0, &mut reinserted)?;
-        self.meta.count += 1;
-        self.store.write_meta(&self.meta)
+        self.insert_at(txn, entry, 0, &mut reinserted)?;
+        txn.count += 1;
+        Ok(())
     }
 
     /// Inserts `entry` into a node at `target_level`, splitting or
-    /// (for R\*) force-reinserting on overflow.
+    /// (for R\*) force-reinserting on overflow. All node writes are
+    /// copy-on-write against `txn`.
     fn insert_at(
-        &mut self,
+        &self,
+        txn: &mut Txn,
         entry: Entry<D>,
         target_level: u16,
         reinserted: &mut HashSet<u16>,
     ) -> Result<()> {
-        let root_level = (self.meta.height - 1) as u16;
+        let root_level = (txn.height - 1) as u16;
         debug_assert!(target_level <= root_level);
 
         // Descend from the root to a node at target_level, remembering the
         // path of (page, chosen child index).
         let mut path: Vec<(PageId, usize)> = Vec::new();
-        let mut page = self.meta.root;
+        let mut page = txn.root;
         let mut node = self.read_node(page)?;
         while node.level() > target_level {
             let idx = self.choose_subtree(&node, &entry.mbr);
@@ -402,54 +778,52 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
 
         loop {
             if entries.len() <= self.max_entries {
-                self.store.write(page, level, &entries)?;
-                self.propagate_mbr(&path, entries_mbr(&entries))?;
-                return Ok(());
+                let new_page = self.cow_write(txn, page, level, &entries)?;
+                return self.replace_in_path(txn, &path, page, new_page, entries_mbr(&entries));
             }
 
             // Overflow. R* first tries forced reinsertion, once per level
             // per top-level insert, and never at the root.
             let is_root = path.is_empty();
-            if self.meta.config.split == SplitStrategy::RStar
-                && !is_root
-                && !reinserted.contains(&level)
+            if self.config.split == SplitStrategy::RStar && !is_root && !reinserted.contains(&level)
             {
                 reinserted.insert(level);
-                let p = self.meta.config.reinsert_count(self.max_entries);
+                let p = self.config.reinsert_count(self.max_entries);
                 let victims = take_reinsert_victims(&mut entries, p);
-                self.store.write(page, level, &entries)?;
-                self.propagate_mbr(&path, entries_mbr(&entries))?;
+                let new_page = self.cow_write(txn, page, level, &entries)?;
+                self.replace_in_path(txn, &path, page, new_page, entries_mbr(&entries))?;
                 for v in victims {
-                    self.insert_at(v, level, reinserted)?;
+                    self.insert_at(txn, v, level, reinserted)?;
                 }
                 return Ok(());
             }
 
-            // Split.
-            let (left, right) = split_entries(self.meta.config.split, entries, self.min_entries);
-            self.store.write(page, level, &left)?;
-            let right_page = self.store.alloc(level, &right)?;
+            // Split: the left half replaces the node copy-on-write, the
+            // right half is a brand-new transaction-owned page.
+            let (left, right) = split_entries(self.config.split, entries, self.min_entries);
+            let left_page = self.cow_write(txn, page, level, &left)?;
+            let right_page = self.cow_alloc(txn, level, &right)?;
             let left_mbr = entries_mbr(&left);
             let right_mbr = entries_mbr(&right);
 
             match path.pop() {
                 None => {
                     // Root split: grow the tree by one level.
-                    let new_root = self.store.alloc(
+                    txn.root = self.cow_alloc(
+                        txn,
                         level + 1,
                         &[
-                            Entry::for_child(left_mbr, page),
+                            Entry::for_child(left_mbr, left_page),
                             Entry::for_child(right_mbr, right_page),
                         ],
                     )?;
-                    self.meta.root = new_root;
-                    self.meta.height += 1;
-                    return self.store.write_meta(&self.meta);
+                    txn.height += 1;
+                    return Ok(());
                 }
                 Some((parent_page, idx)) => {
                     let parent = self.read_node(parent_page)?;
                     let mut parent_entries = parent.entries().to_vec();
-                    parent_entries[idx].mbr = left_mbr;
+                    parent_entries[idx] = Entry::for_child(left_mbr, left_page);
                     parent_entries.push(Entry::for_child(right_mbr, right_page));
                     page = parent_page;
                     level = parent.level();
@@ -459,26 +833,10 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
         }
     }
 
-    /// Rewrites the MBRs along `path` (deepest last) so each parent entry
-    /// tightly bounds its updated child.
-    fn propagate_mbr(&self, path: &[(PageId, usize)], mut child_mbr: Rect<D>) -> Result<()> {
-        for &(page, idx) in path.iter().rev() {
-            let node = self.read_node(page)?;
-            let mut entries = node.entries().to_vec();
-            if entries[idx].mbr == child_mbr {
-                return Ok(()); // already tight; ancestors unchanged too
-            }
-            entries[idx].mbr = child_mbr;
-            self.store.write(page, node.level(), &entries)?;
-            child_mbr = entries_mbr(&entries);
-        }
-        Ok(())
-    }
-
     /// Picks the child of `node` to descend into for an entry with MBR `mbr`.
     fn choose_subtree(&self, node: &NodeView<D>, mbr: &Rect<D>) -> usize {
         debug_assert!(!node.is_leaf());
-        let rstar_leaf_parent = self.meta.config.split == SplitStrategy::RStar && node.level() == 1;
+        let rstar_leaf_parent = self.config.split == SplitStrategy::RStar && node.level() == 1;
         if rstar_leaf_parent {
             // R* rule for nodes pointing at leaves: minimum *overlap*
             // enlargement, ties by area enlargement then area.
@@ -525,15 +883,28 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
 
     /// Removes the entry with exactly this bounding rectangle and record id.
     ///
+    /// Runs as one copy-on-write transaction (see [`RTree::insert`]).
     /// Returns [`RTreeError::NotFound`] if no such entry exists.
-    pub fn delete(&mut self, mbr: &Rect<D>, rid: RecordId) -> Result<()> {
-        if self.meta.height == 0 {
+    pub fn delete(&self, mbr: &Rect<D>, rid: RecordId) -> Result<()> {
+        let _writer = self.writer.lock();
+        let mut txn = self.begin();
+        match self.delete_txn(&mut txn, mbr, rid) {
+            Ok(()) => self.commit(txn),
+            Err(e) => {
+                self.rollback(&mut txn);
+                Err(e)
+            }
+        }
+    }
+
+    fn delete_txn(&self, txn: &mut Txn, mbr: &Rect<D>, rid: RecordId) -> Result<()> {
+        if txn.height == 0 {
             return Err(RTreeError::NotFound);
         }
         // Find the leaf containing the entry, with the root-to-leaf path.
         let mut path: Vec<(PageId, usize)> = Vec::new();
         let leaf = self
-            .find_leaf(self.meta.root, mbr, rid, &mut path)?
+            .find_leaf(txn.root, mbr, rid, &mut path)?
             .ok_or(RTreeError::NotFound)?;
 
         let node = self.read_node(leaf)?;
@@ -543,7 +914,7 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
             .position(|e| e.mbr == *mbr && e.record() == rid)
             .expect("find_leaf returned a leaf without the entry");
         entries.remove(pos);
-        self.meta.count -= 1;
+        txn.count -= 1;
 
         // CondenseTree: walk up, dissolving underfull nodes.
         let mut orphans: Vec<(u16, Vec<Entry<D>>)> = Vec::new();
@@ -552,7 +923,8 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
         loop {
             let is_root = path.is_empty();
             if is_root {
-                self.store.write(page, level, &entries)?;
+                let new_page = self.cow_write(txn, page, level, &entries)?;
+                txn.root = new_page;
                 break;
             }
             if entries.len() < self.min_entries {
@@ -561,7 +933,7 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
                 if !entries.is_empty() {
                     orphans.push((level, std::mem::take(&mut entries)));
                 }
-                self.store.free(page)?;
+                self.cow_free(txn, page)?;
                 let parent = self.read_node(parent_page)?;
                 let mut parent_entries = parent.entries().to_vec();
                 parent_entries.remove(idx);
@@ -569,24 +941,24 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
                 level = parent.level();
                 entries = parent_entries;
             } else {
-                self.store.write(page, level, &entries)?;
-                self.propagate_mbr(&path, entries_mbr(&entries))?;
+                let new_page = self.cow_write(txn, page, level, &entries)?;
+                self.replace_in_path(txn, &path, page, new_page, entries_mbr(&entries))?;
                 break;
             }
         }
 
         // Shrink the root while it is an internal node with a single child.
         loop {
-            let root = self.read_node(self.meta.root)?;
+            let root = self.read_node(txn.root)?;
             if !root.is_leaf() && root.entries().len() == 1 {
                 let child = root.entries()[0].child();
-                self.store.free(self.meta.root)?;
-                self.meta.root = child;
-                self.meta.height -= 1;
+                self.cow_free(txn, txn.root)?;
+                txn.root = child;
+                txn.height -= 1;
             } else if root.is_leaf() && root.entries().is_empty() {
-                self.store.free(self.meta.root)?;
-                self.meta.root = PageId::INVALID;
-                self.meta.height = 0;
+                self.cow_free(txn, txn.root)?;
+                txn.root = PageId::INVALID;
+                txn.height = 0;
                 break;
             } else {
                 break;
@@ -598,56 +970,56 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
         orphans.sort_by_key(|(level, _)| std::cmp::Reverse(*level));
         for (orphan_level, orphan_entries) in orphans {
             for e in orphan_entries {
-                self.reinsert_orphan(e, orphan_level)?;
+                self.reinsert_orphan(txn, e, orphan_level)?;
             }
         }
-        self.store.write_meta(&self.meta)
+        Ok(())
     }
 
     /// Reinserts an entry orphaned by CondenseTree at `level`. If the tree
     /// has shrunk below that level, the orphan's subtree is dismantled and
     /// its data entries inserted individually.
-    fn reinsert_orphan(&mut self, entry: Entry<D>, level: u16) -> Result<()> {
-        if self.meta.height == 0 {
+    fn reinsert_orphan(&self, txn: &mut Txn, entry: Entry<D>, level: u16) -> Result<()> {
+        if txn.height == 0 {
             if level == 0 {
-                let root = self.store.alloc(0, &[entry])?;
-                self.meta.root = root;
-                self.meta.height = 1;
+                txn.root = self.cow_alloc(txn, 0, &[entry])?;
+                txn.height = 1;
                 return Ok(());
             }
             // Orphaned subtree becomes the new root.
-            self.meta.root = entry.child();
-            self.meta.height = u32::from(level);
+            txn.root = entry.child();
+            txn.height = u32::from(level);
             return Ok(());
         }
-        let root_level = (self.meta.height - 1) as u16;
+        let root_level = (txn.height - 1) as u16;
         if level <= root_level {
             let mut reinserted = HashSet::new();
-            return self.insert_at(entry, level, &mut reinserted);
+            return self.insert_at(txn, entry, level, &mut reinserted);
         }
         // Pathological: the orphan is taller than the current tree.
         // Dismantle it into data entries.
         let mut data = Vec::new();
-        self.collect_and_free(entry.child(), &mut data)?;
+        self.collect_and_free(txn, entry.child(), &mut data)?;
         for e in data {
             let mut reinserted = HashSet::new();
-            self.insert_at(e, 0, &mut reinserted)?;
+            self.insert_at(txn, e, 0, &mut reinserted)?;
         }
         Ok(())
     }
 
-    /// Collects all data entries beneath `page`, freeing the visited nodes.
-    fn collect_and_free(&mut self, page: PageId, out: &mut Vec<Entry<D>>) -> Result<()> {
+    /// Collects all data entries beneath `page`, discarding the visited
+    /// nodes (copy-on-write: committed pages are retired, fresh ones
+    /// freed).
+    fn collect_and_free(&self, txn: &mut Txn, page: PageId, out: &mut Vec<Entry<D>>) -> Result<()> {
         let node = self.read_node(page)?;
         if node.is_leaf() {
             out.extend_from_slice(node.entries());
         } else {
             for e in node.entries().to_vec() {
-                self.collect_and_free(e.child(), out)?;
+                self.collect_and_free(txn, e.child(), out)?;
             }
         }
-        self.store.free(page)?;
-        Ok(())
+        self.cow_free(txn, page)
     }
 
     /// Depth-first search for the leaf holding `(mbr, rid)`; fills `path`
@@ -687,10 +1059,11 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
     /// Returns all `(mbr, record)` pairs whose MBR intersects `window`.
     pub fn window(&self, window: &Rect<D>) -> Result<Vec<(Rect<D>, RecordId)>> {
         let mut out = Vec::new();
-        if !self.meta.root.is_valid() {
+        let root = self.root();
+        if !root.is_valid() {
             return Ok(out);
         }
-        let mut stack = vec![self.meta.root];
+        let mut stack = vec![root];
         while let Some(page) = stack.pop() {
             let node = self.read_node(page)?;
             if node.is_leaf() {
@@ -726,12 +1099,13 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
 
 impl<const D: usize, S: NodeStore<D>> std::fmt::Debug for RTree<D, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let meta = *self.meta.read();
         f.debug_struct("RTree")
             .field("dims", &D)
-            .field("count", &self.meta.count)
-            .field("height", &self.meta.height)
+            .field("count", &meta.count)
+            .field("height", &meta.height)
             .field("max_entries", &self.max_entries)
-            .field("split", &self.meta.config.split)
+            .field("split", &self.config.split)
             .finish()
     }
 }

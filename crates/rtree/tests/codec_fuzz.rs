@@ -18,8 +18,8 @@ proptest! {
         use std::sync::Arc;
 
         let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(4096)), 16));
-        let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
-        tree.insert(Rect::from_point(Point::new([0.0, 0.0])), RecordId(0)).unwrap();
+        let tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+        tree.insert(&Rect::from_point(Point::new([0.0, 0.0])), RecordId(0)).unwrap();
         let root = tree.root();
         {
             let mut guard = pool.fetch_write(root).unwrap();

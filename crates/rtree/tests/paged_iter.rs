@@ -8,10 +8,10 @@ use std::sync::Arc;
 #[test]
 fn lazy_iteration_counts_logical_page_reads() {
     let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 4096));
-    let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::for_testing(8)).unwrap();
+    let tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::for_testing(8)).unwrap();
     for i in 0..2_000u64 {
         let p = Point::new([(i % 50) as f64, (i / 50) as f64]);
-        tree.insert(Rect::from_point(p), RecordId(i)).unwrap();
+        tree.insert(&Rect::from_point(p), RecordId(i)).unwrap();
     }
     let w = Rect::new(Point::new([10.0, 10.0]), Point::new([20.0, 20.0]));
     pool.reset_stats();
@@ -29,7 +29,7 @@ fn lazy_iteration_counts_logical_page_reads() {
     // Record id layout: p = (i % 50, i / 50), so (15, 15) is i = 15*50+15.
     let old = Rect::from_point(Point::new([15.0, 15.0]));
     let rid = RecordId(15 * 50 + 15);
-    tree.update(&old, rid, Rect::from_point(Point::new([500.0, 500.0])))
+    tree.update(&old, rid, &Rect::from_point(Point::new([500.0, 500.0])))
         .unwrap();
     let n_after = tree.window_iter(w).count();
     assert_eq!(n_after, 11 * 11 - 1);
@@ -38,10 +38,10 @@ fn lazy_iteration_counts_logical_page_reads() {
 #[test]
 fn clear_on_paged_tree_releases_pages() {
     let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1024));
-    let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::for_testing(8)).unwrap();
+    let tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::for_testing(8)).unwrap();
     for i in 0..1_000u64 {
         let p = Point::new([i as f64, (i * 7 % 1000) as f64]);
-        tree.insert(Rect::from_point(p), RecordId(i)).unwrap();
+        tree.insert(&Rect::from_point(p), RecordId(i)).unwrap();
     }
     let live_before = pool.live_pages();
     assert!(live_before > 100);
@@ -50,7 +50,7 @@ fn clear_on_paged_tree_releases_pages() {
     assert_eq!(pool.live_pages(), 1);
     assert!(tree.is_empty());
     // Reusable.
-    tree.insert(Rect::from_point(Point::new([1.0, 2.0])), RecordId(7))
+    tree.insert(&Rect::from_point(Point::new([1.0, 2.0])), RecordId(7))
         .unwrap();
     tree.validate_strict().unwrap();
 }

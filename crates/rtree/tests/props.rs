@@ -48,14 +48,14 @@ proptest! {
     ) {
         let mut cfg = RTreeConfig::with_split(split);
         cfg.max_entries_override = Some(fanout);
-        let mut tree = RTree::<2>::create(mem_pool(), cfg).unwrap();
+        let tree = RTree::<2>::create(mem_pool(), cfg).unwrap();
         let mut model: Vec<(Rect<2>, RecordId)> = Vec::new();
         let mut next = 0u64;
         for op in ops {
             match op {
                 Op::Insert { x, y, w, h } => {
                     let r = Rect::new(Point::new([x, y]), Point::new([x + w, y + h]));
-                    tree.insert(r, RecordId(next)).unwrap();
+                    tree.insert(&r, RecordId(next)).unwrap();
                     model.push((r, RecordId(next)));
                     next += 1;
                 }
@@ -108,9 +108,9 @@ proptest! {
         )
         .unwrap();
         bulk.validate().unwrap();
-        let mut dynamic = RTree::<2>::create(mem_pool(), RTreeConfig::for_testing(8)).unwrap();
+        let dynamic = RTree::<2>::create(mem_pool(), RTreeConfig::for_testing(8)).unwrap();
         for (r, id) in &items {
-            dynamic.insert(*r, *id).unwrap();
+            dynamic.insert(r, *id).unwrap();
         }
         dynamic.validate_strict().unwrap();
         // Identical result sets for any window.

@@ -74,9 +74,9 @@ fn empty_tree_behaves() {
 
 #[test]
 fn single_insert_and_query() {
-    let mut tree = RTree::<2>::create(mem_pool(16), RTreeConfig::default()).unwrap();
+    let tree = RTree::<2>::create(mem_pool(16), RTreeConfig::default()).unwrap();
     let r = Rect::from_point(Point::new([5.0, 5.0]));
-    tree.insert(r, RecordId(42)).unwrap();
+    tree.insert(&r, RecordId(42)).unwrap();
     assert_eq!(tree.len(), 1);
     assert_eq!(tree.height(), 1);
     let hits = tree.point_query(&Point::new([5.0, 5.0])).unwrap();
@@ -97,10 +97,10 @@ fn inserts_grow_a_valid_multilevel_tree() {
     ] {
         let mut cfg = RTreeConfig::with_split(split);
         cfg.max_entries_override = Some(8); // force depth
-        let mut tree = RTree::<2>::create(mem_pool(4096), cfg).unwrap();
+        let tree = RTree::<2>::create(mem_pool(4096), cfg).unwrap();
         let items = random_points(2000, 7);
         for (i, (r, id)) in items.iter().enumerate() {
-            tree.insert(*r, *id).unwrap();
+            tree.insert(r, *id).unwrap();
             if i % 500 == 499 {
                 tree.validate_strict()
                     .unwrap_or_else(|e| panic!("{split:?} after {i}: {e}"));
@@ -127,10 +127,10 @@ fn inserts_grow_a_valid_multilevel_tree() {
 
 #[test]
 fn rect_data_round_trips() {
-    let mut tree = RTree::<2>::create(mem_pool(4096), RTreeConfig::for_testing(16)).unwrap();
+    let tree = RTree::<2>::create(mem_pool(4096), RTreeConfig::for_testing(16)).unwrap();
     let items = random_rects(800, 21);
     for (r, id) in &items {
-        tree.insert(*r, *id).unwrap();
+        tree.insert(r, *id).unwrap();
     }
     tree.validate_strict().unwrap();
     let mut scanned: Vec<RecordId> = tree.scan().unwrap().iter().map(|&(_, id)| id).collect();
@@ -141,10 +141,10 @@ fn rect_data_round_trips() {
 
 #[test]
 fn duplicate_rectangles_coexist() {
-    let mut tree = RTree::<2>::create(mem_pool(256), RTreeConfig::for_testing(8)).unwrap();
+    let tree = RTree::<2>::create(mem_pool(256), RTreeConfig::for_testing(8)).unwrap();
     let r = Rect::from_point(Point::new([1.0, 1.0]));
     for i in 0..100 {
-        tree.insert(r, RecordId(i)).unwrap();
+        tree.insert(&r, RecordId(i)).unwrap();
     }
     assert_eq!(tree.len(), 100);
     tree.validate_strict().unwrap();
@@ -166,10 +166,10 @@ fn duplicate_rectangles_coexist() {
 
 #[test]
 fn delete_everything_in_random_order() {
-    let mut tree = RTree::<2>::create(mem_pool(4096), RTreeConfig::for_testing(8)).unwrap();
+    let tree = RTree::<2>::create(mem_pool(4096), RTreeConfig::for_testing(8)).unwrap();
     let mut items = random_points(1000, 3);
     for (r, id) in &items {
-        tree.insert(*r, *id).unwrap();
+        tree.insert(r, *id).unwrap();
     }
     // Shuffle deletion order deterministically.
     let mut rng = StdRng::seed_from_u64(4);
@@ -188,20 +188,20 @@ fn delete_everything_in_random_order() {
     assert_eq!(tree.height(), 0);
     tree.validate().unwrap();
     // The tree can be reused after emptying.
-    tree.insert(Rect::from_point(Point::new([0.0, 0.0])), RecordId(9999))
+    tree.insert(&Rect::from_point(Point::new([0.0, 0.0])), RecordId(9999))
         .unwrap();
     assert_eq!(tree.len(), 1);
 }
 
 #[test]
 fn delete_missing_entry_reports_not_found() {
-    let mut tree = RTree::<2>::create(mem_pool(64), RTreeConfig::default()).unwrap();
+    let tree = RTree::<2>::create(mem_pool(64), RTreeConfig::default()).unwrap();
     let r = Rect::from_point(Point::new([1.0, 1.0]));
     assert!(matches!(
         tree.delete(&r, RecordId(0)),
         Err(nnq_rtree::RTreeError::NotFound)
     ));
-    tree.insert(r, RecordId(0)).unwrap();
+    tree.insert(&r, RecordId(0)).unwrap();
     // Right rect, wrong id.
     assert!(matches!(
         tree.delete(&r, RecordId(1)),
@@ -218,7 +218,7 @@ fn delete_missing_entry_reports_not_found() {
 
 #[test]
 fn interleaved_inserts_and_deletes_match_model() {
-    let mut tree = RTree::<2>::create(mem_pool(4096), RTreeConfig::for_testing(8)).unwrap();
+    let tree = RTree::<2>::create(mem_pool(4096), RTreeConfig::for_testing(8)).unwrap();
     let mut model: Vec<(Rect<2>, RecordId)> = Vec::new();
     let mut rng = StdRng::seed_from_u64(99);
     let mut next_id = 0u64;
@@ -226,7 +226,7 @@ fn interleaved_inserts_and_deletes_match_model() {
         if model.is_empty() || rng.random_bool(0.6) {
             let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
             let r = Rect::from_point(p);
-            tree.insert(r, RecordId(next_id)).unwrap();
+            tree.insert(&r, RecordId(next_id)).unwrap();
             model.push((r, RecordId(next_id)));
             next_id += 1;
         } else {
@@ -307,7 +307,7 @@ fn bulk_load_empty_and_tiny_inputs() {
 #[test]
 fn bulk_loaded_tree_accepts_dynamic_updates() {
     let items = random_points(3000, 8);
-    let mut tree = RTree::<2>::bulk_load(
+    let tree = RTree::<2>::bulk_load(
         mem_pool(4096),
         RTreeConfig::default(),
         items.clone(),
@@ -317,7 +317,7 @@ fn bulk_loaded_tree_accepts_dynamic_updates() {
     .unwrap();
     for i in 0..500u64 {
         let p = Point::new([i as f64, 2000.0]);
-        tree.insert(Rect::from_point(p), RecordId(10_000 + i))
+        tree.insert(&Rect::from_point(p), RecordId(10_000 + i))
             .unwrap();
     }
     for (r, id) in &items[..500] {
@@ -337,9 +337,9 @@ fn persistence_across_reopen_on_file_disk() {
     let meta_page = {
         let disk = FileDisk::create(&path, PAGE_SIZE).unwrap();
         let pool = Arc::new(BufferPool::new(Box::new(disk), 256));
-        let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+        let tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
         for (r, id) in &items {
-            tree.insert(*r, *id).unwrap();
+            tree.insert(r, *id).unwrap();
         }
         pool.flush_all().unwrap();
         tree.meta_page()
@@ -367,9 +367,9 @@ fn open_with_wrong_dimension_fails() {
 #[test]
 fn corrupted_page_is_reported_not_panicked() {
     let pool = mem_pool(64);
-    let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+    let tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
     for (r, id) in random_points(50, 1) {
-        tree.insert(r, id).unwrap();
+        tree.insert(&r, id).unwrap();
     }
     // Smash the root page's magic number.
     let root = tree.root();
@@ -386,7 +386,7 @@ fn corrupted_page_is_reported_not_panicked() {
 
 #[test]
 fn three_dimensional_tree_works() {
-    let mut tree = RTree::<3>::create(
+    let tree = RTree::<3>::create(
         Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1024)),
         RTreeConfig::for_testing(8),
     )
@@ -403,7 +403,7 @@ fn three_dimensional_tree_works() {
         })
         .collect();
     for (r, id) in &items {
-        tree.insert(*r, *id).unwrap();
+        tree.insert(r, *id).unwrap();
     }
     tree.validate_strict().unwrap();
     let w = Rect::new(Point::new([2.0, 2.0, 2.0]), Point::new([7.0, 7.0, 7.0]));
@@ -425,9 +425,9 @@ fn three_dimensional_tree_works() {
 
 #[test]
 fn tree_stats_reflect_structure() {
-    let mut tree = RTree::<2>::create(mem_pool(4096), RTreeConfig::for_testing(8)).unwrap();
+    let tree = RTree::<2>::create(mem_pool(4096), RTreeConfig::for_testing(8)).unwrap();
     for (r, id) in random_points(1000, 11) {
-        tree.insert(r, id).unwrap();
+        tree.insert(&r, id).unwrap();
     }
     let s = tree.stats().unwrap();
     assert_eq!(s.height, tree.height());
@@ -459,9 +459,9 @@ fn rstar_builds_lower_overlap_than_linear() {
     let overlap = |split: SplitStrategy| -> f64 {
         let mut cfg = RTreeConfig::with_split(split);
         cfg.max_entries_override = Some(16);
-        let mut tree = RTree::<2>::create(mem_pool(8192), cfg).unwrap();
+        let tree = RTree::<2>::create(mem_pool(8192), cfg).unwrap();
         for (r, id) in &items {
-            tree.insert(*r, *id).unwrap();
+            tree.insert(r, *id).unwrap();
         }
         tree.validate_strict().unwrap();
         tree.stats().unwrap().overlap_per_level.iter().sum()

@@ -410,6 +410,13 @@ impl DiskManager for FileDisk {
     fn allocate(&self) -> Result<PageId> {
         let mut inner = self.inner.lock();
         let id = if let Some(slot) = inner.free.pop() {
+            // Deliberately do NOT zero a recycled slot on the device: the
+            // transaction that freed it may not be WAL-durable yet, and
+            // recovery must still find the old bytes if that free is
+            // rolled back by a crash. Newly extended pages below are
+            // zero-filled by `set_len`; callers (the buffer pool) zero
+            // fresh pages in memory themselves, so a recycled slot's
+            // stale bytes are never observable through the pool.
             PageId(slot)
         } else {
             let id = PageId(inner.num_pages);
@@ -417,14 +424,6 @@ impl DiskManager for FileDisk {
             self.file.set_len(inner.num_pages * self.page_size as u64)?;
             id
         };
-        // Zero the page so allocate semantics match MemDisk.
-        #[cfg(unix)]
-        {
-            use std::os::unix::fs::FileExt;
-            let zeroes = vec![0u8; self.page_size];
-            self.file
-                .write_all_at(&zeroes, id.0 * self.page_size as u64)?;
-        }
         self.counters.allocations.fetch_add(1, Ordering::Relaxed);
         Ok(id)
     }
@@ -655,6 +654,170 @@ impl<T: DiskManager> DiskManager for LatencyDisk<T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// TornDisk
+// ---------------------------------------------------------------------------
+
+/// What a [`TornDisk`] does to device writes once its budget is spent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TornMode {
+    /// Drop the write entirely: the page keeps its previous contents, as
+    /// if the write never reached the platter.
+    Drop,
+    /// Tear the write: only the first half of the buffer lands; the rest
+    /// of the page keeps its previous contents (a classic torn page).
+    Tear,
+}
+
+/// A [`DiskManager`] decorator that silently loses or tears page writes
+/// after a configurable number of them — the crash-injection companion to
+/// [`LatencyDisk`].
+///
+/// Arm it with [`TornDisk::arm`]: the next `n` writes pass through, then
+/// every later `write_page` fails *silently* (returns `Ok`) in the chosen
+/// [`TornMode`]. That models a machine losing power with writes still in
+/// the device queue: the writer believes they landed. Reads, allocation,
+/// stats, and sync delegate unchanged, so recovery code sees exactly the
+/// device a crash would have left behind. Keep a handle via the
+/// `Arc<T>: DiskManager` delegation impl, like `LatencyDisk`.
+pub struct TornDisk<T: DiskManager> {
+    inner: T,
+    /// Writes remaining before the failure mode engages; `u64::MAX`
+    /// means disarmed (all writes pass through).
+    budget: AtomicU64,
+    /// 0 = [`TornMode::Drop`], 1 = [`TornMode::Tear`].
+    mode: AtomicU64,
+    dropped: AtomicU64,
+    torn: AtomicU64,
+}
+
+impl<T: DiskManager> TornDisk<T> {
+    /// Wraps `inner`, initially disarmed (a transparent passthrough).
+    pub fn new(inner: T) -> Self {
+        Self {
+            inner,
+            budget: AtomicU64::new(u64::MAX),
+            mode: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            torn: AtomicU64::new(0),
+        }
+    }
+
+    /// Lets the next `after_writes` page writes through, then applies
+    /// `mode` to every write after that (until re-armed or disarmed).
+    pub fn arm(&self, after_writes: u64, mode: TornMode) {
+        self.mode.store(
+            match mode {
+                TornMode::Drop => 0,
+                TornMode::Tear => 1,
+            },
+            Ordering::Relaxed,
+        );
+        self.budget.store(after_writes, Ordering::Relaxed);
+    }
+
+    /// Returns to transparent passthrough.
+    pub fn disarm(&self) {
+        self.budget.store(u64::MAX, Ordering::Relaxed);
+    }
+
+    /// Number of writes dropped entirely so far.
+    pub fn dropped_writes(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of writes torn in half so far.
+    pub fn torn_writes(&self) -> u64 {
+        self.torn.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Consumes one unit of write budget; `true` means the write still
+    /// passes through intact.
+    fn consume(&self) -> bool {
+        loop {
+            let b = self.budget.load(Ordering::Relaxed);
+            if b == u64::MAX {
+                return true; // disarmed
+            }
+            if b == 0 {
+                return false;
+            }
+            if self
+                .budget
+                .compare_exchange(b, b - 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+}
+
+impl<T: DiskManager> DiskManager for TornDisk<T> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        if self.consume() {
+            return self.inner.write_page(id, buf);
+        }
+        match self.mode.load(Ordering::Relaxed) {
+            0 => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                Ok(()) // silently lost
+            }
+            _ => {
+                // Tear: first half new bytes, second half whatever the
+                // device already held (zeros if it held nothing readable).
+                let mut torn = vec![0u8; buf.len()];
+                let _ = self.inner.read_page(id, &mut torn);
+                let half = buf.len() / 2;
+                torn[..half].copy_from_slice(&buf[..half]);
+                self.torn.fetch_add(1, Ordering::Relaxed);
+                self.inner.write_page(id, &torn)
+            }
+        }
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        self.inner.allocate()
+    }
+
+    fn deallocate(&self, id: PageId) -> Result<()> {
+        self.inner.deallocate(id)
+    }
+
+    fn live_pages(&self) -> u64 {
+        self.inner.live_pages()
+    }
+
+    fn stats(&self) -> DiskStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+
+    fn ensure_allocated(&self, id: PageId) -> Result<()> {
+        self.inner.ensure_allocated(id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -681,11 +844,13 @@ mod tests {
         assert_eq!(disk.live_pages(), 1);
         assert!(disk.read_page(a, &mut out).is_err());
 
-        // Reallocation reuses the slot and hands back a zeroed page.
+        // Reallocation reuses the slot. The recycled page's contents are
+        // unspecified (FileDisk keeps the stale bytes for crash safety;
+        // MemDisk hands back zeroes) — callers initialize fresh pages
+        // themselves, so only assert it is readable again.
         let c = disk.allocate().unwrap();
         assert_eq!(c, a);
         disk.read_page(c, &mut out).unwrap();
-        assert!(out.iter().all(|&b| b == 0));
     }
 
     #[test]
@@ -832,6 +997,54 @@ mod tests {
         d.read_page(a, &mut out).unwrap();
         d.write_page(a, &out).unwrap();
         assert_eq!(d.injected(), std::time::Duration::ZERO);
+    }
+
+    // -- TornDisk ----------------------------------------------------------
+
+    #[test]
+    fn torn_disk_is_transparent_until_armed() {
+        let d = TornDisk::new(MemDisk::new(64));
+        let a = d.allocate().unwrap();
+        d.write_page(a, &[1u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        d.read_page(a, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 64]);
+        assert_eq!(d.dropped_writes() + d.torn_writes(), 0);
+    }
+
+    #[test]
+    fn torn_disk_drops_writes_after_budget() {
+        let d = TornDisk::new(MemDisk::new(64));
+        let a = d.allocate().unwrap();
+        let b = d.allocate().unwrap();
+        d.arm(1, TornMode::Drop);
+        d.write_page(a, &[1u8; 64]).unwrap(); // within budget: lands
+        d.write_page(b, &[2u8; 64]).unwrap(); // silently lost
+        let mut buf = [0u8; 64];
+        d.read_page(a, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 64]);
+        d.read_page(b, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 64], "dropped write must not land");
+        assert_eq!(d.dropped_writes(), 1);
+        // Disarming restores the passthrough.
+        d.disarm();
+        d.write_page(b, &[3u8; 64]).unwrap();
+        d.read_page(b, &mut buf).unwrap();
+        assert_eq!(buf, [3u8; 64]);
+    }
+
+    #[test]
+    fn torn_disk_tears_writes_in_half() {
+        let d = TornDisk::new(MemDisk::new(64));
+        let a = d.allocate().unwrap();
+        d.write_page(a, &[0xAAu8; 64]).unwrap();
+        d.arm(0, TornMode::Tear);
+        d.write_page(a, &[0xBBu8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        d.read_page(a, &mut buf).unwrap();
+        assert_eq!(&buf[..32], &[0xBBu8; 32], "first half is the new write");
+        assert_eq!(&buf[32..], &[0xAAu8; 32], "second half is the old page");
+        assert_eq!(d.torn_writes(), 1);
     }
 
     #[test]

@@ -41,7 +41,9 @@ mod heap;
 mod pool;
 mod wal;
 
-pub use disk::{DiskManager, DiskStats, FileDisk, LatencyDisk, LatencyProfile, MemDisk};
+pub use disk::{
+    DiskManager, DiskStats, FileDisk, LatencyDisk, LatencyProfile, MemDisk, TornDisk, TornMode,
+};
 pub use error::{Result, StorageError};
 pub use heap::{HeapFile, HeapRecordId};
 pub use pool::{BufferPool, PageReadGuard, PageWriteGuard, PoolStats, PrefetchStats};

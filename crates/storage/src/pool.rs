@@ -451,6 +451,43 @@ impl BufferPool {
         self.core.log_writeback(page, image)
     }
 
+    /// The journal this pool appends write-backs to, if any. The
+    /// copy-on-write publish path drives its commit groups through this
+    /// handle so tree commits and pool write-backs share one log.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.core.wal.as_ref()
+    }
+
+    /// Copies the current contents of `id` without touching the pool's
+    /// logical/physical read counters: served from the resident frame when
+    /// one exists, read straight from the device otherwise. This is the
+    /// side door the publish path uses to capture shadow-page images for
+    /// the journal — capturing an image is not a page access in the
+    /// paper's accounting.
+    pub fn page_image(&self, id: PageId) -> Result<Vec<u8>> {
+        let shard = self.core.shard_of(id);
+        let resident = {
+            let mut inner = shard.inner.lock();
+            if let Some(&frame_idx) = inner.map.get(&id) {
+                // Pin so the frame cannot be evicted or repurposed while
+                // we copy outside the shard lock.
+                inner.frames[frame_idx].pins += 1;
+                Some((frame_idx, Arc::clone(&inner.frames[frame_idx].data)))
+            } else {
+                None
+            }
+        };
+        if let Some((frame_idx, data)) = resident {
+            let image = data.read().to_vec();
+            let mut inner = shard.inner.lock();
+            inner.frames[frame_idx].pins -= 1;
+            return Ok(image);
+        }
+        let mut image = vec![0u8; self.core.disk.page_size()];
+        self.core.disk.read_page(id, &mut image)?;
+        Ok(image)
+    }
+
     /// Crash-consistent checkpoint: journals and writes back every dirty
     /// page, syncs the device, then truncates the journal. After a
     /// successful checkpoint the device alone holds the state of record;

@@ -1,4 +1,5 @@
-//! A physical-redo write-ahead log for crash-safe checkpointing.
+//! A physical-redo write-ahead log for crash-safe checkpointing and
+//! copy-on-write commits.
 //!
 //! The paged store's durability story is deliberately simple, in the
 //! spirit of the systems the paper ran on:
@@ -7,6 +8,17 @@
 //!   (`append`), so a crash between "WAL appended" and "page written"
 //!   loses nothing: recovery replays images forward (physical redo is
 //!   idempotent).
+//! * The copy-on-write update path appends its freshly built shadow pages
+//!   as a **commit group** ([`Wal::append_txn_image`] for each page,
+//!   sealed by [`Wal::append_commit`]). Replay applies a group only if
+//!   its commit record made it to the log: a crash mid-publish — after
+//!   some shadow images but before the commit record — leaves an
+//!   unterminated group that replay discards, so a partially-published
+//!   root swap rolls forward to the last committed root.
+//! * Durability is batched by **group commit** ([`Wal::group_sync`]):
+//!   the log is `sync`ed at most once per commit window, so a burst of
+//!   small transactions shares one device sync. A window of zero syncs
+//!   every commit.
 //! * A **checkpoint** ([`crate::BufferPool::checkpoint`]) flushes all
 //!   dirty pages, syncs the device, then truncates the log — after which
 //!   the device alone is the state of record.
@@ -14,20 +26,53 @@
 //!   tail — partial record or bad checksum — marks the end of the log and
 //!   is ignored, exactly like ARIES' end-of-log detection).
 //!
-//! Records are `[magic u32][page_id u64][len u32][payload][crc32 u32]`
-//! with the CRC covering page id, length, and payload.
+//! Records are
+//! `[magic u32][kind u8][lsn u64][txn u64][page_id u64][len u32][payload][crc32 u32]`
+//! with the CRC covering everything from the kind byte through the
+//! payload. LSNs are assigned monotonically per log and survive reopen
+//! (the next LSN continues after the highest valid record).
 
 use crate::{DiskManager, PageId, Result, StorageError};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 const REC_MAGIC: u32 = 0x574A_4C31; // "WJL1"
+const HEADER_LEN: usize = 4 + 1 + 8 + 8 + 8 + 4;
+
+/// Record kinds (the byte after the magic).
+const KIND_IMAGE: u8 = 1;
+const KIND_TXN_IMAGE: u8 = 2;
+const KIND_COMMIT: u8 = 3;
+
+/// One decoded log record.
+struct Record {
+    kind: u8,
+    #[allow(dead_code)]
+    lsn: u64,
+    txn: u64,
+    page: PageId,
+    payload: Vec<u8>,
+}
+
+struct WalState {
+    file: File,
+    /// LSN the next appended record will carry.
+    next_lsn: u64,
+    /// Records appended since the last sync.
+    pending: bool,
+    /// When the log was last made durable (for the group-commit window).
+    last_sync: Option<Instant>,
+}
 
 /// A write-ahead log over a single append-only file.
 pub struct Wal {
-    inner: Mutex<File>,
+    state: Mutex<WalState>,
+    syncs: AtomicU64,
 }
 
 impl Wal {
@@ -40,104 +85,208 @@ impl Wal {
             .truncate(true)
             .open(path)?;
         Ok(Self {
-            inner: Mutex::new(file),
+            state: Mutex::new(WalState {
+                file,
+                next_lsn: 1,
+                pending: false,
+                last_sync: None,
+            }),
+            syncs: AtomicU64::new(0),
         })
     }
 
     /// Opens an existing log file (or creates an empty one), positioning
-    /// appends after the last complete record.
+    /// appends after the last complete record and continuing its LSN
+    /// sequence.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
-        let file = OpenOptions::new()
+        let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(path)?;
-        let wal = Self {
-            inner: Mutex::new(file),
-        };
-        // Position the write cursor after the last valid record.
-        let valid_end = {
-            let mut file = wal.inner.lock();
-            scan_valid(&mut file)?
-        };
-        let file = wal.inner.lock();
+        let (valid_end, max_lsn) = scan_valid(&mut file)?;
         file.set_len(valid_end)?; // drop any torn tail
-        drop(file);
-        Ok(wal)
+        Ok(Self {
+            state: Mutex::new(WalState {
+                file,
+                next_lsn: max_lsn + 1,
+                pending: false,
+                last_sync: None,
+            }),
+            syncs: AtomicU64::new(0),
+        })
     }
 
-    /// Appends one page image. Not yet durable until [`Wal::sync`].
-    pub fn append(&self, page: PageId, payload: &[u8]) -> Result<()> {
-        let mut file = self.inner.lock();
-        file.seek(SeekFrom::End(0))?;
-        let mut buf = Vec::with_capacity(payload.len() + 20);
+    fn append_record(&self, kind: u8, txn: u64, page: PageId, payload: &[u8]) -> Result<u64> {
+        let mut st = self.state.lock();
+        let lsn = st.next_lsn;
+        st.next_lsn += 1;
+        st.file.seek(SeekFrom::End(0))?;
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
         buf.extend_from_slice(&REC_MAGIC.to_le_bytes());
+        buf.push(kind);
+        buf.extend_from_slice(&lsn.to_le_bytes());
+        buf.extend_from_slice(&txn.to_le_bytes());
         buf.extend_from_slice(&page.0.to_le_bytes());
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         buf.extend_from_slice(payload);
         let crc = crc32(&buf[4..]);
         buf.extend_from_slice(&crc.to_le_bytes());
-        file.write_all(&buf)?;
-        Ok(())
+        st.file.write_all(&buf)?;
+        st.pending = true;
+        Ok(lsn)
+    }
+
+    /// Appends one page image, applied unconditionally on replay (the
+    /// buffer pool's write-back journal). Not yet durable until
+    /// [`Wal::sync`]. Returns the record's LSN.
+    pub fn append(&self, page: PageId, payload: &[u8]) -> Result<u64> {
+        self.append_record(KIND_IMAGE, 0, page, payload)
+    }
+
+    /// Appends one page image belonging to commit group `txn`. Replay
+    /// holds the image back until the group's [`Wal::append_commit`]
+    /// record is found; unterminated groups are discarded. Returns the
+    /// record's LSN.
+    pub fn append_txn_image(&self, txn: u64, page: PageId, payload: &[u8]) -> Result<u64> {
+        self.append_record(KIND_TXN_IMAGE, txn, page, payload)
+    }
+
+    /// Seals commit group `txn`: on replay, every buffered image of the
+    /// group becomes applicable. Returns the record's LSN.
+    pub fn append_commit(&self, txn: u64) -> Result<u64> {
+        self.append_record(KIND_COMMIT, txn, PageId::INVALID, &[])
     }
 
     /// Makes all appended records durable.
     pub fn sync(&self) -> Result<()> {
-        self.inner.lock().sync_data()?;
+        let mut st = self.state.lock();
+        st.file.sync_data()?;
+        st.pending = false;
+        st.last_sync = Some(Instant::now());
+        self.syncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Truncates the log (checkpoint completion).
+    /// Group commit: syncs the log only if there are unsynced records
+    /// *and* at least `window` has elapsed since the last sync (a zero
+    /// window always syncs). Commits landing inside the window are
+    /// published in memory but ride the next sync — the classic
+    /// async-group-commit trade of bounded durability lag for one device
+    /// sync per window. Returns whether a sync happened.
+    pub fn group_sync(&self, window: Duration) -> Result<bool> {
+        let mut st = self.state.lock();
+        if !st.pending {
+            return Ok(false);
+        }
+        if !window.is_zero() {
+            if let Some(at) = st.last_sync {
+                if at.elapsed() < window {
+                    return Ok(false);
+                }
+            }
+        }
+        st.file.sync_data()?;
+        st.pending = false;
+        st.last_sync = Some(Instant::now());
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Number of device syncs this log has performed (observability for
+    /// group-commit tests and benches).
+    pub fn sync_count(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Truncates the log (checkpoint completion). LSNs keep counting
+    /// upward — a truncation never reissues an LSN.
     pub fn reset(&self) -> Result<()> {
-        let file = self.inner.lock();
-        file.set_len(0)?;
-        file.sync_data()?;
+        let mut st = self.state.lock();
+        st.file.set_len(0)?;
+        st.file.sync_data()?;
+        st.pending = false;
+        st.last_sync = Some(Instant::now());
+        self.syncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Number of complete records currently in the log.
+    /// Number of complete records currently in the log (all kinds).
     pub fn record_count(&self) -> Result<u64> {
-        let mut file = self.inner.lock();
+        let mut st = self.state.lock();
+        st.file.seek(SeekFrom::Start(0))?;
         let mut count = 0;
-        file.seek(SeekFrom::Start(0))?;
-        while read_record(&mut file)?.is_some() {
+        while read_record(&mut st.file)?.is_some() {
             count += 1;
         }
         Ok(count)
     }
 
-    /// Replays every complete record onto `disk` (idempotent physical
-    /// redo), re-materializing pages the device does not know yet (they
-    /// were allocated after the last durable device state). Returns the
-    /// number of records applied.
+    /// Replays the log onto `disk` (idempotent physical redo),
+    /// re-materializing pages the device does not know yet (they were
+    /// allocated after the last durable device state).
+    ///
+    /// Plain images apply in log order. Commit-group images are buffered
+    /// until the group's commit record, then applied in append order; a
+    /// group whose commit record never made it (crash mid-publish) is
+    /// discarded entirely, which is what rolls a partially published
+    /// copy-on-write root swap forward to the last committed root.
+    /// Returns the number of page images applied.
     pub fn replay(&self, disk: &dyn DiskManager) -> Result<u64> {
-        let mut file = self.inner.lock();
-        file.seek(SeekFrom::Start(0))?;
+        let mut st = self.state.lock();
+        st.file.seek(SeekFrom::Start(0))?;
         let mut applied = 0;
-        while let Some((page, payload)) = read_record(&mut file)? {
-            if payload.len() != disk.page_size() {
-                return Err(StorageError::Corrupt {
-                    page,
-                    reason: format!(
-                        "WAL image is {} bytes but device pages are {}",
-                        payload.len(),
-                        disk.page_size()
-                    ),
-                });
+        let mut staged: HashMap<u64, Vec<(PageId, Vec<u8>)>> = HashMap::new();
+        while let Some(rec) = read_record(&mut st.file)? {
+            match rec.kind {
+                KIND_IMAGE => {
+                    apply_image(disk, rec.page, &rec.payload)?;
+                    applied += 1;
+                }
+                KIND_TXN_IMAGE => {
+                    staged
+                        .entry(rec.txn)
+                        .or_default()
+                        .push((rec.page, rec.payload));
+                }
+                KIND_COMMIT => {
+                    if let Some(images) = staged.remove(&rec.txn) {
+                        for (page, payload) in images {
+                            apply_image(disk, page, &payload)?;
+                            applied += 1;
+                        }
+                    }
+                }
+                _ => break, // unknown kind: treat as end of log
             }
-            disk.ensure_allocated(page)?;
-            disk.write_page(page, &payload)?;
-            applied += 1;
         }
+        // Whatever remains staged belongs to groups whose commit record
+        // never hit the log: the crash happened before their publish
+        // completed, so their images must not reach the device.
         Ok(applied)
     }
 }
 
+fn apply_image(disk: &dyn DiskManager, page: PageId, payload: &[u8]) -> Result<()> {
+    if payload.len() != disk.page_size() {
+        return Err(StorageError::Corrupt {
+            page,
+            reason: format!(
+                "WAL image is {} bytes but device pages are {}",
+                payload.len(),
+                disk.page_size()
+            ),
+        });
+    }
+    disk.ensure_allocated(page)?;
+    disk.write_page(page, payload)
+}
+
 /// Reads one record at the current position; `None` on clean EOF or a
 /// torn/corrupt tail.
-fn read_record(file: &mut File) -> Result<Option<(PageId, Vec<u8>)>> {
-    let mut header = [0u8; 16];
+fn read_record(file: &mut File) -> Result<Option<Record>> {
+    let mut header = [0u8; HEADER_LEN];
     match file.read_exact(&mut header) {
         Ok(()) => {}
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
@@ -147,10 +296,13 @@ fn read_record(file: &mut File) -> Result<Option<(PageId, Vec<u8>)>> {
     if magic != REC_MAGIC {
         return Ok(None);
     }
+    let kind = header[4];
+    let lsn = u64::from_le_bytes(header[5..13].try_into().expect("8 bytes"));
+    let txn = u64::from_le_bytes(header[13..21].try_into().expect("8 bytes"));
     let page = PageId(u64::from_le_bytes(
-        header[4..12].try_into().expect("8 bytes"),
+        header[21..29].try_into().expect("8 bytes"),
     ));
-    let len = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize;
+    let len = u32::from_le_bytes(header[29..33].try_into().expect("4 bytes")) as usize;
     if len > 1 << 26 {
         return Ok(None); // implausible length: torn tail
     }
@@ -162,23 +314,35 @@ fn read_record(file: &mut File) -> Result<Option<(PageId, Vec<u8>)>> {
     if file.read_exact(&mut crc_bytes).is_err() {
         return Ok(None);
     }
-    let mut covered = Vec::with_capacity(12 + len);
-    covered.extend_from_slice(&header[4..16]);
+    let mut covered = Vec::with_capacity(HEADER_LEN - 4 + len);
+    covered.extend_from_slice(&header[4..HEADER_LEN]);
     covered.extend_from_slice(&payload);
     if crc32(&covered) != u32::from_le_bytes(crc_bytes) {
         return Ok(None);
     }
-    Ok(Some((page, payload)))
+    if !(KIND_IMAGE..=KIND_COMMIT).contains(&kind) {
+        return Ok(None);
+    }
+    Ok(Some(Record {
+        kind,
+        lsn,
+        txn,
+        page,
+        payload,
+    }))
 }
 
-/// Byte offset just past the last complete, checksummed record.
-fn scan_valid(file: &mut File) -> Result<u64> {
+/// Byte offset just past the last complete, checksummed record, and the
+/// highest LSN seen among them.
+fn scan_valid(file: &mut File) -> Result<(u64, u64)> {
     file.seek(SeekFrom::Start(0))?;
     let mut end = 0u64;
-    while read_record(file)?.is_some() {
+    let mut max_lsn = 0u64;
+    while let Some(rec) = read_record(file)? {
         end = file.stream_position()?;
+        max_lsn = max_lsn.max(rec.lsn);
     }
-    Ok(end)
+    Ok((end, max_lsn))
 }
 
 /// CRC-32 (IEEE 802.3, reflected), table-free bitwise form — slow-ish but
@@ -241,13 +405,142 @@ mod tests {
     }
 
     #[test]
-    fn reset_empties_the_log() {
+    fn lsns_are_monotonic_and_survive_reopen() {
+        let path = tmp("lsn.wal");
+        {
+            let wal = Wal::create(&path).unwrap();
+            assert_eq!(wal.append(PageId(0), &[1u8; 16]).unwrap(), 1);
+            assert_eq!(wal.append(PageId(1), &[2u8; 16]).unwrap(), 2);
+            wal.sync().unwrap();
+        }
+        let wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.append(PageId(2), &[3u8; 16]).unwrap(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn committed_group_applies_uncommitted_group_does_not() {
+        let path = tmp("group.wal");
+        let disk = MemDisk::new(64);
+        let a = disk.allocate().unwrap();
+        let b = disk.allocate().unwrap();
+
+        let wal = Wal::create(&path).unwrap();
+        // Committed group 1 touches page a.
+        wal.append_txn_image(1, a, &[0xAA; 64]).unwrap();
+        wal.append_commit(1).unwrap();
+        // Group 2 touches both pages but never commits (crash mid-publish).
+        wal.append_txn_image(2, a, &[0xBB; 64]).unwrap();
+        wal.append_txn_image(2, b, &[0xBB; 64]).unwrap();
+        wal.sync().unwrap();
+
+        assert_eq!(wal.replay(&disk).unwrap(), 1);
+        let mut buf = [0u8; 64];
+        disk.read_page(a, &mut buf).unwrap();
+        assert_eq!(buf, [0xAA; 64], "committed image must land");
+        disk.read_page(b, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 64], "uncommitted image must not");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn group_commit_window_batches_syncs() {
+        let path = tmp("groupsync.wal");
+        let wal = Wal::create(&path).unwrap();
+        // Zero window: every group_sync with pending records syncs.
+        wal.append(PageId(0), &[1u8; 16]).unwrap();
+        assert!(wal.group_sync(Duration::ZERO).unwrap());
+        // Nothing pending: no sync.
+        assert!(!wal.group_sync(Duration::ZERO).unwrap());
+        let base = wal.sync_count();
+        // A wide window right after a sync: the record rides the window.
+        wal.append(PageId(1), &[2u8; 16]).unwrap();
+        assert!(!wal.group_sync(Duration::from_secs(3600)).unwrap());
+        assert_eq!(wal.sync_count(), base);
+        // An explicit sync always drains.
+        wal.sync().unwrap();
+        assert_eq!(wal.sync_count(), base + 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_on_empty_log_is_a_noop() {
+        let path = tmp("empty.wal");
+        let wal = Wal::create(&path).unwrap();
+        let disk = MemDisk::new(64);
+        assert_eq!(wal.replay(&disk).unwrap(), 0);
+        assert_eq!(wal.record_count().unwrap(), 0);
+        // Opening a nonexistent path also yields an empty, replayable log.
+        let fresh = Wal::open(tmp("never-written.wal")).unwrap();
+        assert_eq!(fresh.replay(&disk).unwrap(), 0);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(tmp("never-written.wal")).ok();
+    }
+
+    #[test]
+    fn replay_on_truncated_log_applies_the_intact_prefix() {
+        let path = tmp("trunc-replay.wal");
+        let disk = MemDisk::new(64);
+        let a = disk.allocate().unwrap();
+        let b = disk.allocate().unwrap();
+        {
+            let wal = Wal::create(&path).unwrap();
+            wal.append(a, &[5u8; 64]).unwrap();
+            wal.append(b, &[6u8; 64]).unwrap();
+            wal.sync().unwrap();
+        }
+        // Chop into the middle of the second record.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 30).unwrap();
+        drop(f);
+
+        let wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.replay(&disk).unwrap(), 1);
+        let mut buf = [0u8; 64];
+        disk.read_page(a, &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 64]);
+        disk.read_page(b, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 64]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_count_is_zero_after_reset() {
         let path = tmp("reset.wal");
         let wal = Wal::create(&path).unwrap();
         wal.append(PageId(0), &[9u8; 32]).unwrap();
+        wal.append_txn_image(1, PageId(1), &[8u8; 32]).unwrap();
+        wal.append_commit(1).unwrap();
         wal.sync().unwrap();
+        assert_eq!(wal.record_count().unwrap(), 3);
         wal.reset().unwrap();
         assert_eq!(wal.record_count().unwrap(), 0);
+        // And the truncated log replays as empty.
+        assert_eq!(wal.replay(&MemDisk::new(64)).unwrap(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn double_replay_is_idempotent() {
+        let path = tmp("idem.wal");
+        let disk = MemDisk::new(64);
+        let a = disk.allocate().unwrap();
+        let wal = Wal::create(&path).unwrap();
+        wal.append(a, &[4u8; 64]).unwrap();
+        wal.append_txn_image(7, a, &[5u8; 64]).unwrap();
+        wal.append_commit(7).unwrap();
+        wal.sync().unwrap();
+
+        let first = wal.replay(&disk).unwrap();
+        let mut after_first = [0u8; 64];
+        disk.read_page(a, &mut after_first).unwrap();
+        let second = wal.replay(&disk).unwrap();
+        let mut after_second = [0u8; 64];
+        disk.read_page(a, &mut after_second).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(after_first, after_second);
+        assert_eq!(after_first, [5u8; 64]);
         std::fs::remove_file(&path).ok();
     }
 
@@ -290,8 +583,8 @@ mod tests {
         }
         // Flip a payload byte in the middle record.
         let mut bytes = std::fs::read(&path).unwrap();
-        let record_size = 16 + 64 + 4;
-        bytes[record_size + 20] ^= 0xFF;
+        let record_size = HEADER_LEN + 64 + 4;
+        bytes[record_size + HEADER_LEN + 5] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
 
         let wal = Wal::open(&path).unwrap();

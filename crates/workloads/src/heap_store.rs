@@ -20,7 +20,7 @@
 //! let (heap, items) = segments_to_heap(Arc::clone(&pool), &segments).unwrap();
 //!
 //! let mut tree = RTree::<2>::create(pool, RTreeConfig::default()).unwrap();
-//! for (mbr, rid) in &items { tree.insert(*mbr, *rid).unwrap(); }
+//! for (mbr, rid) in &items { tree.insert(mbr, *rid).unwrap(); }
 //!
 //! // Refinement now reads geometry from disk pages, not from a slice.
 //! let refiner = FnRefiner::new(|rid: RecordId, _mbr: &_, q: &_| {

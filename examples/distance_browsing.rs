@@ -23,9 +23,9 @@ fn main() {
     let stations = gaussian_clusters(25_000, 40, 2_000.0, &bounds, 21);
     let items = points_to_items(&stations);
 
-    let mut tree = RTree::<2>::create(example_pool(), RTreeConfig::default()).expect("create tree");
+    let tree = RTree::<2>::create(example_pool(), RTreeConfig::default()).expect("create tree");
     for (mbr, rid) in &items {
-        tree.insert(*mbr, *rid).expect("insert");
+        tree.insert(mbr, *rid).expect("insert");
     }
     let total_nodes = tree.stats().expect("stats").nodes;
     println!(

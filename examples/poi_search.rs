@@ -23,10 +23,10 @@ fn main() {
     let pois = gaussian_clusters(40_000, 32, 1_200.0, &bounds, 7);
     let items = points_to_items(&pois);
 
-    let mut tree = RTree::<2>::create(example_pool(), RTreeConfig::default()).expect("create tree");
+    let tree = RTree::<2>::create(example_pool(), RTreeConfig::default()).expect("create tree");
     let t0 = Instant::now();
     for (mbr, rid) in &items {
-        tree.insert(*mbr, *rid).expect("insert");
+        tree.insert(mbr, *rid).expect("insert");
     }
     println!(
         "Indexed {} POIs in {:.0} ms ({} pages, height {}).",

@@ -15,9 +15,9 @@ use nnq_workloads::{default_bounds, gaussian_clusters};
 fn main() {
     let bounds = default_bounds();
     let sites = gaussian_clusters(30_000, 48, 1_800.0, &bounds, 33);
-    let mut tree = MemRTree::<2>::new();
+    let tree = MemRTree::<2>::new();
     for (i, p) in sites.iter().enumerate() {
-        tree.insert(Rect::from_point(*p), RecordId(i as u64))
+        tree.insert(&Rect::from_point(*p), RecordId(i as u64))
             .expect("insert");
     }
     println!("Indexed {} sites in memory.", tree.len());

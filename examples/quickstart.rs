@@ -18,9 +18,9 @@ fn main() {
 
     // 2. Build a disk-backed R-tree (in-memory simulated disk here; use
     //    nnq_storage::FileDisk for a persistent index).
-    let mut tree = RTree::<2>::create(example_pool(), RTreeConfig::default()).expect("create tree");
+    let tree = RTree::<2>::create(example_pool(), RTreeConfig::default()).expect("create tree");
     for (mbr, rid) in &items {
-        tree.insert(*mbr, *rid).expect("insert");
+        tree.insert(mbr, *rid).expect("insert");
     }
     println!(
         "Built an R-tree over {} points: height {}, {} pages.",

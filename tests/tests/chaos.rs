@@ -59,7 +59,7 @@ fn randomized_crash_recovery_epochs() {
         let disk = FileDisk::open(&db, PAGE_SIZE).unwrap();
         let wal = Wal::open(&log).unwrap();
         let pool = Arc::new(BufferPool::with_wal(Box::new(disk), 64, wal));
-        let mut tree = RTree::<2>::open(Arc::clone(&pool), PageId(0)).unwrap();
+        let tree = RTree::<2>::open(Arc::clone(&pool), PageId(0)).unwrap();
 
         // The recovered tree must match the ground truth exactly.
         tree.validate()
@@ -84,7 +84,7 @@ fn randomized_crash_recovery_epochs() {
             if truth.is_empty() || rng.random_bool(0.7) {
                 let p = Point::new([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]);
                 let r = Rect::from_point(p);
-                tree.insert(r, RecordId(next_id)).unwrap();
+                tree.insert(&r, RecordId(next_id)).unwrap();
                 truth.insert(next_id, r);
                 next_id += 1;
             } else {

@@ -18,9 +18,9 @@ fn parallel_queries_on_a_paged_tree_with_small_pool() {
     let pts = uniform_points(20_000, &default_bounds(), 7);
     let items = points_to_items(&pts);
     let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1 << 14));
-    let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+    let tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
     for (mbr, rid) in &items {
-        tree.insert(*mbr, *rid).unwrap();
+        tree.insert(mbr, *rid).unwrap();
     }
     pool.flush_all().unwrap();
     // Re-open through a tiny pool sharing nothing cached.
@@ -46,9 +46,9 @@ fn parallel_readers_keep_cache_and_pool_stats_consistent() {
     let pts = uniform_points(10_000, &default_bounds(), 21);
     let items = points_to_items(&pts);
     let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1 << 14));
-    let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+    let tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
     for (mbr, rid) in &items {
-        tree.insert(*mbr, *rid).unwrap();
+        tree.insert(mbr, *rid).unwrap();
     }
     let queries = uniform_queries(256, &default_bounds(), 22);
 
@@ -111,9 +111,9 @@ fn heap_resident_geometry_end_to_end() {
     });
     let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1 << 14));
     let (heap, items) = segments_to_heap(Arc::clone(&pool), &segments).unwrap();
-    let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+    let tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
     for (mbr, rid) in &items {
-        tree.insert(*mbr, *rid).unwrap();
+        tree.insert(mbr, *rid).unwrap();
     }
 
     let refiner = FnRefiner::new(|rid: RecordId, _: &Rect<2>, q: &Point<2>| {
@@ -157,7 +157,7 @@ fn high_dimensional_trees_work() {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
         let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 4096));
-        let mut tree = RTree::<D>::create(pool, RTreeConfig::for_testing(8)).unwrap();
+        let tree = RTree::<D>::create(pool, RTreeConfig::for_testing(8)).unwrap();
         let mut items = Vec::new();
         for i in 0..1_500u64 {
             let mut coords = [0.0; D];
@@ -165,7 +165,7 @@ fn high_dimensional_trees_work() {
                 *c = rng.random_range(0.0..10.0);
             }
             let r = Rect::from_point(Point::new(coords));
-            tree.insert(r, RecordId(i)).unwrap();
+            tree.insert(&r, RecordId(i)).unwrap();
             items.push((r, RecordId(i)));
         }
         tree.validate_strict().unwrap();

@@ -16,9 +16,9 @@ fn pool() -> Arc<BufferPool> {
 }
 
 fn build(items: &[(Rect<2>, RecordId)]) -> RTree<2> {
-    let mut tree = RTree::create(pool(), RTreeConfig::default()).unwrap();
+    let tree = RTree::create(pool(), RTreeConfig::default()).unwrap();
     for (mbr, rid) in items {
-        tree.insert(*mbr, *rid).unwrap();
+        tree.insert(mbr, *rid).unwrap();
     }
     tree.validate_strict().unwrap();
     tree
@@ -100,7 +100,7 @@ fn page_accounting_is_consistent_across_layers() {
 fn deletions_keep_knn_exact() {
     let pts = uniform_points(4_000, &default_bounds(), 17);
     let mut items = points_to_items(&pts);
-    let mut tree = build(&items);
+    let tree = build(&items);
     // Remove every third record.
     let mut keep = Vec::new();
     for (i, (mbr, rid)) in items.drain(..).enumerate() {

@@ -15,9 +15,9 @@ use std::sync::Arc;
 fn build_uniform(n: usize, seed: u64) -> RTree<2> {
     let items = points_to_items(&uniform_points(n, &default_bounds(), seed));
     let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1 << 15));
-    let mut tree = RTree::create(pool, RTreeConfig::default()).unwrap();
+    let tree = RTree::create(pool, RTreeConfig::default()).unwrap();
     for (mbr, rid) in &items {
-        tree.insert(*mbr, *rid).unwrap();
+        tree.insert(mbr, *rid).unwrap();
     }
     tree
 }
@@ -157,9 +157,9 @@ fn claim_rstar_tree_answers_nn_cheaper_than_linear() {
     let items = segments_to_items(&segs);
     let build = |split| {
         let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1 << 15));
-        let mut tree = RTree::create(pool, RTreeConfig::with_split(split)).unwrap();
+        let tree = RTree::create(pool, RTreeConfig::with_split(split)).unwrap();
         for (mbr, rid) in &items {
-            tree.insert(*mbr, *rid).unwrap();
+            tree.insert(mbr, *rid).unwrap();
         }
         tree
     };

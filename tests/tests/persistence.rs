@@ -23,9 +23,9 @@ fn full_lifecycle_on_a_real_file() {
     let meta_page = {
         let disk = FileDisk::create(&path, PAGE_SIZE).unwrap();
         let pool = Arc::new(BufferPool::new(Box::new(disk), 1024));
-        let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+        let tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
         for (mbr, rid) in &items {
-            tree.insert(*mbr, *rid).unwrap();
+            tree.insert(mbr, *rid).unwrap();
         }
         pool.flush_all().unwrap();
         tree.meta_page()
@@ -35,7 +35,7 @@ fn full_lifecycle_on_a_real_file() {
     {
         let disk = FileDisk::open(&path, PAGE_SIZE).unwrap();
         let pool = Arc::new(BufferPool::new(Box::new(disk), 16));
-        let mut tree = RTree::<2>::open(Arc::clone(&pool), meta_page).unwrap();
+        let tree = RTree::<2>::open(Arc::clone(&pool), meta_page).unwrap();
         assert_eq!(tree.len(), 8_000);
         tree.validate_strict().unwrap();
 
@@ -50,7 +50,7 @@ fn full_lifecycle_on_a_real_file() {
         }
         // Mutations under the tiny pool work too.
         tree.delete(&items[0].0, items[0].1).unwrap();
-        tree.insert(Rect::from_point(Point::new([1.0, 1.0])), RecordId(999_999))
+        tree.insert(&Rect::from_point(Point::new([1.0, 1.0])), RecordId(999_999))
             .unwrap();
         pool.flush_all().unwrap();
     }
@@ -73,11 +73,11 @@ fn disk_full_during_build_is_a_clean_error() {
     // 16 pages: meta + a handful of nodes, then the device is full.
     let disk = MemDisk::with_capacity(PAGE_SIZE, 16);
     let pool = Arc::new(BufferPool::new(Box::new(disk), 64));
-    let mut tree = RTree::<2>::create(pool, RTreeConfig::for_testing(4)).unwrap();
+    let tree = RTree::<2>::create(pool, RTreeConfig::for_testing(4)).unwrap();
     let mut failed = false;
     for i in 0..10_000u64 {
         let p = Point::new([(i % 100) as f64, (i / 100) as f64]);
-        match tree.insert(Rect::from_point(p), RecordId(i)) {
+        match tree.insert(&Rect::from_point(p), RecordId(i)) {
             Ok(()) => {}
             Err(RTreeError::Storage(StorageError::DiskFull { capacity })) => {
                 assert_eq!(capacity, 16);
@@ -108,9 +108,9 @@ fn queries_work_with_pool_smaller_than_tree_height_path() {
     let big_pool = Arc::new(BufferPool::new(Box::new(Arc::new(disk)), 1 << 14));
     // Build with a large pool, flush, then query through a tiny one
     // sharing the same device.
-    let mut tree = RTree::<2>::create(Arc::clone(&big_pool), RTreeConfig::default()).unwrap();
+    let tree = RTree::<2>::create(Arc::clone(&big_pool), RTreeConfig::default()).unwrap();
     for (mbr, rid) in &items {
-        tree.insert(*mbr, *rid).unwrap();
+        tree.insert(mbr, *rid).unwrap();
     }
     big_pool.flush_all().unwrap();
 
@@ -135,9 +135,9 @@ fn corrupted_meta_page_fails_to_open() {
     let pts = uniform_points(100, &default_bounds(), 47);
     let items = points_to_items(&pts);
     let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 64));
-    let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+    let tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
     for (mbr, rid) in &items {
-        tree.insert(*mbr, *rid).unwrap();
+        tree.insert(mbr, *rid).unwrap();
     }
     let meta = tree.meta_page();
     drop(tree);

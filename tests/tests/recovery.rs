@@ -1,22 +1,43 @@
 //! Crash-recovery integration: a WAL-journaled index survives losing its
-//! device writes.
+//! device writes, including crashes injected at every stage of the
+//! copy-on-write publish sequence (via [`TornDisk`]).
 
 use nnq_core::{MbrRefiner, NnSearch};
-use nnq_rtree::{RTree, RTreeConfig};
-use nnq_storage::{BufferPool, DiskManager, FileDisk, Wal, PAGE_SIZE};
+use nnq_geom::{Point, Rect};
+use nnq_rtree::{RTree, RTreeConfig, RecordId};
+use nnq_storage::{BufferPool, DiskManager, FileDisk, TornDisk, TornMode, Wal, PAGE_SIZE};
 use nnq_workloads::{default_bounds, points_to_items, uniform_points, uniform_queries};
 use std::sync::Arc;
 
-fn tmp(name: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("nnq-rec-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    dir.join(name)
+/// Per-test scratch directory under the system temp dir.
+///
+/// Call [`TestDir::finish`] at the end of the test: the directory is
+/// removed on success, while a panicking test skips `finish()` and leaves
+/// its files behind for inspection (instead of the old behaviour of
+/// leaking an `nnq-rec-*` dir on every run, pass or fail).
+struct TestDir(std::path::PathBuf);
+
+impl TestDir {
+    fn new(test: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("nnq-rec-{}-{test}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TestDir(dir)
+    }
+
+    fn path(&self, name: &str) -> std::path::PathBuf {
+        self.0.join(name)
+    }
+
+    fn finish(self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
 }
 
 #[test]
 fn index_survives_loss_of_all_device_writes() {
-    let db = tmp("crash.db");
-    let log = tmp("crash.wal");
+    let dir = TestDir::new("crash");
+    let db = dir.path("crash.db");
+    let log = dir.path("crash.wal");
     let items = points_to_items(&uniform_points(5_000, &default_bounds(), 17));
 
     // Phase 1: a baseline empty-but-durable device state.
@@ -33,9 +54,9 @@ fn index_survives_loss_of_all_device_writes() {
         let disk = FileDisk::open(&db, PAGE_SIZE).unwrap();
         let wal = Wal::create(&log).unwrap();
         let pool = Arc::new(BufferPool::with_wal(Box::new(disk), 256, wal));
-        let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+        let tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
         for (mbr, rid) in &items {
-            tree.insert(*mbr, *rid).unwrap();
+            tree.insert(mbr, *rid).unwrap();
         }
         // flush_all journals every dirty page before writing the device.
         pool.flush_all().unwrap();
@@ -71,23 +92,23 @@ fn index_survives_loss_of_all_device_writes() {
             want.iter().map(|n| n.dist_sq).collect::<Vec<_>>()
         );
     }
-    std::fs::remove_file(&db).ok();
-    std::fs::remove_file(&log).ok();
+    dir.finish();
 }
 
 #[test]
 fn checkpoint_truncates_the_journal_and_device_stands_alone() {
-    let db = tmp("ckpt.db");
-    let log = tmp("ckpt.wal");
+    let dir = TestDir::new("ckpt");
+    let db = dir.path("ckpt.db");
+    let log = dir.path("ckpt.wal");
     let items = points_to_items(&uniform_points(1_000, &default_bounds(), 29));
 
     let meta_page = {
         let disk = FileDisk::create(&db, PAGE_SIZE).unwrap();
         let wal = Wal::create(&log).unwrap();
         let pool = Arc::new(BufferPool::with_wal(Box::new(disk), 128, wal));
-        let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+        let tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
         for (mbr, rid) in &items {
-            tree.insert(*mbr, *rid).unwrap();
+            tree.insert(mbr, *rid).unwrap();
         }
         pool.checkpoint().unwrap();
         tree.meta_page()
@@ -102,21 +123,21 @@ fn checkpoint_truncates_the_journal_and_device_stands_alone() {
     let tree = RTree::<2>::open(pool, meta_page).unwrap();
     assert_eq!(tree.len(), 1_000);
     tree.validate_strict().unwrap();
-    std::fs::remove_file(&db).ok();
-    std::fs::remove_file(&log).ok();
+    dir.finish();
 }
 
 #[test]
 fn recovery_is_idempotent() {
-    let db = tmp("idem.db");
-    let log = tmp("idem.wal");
+    let dir = TestDir::new("idem");
+    let db = dir.path("idem.db");
+    let log = dir.path("idem.wal");
     {
         let disk = FileDisk::create(&db, PAGE_SIZE).unwrap();
         let wal = Wal::create(&log).unwrap();
         let pool = Arc::new(BufferPool::with_wal(Box::new(disk), 64, wal));
-        let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+        let tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
         for (mbr, rid) in points_to_items(&uniform_points(300, &default_bounds(), 31)) {
-            tree.insert(mbr, rid).unwrap();
+            tree.insert(&mbr, rid).unwrap();
         }
         pool.flush_all().unwrap();
     }
@@ -131,6 +152,181 @@ fn recovery_is_idempotent() {
         assert_eq!(tree.len(), 300);
         tree.validate_strict().unwrap();
     }
-    std::fs::remove_file(&db).ok();
-    std::fs::remove_file(&log).ok();
+    dir.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Crash-point matrix across the COW publish sequence
+// ---------------------------------------------------------------------------
+//
+// Each publish runs: (1) append the shadow-page images and the new meta to
+// the WAL as one commit group, (2) sync the WAL, (3) write the meta page
+// (the root swap) into the pool, whose device writes happen later at
+// flush/checkpoint time. The matrix crashes the device at each stage and
+// asserts `Wal::replay` restores a valid tree whose contents match the
+// last *synced* update:
+//
+//   A. before the WAL sync        -> unsynced commit groups are lost;
+//                                    recovery lands on the synced prefix.
+//   B. after sync, before any     -> device still shows the old tree;
+//      device write (root swap       replay redoes every committed swap.
+//      never reached the device)
+//   C. mid-swap: the device write -> the meta page on disk is half old
+//      of the meta page is torn      root, half new; replay rewrites it
+//                                    from the journaled image.
+
+/// Fixture for the matrix: a WAL-journaled paged tree over a
+/// [`TornDisk`]-wrapped file device, checkpointed so the device is
+/// standalone before the crash-stage updates begin.
+struct CrashRig {
+    torn: Arc<TornDisk<FileDisk>>,
+    pool: Arc<BufferPool>,
+    tree: RTree<2>,
+    expected: Vec<(Rect<2>, RecordId)>,
+}
+
+fn crash_rig(dir: &TestDir, n_base: usize) -> CrashRig {
+    let db = dir.path("m.db");
+    let log = dir.path("m.wal");
+    let torn = Arc::new(TornDisk::new(FileDisk::create(&db, PAGE_SIZE).unwrap()));
+    let wal = Wal::create(&log).unwrap();
+    let pool = Arc::new(BufferPool::with_wal(Box::new(Arc::clone(&torn)), 512, wal));
+    let tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+    // Sync every publish individually: the matrix stages control syncing
+    // explicitly, group-commit batching would blur the crash points.
+    tree.set_group_commit_us(0);
+    let expected = points_to_items(&uniform_points(n_base, &default_bounds(), 61));
+    for (mbr, rid) in &expected {
+        tree.insert(mbr, *rid).unwrap();
+    }
+    pool.checkpoint().unwrap();
+    CrashRig {
+        torn,
+        pool,
+        tree,
+        expected,
+    }
+}
+
+/// Applies `n` scripted updates (two inserts then a delete, repeating),
+/// mirroring them into `expected`.
+fn apply_updates(tree: &RTree<2>, expected: &mut Vec<(Rect<2>, RecordId)>, start: u64, n: usize) {
+    for i in 0..n {
+        if i % 3 == 2 {
+            let (mbr, rid) = expected.remove(expected.len() / 2);
+            tree.delete(&mbr, rid).unwrap();
+        } else {
+            let v = start + i as u64;
+            let mbr = Rect::from_point(Point::new([
+                (v % 97) as f64 * 3.1 + 1.0,
+                (v % 89) as f64 * 2.7 + 1.0,
+            ]));
+            let rid = RecordId(1_000_000 + v);
+            tree.insert(&mbr, rid).unwrap();
+            expected.push((mbr, rid));
+        }
+    }
+}
+
+/// Recovers the database at `dir` by WAL replay and asserts the tree is
+/// valid and holds exactly `expected`.
+fn recover_and_check(
+    dir: &TestDir,
+    meta_page: nnq_storage::PageId,
+    expected: &[(Rect<2>, RecordId)],
+) {
+    let disk = FileDisk::open(dir.path("m.db"), PAGE_SIZE).unwrap();
+    let wal = Wal::open(dir.path("m.wal")).unwrap();
+    wal.replay(&disk).unwrap();
+    disk.sync().unwrap();
+    let pool = Arc::new(BufferPool::new(Box::new(disk), 512));
+    let tree = RTree::<2>::open(pool, meta_page).unwrap();
+    tree.validate_strict().unwrap();
+    assert_eq!(tree.len(), expected.len() as u64);
+    let mut got: Vec<u64> = tree.scan().unwrap().iter().map(|(_, r)| r.0).collect();
+    got.sort_unstable();
+    let mut want: Vec<u64> = expected.iter().map(|(_, r)| r.0).collect();
+    want.sort_unstable();
+    assert_eq!(got, want, "recovered contents diverge from the oracle");
+}
+
+#[test]
+fn crash_before_wal_sync_recovers_the_synced_prefix() {
+    let dir = TestDir::new("stage-a");
+    let mut rig = crash_rig(&dir, 400);
+    let meta_page = rig.tree.meta_page();
+
+    // Forty updates, each publish synced: this is the durable prefix.
+    apply_updates(&rig.tree, &mut rig.expected, 0, 40);
+    let synced_len = std::fs::metadata(dir.path("m.wal")).unwrap().len();
+    let synced_state = rig.expected.clone();
+
+    // Forty more with an effectively infinite group-commit window: the
+    // commit groups are appended but never synced.
+    rig.tree.set_group_commit_us(u64::MAX / 2);
+    apply_updates(&rig.tree, &mut rig.expected, 1_000, 40);
+
+    // Crash: swallow any device writes the teardown might issue, and
+    // discard the unsynced WAL tail (what an fsync-respecting kernel
+    // would lose with the power).
+    rig.torn.arm(0, TornMode::Drop);
+    drop(rig.tree);
+    drop(rig.pool);
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(dir.path("m.wal"))
+        .unwrap();
+    f.set_len(synced_len).unwrap();
+    drop(f);
+
+    recover_and_check(&dir, meta_page, &synced_state);
+    dir.finish();
+}
+
+#[test]
+fn crash_after_sync_before_root_swap_redoes_every_commit() {
+    let dir = TestDir::new("stage-b");
+    let mut rig = crash_rig(&dir, 400);
+    let meta_page = rig.tree.meta_page();
+
+    // Sixty updates, every publish synced — but none of the new pages
+    // (root swap included) has reached the device yet.
+    apply_updates(&rig.tree, &mut rig.expected, 0, 60);
+
+    // Crash during writeback: every device write is silently lost while
+    // still queued, so the device keeps showing the pre-update tree.
+    rig.torn.arm(0, TornMode::Drop);
+    let _ = rig.pool.flush_all();
+    assert!(
+        rig.torn.dropped_writes() > 0,
+        "the crash should have intercepted device writes"
+    );
+    drop(rig.tree);
+    drop(rig.pool);
+
+    recover_and_check(&dir, meta_page, &rig.expected);
+    dir.finish();
+}
+
+#[test]
+fn crash_mid_root_swap_repairs_the_torn_meta_page() {
+    let dir = TestDir::new("stage-c");
+    let mut rig = crash_rig(&dir, 400);
+    let meta_page = rig.tree.meta_page();
+
+    apply_updates(&rig.tree, &mut rig.expected, 0, 60);
+
+    // Crash mid-writeback: every device write — the meta page holding the
+    // root swap among them — lands half new, half old.
+    rig.torn.arm(0, TornMode::Tear);
+    let _ = rig.pool.flush_all();
+    assert!(
+        rig.torn.torn_writes() > 0,
+        "the crash should have torn device writes"
+    );
+    drop(rig.tree);
+    drop(rig.pool);
+
+    recover_and_check(&dir, meta_page, &rig.expected);
+    dir.finish();
 }

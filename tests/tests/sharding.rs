@@ -18,9 +18,9 @@ fn build_index(path: &std::path::Path) {
     let items = points_to_items(&pts);
     let disk = FileDisk::create(path, PAGE_SIZE).unwrap();
     let pool = Arc::new(BufferPool::new(Box::new(disk), POOL_FRAMES));
-    let mut tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
+    let tree = RTree::<2>::create(Arc::clone(&pool), RTreeConfig::default()).unwrap();
     for (mbr, rid) in &items {
-        tree.insert(*mbr, *rid).unwrap();
+        tree.insert(mbr, *rid).unwrap();
     }
     pool.flush_all().unwrap();
 }
