@@ -11,7 +11,9 @@
 //! not nanoseconds) and the output is the JSON trajectory file.
 
 use nnq_bench::datasets::Dataset;
-use nnq_bench::harness::{build_tree_sharded, queries_for, BuildMethod, QUERY_POOL_FRAMES};
+use nnq_bench::harness::{
+    build_tree_sharded, config_header_json, queries_for, BuildMethod, QUERY_POOL_FRAMES,
+};
 use nnq_core::{par_knn_batch, MbrRefiner, NnOptions};
 use nnq_rtree::SplitStrategy;
 use std::fmt::Write as _;
@@ -34,9 +36,6 @@ struct Cell {
 fn main() {
     let dataset = Dataset::uniform(N, 11);
     let queries = queries_for(N_QUERIES, 7);
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     let mut cells: Vec<Cell> = Vec::new();
 
     for &shards in &SHARDS {
@@ -115,13 +114,13 @@ fn main() {
         }
     }
 
-    let json = render_json(&cells, cores);
+    let json = render_json(&cells);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PARALLEL.json");
     std::fs::write(path, &json).unwrap();
     eprintln!("wrote {path}");
 }
 
-fn render_json(cells: &[Cell], cores: usize) -> String {
+fn render_json(cells: &[Cell]) -> String {
     let base_qps = |shards: usize, warm: bool| -> f64 {
         cells
             .iter()
@@ -144,23 +143,22 @@ fn render_json(cells: &[Cell], cores: usize) -> String {
             c.cold_qps / base_qps(c.shards, false),
         );
     }
+    let config = config_header_json(&[
+        ("dataset", "\"uniform\"".into()),
+        ("n", N.to_string()),
+        ("queries", N_QUERIES.to_string()),
+        ("k", K.to_string()),
+        ("build", "\"dynamic/quadratic\"".into()),
+        ("pool_frames", QUERY_POOL_FRAMES.to_string()),
+    ]);
     format!(
         r#"{{
   "bench": "parallel",
   "description": "Work-stealing par_knn_batch over the paged backend (crates/bench/benches/parallel.rs): threads x buffer-pool shards, warm (node cache + pool primed) and cold (both dropped each repetition). queries/sec is the full-batch rate, best of {REPS} repetitions; speedups are relative to 1 thread of the same shard configuration. Thread-count speedup is bounded by the host's hardware parallelism recorded in host_hardware_threads.",
-  "config": {{
-    "dataset": "uniform",
-    "n": {N},
-    "queries": {N_QUERIES},
-    "k": {K},
-    "build": "dynamic/quadratic",
-    "pool_frames": {},
-    "host_hardware_threads": {cores}
-  }},
+  "config": {config},
   "grid": [{rows}
   ]
 }}
-"#,
-        QUERY_POOL_FRAMES,
+"#
     )
 }

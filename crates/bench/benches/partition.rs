@@ -1,0 +1,197 @@
+//! Hilbert-range partitioned multi-tree vs the single tree: build time
+//! and page-access overhead at P ∈ {1, 4, 16, 64}.
+//!
+//! Builds one Hilbert bulk-loaded reference tree and, for each partition
+//! count, a [`PartitionedTree`] over the same dataset. Every partitioned
+//! configuration answers the same kNN batch through the scatter-gather
+//! path (MINDIST-ordered partition schedule, one shared k-th-distance
+//! bound) and must return results bit-identical to the single tree; at
+//! P = 1 the summed logical reads must match the single tree's exactly.
+//! For P > 1 the recorded `pages_overhead` is the price of partitioning:
+//! every *visited* partition re-descends its own root path, while the
+//! MINDIST schedule prunes partitions that cannot contribute. Writes the
+//! sweep to `BENCH_PARTITION.json` at the repo root.
+//!
+//! Not a criterion harness: the measured unit is a whole batch and the
+//! output is the JSON trajectory file.
+
+use nnq_bench::datasets::Dataset;
+use nnq_bench::harness::{config_header_json, host_threads, queries_for, QUERY_POOL_FRAMES};
+use nnq_core::{partitioned_knn, MbrRefiner, NnOptions, NnSearch, QueryCursor};
+use nnq_rtree::{BulkMethod, PartitionedTree, RTree, RTreeConfig};
+use nnq_storage::{BufferPool, MemDisk, PAGE_SIZE};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const N: usize = 20_000;
+const N_QUERIES: usize = 500;
+const K: usize = 10;
+const PARTITIONS: [usize; 4] = [1, 4, 16, 64];
+
+struct Cell {
+    partitions: usize,
+    build_ms: f64,
+    pages_per_query: f64,
+    pages_overhead: f64,
+    visited_per_query: f64,
+    pruned_per_query: f64,
+    rounds_per_query: f64,
+    time_us_per_query: f64,
+}
+
+fn main() {
+    let dataset = Dataset::uniform(N, 11);
+    let queries = queries_for(N_QUERIES, 7);
+
+    // Single-tree reference: same Hilbert bulk load, same pool sizing.
+    let ref_pool = Arc::new(BufferPool::new(
+        Box::new(MemDisk::new(PAGE_SIZE)),
+        QUERY_POOL_FRAMES,
+    ));
+    let ref_start = Instant::now();
+    let reference = RTree::<2>::bulk_load(
+        Arc::clone(&ref_pool),
+        RTreeConfig::default(),
+        dataset.items.clone(),
+        BulkMethod::Hilbert,
+        1.0,
+    )
+    .unwrap();
+    let ref_build_ms = ref_start.elapsed().as_secs_f64() * 1e3;
+
+    let search = NnSearch::new(&reference);
+    let mut cursor = QueryCursor::new();
+    ref_pool.reset_stats();
+    let ref_results: Vec<Vec<(u64, u64)>> = queries
+        .iter()
+        .map(|q| {
+            search
+                .query_refined_with(&mut cursor, q, K, &MbrRefiner)
+                .unwrap()
+                .0
+                .iter()
+                .map(|n| (n.record.0, n.dist_sq.to_bits()))
+                .collect()
+        })
+        .collect();
+    let ref_pages = ref_pool.stats().logical_reads as f64 / N_QUERIES as f64;
+    eprintln!("single tree: build {ref_build_ms:.0} ms, {ref_pages:.1} pages/query");
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &p in &PARTITIONS {
+        // Same total frame budget as the single tree, split across the
+        // partitions' pools; pool construction is outside the timed
+        // window, mirroring the single-tree measurement above.
+        let frames_per_part = (QUERY_POOL_FRAMES / p).max(1 << 10);
+        let pools: Vec<Arc<BufferPool>> = (0..p)
+            .map(|_| {
+                Arc::new(BufferPool::new(
+                    Box::new(MemDisk::new(PAGE_SIZE)),
+                    frames_per_part,
+                ))
+            })
+            .collect();
+        let start = Instant::now();
+        let tree = PartitionedTree::bulk_load_on(
+            pools,
+            RTreeConfig::default(),
+            dataset.items.clone(),
+            BulkMethod::Hilbert,
+            1.0,
+            host_threads(),
+        )
+        .unwrap();
+        let build_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        tree.reset_stats();
+        let mut visited = 0u64;
+        let mut pruned = 0u64;
+        let mut rounds = 0u64;
+        let q_start = Instant::now();
+        for (q, want) in queries.iter().zip(&ref_results) {
+            let (found, stats) =
+                partitioned_knn(&tree, q, K, NnOptions::default(), &MbrRefiner, 1).unwrap();
+            let got: Vec<(u64, u64)> = found
+                .iter()
+                .map(|n| (n.record.0, n.dist_sq.to_bits()))
+                .collect();
+            assert_eq!(&got, want, "P={p}: results diverged from single tree");
+            visited += stats.partitions_visited;
+            pruned += stats.partitions_pruned;
+            rounds += stats.rounds;
+        }
+        let time_us = q_start.elapsed().as_secs_f64() * 1e6 / N_QUERIES as f64;
+        let pages = tree.pool_stats().logical_reads as f64 / N_QUERIES as f64;
+        if p == 1 {
+            // One partition in Hilbert order IS the single tree: the page
+            // count must be bit-identical, not merely close.
+            assert_eq!(
+                pages * N_QUERIES as f64,
+                ref_pages * N_QUERIES as f64,
+                "P=1 logical reads diverged from the single tree"
+            );
+        }
+        let overhead = pages / ref_pages;
+        eprintln!(
+            "P={p}: build {build_ms:.0} ms, {pages:.1} pages/query ({overhead:.2}x single), \
+             {:.2} visited + {:.2} pruned /query",
+            visited as f64 / N_QUERIES as f64,
+            pruned as f64 / N_QUERIES as f64,
+        );
+        cells.push(Cell {
+            partitions: p,
+            build_ms,
+            pages_per_query: pages,
+            pages_overhead: overhead,
+            visited_per_query: visited as f64 / N_QUERIES as f64,
+            pruned_per_query: pruned as f64 / N_QUERIES as f64,
+            rounds_per_query: rounds as f64 / N_QUERIES as f64,
+            time_us_per_query: time_us,
+        });
+    }
+
+    let json = render_json(&cells, ref_build_ms, ref_pages);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PARTITION.json");
+    std::fs::write(path, &json).unwrap();
+    eprintln!("wrote {path}");
+}
+
+fn render_json(cells: &[Cell], ref_build_ms: f64, ref_pages: f64) -> String {
+    let mut rows = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        let _ = write!(
+            rows,
+            r#"
+    {{ "partitions": {}, "build_ms": {:.1}, "pages_per_query": {:.2}, "pages_overhead_vs_single": {:.3}, "partitions_visited_per_query": {:.2}, "partitions_pruned_per_query": {:.2}, "rounds_per_query": {:.2}, "time_us_per_query": {:.1} }}{sep}"#,
+            c.partitions,
+            c.build_ms,
+            c.pages_per_query,
+            c.pages_overhead,
+            c.visited_per_query,
+            c.pruned_per_query,
+            c.rounds_per_query,
+            c.time_us_per_query,
+        );
+    }
+    let config = config_header_json(&[
+        ("dataset", "\"uniform\"".into()),
+        ("n", N.to_string()),
+        ("queries", N_QUERIES.to_string()),
+        ("k", K.to_string()),
+        ("build", "\"bulk/hilbert\"".into()),
+        ("pool_frames", QUERY_POOL_FRAMES.to_string()),
+    ]);
+    format!(
+        r#"{{
+  "bench": "partition",
+  "description": "Hilbert-range partitioned multi-tree vs one tree (crates/bench/benches/partition.rs): P independent R-trees by Hilbert key range, scatter-gather kNN with a MINDIST-ordered partition schedule and one shared k-th-distance bound, sequential queries. Every cell's results are asserted bit-identical to the single tree, and P=1 must match its logical reads exactly. pages_overhead_vs_single is the partitioning tax: visited partitions re-descend their own root paths, pruned partitions cost nothing. The single tree's pool_frames budget is split evenly across the partitions' pools, and build_ms times the bulk load only (pool construction excluded, as for the single tree). Build parallelizes across partitions (bounded by host_hardware_threads).",
+  "config": {config},
+  "single_tree": {{ "build_ms": {ref_build_ms:.1}, "pages_per_query": {ref_pages:.2} }},
+  "sweep": [{rows}
+  ]
+}}
+"#
+    )
+}

@@ -20,7 +20,10 @@
 //! are milliseconds, not nanoseconds) and the output is the JSON file.
 
 use nnq_bench::datasets::Dataset;
-use nnq_bench::harness::{build_tree_with_latency, queries_for, BuildMethod, QUERY_POOL_FRAMES};
+use nnq_bench::harness::{
+    build_tree_with_latency, config_header_json, host_threads, queries_for, BuildMethod,
+    QUERY_POOL_FRAMES,
+};
 use nnq_core::{MbrRefiner, NnOptions, NnSearch, PrefetchPolicy, QueryCursor};
 use nnq_rtree::SplitStrategy;
 use nnq_storage::LatencyProfile;
@@ -49,9 +52,7 @@ struct Cell {
 fn main() {
     let dataset = Dataset::uniform(N, 11);
     let queries = queries_for(N_QUERIES, 7);
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = host_threads();
     let (built, latency) = build_tree_with_latency(
         &dataset.items,
         BuildMethod::Dynamic(SplitStrategy::Quadratic),
@@ -171,13 +172,13 @@ fn main() {
         eprintln!("single hardware thread: skipping the cold-speedup assertion");
     }
 
-    let json = render_json(&cells, cores);
+    let json = render_json(&cells);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PREFETCH.json");
     std::fs::write(path, &json).unwrap();
     eprintln!("wrote {path}");
 }
 
-fn render_json(cells: &[Cell], cores: usize) -> String {
+fn render_json(cells: &[Cell]) -> String {
     let cold_base = |lat_us: u64| -> f64 {
         cells
             .iter()
@@ -203,24 +204,23 @@ fn render_json(cells: &[Cell], cores: usize) -> String {
             c.dropped,
         );
     }
+    let config = config_header_json(&[
+        ("dataset", "\"uniform\"".into()),
+        ("n", N.to_string()),
+        ("queries", N_QUERIES.to_string()),
+        ("k", K.to_string()),
+        ("build", "\"dynamic/quadratic\"".into()),
+        ("pool_frames", QUERY_POOL_FRAMES.to_string()),
+        ("prefetch_workers", PREFETCH_WORKERS.to_string()),
+    ]);
     format!(
         r#"{{
   "bench": "prefetch",
   "description": "ABL-guided asynchronous prefetch through a LatencyDisk-wrapped in-memory device (crates/bench/benches/prefetch.rs): injected device latency x hint depth, warm (pool + node cache primed) and cold (both dropped each repetition), sequential queries with {PREFETCH_WORKERS} background I/O workers. Batch wall-clock in milliseconds, best of {REPS} repetitions; cold speedups are relative to depth 0 at the same latency. Every cell is asserted bit-identical to the prefetch-off reference; the prefetch counters satisfy useful + wasted + dropped == issued. Overlap needs real parallelism: on hosts where host_hardware_threads is 1 the cold-speedup assertion is skipped and no speedup should be expected.",
-  "config": {{
-    "dataset": "uniform",
-    "n": {N},
-    "queries": {N_QUERIES},
-    "k": {K},
-    "build": "dynamic/quadratic",
-    "pool_frames": {},
-    "prefetch_workers": {PREFETCH_WORKERS},
-    "host_hardware_threads": {cores}
-  }},
+  "config": {config},
   "grid": [{rows}
   ]
 }}
-"#,
-        QUERY_POOL_FRAMES,
+"#
     )
 }

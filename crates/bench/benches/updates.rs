@@ -16,7 +16,7 @@
 //! percentiles across racing threads, and the output is the JSON file.
 
 use nnq_bench::datasets::Dataset;
-use nnq_bench::harness::queries_for;
+use nnq_bench::harness::{config_header_json, queries_for};
 use nnq_core::NnSearch;
 use nnq_geom::{Point, Rect};
 use nnq_rtree::{RTree, RTreeConfig, RecordId, SplitStrategy};
@@ -187,9 +187,6 @@ fn main() {
     let dataset = Dataset::uniform(N, 29);
     let extra = Dataset::uniform(N_EXTRA, 31);
     let queries = queries_for(512, 7);
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
 
     let maintenance = bench_maintenance(&dataset, &extra);
     let mixed: Vec<Mixed> = WRITER_RATES
@@ -197,13 +194,13 @@ fn main() {
         .map(|&rate| bench_mixed(&dataset, &queries, rate))
         .collect();
 
-    let json = render_json(&maintenance, &mixed, cores);
+    let json = render_json(&maintenance, &mixed);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_UPDATES.json");
     std::fs::write(path, &json).unwrap();
     eprintln!("wrote {path}");
 }
 
-fn render_json(maintenance: &[Maintenance], mixed: &[Mixed], cores: usize) -> String {
+fn render_json(maintenance: &[Maintenance], mixed: &[Mixed]) -> String {
     let mut mrows = String::new();
     for (i, m) in maintenance.iter().enumerate() {
         let sep = if i + 1 == maintenance.len() { "" } else { "," };
@@ -235,18 +232,18 @@ fn render_json(maintenance: &[Maintenance], mixed: &[Mixed], cores: usize) -> St
             m.p50_us / baseline_p50,
         );
     }
+    let config = config_header_json(&[
+        ("dataset", "\"uniform\"".into()),
+        ("n", N.to_string()),
+        ("k", K.to_string()),
+        ("readers", READERS.to_string()),
+        ("queries_per_reader", QUERIES_PER_READER.to_string()),
+    ]);
     format!(
         r#"{{
   "bench": "updates",
   "description": "Copy-on-write write path (crates/bench/benches/updates.rs). maintenance: per-op insert/delete cost by split strategy, each op one COW transaction. mixed: {READERS} reader threads of snapshot kNN (k={K}) racing one writer that moves records at up to the given write:read ratio (achieved_write_ratio is what the single COW writer actually sustained); reader latency percentiles in microseconds, degradation relative to the 0%-writer baseline. Latency ratios depend on host parallelism (host_hardware_threads).",
-  "config": {{
-    "dataset": "uniform",
-    "n": {N},
-    "k": {K},
-    "readers": {READERS},
-    "queries_per_reader": {QUERIES_PER_READER},
-    "host_hardware_threads": {cores}
-  }},
+  "config": {config},
   "maintenance": [{mrows}
   ],
   "mixed": [{xrows}

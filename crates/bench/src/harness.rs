@@ -230,6 +230,37 @@ impl Refiner<2> for SegmentRefiner<'_> {
     }
 }
 
+/// Hardware threads available to this process (1 on the single-core hosts
+/// this repo's recorded trajectories come from).
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+/// Renders the shared `"config"` header object embedded in every
+/// `BENCH_*.json` trajectory file. Caller-supplied fields come first
+/// (values must already be valid JSON fragments — quote strings yourself),
+/// followed by the host's hardware thread count; on a 1-thread host a
+/// `host_note` is added so readers of the trajectory don't expect
+/// thread-scaling or I/O-overlap speedups from those runs. Defining the
+/// header in one place keeps every trajectory file's metadata identical
+/// in shape and spelling.
+pub fn config_header_json(fields: &[(&str, String)]) -> String {
+    let mut lines: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect();
+    let threads = host_threads();
+    lines.push(format!("\"host_hardware_threads\": {threads}"));
+    if threads == 1 {
+        lines.push(
+            "\"host_note\": \"single hardware thread: thread-scaling and I/O-overlap speedups \
+             are not expected on this host\""
+                .into(),
+        );
+    }
+    format!("{{\n    {}\n  }}", lines.join(",\n    "))
+}
+
 /// Convenience: query points for a dataset (uniform over the world).
 pub fn queries_for(n: usize, seed: u64) -> Vec<Point<2>> {
     nnq_workloads::uniform_queries(n, &nnq_workloads::default_bounds(), seed)

@@ -2,11 +2,13 @@
 
 use crate::args::{Args, CliError};
 use nnq_core::{
-    metric_knn, within_radius_with, FnRefiner, JoinOrder, KernelMode, MbrRefiner, NnOptions,
-    NnSearch, PrefetchPolicy,
+    metric_knn, partitioned_knn, partitioned_knn_batch, partitioned_radius, within_radius_with,
+    FnRefiner, JoinOrder, KernelMode, MbrRefiner, NnOptions, NnSearch, PrefetchPolicy,
 };
-use nnq_geom::{Metric, Point, Segment};
-use nnq_rtree::{BulkMethod, RTree, RTreeConfig, RecordId, SplitStrategy};
+use nnq_geom::{Metric, Point, Rect, Segment};
+use nnq_rtree::{
+    BulkMethod, PartitionManifest, PartitionedTree, RTree, RTreeConfig, RecordId, SplitStrategy,
+};
 use nnq_storage::{
     BufferPool, DiskManager, FileDisk, LatencyDisk, LatencyProfile, PageId, Wal, PAGE_SIZE,
 };
@@ -66,6 +68,31 @@ fn parse_build_method(name: &str) -> Result<Result<SplitStrategy, BulkMethod>, C
     })
 }
 
+/// `--partitions P`: Hilbert-range partition count; `None` when absent
+/// (single-tree mode), must be ≥ 1 when given.
+fn parse_partitions(args: &Args) -> Result<Option<usize>, CliError> {
+    match args.opt("partitions") {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) | Err(_) => Err(CliError::Usage(format!(
+                "flag `--partitions` must be an integer ≥ 1, got `{v}`"
+            ))),
+            Ok(p) => Ok(Some(p)),
+        },
+    }
+}
+
+/// File layout of a partitioned index rooted at `index`: partition `i`'s
+/// page file.
+fn partition_file(index: &str, i: usize) -> String {
+    format!("{index}.p{i}")
+}
+
+/// The manifest file beside a partitioned index.
+fn manifest_file(index: &str) -> String {
+    format!("{index}.manifest")
+}
+
 /// `nnq build` — build a persistent index file from a dataset.
 pub fn build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let input = args.req("input")?;
@@ -74,6 +101,17 @@ pub fn build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
     let segments = load_segments_csv(input)?;
     let items = segments_to_items(&segments);
+
+    if let Some(partitions) = parse_partitions(args)? {
+        let Err(bulk) = method else {
+            return Err(CliError::Usage(
+                "flag `--partitions` requires a bulk method (str, hilbert, or lowx): \
+                 dynamic insertion builds one tree"
+                    .into(),
+            ));
+        };
+        return build_partitioned(index, items, partitions, bulk, out);
+    }
 
     let disk = FileDisk::create(index, PAGE_SIZE)?;
     let pool = Arc::new(BufferPool::new(Box::new(disk), 4096));
@@ -110,8 +148,98 @@ pub fn build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Builds a Hilbert-range partitioned index: one page file per partition
+/// (`<index>.p<i>`) plus the text manifest (`<index>.manifest`).
+/// Partitions build in parallel, one thread per available core.
+fn build_partitioned(
+    index: &str,
+    items: Vec<(Rect<2>, RecordId)>,
+    partitions: usize,
+    bulk: BulkMethod,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let pools: Vec<Arc<BufferPool>> = (0..partitions)
+        .map(|i| {
+            let disk = FileDisk::create(partition_file(index, i), PAGE_SIZE)?;
+            Ok(Arc::new(BufferPool::new(Box::new(disk), 4096)))
+        })
+        .collect::<Result<_, CliError>>()?;
+    let build_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let start = Instant::now();
+    let tree = PartitionedTree::bulk_load_on(
+        pools,
+        RTreeConfig::default(),
+        items,
+        bulk,
+        1.0,
+        build_threads,
+    )?;
+    for part in tree.partitions() {
+        part.pool().flush_all()?;
+    }
+    std::fs::write(manifest_file(index), tree.manifest().encode())
+        .map_err(|e| CliError::Run(format!("writing manifest: {e}")))?;
+    let elapsed = start.elapsed();
+    let max_height = tree
+        .partitions()
+        .iter()
+        .map(|p| p.height())
+        .max()
+        .unwrap_or(0);
+    writeln!(
+        out,
+        "built {index}: {} entries across {partitions} partition(s), max height {max_height}, \
+         {build_threads} build thread(s), {:.0} ms (manifest {})",
+        tree.len(),
+        elapsed.as_secs_f64() * 1e3,
+        manifest_file(index)
+    )?;
+    Ok(())
+}
+
 fn open_index(path: &str) -> Result<(RTree<2>, Arc<BufferPool>), CliError> {
     open_index_tuned(path, 1, 0, PrefetchPolicy::Off)
+}
+
+/// Opens a partitioned index built by [`build_partitioned`]: decodes the
+/// manifest, opens every partition file on its **own** pool (each with
+/// the requested shard count, injected latency, and prefetch pipeline),
+/// and checks the partition count against `expected`.
+fn open_partitioned(
+    index: &str,
+    expected: usize,
+    shards: usize,
+    io_lat_us: u64,
+    prefetch: PrefetchPolicy,
+) -> Result<PartitionedTree<2>, CliError> {
+    let manifest_path = manifest_file(index);
+    let text = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| CliError::Run(format!("reading {manifest_path}: {e}")))?;
+    let manifest = PartitionManifest::<2>::decode(&text)?;
+    if manifest.parts.len() != expected {
+        return Err(CliError::Usage(format!(
+            "--partitions {expected} does not match {manifest_path} ({} partitions)",
+            manifest.parts.len()
+        )));
+    }
+    let mut parts = Vec::with_capacity(expected);
+    for i in 0..expected {
+        let disk = FileDisk::open(partition_file(index, i), PAGE_SIZE)?;
+        let disk: Box<dyn DiskManager> = if io_lat_us > 0 {
+            Box::new(LatencyDisk::new(
+                disk,
+                LatencyProfile::symmetric_us(io_lat_us),
+            ))
+        } else {
+            Box::new(disk)
+        };
+        let mut pool = BufferPool::with_shards(disk, 4096, shards);
+        if prefetch != PrefetchPolicy::Off {
+            pool.start_prefetch(2, 64);
+        }
+        parts.push(RTree::<2>::open(Arc::new(pool), PageId(0))?);
+    }
+    Ok(PartitionedTree::from_parts(parts, manifest)?)
 }
 
 /// Opens an index with the full I/O tuning surface: pool shard count,
@@ -223,6 +351,17 @@ pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let pool_shards = parse_pool_shards(args)?;
     let prefetch = parse_prefetch(args)?;
     let io_lat_us: u64 = args.num("io-lat-us", 0)?;
+    if let Some(partitions) = parse_partitions(args)? {
+        return query_partitioned(
+            args,
+            out,
+            partitions,
+            threads,
+            pool_shards,
+            io_lat_us,
+            prefetch,
+        );
+    }
     let (tree, pool) = open_index_tuned(args.req("index")?, pool_shards, io_lat_us, prefetch)?;
     let segments = load_segments_csv(args.req("data")?)?;
     if segments.len() as u64 != tree.len() {
@@ -306,6 +445,95 @@ pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The `--partitions` branch of `nnq query`: scatter-gather over a
+/// partitioned index. Results are bit-identical to the single-tree
+/// query; the stats line additionally reports how many partitions the
+/// MINDIST-to-partition-MBR schedule visited vs pruned.
+fn query_partitioned(
+    args: &Args,
+    out: &mut dyn Write,
+    partitions: usize,
+    threads: usize,
+    pool_shards: usize,
+    io_lat_us: u64,
+    prefetch: PrefetchPolicy,
+) -> Result<(), CliError> {
+    if args.opt("metric").is_some() {
+        return Err(CliError::Usage(
+            "flag `--metric` is not supported with `--partitions`: \
+             generalized metrics run on a single tree"
+                .into(),
+        ));
+    }
+    let tree = open_partitioned(
+        args.req("index")?,
+        partitions,
+        pool_shards,
+        io_lat_us,
+        prefetch,
+    )?;
+    let segments = load_segments_csv(args.req("data")?)?;
+    if segments.len() as u64 != tree.len() {
+        return Err(CliError::Run(format!(
+            "index has {} entries but data file has {} segments — wrong pairing?",
+            tree.len(),
+            segments.len()
+        )));
+    }
+    let (x, y) = args.coords("at")?;
+    let q = Point::new([x, y]);
+    let kernel: KernelMode = args.num("kernel", KernelMode::default())?;
+    let refiner = FnRefiner::new(|rid: RecordId, _: &Rect<2>, p: &Point<2>| {
+        segments[rid.0 as usize].dist_sq_to_point(p)
+    });
+    let opts = NnOptions {
+        prefetch,
+        ..NnOptions::with_kernel(kernel)
+    };
+
+    let start = Instant::now();
+    let (hits, pstats) = if let Some(radius) = args.opt("radius") {
+        let radius: f64 = radius
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --radius `{radius}`")))?;
+        partitioned_radius(&tree, &q, radius, opts, &refiner, threads)?
+    } else {
+        let k: usize = args.num("k", 1)?;
+        partitioned_knn(&tree, &q, k, opts, &refiner, threads)?
+    };
+    let elapsed = start.elapsed();
+
+    for (rank, n) in hits.iter().enumerate() {
+        let s = &segments[n.record.0 as usize];
+        writeln!(
+            out,
+            "{:>3}. segment #{:<8} [{:.1},{:.1}]->[{:.1},{:.1}]  dist {:.1}",
+            rank + 1,
+            n.record.0,
+            s.a[0],
+            s.a[1],
+            s.b[0],
+            s.b[1],
+            n.dist()
+        )?;
+    }
+    let pool = tree.pool_stats();
+    writeln!(
+        out,
+        "({} results, {} nodes read, {}/{partitions} partition(s) visited ({} pruned, {} round(s)), \
+         kernel {kernel}, {} thread(s), pool hit rate {:.1}%, {:.1} µs)",
+        hits.len(),
+        pstats.search.nodes_visited,
+        pstats.partitions_visited,
+        pstats.partitions_pruned,
+        pstats.rounds,
+        threads,
+        pool.hit_rate() * 100.0,
+        elapsed.as_secs_f64() * 1e6
+    )?;
+    Ok(())
+}
+
 /// `nnq bench` — average query latency and page accesses over a batch of
 /// random query points.
 pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -313,6 +541,17 @@ pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let pool_shards = parse_pool_shards(args)?;
     let prefetch = parse_prefetch(args)?;
     let io_lat_us: u64 = args.num("io-lat-us", 0)?;
+    if let Some(partitions) = parse_partitions(args)? {
+        return bench_partitioned(
+            args,
+            out,
+            partitions,
+            threads,
+            pool_shards,
+            io_lat_us,
+            prefetch,
+        );
+    }
     let (tree, pool) = open_index_tuned(args.req("index")?, pool_shards, io_lat_us, prefetch)?;
     let segments = load_segments_csv(args.req("data")?)?;
     let n_queries: usize = args.num("queries", 1000)?;
@@ -367,6 +606,71 @@ pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(report) = prefetch_report(&pool, prefetch) {
         writeln!(out, "{report}")?;
     }
+    Ok(())
+}
+
+/// The `--partitions` branch of `nnq bench`: the work-stealing batch
+/// executor fans queries out over workers, and each query runs its own
+/// scatter-gather pass. Page accesses are summed across every
+/// partition's pool, so pages/query is directly comparable to the
+/// single-tree figure.
+fn bench_partitioned(
+    args: &Args,
+    out: &mut dyn Write,
+    partitions: usize,
+    threads: usize,
+    pool_shards: usize,
+    io_lat_us: u64,
+    prefetch: PrefetchPolicy,
+) -> Result<(), CliError> {
+    let tree = open_partitioned(
+        args.req("index")?,
+        partitions,
+        pool_shards,
+        io_lat_us,
+        prefetch,
+    )?;
+    let segments = load_segments_csv(args.req("data")?)?;
+    let n_queries: usize = args.num("queries", 1000)?;
+    let k: usize = args.num("k", 10)?;
+    let seed: u64 = args.num("seed", 1)?;
+    let kernel: KernelMode = args.num("kernel", KernelMode::default())?;
+    let queries = nnq_workloads::uniform_queries(n_queries, &default_bounds(), seed);
+    let refiner = FnRefiner::new(|rid: RecordId, _: &Rect<2>, p: &Point<2>| {
+        segments[rid.0 as usize].dist_sq_to_point(p)
+    });
+    let opts = NnOptions {
+        prefetch,
+        ..NnOptions::with_kernel(kernel)
+    };
+
+    tree.reset_stats();
+    let start = Instant::now();
+    let (_, pstats) = partitioned_knn_batch(&tree, &queries, k, opts, &refiner, threads)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    let elapsed = start.elapsed();
+    let pool = tree.pool_stats();
+    let per_q = |v: u64| v as f64 / n_queries.max(1) as f64;
+    writeln!(
+        out,
+        "{} queries (k = {k}) over {partitions} partition(s): {:.1} µs/query, {:.1} pages/query, \
+         {:.1} physical reads/query, hit rate {:.1}%",
+        n_queries,
+        elapsed.as_secs_f64() * 1e6 / n_queries.max(1) as f64,
+        per_q(pool.logical_reads),
+        per_q(pool.physical_reads),
+        pool.hit_rate() * 100.0
+    )?;
+    writeln!(
+        out,
+        "partitions: {:.2} visited/query, {:.2} pruned/query, {:.2} round(s)/query, \
+         kernel {kernel}, {} thread(s), {} pool shard(s)/partition",
+        per_q(pstats.partitions_visited),
+        per_q(pstats.partitions_pruned),
+        per_q(pstats.rounds),
+        threads,
+        pool_shards
+    )?;
     Ok(())
 }
 
@@ -485,18 +789,45 @@ fn mutate(args: &Args, out: &mut dyn Write, op: MutateOp) -> Result<(), CliError
     let start = Instant::now();
     let mut applied = 0u64;
     let mut missing = 0u64;
-    for (i, (mbr, _)) in items.iter().enumerate() {
-        let rid = RecordId(id_base + i as u64);
-        match op {
-            MutateOp::Insert => {
-                tree.insert(mbr, rid)?;
-                applied += 1;
+    let mut txns = 0u64;
+    match op {
+        MutateOp::Insert => {
+            // Group commit at the transaction level, not just the WAL sync:
+            // every record that arrives within one `--group-commit-us`
+            // window joins a single copy-on-write transaction, so the
+            // whole batch shares one path-copy amortization, one root
+            // publish, and (when journaled) one WAL append. A zero window
+            // degenerates to a transaction per record.
+            let window = std::time::Duration::from_micros(group_commit_us);
+            let mut batch: Vec<(Rect<2>, RecordId)> = Vec::new();
+            let mut window_open = Instant::now();
+            for (i, (mbr, _)) in items.iter().enumerate() {
+                if batch.is_empty() {
+                    window_open = Instant::now();
+                }
+                batch.push((*mbr, RecordId(id_base + i as u64)));
+                if window.is_zero() || window_open.elapsed() >= window {
+                    tree.insert_many(&batch)?;
+                    applied += batch.len() as u64;
+                    txns += 1;
+                    batch.clear();
+                }
             }
-            MutateOp::Delete => match tree.delete(mbr, rid) {
-                Ok(()) => applied += 1,
-                Err(nnq_rtree::RTreeError::NotFound) => missing += 1,
-                Err(e) => return Err(e.into()),
-            },
+            if !batch.is_empty() {
+                tree.insert_many(&batch)?;
+                applied += batch.len() as u64;
+                txns += 1;
+            }
+        }
+        MutateOp::Delete => {
+            for (i, (mbr, _)) in items.iter().enumerate() {
+                let rid = RecordId(id_base + i as u64);
+                match tree.delete(mbr, rid) {
+                    Ok(()) => applied += 1,
+                    Err(nnq_rtree::RTreeError::NotFound) => missing += 1,
+                    Err(e) => return Err(e.into()),
+                }
+            }
         }
     }
     let syncs = pool.wal().map(nnq_storage::Wal::sync_count);
@@ -520,6 +851,9 @@ fn mutate(args: &Args, out: &mut dyn Write, op: MutateOp) -> Result<(), CliError
     )?;
     if missing > 0 {
         write!(out, ", {missing} not found")?;
+    }
+    if matches!(op, MutateOp::Insert) {
+        write!(out, ", {txns} txns")?;
     }
     if let Some(s) = syncs {
         write!(out, ", {s} wal syncs (group window {group_commit_us} us)")?;

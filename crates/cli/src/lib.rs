@@ -56,15 +56,18 @@ nnq — nearest-neighbor queries over R-trees (RKV'95)
 
 USAGE:
   nnq gen    --kind <tiger|uniform|clustered> --n <N> [--seed <S>] --out <FILE>
-  nnq build  --input <FILE> --index <FILE> [--method <quadratic|linear|rstar|str|hilbert|lowx>]
+  nnq build  --input <FILE> --index <FILE> [--method <quadratic|linear|rstar|str|hilbert|lowx>] [--partitions <P>]
   nnq ingest --input <FILE> --index <FILE> [--wal <FILE>] [--group-commit-us <N>] [--id-base <N>]
   nnq delete --input <FILE> --index <FILE> [--wal <FILE>] [--group-commit-us <N>] [--id-base <N>]
   nnq stats  --index <FILE>
-  nnq query  --index <FILE> --data <FILE> --at <X,Y> [-k <K>] [--radius <R>] [--metric <l1|l2|linf>] [--kernel <scalar|batch>] [--threads <N>] [--pool-shards <P2>] [--prefetch <off|N|adaptive>] [--io-lat-us <N>]
-  nnq bench  --index <FILE> --data <FILE> [--queries <N>] [-k <K>] [--seed <S>] [--kernel <scalar|batch>] [--threads <N>] [--pool-shards <P2>] [--prefetch <off|N|adaptive>] [--io-lat-us <N>]
+  nnq query  --index <FILE> --data <FILE> --at <X,Y> [-k <K>] [--radius <R>] [--metric <l1|l2|linf>] [--kernel <scalar|batch>] [--threads <N>] [--partitions <P>] [--pool-shards <P2>] [--prefetch <off|N|adaptive>] [--io-lat-us <N>]
+  nnq bench  --index <FILE> --data <FILE> [--queries <N>] [-k <K>] [--seed <S>] [--kernel <scalar|batch>] [--threads <N>] [--partitions <P>] [--pool-shards <P2>] [--prefetch <off|N|adaptive>] [--io-lat-us <N>]
   nnq explain --index <FILE> --at <X,Y> [-k <K>]
   nnq join   --index <FILE> --data <FILE> --outer <FILE> [-k <K>]
 
 Datasets are segment CSV files (`ax,ay,bx,by` per line); point datasets use
 degenerate segments. Indexes are page files created by `build` (the meta
-page is page 0).";
+page is page 0). `build --partitions P` needs a bulk method and splits the
+dataset into P Hilbert-key-range trees (`<index>.p<i>` + `<index>.manifest`);
+`query`/`bench --partitions P` run scatter-gather over them with one shared
+k-th-distance bound.";

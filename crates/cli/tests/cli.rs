@@ -688,6 +688,308 @@ fn ingest_and_delete_roundtrip_with_wal() {
 }
 
 #[test]
+fn partitioned_build_query_bench_match_single_tree() {
+    let data = tmp("part.csv");
+    let single = tmp("part-single.rtree");
+    let parted = tmp("part-multi.rtree");
+    run_ok(&[
+        "gen", "--kind", "tiger", "--n", "4000", "--seed", "11", "--out", &data,
+    ]);
+    run_ok(&[
+        "build", "--input", &data, "--index", &single, "--method", "hilbert",
+    ]);
+    let out = run_ok(&[
+        "build",
+        "--input",
+        &data,
+        "--index",
+        &parted,
+        "--method",
+        "hilbert",
+        "--partitions",
+        "4",
+    ]);
+    assert!(out.contains("4 partition(s)"), "{out}");
+    assert!(out.contains("manifest"), "{out}");
+    for i in 0..4 {
+        assert!(
+            std::path::Path::new(&format!("{parted}.p{i}")).exists(),
+            "missing partition file {i}"
+        );
+    }
+    assert!(std::path::Path::new(&format!("{parted}.manifest")).exists());
+
+    // kNN and radius hits are identical to the single tree, for both
+    // sequential and parallel scatter.
+    let hits = |out: &str| -> Vec<String> {
+        out.lines()
+            .filter(|l| l.contains("segment #"))
+            .map(str::to_string)
+            .collect()
+    };
+    let single_knn = run_ok(&[
+        "query",
+        "--index",
+        &single,
+        "--data",
+        &data,
+        "--at",
+        "50000,50000",
+        "-k",
+        "5",
+    ]);
+    for threads in ["1", "4"] {
+        let out = run_ok(&[
+            "query",
+            "--index",
+            &parted,
+            "--data",
+            &data,
+            "--at",
+            "50000,50000",
+            "-k",
+            "5",
+            "--partitions",
+            "4",
+            "--threads",
+            threads,
+        ]);
+        assert_eq!(hits(&out), hits(&single_knn), "threads={threads}: {out}");
+        assert!(out.contains("partition(s) visited"), "{out}");
+    }
+    let single_radius = run_ok(&[
+        "query",
+        "--index",
+        &single,
+        "--data",
+        &data,
+        "--at",
+        "50000,50000",
+        "--radius",
+        "4000",
+    ]);
+    let parted_radius = run_ok(&[
+        "query",
+        "--index",
+        &parted,
+        "--data",
+        &data,
+        "--at",
+        "50000,50000",
+        "--radius",
+        "4000",
+        "--partitions",
+        "4",
+    ]);
+    assert_eq!(
+        hits(&parted_radius),
+        hits(&single_radius),
+        "{parted_radius}"
+    );
+
+    // Bench runs the scatter-gather batch path and reports the partition
+    // accounting; pages/query must be thread-invariant.
+    let bench = |threads: &str| -> String {
+        run_ok(&[
+            "bench",
+            "--index",
+            &parted,
+            "--data",
+            &data,
+            "--queries",
+            "40",
+            "-k",
+            "5",
+            "--partitions",
+            "4",
+            "--threads",
+            threads,
+        ])
+    };
+    let pages = |out: &str| -> String {
+        out.lines()
+            .next()
+            .unwrap()
+            .split(", ")
+            .find(|f| f.ends_with("pages/query"))
+            .unwrap()
+            .to_string()
+    };
+    let b1 = bench("1");
+    assert!(b1.contains("4 partition(s)"), "{b1}");
+    assert!(b1.contains("visited/query"), "{b1}");
+    let b4 = bench("4");
+    assert_eq!(pages(&b1), pages(&b4), "{b1}\n{b4}");
+
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&single).ok();
+    for i in 0..4 {
+        std::fs::remove_file(format!("{parted}.p{i}")).ok();
+    }
+    std::fs::remove_file(format!("{parted}.manifest")).ok();
+}
+
+#[test]
+fn partitioned_flag_validation() {
+    let data = tmp("partv.csv");
+    let index = tmp("partv.rtree");
+    run_ok(&[
+        "gen", "--kind", "uniform", "--n", "600", "--seed", "2", "--out", &data,
+    ]);
+    let mut sink = Vec::new();
+    // Zero / non-numeric partition counts are usage errors.
+    for bad in ["0", "four", "-2"] {
+        assert!(
+            matches!(
+                run(
+                    &argv(&[
+                        "build",
+                        "--input",
+                        &data,
+                        "--index",
+                        &index,
+                        "--method",
+                        "hilbert",
+                        "--partitions",
+                        bad,
+                    ]),
+                    &mut sink
+                ),
+                Err(CliError::Usage(_))
+            ),
+            "expected usage error for --partitions {bad}"
+        );
+    }
+    // Dynamic-insertion methods cannot partition.
+    assert!(matches!(
+        run(
+            &argv(&[
+                "build",
+                "--input",
+                &data,
+                "--index",
+                &index,
+                "--method",
+                "quadratic",
+                "--partitions",
+                "4",
+            ]),
+            &mut sink
+        ),
+        Err(CliError::Usage(_))
+    ));
+    // A partition-count mismatch against the manifest is caught at open.
+    run_ok(&[
+        "build",
+        "--input",
+        &data,
+        "--index",
+        &index,
+        "--method",
+        "str",
+        "--partitions",
+        "4",
+    ]);
+    assert!(matches!(
+        run(
+            &argv(&[
+                "query",
+                "--index",
+                &index,
+                "--data",
+                &data,
+                "--at",
+                "0,0",
+                "--partitions",
+                "2",
+            ]),
+            &mut sink
+        ),
+        Err(CliError::Usage(_))
+    ));
+    // Generalized metrics are single-tree only.
+    assert!(matches!(
+        run(
+            &argv(&[
+                "query",
+                "--index",
+                &index,
+                "--data",
+                &data,
+                "--at",
+                "0,0",
+                "--partitions",
+                "4",
+                "--metric",
+                "l1",
+            ]),
+            &mut sink
+        ),
+        Err(CliError::Usage(_))
+    ));
+    std::fs::remove_file(&data).ok();
+    for i in 0..4 {
+        std::fs::remove_file(format!("{index}.p{i}")).ok();
+    }
+    std::fs::remove_file(format!("{index}.manifest")).ok();
+}
+
+#[test]
+fn ingest_groups_records_into_batched_txns() {
+    let data = tmp("gc.csv");
+    let index = tmp("gc.rtree");
+    run_ok(&[
+        "gen", "--kind", "uniform", "--n", "600", "--seed", "4", "--out", &data,
+    ]);
+    run_ok(&["build", "--input", &data, "--index", &index]);
+
+    // A zero window degenerates to one COW transaction per record.
+    let out = run_ok(&[
+        "ingest",
+        "--input",
+        &data,
+        "--index",
+        &index,
+        "--group-commit-us",
+        "0",
+        "--id-base",
+        "10000",
+    ]);
+    assert!(out.contains("ingested 600 entries"), "{out}");
+    assert!(out.contains("600 txns"), "{out}");
+
+    // A wide window batches every record arriving inside it into one
+    // transaction — far fewer commits than records.
+    let out = run_ok(&[
+        "ingest",
+        "--input",
+        &data,
+        "--index",
+        &index,
+        "--group-commit-us",
+        "1000000",
+        "--id-base",
+        "20000",
+    ]);
+    assert!(out.contains("ingested 600 entries"), "{out}");
+    let txns: u64 = out
+        .split(", ")
+        .find_map(|f| f.strip_suffix(" txns"))
+        .unwrap_or_else(|| panic!("no txn count in {out}"))
+        .parse()
+        .unwrap();
+    assert!(txns < 600, "expected batching, got {txns} txns: {out}");
+    assert!(out.contains("1800 total"), "{out}");
+
+    // The batched path leaves a queryable tree behind.
+    let out = run_ok(&["stats", "--index", &index]);
+    assert!(out.contains("entries:      1800"), "{out}");
+
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&index).ok();
+}
+
+#[test]
 fn ingest_without_wal_and_unjournaled_flags() {
     let data = tmp("plain.csv");
     let index = tmp("plain.rtree");

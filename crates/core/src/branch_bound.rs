@@ -133,7 +133,7 @@ impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
         refiner: &R,
     ) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
         let mut cursor = QueryCursor::new();
-        self.run(&mut cursor, q, k, refiner, None)
+        self.run(&mut cursor, q, k, refiner, None, f64::INFINITY)
     }
 
     /// Like [`NnSearch::query_refined`], reusing `cursor`'s buffers — the
@@ -146,7 +146,35 @@ impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
         k: usize,
         refiner: &R,
     ) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
-        self.run(cursor, q, k, refiner, None)
+        self.run(cursor, q, k, refiner, None, f64::INFINITY)
+    }
+
+    /// Like [`NnSearch::query_refined_with`], but the traversal starts
+    /// with an externally supplied upper bound on the k-th nearest
+    /// squared distance: branches and objects at `init_bound_sq` or
+    /// beyond are pruned upward from the first node on, exactly as if a
+    /// candidate at that distance were already in the heap.
+    ///
+    /// This is the scatter-gather entry point — a partition searched
+    /// after its siblings starts pre-pruned by the best k-th distance
+    /// they established. An unrelated caller can pass `f64::INFINITY`
+    /// (equivalent to [`NnSearch::query_refined_with`]).
+    ///
+    /// The bound must be a *sound* upper bound on the true k-th distance
+    /// (e.g. a k-full heap bound from other partitions); results closer
+    /// than the bound are exact. Objects at or beyond it may still
+    /// appear in the returned list while the local heap is not yet full
+    /// — a gather stage that merges across partitions discards them by
+    /// distance, so correctness is unaffected.
+    pub fn query_refined_bounded<R: Refiner<D>>(
+        &self,
+        cursor: &mut QueryCursor<D>,
+        q: &Point<D>,
+        k: usize,
+        refiner: &R,
+        init_bound_sq: f64,
+    ) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
+        self.run(cursor, q, k, refiner, None, init_bound_sq)
     }
 
     /// Finds the `k` nearest objects whose MBR intersects `region` — the
@@ -165,7 +193,7 @@ impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
         refiner: &R,
     ) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
         let mut cursor = QueryCursor::new();
-        self.run(&mut cursor, q, k, refiner, Some(*region))
+        self.run(&mut cursor, q, k, refiner, Some(*region), f64::INFINITY)
     }
 
     /// Like [`NnSearch::query_refined`], additionally recording a full
@@ -191,6 +219,7 @@ impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
             stats: SearchStats::default(),
             trace: Some(&mut trace),
             prefetch_depth,
+            shared_bound_sq: f64::INFINITY,
         };
         if let Some(root) = self.tree.access_root() {
             ctx.visit(root, 0)?;
@@ -206,6 +235,7 @@ impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
         k: usize,
         refiner: &R,
         region: Option<Rect<D>>,
+        init_bound_sq: f64,
     ) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
         assert!(k > 0, "k must be at least 1");
         let mut opts = self.opts;
@@ -227,6 +257,7 @@ impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
             stats: SearchStats::default(),
             trace: None,
             prefetch_depth,
+            shared_bound_sq: init_bound_sq,
         };
         if let Some(root) = self.tree.access_root() {
             ctx.visit(root, 0)?;
@@ -248,6 +279,13 @@ struct Ctx<'t, 'r, const D: usize, T: ?Sized, R> {
     /// Prefetch-hint depth, resolved from `opts.prefetch` once per query
     /// (the adaptive policy samples the backend miss rate at query start).
     prefetch_depth: usize,
+    /// Externally supplied upper bound on the k-th nearest squared
+    /// distance (`+∞` outside scatter-gather): upward pruning compares
+    /// against the tighter of this and the local heap's bound. Fixed for
+    /// the duration of one traversal — the scatter protocol refreshes it
+    /// only between partition rounds, which is what keeps page-access
+    /// counts independent of scheduling (see `scatter.rs`).
+    shared_bound_sq: f64,
 }
 
 /// k-th smallest value of `values` (`+∞` when fewer than k values).
@@ -342,10 +380,11 @@ impl<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner<D>> Ctx<'_, '_, D, T,
     }
 
     /// The strategy-3 comparison bound: the k-th candidate's squared
-    /// distance, shrunk by (1+ε)² for approximate queries (a branch whose
-    /// MINDIST is within ε of the candidate bound may be skipped).
+    /// distance — or the externally supplied shared bound if tighter —
+    /// shrunk by (1+ε)² for approximate queries (a branch whose MINDIST
+    /// is within ε of the candidate bound may be skipped).
     fn pruning_bound_sq(&self) -> f64 {
-        let bound = self.cursor.heap.bound_sq();
+        let bound = self.cursor.heap.bound_sq().min(self.shared_bound_sq);
         if self.opts.epsilon > 0.0 {
             let f = 1.0 + self.opts.epsilon;
             bound / (f * f)

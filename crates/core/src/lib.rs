@@ -74,6 +74,7 @@ mod parallel;
 mod radius;
 mod refine;
 mod scan;
+mod scatter;
 mod spatial_join;
 
 pub use best_first::{best_first_knn, best_first_knn_opts, best_first_knn_with};
@@ -89,6 +90,10 @@ pub use parallel::{par_knn_batch, par_knn_batch_ordered, par_knn_batch_stats, Ba
 pub use radius::{count_within_radius, within_radius, within_radius_with};
 pub use refine::{FnRefiner, MbrRefiner, Refiner};
 pub use scan::{linear_scan_knn, scan_items_knn};
+pub use scatter::{
+    partitioned_knn, partitioned_knn_batch, partitioned_radius, scatter_knn, scatter_radius,
+    PartitionedStats, SharedBound,
+};
 pub use spatial_join::{intersection_join, intersection_join_with, JoinStats};
 
 /// Result alias shared with the index layer.

@@ -290,6 +290,18 @@ impl SearchStats {
     pub fn pruned_total(&self) -> u64 {
         self.pruned_downward + self.pruned_object + self.pruned_upward
     }
+
+    /// Adds `other` counter-wise — how per-partition traversal stats sum
+    /// to one dataset-wide figure in the scatter-gather search.
+    pub fn accumulate(&mut self, other: &SearchStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.leaves_visited += other.leaves_visited;
+        self.abl_entries += other.abl_entries;
+        self.pruned_downward += other.pruned_downward;
+        self.pruned_object += other.pruned_object;
+        self.pruned_upward += other.pruned_upward;
+        self.dist_computations += other.dist_computations;
+    }
 }
 
 #[cfg(test)]

@@ -49,7 +49,7 @@ pub struct BatchStats {
 /// Block size for the shared cursor: small enough that an expensive query
 /// can be compensated by the other workers (at most one block is claimed
 /// blind), large enough that the atomic increment amortizes.
-fn block_size(len: usize, threads: usize) -> usize {
+pub(crate) fn block_size(len: usize, threads: usize) -> usize {
     (len / (threads * 8)).clamp(1, 32)
 }
 

@@ -1,0 +1,750 @@
+//! Scatter-gather queries over Hilbert-range partitioned trees.
+//!
+//! The paper's Theorem 1 justifies discarding a *subtree* whose MINDIST
+//! exceeds the current k-th candidate distance; nothing in the argument
+//! requires the subtree to hang off the same root. Applied one level up,
+//! it discards a whole *partition* whose MINDIST-to-partition-MBR exceeds
+//! the bound — the scale-out form of branch-and-bound kNN. This module
+//! implements that search over any slice of [`TreeAccess`] backends plus
+//! their MBRs ([`scatter_knn`] / [`scatter_radius`]), with convenience
+//! wrappers for [`PartitionedTree`].
+//!
+//! ## The shared-bound round protocol
+//!
+//! Partitions are scheduled in ascending `(MINDIST(q, partition MBR),
+//! partition index)` order and executed in **rounds** of doubling size
+//! (1, 1, 2, 4, 8, …). At the start of each round the [`SharedBound`] —
+//! an `AtomicU64` holding the best k-th squared distance as `f64` bits —
+//! is sampled **once**:
+//!
+//! * every scheduled partition whose MINDIST is at or beyond the sample
+//!   is pruned, along with the entire remaining schedule (the schedule is
+//!   sorted by MINDIST and the bound only tightens, so the first pruned
+//!   partition proves the rest);
+//! * the round's survivors are searched in parallel, each through its own
+//!   [`QueryCursor`] pre-pruned by the *same* sampled bound
+//!   ([`NnSearch::query_refined_bounded`]);
+//! * after a barrier, per-partition results are merged into the global
+//!   candidate heap in schedule order, and only then is the shared bound
+//!   tightened.
+//!
+//! Sampling per round — never mid-flight — is a deliberate trade: a live
+//! bound would sometimes prune a little more, but *which* pages a
+//! partition reads would then depend on thread scheduling. With the round
+//! protocol, every per-partition traversal is a pure function of
+//! `(partition, query, k, round bound)`, so results, every
+//! [`SearchStats`] counter, and the summed per-partition `logical_reads`
+//! are bit-identical across thread counts — the same accounting contract
+//! the rest of this crate keeps for caches, kernels, and prefetch. The
+//! doubling round sizes bound the cost of the serialization: the first
+//! two rounds establish a tight bound from the nearest partitions (one
+//! partition each), after which wide rounds exploit full parallelism —
+//! at most ⌈log₂ P⌉ + 1 barriers for P partitions.
+//!
+//! The first round starts with an infinite bound, so the nearest
+//! partition is searched exactly as a standalone tree would be; with one
+//! partition the whole protocol degenerates to a plain single-tree query.
+
+use crate::branch_bound::{NnSearch, QueryCursor};
+use crate::heap::KnnHeap;
+use crate::options::{Neighbor, NnOptions, SearchStats};
+use crate::parallel::block_size;
+use crate::radius::within_radius_with;
+use crate::refine::Refiner;
+use crate::Result;
+use nnq_geom::{mindist_sq, Point, Rect};
+use nnq_rtree::{PartitionedTree, TreeAccess};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The k-th-distance bound shared across partition searches: an
+/// `AtomicU64` holding `f64` bits, tightened monotonically.
+///
+/// Squared distances are nonnegative, and `f64::to_bits` is
+/// order-preserving on nonnegative values, so the CAS loop in
+/// [`SharedBound::tighten`] can compare bit patterns' float values
+/// directly without worrying about the sign-magnitude encoding.
+pub struct SharedBound(AtomicU64);
+
+impl SharedBound {
+    /// A fresh bound: `+∞` (nothing prunes yet).
+    pub fn new() -> Self {
+        Self(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    /// The current bound.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Acquire))
+    }
+
+    /// Lowers the bound to `value` if `value` is tighter; never raises it.
+    pub fn tighten(&self, value: f64) {
+        let mut current = self.0.load(Ordering::Acquire);
+        while value < f64::from_bits(current) {
+            match self.0.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+impl Default for SharedBound {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Work counters for one scatter-gather query (or a batch of them).
+///
+/// `search` sums the per-partition traversal counters in schedule order;
+/// the partition counters satisfy
+/// `partitions_visited + partitions_pruned == P` for every query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartitionedStats {
+    /// Summed per-partition traversal counters.
+    pub search: SearchStats,
+    /// Partitions actually searched.
+    pub partitions_visited: u64,
+    /// Partitions skipped because their MINDIST-to-MBR reached the shared
+    /// bound (kNN) or exceeded the radius — including empty partitions,
+    /// whose empty MBR has infinite MINDIST.
+    pub partitions_pruned: u64,
+    /// Rounds executed by the kNN protocol (1 for any non-empty radius
+    /// scatter).
+    pub rounds: u64,
+}
+
+impl PartitionedStats {
+    /// Adds `other` counter-wise (batch aggregation).
+    pub fn accumulate(&mut self, other: &PartitionedStats) {
+        self.search.accumulate(&other.search);
+        self.partitions_visited += other.partitions_visited;
+        self.partitions_pruned += other.partitions_pruned;
+        self.rounds += other.rounds;
+    }
+}
+
+/// One scheduled partition: its MINDIST to the query and its index.
+#[derive(Clone, Copy)]
+struct Sched {
+    mindist_sq: f64,
+    part: usize,
+}
+
+/// Builds the MINDIST-ascending schedule (ties broken by partition
+/// index, so the order is total and deterministic).
+fn schedule<const D: usize>(q: &Point<D>, mbrs: &[Rect<D>]) -> Vec<Sched> {
+    let mut sched: Vec<Sched> = mbrs
+        .iter()
+        .enumerate()
+        .map(|(part, mbr)| Sched {
+            // An empty partition's MBR is `Rect::empty()` with infinite
+            // corners: its MINDIST evaluates to +∞ and the schedule tail
+            // prunes it without a special case.
+            mindist_sq: mindist_sq(q, mbr),
+            part,
+        })
+        .collect();
+    sched.sort_by(|a, b| {
+        a.mindist_sq
+            .total_cmp(&b.mindist_sq)
+            .then_with(|| a.part.cmp(&b.part))
+    });
+    sched
+}
+
+/// Branch-and-bound kNN over `parts`, visiting partitions in MINDIST
+/// order under the shared-bound round protocol (module docs).
+///
+/// `mbrs[i]` must bound every object in `parts[i]`
+/// ([`Rect::empty`] for an empty partition). Results are the exact k
+/// nearest across all partitions, sorted by `(distance, record)` — and,
+/// like every counter in the returned [`PartitionedStats`], independent
+/// of `threads`.
+///
+/// # Panics
+/// Panics if `parts` and `mbrs` have different lengths, `k == 0`, or
+/// `threads == 0`.
+pub fn scatter_knn<const D: usize, T, R>(
+    parts: &[T],
+    mbrs: &[Rect<D>],
+    q: &Point<D>,
+    k: usize,
+    opts: NnOptions,
+    refiner: &R,
+    threads: usize,
+) -> Result<(Vec<Neighbor<D>>, PartitionedStats)>
+where
+    T: TreeAccess<D> + Sync,
+    R: Refiner<D> + Sync,
+{
+    assert_eq!(parts.len(), mbrs.len(), "one MBR per partition");
+    assert!(k > 0, "k must be at least 1");
+    assert!(threads > 0, "need at least one worker");
+    let sched = schedule(q, mbrs);
+    let shared = SharedBound::new();
+    let mut heap = KnnHeap::<D>::new(k);
+    let mut stats = PartitionedStats::default();
+    let mut next = 0usize; // first unprocessed schedule slot
+    let mut round_size = 1usize;
+
+    while next < sched.len() {
+        let bound = shared.get();
+        // The schedule is MINDIST-ascending and the bound is monotone, so
+        // the first entry at/above the bound proves the whole tail.
+        let take = sched[next..]
+            .iter()
+            .take(round_size)
+            .take_while(|s| s.mindist_sq < bound)
+            .count();
+        if take == 0 {
+            break;
+        }
+        let round = &sched[next..next + take];
+        next += take;
+        stats.rounds += 1;
+        stats.partitions_visited += round.len() as u64;
+
+        let outs = search_round(parts, round, q, k, opts, refiner, threads, bound)?;
+        // Gather: merge in schedule order — deterministic regardless of
+        // which worker finished first.
+        for (found, part_stats) in outs {
+            stats.search.accumulate(&part_stats);
+            for n in found {
+                heap.offer(n.record, n.mbr, n.dist_sq);
+            }
+        }
+        shared.tighten(heap.bound_sq());
+        // 1, 1, 2, 4, 8, …: cheap serial rounds while the bound is loose,
+        // wide parallel rounds once it is tight.
+        if stats.rounds >= 2 {
+            round_size = round_size.saturating_mul(2);
+        }
+    }
+    stats.partitions_pruned = sched.len() as u64 - stats.partitions_visited;
+    Ok((heap.drain_sorted(), stats))
+}
+
+type PartOut<const D: usize> = (Vec<Neighbor<D>>, SearchStats);
+
+/// Searches one round's partitions, each pre-pruned by `bound`, with up
+/// to `threads` workers. Output is in round (schedule) order.
+#[allow(clippy::too_many_arguments)]
+fn search_round<const D: usize, T, R>(
+    parts: &[T],
+    round: &[Sched],
+    q: &Point<D>,
+    k: usize,
+    opts: NnOptions,
+    refiner: &R,
+    threads: usize,
+    bound: f64,
+) -> Result<Vec<PartOut<D>>>
+where
+    T: TreeAccess<D> + Sync,
+    R: Refiner<D> + Sync,
+{
+    let workers = threads.min(round.len());
+    if workers <= 1 {
+        let mut cursor = QueryCursor::new();
+        let mut outs = Vec::with_capacity(round.len());
+        for s in round {
+            let search = NnSearch::with_options(&parts[s.part], opts);
+            outs.push(search.query_refined_bounded(&mut cursor, q, k, refiner, bound)?);
+        }
+        return Ok(outs);
+    }
+    let slots: Vec<Mutex<Option<Result<PartOut<D>>>>> =
+        (0..round.len()).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut qc = QueryCursor::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= round.len() {
+                        break;
+                    }
+                    let search = NnSearch::with_options(&parts[round[i].part], opts);
+                    *slots[i].lock().expect("slot lock poisoned") =
+                        Some(search.query_refined_bounded(&mut qc, q, k, refiner, bound));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// Radius query over `parts`: partitions whose MINDIST-to-MBR exceeds
+/// the (squared) radius are skipped outright; the rest are searched in
+/// parallel in one round and the hits merged and sorted by
+/// `(distance, record)` — the same output contract as
+/// [`within_radius`](crate::within_radius) on a single tree.
+///
+/// # Panics
+/// Panics if `parts` and `mbrs` have different lengths, `radius` is
+/// negative, or `threads == 0`.
+pub fn scatter_radius<const D: usize, T, R>(
+    parts: &[T],
+    mbrs: &[Rect<D>],
+    q: &Point<D>,
+    radius: f64,
+    refiner: &R,
+    opts: NnOptions,
+    threads: usize,
+) -> Result<(Vec<Neighbor<D>>, PartitionedStats)>
+where
+    T: TreeAccess<D> + Sync,
+    R: Refiner<D> + Sync,
+{
+    assert_eq!(parts.len(), mbrs.len(), "one MBR per partition");
+    assert!(radius >= 0.0, "radius must be nonnegative");
+    assert!(threads > 0, "need at least one worker");
+    let radius_sq = radius * radius;
+    let sched = schedule(q, mbrs);
+    // Unlike kNN there is no evolving bound: the survivor set is known up
+    // front, so a single parallel round covers it.
+    let visit: Vec<Sched> = sched
+        .iter()
+        .copied()
+        .take_while(|s| s.mindist_sq <= radius_sq)
+        .collect();
+    let mut stats = PartitionedStats {
+        partitions_visited: visit.len() as u64,
+        partitions_pruned: (sched.len() - visit.len()) as u64,
+        rounds: u64::from(!visit.is_empty()),
+        ..PartitionedStats::default()
+    };
+
+    let workers = threads.min(visit.len().max(1));
+    let outs: Vec<PartOut<D>> = if workers <= 1 {
+        let mut outs = Vec::with_capacity(visit.len());
+        for s in &visit {
+            outs.push(within_radius_with(
+                &parts[s.part],
+                q,
+                radius,
+                refiner,
+                opts.kernel,
+            )?);
+        }
+        outs
+    } else {
+        let slots: Vec<Mutex<Option<Result<PartOut<D>>>>> =
+            (0..visit.len()).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= visit.len() {
+                        break;
+                    }
+                    *slots[i].lock().expect("slot lock poisoned") = Some(within_radius_with(
+                        &parts[visit[i].part],
+                        q,
+                        radius,
+                        refiner,
+                        opts.kernel,
+                    ));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock poisoned")
+                    .expect("worker filled every slot")
+            })
+            .collect::<Result<_>>()?
+    };
+
+    let mut merged = Vec::new();
+    for (found, part_stats) in outs {
+        stats.search.accumulate(&part_stats);
+        merged.extend(found);
+    }
+    merged.sort_by(|a, b| {
+        a.dist_sq
+            .total_cmp(&b.dist_sq)
+            .then_with(|| a.record.cmp(&b.record))
+    });
+    Ok((merged, stats))
+}
+
+/// kNN over a [`PartitionedTree`]: [`scatter_knn`] against its partition
+/// trees and manifest MBRs.
+pub fn partitioned_knn<const D: usize, R: Refiner<D> + Sync>(
+    tree: &PartitionedTree<D>,
+    q: &Point<D>,
+    k: usize,
+    opts: NnOptions,
+    refiner: &R,
+    threads: usize,
+) -> Result<(Vec<Neighbor<D>>, PartitionedStats)> {
+    let mbrs: Vec<Rect<D>> = tree.manifest().parts.iter().map(|p| p.mbr).collect();
+    scatter_knn(tree.partitions(), &mbrs, q, k, opts, refiner, threads)
+}
+
+/// Radius query over a [`PartitionedTree`]: [`scatter_radius`] against
+/// its partition trees and manifest MBRs.
+pub fn partitioned_radius<const D: usize, R: Refiner<D> + Sync>(
+    tree: &PartitionedTree<D>,
+    q: &Point<D>,
+    radius: f64,
+    opts: NnOptions,
+    refiner: &R,
+    threads: usize,
+) -> Result<(Vec<Neighbor<D>>, PartitionedStats)> {
+    let mbrs: Vec<Rect<D>> = tree.manifest().parts.iter().map(|p| p.mbr).collect();
+    scatter_radius(tree.partitions(), &mbrs, q, radius, refiner, opts, threads)
+}
+
+/// A batch of kNN queries over a [`PartitionedTree`], fanned out with the
+/// same work-stealing scheme as [`par_knn_batch`](crate::par_knn_batch):
+/// workers claim query blocks off a shared cursor, and **each query's
+/// scatter runs sequentially** (partition parallelism and batch
+/// parallelism would fight over the same cores). Results come back in
+/// submission order; the aggregate [`PartitionedStats`] sums the
+/// per-query stats in submission order, so both are bit-identical to
+/// `threads = 1`.
+pub fn partitioned_knn_batch<const D: usize, R: Refiner<D> + Sync>(
+    tree: &PartitionedTree<D>,
+    queries: &[Point<D>],
+    k: usize,
+    opts: NnOptions,
+    refiner: &R,
+    threads: usize,
+) -> Result<(Vec<Vec<Neighbor<D>>>, PartitionedStats)> {
+    assert!(threads > 0, "need at least one worker");
+    let mbrs: Vec<Rect<D>> = tree.manifest().parts.iter().map(|p| p.mbr).collect();
+    let parts = tree.partitions();
+    let mut totals = PartitionedStats::default();
+
+    if threads == 1 || queries.len() <= 1 {
+        let mut results = Vec::with_capacity(queries.len());
+        for q in queries {
+            let (found, stats) = scatter_knn(parts, &mbrs, q, k, opts, refiner, 1)?;
+            totals.accumulate(&stats);
+            results.push(found);
+        }
+        return Ok((results, totals));
+    }
+
+    let len = queries.len();
+    let block = block_size(len, threads);
+    let next = AtomicUsize::new(0);
+    type WorkerOut<const D: usize> = Result<Vec<(usize, Vec<Neighbor<D>>, PartitionedStats)>>;
+    let worker_outs: Vec<WorkerOut<D>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let mbrs = &mbrs;
+                scope.spawn(move || -> WorkerOut<D> {
+                    let mut out = Vec::new();
+                    loop {
+                        let start = next.fetch_add(block, Ordering::Relaxed);
+                        if start >= len {
+                            break;
+                        }
+                        for (i, q) in queries
+                            .iter()
+                            .enumerate()
+                            .take((start + block).min(len))
+                            .skip(start)
+                        {
+                            let (found, stats) = scatter_knn(parts, mbrs, q, k, opts, refiner, 1)?;
+                            out.push((i, found, stats));
+                        }
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let mut results: Vec<Vec<Neighbor<D>>> = vec![Vec::new(); len];
+    let mut per_query: Vec<Option<PartitionedStats>> = vec![None; len];
+    for worker_out in worker_outs {
+        for (i, found, stats) in worker_out? {
+            results[i] = found;
+            per_query[i] = Some(stats);
+        }
+    }
+    // Sum in submission order — integer counters commute, but keeping one
+    // canonical order costs nothing and keeps the contract self-evident.
+    for stats in per_query.into_iter().flatten() {
+        totals.accumulate(&stats);
+    }
+    Ok((results, totals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refine::MbrRefiner;
+    use crate::within_radius;
+    use nnq_rtree::{BulkMethod, RTreeConfig, RecordId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn points(n: usize, seed: u64) -> Vec<(Rect<2>, RecordId)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let p = Point::new([rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)]);
+                (Rect::from_point(p), RecordId(i as u64))
+            })
+            .collect()
+    }
+
+    fn build(items: Vec<(Rect<2>, RecordId)>, p: usize) -> PartitionedTree<2> {
+        PartitionedTree::bulk_load_in_memory(
+            items,
+            p,
+            RTreeConfig::default(),
+            BulkMethod::Hilbert,
+            1.0,
+            4096,
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shared_bound_tightens_monotonically() {
+        let b = SharedBound::new();
+        assert_eq!(b.get(), f64::INFINITY);
+        b.tighten(9.0);
+        assert_eq!(b.get(), 9.0);
+        b.tighten(25.0); // looser: ignored
+        assert_eq!(b.get(), 9.0);
+        b.tighten(1.5);
+        assert_eq!(b.get(), 1.5);
+        b.tighten(0.0);
+        assert_eq!(b.get(), 0.0);
+    }
+
+    #[test]
+    fn knn_matches_brute_force_across_partition_counts() {
+        let items = points(3000, 17);
+        let q = Point::new([321.5, 654.2]);
+        let mut dists: Vec<(f64, u64)> = items
+            .iter()
+            .map(|(r, rid)| {
+                let c = r.center();
+                let (dx, dy) = (c[0] - q[0], c[1] - q[1]);
+                (dx * dx + dy * dy, rid.0)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        for p in [1, 3, 8] {
+            let tree = build(items.clone(), p);
+            let (found, stats) =
+                partitioned_knn(&tree, &q, 10, NnOptions::default(), &MbrRefiner, 1).unwrap();
+            assert_eq!(found.len(), 10);
+            for (n, (want_d, _)) in found.iter().zip(&dists) {
+                assert_eq!(n.dist_sq, *want_d, "p={p}");
+            }
+            assert_eq!(
+                stats.partitions_visited + stats.partitions_pruned,
+                p as u64,
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn knn_is_thread_invariant() {
+        let items = points(4000, 19);
+        let tree = build(items, 8);
+        let queries: Vec<Point<2>> = (0..20)
+            .map(|i| Point::new([i as f64 * 47.0 % 1000.0, i as f64 * 131.0 % 1000.0]))
+            .collect();
+        for q in &queries {
+            let (r1, s1) =
+                partitioned_knn(&tree, q, 7, NnOptions::default(), &MbrRefiner, 1).unwrap();
+            for threads in [2, 8] {
+                let (rt, st) =
+                    partitioned_knn(&tree, q, 7, NnOptions::default(), &MbrRefiner, threads)
+                        .unwrap();
+                assert_eq!(r1, rt, "threads={threads}");
+                assert_eq!(s1, st, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn far_partitions_are_pruned() {
+        // Two clusters far apart: querying inside one cluster must prune
+        // the partitions that cover the other.
+        let mut items = points(1000, 23); // cluster A in [0,1000)^2
+        let mut rng = StdRng::seed_from_u64(29);
+        for i in 0..1000usize {
+            let p = Point::new([
+                1_000_000.0 + rng.random_range(0.0..1000.0),
+                rng.random_range(0.0..1000.0),
+            ]);
+            items.push((Rect::from_point(p), RecordId((1000 + i) as u64)));
+        }
+        let tree = build(items, 8);
+        let q = Point::new([500.0, 500.0]);
+        let (found, stats) =
+            partitioned_knn(&tree, &q, 5, NnOptions::default(), &MbrRefiner, 1).unwrap();
+        assert_eq!(found.len(), 5);
+        assert!(found.iter().all(|n| n.record.0 < 1000));
+        assert!(
+            stats.partitions_pruned > 0,
+            "distant cluster should be pruned: {stats:?}"
+        );
+        assert_eq!(stats.partitions_visited + stats.partitions_pruned, 8);
+    }
+
+    #[test]
+    fn empty_partitions_count_as_pruned() {
+        let tree = build(points(3, 31), 8); // 5 empty partitions
+        let (found, stats) = partitioned_knn(
+            &tree,
+            &Point::new([1.0, 1.0]),
+            3,
+            NnOptions::default(),
+            &MbrRefiner,
+            2,
+        )
+        .unwrap();
+        assert_eq!(found.len(), 3);
+        assert_eq!(stats.partitions_visited + stats.partitions_pruned, 8);
+        assert!(stats.partitions_pruned >= 5);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_returns_everything() {
+        let tree = build(points(25, 37), 4);
+        let (found, _) = partitioned_knn(
+            &tree,
+            &Point::new([0.0, 0.0]),
+            100,
+            NnOptions::default(),
+            &MbrRefiner,
+            2,
+        )
+        .unwrap();
+        assert_eq!(found.len(), 25);
+        for w in found.windows(2) {
+            assert!(w[0].dist_sq <= w[1].dist_sq);
+        }
+    }
+
+    #[test]
+    fn radius_matches_single_tree() {
+        let items = points(2500, 41);
+        let single = build(items.clone(), 1);
+        let q = Point::new([400.0, 400.0]);
+        for radius in [0.0, 15.0, 60.0, 2000.0] {
+            let (want, _) =
+                within_radius(&single.partitions()[0], &q, radius, &MbrRefiner).unwrap();
+            for p in [4usize, 16] {
+                let tree = build(items.clone(), p);
+                for threads in [1usize, 4] {
+                    let (got, stats) = partitioned_radius(
+                        &tree,
+                        &q,
+                        radius,
+                        NnOptions::default(),
+                        &MbrRefiner,
+                        threads,
+                    )
+                    .unwrap();
+                    assert_eq!(got, want, "p={p} threads={threads} radius={radius}");
+                    assert_eq!(stats.partitions_visited + stats.partitions_pruned, p as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_individual_queries_and_is_thread_invariant() {
+        let items = points(3000, 43);
+        let tree = build(items, 4);
+        let queries: Vec<Point<2>> = (0..30)
+            .map(|i| Point::new([(i * 97 % 1000) as f64, (i * 389 % 1000) as f64]))
+            .collect();
+        let (seq, seq_stats) =
+            partitioned_knn_batch(&tree, &queries, 5, NnOptions::default(), &MbrRefiner, 1)
+                .unwrap();
+        // Individual queries agree.
+        for (q, want) in queries.iter().zip(&seq) {
+            let (got, _) =
+                partitioned_knn(&tree, q, 5, NnOptions::default(), &MbrRefiner, 1).unwrap();
+            assert_eq!(&got, want);
+        }
+        for threads in [2, 8] {
+            let (par, par_stats) = partitioned_knn_batch(
+                &tree,
+                &queries,
+                5,
+                NnOptions::default(),
+                &MbrRefiner,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(seq, par, "threads={threads}");
+            assert_eq!(seq_stats, par_stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn rounds_grow_geometrically() {
+        // 64 partitions, uniform data, huge k: the bound stays loose, so
+        // every partition is visited — in at most 1+1+2+4+8+16+32 → 7
+        // rounds.
+        let tree = build(points(2000, 47), 64);
+        let (_, stats) = partitioned_knn(
+            &tree,
+            &Point::new([500.0, 500.0]),
+            2000,
+            NnOptions::default(),
+            &MbrRefiner,
+            4,
+        )
+        .unwrap();
+        assert_eq!(stats.partitions_visited, 64);
+        assert!(stats.rounds <= 7, "rounds = {}", stats.rounds);
+    }
+
+    #[test]
+    fn empty_partition_list_yields_nothing() {
+        let parts: Vec<nnq_rtree::MemRTree<2>> = Vec::new();
+        let (found, stats) = scatter_knn(
+            &parts,
+            &[],
+            &Point::new([0.0, 0.0]),
+            3,
+            NnOptions::default(),
+            &MbrRefiner,
+            1,
+        )
+        .unwrap();
+        assert!(found.is_empty());
+        assert_eq!(stats, PartitionedStats::default());
+    }
+}

@@ -6,9 +6,36 @@
 //! Both operate on a `2^order × 2^order` integer grid, so callers first
 //! normalize world coordinates into grid cells.
 
+use crate::point::Point;
+use crate::rect::Rect;
+
 /// Curve order used by the helpers below: coordinates are quantized to a
 /// `2^16 × 2^16` grid, and keys fit in a `u32`-pair folded into a `u64`.
 pub const HILBERT_ORDER: u32 = 16;
+
+/// The Hilbert key of a point within `bounds`: its first two coordinates
+/// are normalized onto the `2^HILBERT_ORDER` grid spanned by `bounds` and
+/// mapped through [`hilbert_index`].
+///
+/// This is the one keying shared by Hilbert bulk packing and Hilbert-range
+/// partitioning, so a partition's key range is expressed in exactly the
+/// same key space its tree was packed in. A degenerate axis (`hi <= lo`)
+/// collapses to cell 0; in one dimension the single coordinate is used for
+/// both grid axes.
+pub fn hilbert_key<const D: usize>(center: &Point<D>, bounds: &Rect<D>) -> u64 {
+    let side = f64::from(1u32 << HILBERT_ORDER) - 1.0;
+    let scale = |v: f64, lo: f64, hi: f64| -> u32 {
+        if hi <= lo {
+            0
+        } else {
+            (((v - lo) / (hi - lo)) * side).round() as u32
+        }
+    };
+    let x = scale(center[0], bounds.lo()[0], bounds.hi()[0]);
+    let yi = 1.min(D - 1);
+    let y = scale(center[yi], bounds.lo()[yi], bounds.hi()[yi]);
+    hilbert_index(x, y, HILBERT_ORDER)
+}
 
 /// Maps a cell `(x, y)` on the `2^order × 2^order` grid to its index along
 /// the Hilbert curve of that order.
@@ -108,6 +135,27 @@ mod tests {
             let manhattan = x0.abs_diff(x1) + y0.abs_diff(y1);
             assert_eq!(manhattan, 1, "({x0},{y0}) -> ({x1},{y1}) not adjacent");
         }
+    }
+
+    #[test]
+    fn hilbert_key_matches_manual_normalization() {
+        let bounds = Rect::new(Point::new([0.0, 0.0]), Point::new([100.0, 100.0]));
+        let side = f64::from(1u32 << HILBERT_ORDER) - 1.0;
+        for (x, y) in [(0.0, 0.0), (100.0, 100.0), (12.5, 93.1), (50.0, 0.1)] {
+            let gx = ((x / 100.0) * side).round() as u32;
+            let gy = ((y / 100.0) * side).round() as u32;
+            assert_eq!(
+                hilbert_key(&Point::new([x, y]), &bounds),
+                hilbert_index(gx, gy, HILBERT_ORDER)
+            );
+        }
+    }
+
+    #[test]
+    fn hilbert_key_degenerate_axis_collapses_to_cell_zero() {
+        let bounds = Rect::new(Point::new([5.0, 0.0]), Point::new([5.0, 10.0]));
+        let k = hilbert_key(&Point::new([5.0, 0.0]), &bounds);
+        assert_eq!(k, hilbert_index(0, 0, HILBERT_ORDER));
     }
 
     #[test]

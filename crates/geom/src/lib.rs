@@ -47,7 +47,7 @@ mod point;
 mod rect;
 mod segment;
 
-pub use curve::{hilbert_index, zorder_index, HILBERT_ORDER};
+pub use curve::{hilbert_index, hilbert_key, zorder_index, HILBERT_ORDER};
 pub use kernels::{
     intersects_batch, maxdist_sq_batch, mindist_sq_batch, minmaxdist_sq_batch, SoaRects,
 };

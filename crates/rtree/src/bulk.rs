@@ -23,7 +23,7 @@ use crate::entry::{entries_mbr, Entry, RecordId};
 use crate::store::{MemStore, NodeStore, PagedStore};
 use crate::tree::{MemRTree, RTree};
 use crate::Result;
-use nnq_geom::{hilbert_index, Rect, HILBERT_ORDER};
+use nnq_geom::{hilbert_key, Rect};
 use nnq_storage::BufferPool;
 use std::sync::Arc;
 
@@ -144,28 +144,12 @@ fn str_order<const D: usize>(entries: &mut [Entry<D>]) {
 
 fn hilbert_order<const D: usize>(entries: &mut [Entry<D>]) {
     // Normalize centers into the Hilbert grid using the dataset bounds of
-    // the first two dimensions.
+    // the first two dimensions — the same keying `partition.rs` uses for
+    // Hilbert-range splitting (`nnq_geom::hilbert_key`).
     let bounds = entries_mbr(entries);
-    let side = f64::from(1u32 << HILBERT_ORDER) - 1.0;
-    let scale = |v: f64, lo: f64, hi: f64| -> u32 {
-        if hi <= lo {
-            0
-        } else {
-            (((v - lo) / (hi - lo)) * side).round() as u32
-        }
-    };
     let mut keyed: Vec<(u64, Entry<D>)> = entries
         .iter()
-        .map(|e| {
-            let c = e.mbr.center();
-            let x = scale(c[0], bounds.lo()[0], bounds.hi()[0]);
-            let y = scale(
-                c[1.min(D - 1)],
-                bounds.lo()[1.min(D - 1)],
-                bounds.hi()[1.min(D - 1)],
-            );
-            (hilbert_index(x, y, HILBERT_ORDER), *e)
-        })
+        .map(|e| (hilbert_key(&e.mbr.center(), &bounds), *e))
         .collect();
     keyed.sort_by_key(|(k, _)| *k);
     for (slot, (_, e)) in entries.iter_mut().zip(keyed) {

@@ -52,6 +52,7 @@ mod codec;
 mod config;
 mod entry;
 mod iter;
+mod partition;
 mod split;
 mod store;
 mod tree;
@@ -62,6 +63,7 @@ pub use codec::{node_capacity, Meta, RawNode};
 pub use config::{RTreeConfig, SplitStrategy};
 pub use entry::{Entry, RecordId};
 pub use iter::WindowIter;
+pub use partition::{hilbert_split, PartitionManifest, PartitionMeta, PartitionedTree};
 pub use store::NodeCacheStats;
 pub use store::{MemStore, NodeStore, PagedStore};
 pub use tree::{MemRTree, NodeView, RTree, TreeAccess};

@@ -734,6 +734,37 @@ impl<const D: usize, S: NodeStore<D>> RTree<D, S> {
         }
     }
 
+    /// Inserts a batch of records as **one** copy-on-write transaction.
+    ///
+    /// Structurally equivalent to calling [`RTree::insert`] per item in
+    /// order, but the whole batch shares a single shadow-page set and a
+    /// single WAL publish: pages copied for an early item are
+    /// transaction-fresh for later items and rewritten in place, so an
+    /// ingest of `n` clustered points pays one path copy per touched page
+    /// instead of one per record. Readers see the batch atomically —
+    /// either none of it or all of it.
+    ///
+    /// # Panics
+    /// Panics if any rectangle is invalid; no item is inserted in that
+    /// case.
+    pub fn insert_many(&self, items: &[(Rect<D>, RecordId)]) -> Result<()> {
+        for (mbr, _) in items {
+            assert!(mbr.is_valid(), "cannot index an invalid rectangle");
+        }
+        if items.is_empty() {
+            return Ok(());
+        }
+        let _writer = self.writer.lock();
+        let mut txn = self.begin();
+        for (mbr, rid) in items {
+            if let Err(e) = self.insert_txn(&mut txn, Entry::for_record(*mbr, *rid)) {
+                self.rollback(&mut txn);
+                return Err(e);
+            }
+        }
+        self.commit(txn)
+    }
+
     fn insert_txn(&self, txn: &mut Txn, entry: Entry<D>) -> Result<()> {
         if txn.height == 0 {
             txn.root = self.cow_alloc(txn, 0, &[entry])?;

@@ -93,7 +93,10 @@ impl PoolStats {
         }
     }
 
-    fn accumulate(&mut self, other: PoolStats) {
+    /// Adds `other` counter-wise — how per-shard stats sum to the pool
+    /// aggregate, and how a partitioned tree's per-partition pools sum to
+    /// one dataset-wide figure.
+    pub fn accumulate(&mut self, other: PoolStats) {
         self.logical_reads += other.logical_reads;
         self.hits += other.hits;
         self.physical_reads += other.physical_reads;
