@@ -1,0 +1,325 @@
+//! The self-tuning controller across a workload shift: per-phase static
+//! grid vs one adaptive run.
+//!
+//! Three phases, each a different regime:
+//!
+//! 1. **uniform-cold** — uniform queries, caches dropped, 200 µs injected
+//!    device latency: the miss-dominated regime deep prefetch targets;
+//! 2. **clustered-warm** — Gaussian-cluster queries over a warm cache at
+//!    zero latency: prefetch has nothing to hide and hinting is pure
+//!    overhead, while a large decoded-node cache pays;
+//! 3. **zipf-shifted** — zipfian-clustered queries (a few hot clusters) at
+//!    50 µs latency: a small hot working set where over-deep hinting
+//!    pollutes the small pool.
+//!
+//! A static grid (prefetch depth × node-cache capacity, fixed for the
+//! whole run) is timed per phase; then one [`TuneController`] run crosses
+//! all three phases, re-observing the backend counters between sub-batches.
+//! Every cell — static or tuned — is asserted bit-identical to the
+//! reference results (the tuning knobs are accounting-neutral). The
+//! timing claims (no static cell wins every phase; the controller lands
+//! within 15% of the per-phase best static total) are asserted only on
+//! hosts with ≥ 2 hardware threads — with one thread the prefetch workers
+//! cannot overlap I/O, so the phases collapse — and recorded in
+//! `BENCH_ADAPTIVE.json` either way.
+//!
+//! Not a criterion harness: the measured unit is a whole phase and the
+//! output is the JSON file.
+
+use nnq_bench::datasets::Dataset;
+use nnq_bench::harness::{build_tree_with_latency, config_header_json, host_threads, BuildMethod};
+use nnq_core::{
+    MbrRefiner, NnOptions, NnSearch, PrefetchPolicy, QueryCursor, TuneBounds, TuneController,
+    TuneMode,
+};
+use nnq_geom::Point;
+use nnq_rtree::{BulkMethod, TreeAccess};
+use nnq_storage::LatencyProfile;
+use nnq_workloads::{cluster_centers, default_bounds, uniform_queries, zipf_cluster_queries};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const N: usize = 20_000;
+const QUERIES_PER_PHASE: usize = 150;
+const K: usize = 10;
+/// Small enough that the tree does not fit: eviction pressure keeps the
+/// miss-rate signal live and makes over-deep prefetch genuinely pollute.
+const POOL_FRAMES: usize = 256;
+const PREFETCH_WORKERS: usize = 2;
+/// Controller observations per phase.
+const SUB_BATCHES: usize = 5;
+const DEPTHS: [usize; 3] = [0, 2, 8];
+const CACHES: [usize; 2] = [64, 4096];
+
+struct Phase {
+    name: &'static str,
+    lat_us: u64,
+    /// Drop pool + node cache before the phase starts.
+    cold: bool,
+    queries: Vec<Point<2>>,
+}
+
+fn phases() -> Vec<Phase> {
+    let bounds = default_bounds();
+    let centers = cluster_centers(8, &bounds, 23);
+    vec![
+        Phase {
+            name: "uniform-cold",
+            lat_us: 200,
+            cold: true,
+            queries: uniform_queries(QUERIES_PER_PHASE, &bounds, 21),
+        },
+        Phase {
+            name: "clustered-warm",
+            lat_us: 0,
+            cold: false,
+            queries: zipf_cluster_queries(QUERIES_PER_PHASE, &centers, 0.0, 400.0, &bounds, 22),
+        },
+        Phase {
+            name: "zipf-shifted",
+            lat_us: 50,
+            cold: false,
+            queries: zipf_cluster_queries(QUERIES_PER_PHASE, &centers, 1.1, 400.0, &bounds, 24),
+        },
+    ]
+}
+
+struct StaticCell {
+    depth: usize,
+    cache: usize,
+    phase_ms: Vec<f64>,
+}
+
+fn main() {
+    let dataset = Dataset::uniform(N, 11);
+    let cores = host_threads();
+    let (built, latency) = build_tree_with_latency(
+        &dataset.items,
+        BuildMethod::Bulk(BulkMethod::Hilbert),
+        POOL_FRAMES,
+        PREFETCH_WORKERS,
+    );
+    let phases = phases();
+
+    let drop_caches = || {
+        built.tree.store().clear_node_cache();
+        built.pool.clear_cache().unwrap();
+    };
+
+    // Reference results at zero latency, default knobs: every phase of
+    // every run must reproduce them bit-exactly.
+    let run_phase = |queries: &[Point<2>], policy: PrefetchPolicy| -> Vec<Vec<u64>> {
+        let search = NnSearch::with_options(&built.tree, NnOptions::with_prefetch(policy));
+        let mut cursor = QueryCursor::new();
+        queries
+            .iter()
+            .map(|q| {
+                search
+                    .query_refined_with(&mut cursor, q, K, &MbrRefiner)
+                    .unwrap()
+                    .0
+                    .iter()
+                    .map(|n| n.dist_sq.to_bits())
+                    .collect()
+            })
+            .collect()
+    };
+    let reference: Vec<Vec<Vec<u64>>> = phases
+        .iter()
+        .map(|p| run_phase(&p.queries, PrefetchPolicy::Off))
+        .collect();
+
+    // Resets the backend to a defined starting state before a full run.
+    let fresh_run = |cache: usize| {
+        latency.set_latency(LatencyProfile::symmetric_us(0));
+        built.pool.prefetch_quiesce();
+        drop_caches();
+        built.tree.set_cache_capacity(cache);
+        built.tree.set_prefetch_workers(PREFETCH_WORKERS);
+        built.pool.reset_stats();
+    };
+
+    // Static grid: one (depth, cache) pair held for all three phases.
+    let mut grid: Vec<StaticCell> = Vec::new();
+    for &depth in &DEPTHS {
+        for &cache in &CACHES {
+            fresh_run(cache);
+            let policy = match depth {
+                0 => PrefetchPolicy::Off,
+                n => PrefetchPolicy::Depth(n),
+            };
+            let mut phase_ms = Vec::with_capacity(phases.len());
+            for (pi, phase) in phases.iter().enumerate() {
+                latency.set_latency(LatencyProfile::symmetric_us(phase.lat_us));
+                if phase.cold {
+                    drop_caches();
+                }
+                let start = Instant::now();
+                let out = run_phase(&phase.queries, policy);
+                phase_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(
+                    out, reference[pi],
+                    "static depth={depth} cache={cache} diverged in {}",
+                    phase.name
+                );
+            }
+            eprintln!(
+                "static depth={depth} cache={cache}: {:?} ms",
+                phase_ms.iter().map(|m| m.round()).collect::<Vec<_>>()
+            );
+            grid.push(StaticCell {
+                depth,
+                cache,
+                phase_ms,
+            });
+        }
+    }
+
+    // The adaptive run: one controller crossing the shift, re-observing
+    // between sub-batches. Its knobs stay inside the static grid's hull.
+    fresh_run(1024);
+    let mut controller = TuneController::with_bounds(
+        TuneMode::Adaptive,
+        TuneBounds {
+            max_depth: 8,
+            max_workers: PREFETCH_WORKERS,
+            min_cache: 64,
+            max_cache: 4096,
+        },
+    );
+    controller.observe_tree(&built.tree);
+    let mut adaptive_ms: Vec<f64> = Vec::with_capacity(phases.len());
+    let mut adaptive_knobs: Vec<String> = Vec::with_capacity(phases.len());
+    for (pi, phase) in phases.iter().enumerate() {
+        latency.set_latency(LatencyProfile::symmetric_us(phase.lat_us));
+        if phase.cold {
+            drop_caches();
+        }
+        let chunk = phase.queries.len().div_ceil(SUB_BATCHES);
+        let start = Instant::now();
+        let mut out: Vec<Vec<u64>> = Vec::with_capacity(phase.queries.len());
+        for sub in phase.queries.chunks(chunk) {
+            let policy = controller.prefetch_policy().unwrap_or(PrefetchPolicy::Off);
+            out.extend(run_phase(sub, policy));
+            controller.observe_tree(&built.tree);
+        }
+        adaptive_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            out, reference[pi],
+            "adaptive run diverged in {}",
+            phase.name
+        );
+        adaptive_knobs.push(controller.report());
+        eprintln!(
+            "adaptive {}: {:.0} ms ({})",
+            phase.name,
+            adaptive_ms[pi],
+            controller.report()
+        );
+    }
+    latency.set_latency(LatencyProfile::symmetric_us(0));
+
+    // Per-phase hand-tuned optimum: the best static cell in each phase.
+    let best_static: Vec<f64> = (0..phases.len())
+        .map(|pi| {
+            grid.iter()
+                .map(|c| c.phase_ms[pi])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let best_static_total: f64 = best_static.iter().sum();
+    let adaptive_total: f64 = adaptive_ms.iter().sum();
+    // Does any single static cell win (or tie within 5%) every phase?
+    let static_wins_all = grid
+        .iter()
+        .any(|c| (0..phases.len()).all(|pi| c.phase_ms[pi] <= best_static[pi] * 1.05));
+
+    if cores >= 2 {
+        assert!(
+            !static_wins_all,
+            "a single static config won every phase — the shift is not a shift"
+        );
+        let margin = adaptive_total / best_static_total;
+        assert!(
+            margin <= 1.15,
+            "adaptive total {adaptive_total:.0} ms exceeds 115% of the per-phase \
+             optimum total {best_static_total:.0} ms (margin {margin:.2})"
+        );
+    } else {
+        eprintln!("single hardware thread: skipping the timing assertions");
+    }
+
+    let json = render_json(
+        &phases,
+        &grid,
+        &adaptive_ms,
+        &adaptive_knobs,
+        &best_static,
+        static_wins_all,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ADAPTIVE.json");
+    std::fs::write(path, &json).unwrap();
+    eprintln!("wrote {path}");
+}
+
+fn render_json(
+    phases: &[Phase],
+    grid: &[StaticCell],
+    adaptive_ms: &[f64],
+    adaptive_knobs: &[String],
+    best_static: &[f64],
+    static_wins_all: bool,
+) -> String {
+    let mut phase_rows = String::new();
+    for (pi, phase) in phases.iter().enumerate() {
+        let sep = if pi + 1 == phases.len() { "" } else { "," };
+        let mut cells = String::new();
+        for (ci, c) in grid.iter().enumerate() {
+            let csep = if ci + 1 == grid.len() { "" } else { "," };
+            let _ = write!(
+                cells,
+                r#"
+        {{ "depth": {}, "cache": {}, "ms": {:.2} }}{csep}"#,
+                c.depth, c.cache, c.phase_ms[pi]
+            );
+        }
+        let _ = write!(
+            phase_rows,
+            r#"
+    {{ "phase": "{}", "lat_us": {}, "cold_start": {}, "queries": {}, "static_grid": [{cells}
+      ], "best_static_ms": {:.2}, "adaptive_ms": {:.2}, "adaptive_margin_vs_best": {:.3}, "adaptive_knobs_after": "{}" }}{sep}"#,
+            phase.name,
+            phase.lat_us,
+            phase.cold,
+            phase.queries.len(),
+            best_static[pi],
+            adaptive_ms[pi],
+            adaptive_ms[pi] / best_static[pi],
+            adaptive_knobs[pi],
+        );
+    }
+    let best_static_total: f64 = best_static.iter().sum();
+    let adaptive_total: f64 = adaptive_ms.iter().sum();
+    let config = config_header_json(&[
+        ("dataset", "\"uniform\"".into()),
+        ("n", N.to_string()),
+        ("queries_per_phase", QUERIES_PER_PHASE.to_string()),
+        ("k", K.to_string()),
+        ("build", "\"bulk/hilbert\"".into()),
+        ("pool_frames", POOL_FRAMES.to_string()),
+        ("prefetch_workers", PREFETCH_WORKERS.to_string()),
+        ("sub_batches_per_phase", SUB_BATCHES.to_string()),
+    ]);
+    format!(
+        r#"{{
+  "bench": "adaptive",
+  "description": "Online self-tuning controller across a three-phase workload shift (crates/bench/benches/adaptive.rs): uniform-cold at 200us injected latency, Gaussian-clustered warm at 0us, zipfian-clustered at 50us. A static grid of prefetch depth x node-cache capacity (held fixed for the whole run) is timed per phase; the adaptive run crosses all phases with one TuneController re-observing the backend counters every sub-batch. All runs are asserted bit-identical to the tuning-off reference — the controller only moves accounting-neutral knobs. On hosts with >= 2 hardware threads the harness asserts that no single static cell wins every phase (within 5%) and that the adaptive total lands within 15% of the sum of per-phase best static times; on 1-thread hosts the prefetch workers cannot overlap I/O, the phases collapse, and the timing claims are recorded but not asserted.",
+  "config": {config},
+  "phases": [{phase_rows}
+  ],
+  "summary": {{ "adaptive_total_ms": {adaptive_total:.2}, "best_static_total_ms": {best_static_total:.2}, "adaptive_margin": {:.3}, "any_single_static_wins_all_phases": {static_wins_all} }}
+}}
+"#,
+        adaptive_total / best_static_total,
+    )
+}

@@ -2,8 +2,9 @@
 
 use crate::args::{Args, CliError};
 use nnq_core::{
-    metric_knn, partitioned_knn, partitioned_knn_batch, partitioned_radius, within_radius_with,
-    FnRefiner, JoinOrder, KernelMode, MbrRefiner, NnOptions, NnSearch, PrefetchPolicy,
+    metric_knn, partitioned_knn, partitioned_knn_batch_with_block, partitioned_radius,
+    within_radius_with, FnRefiner, JoinOrder, KernelMode, MbrRefiner, NnOptions, NnSearch,
+    PartitionedStats, PrefetchPolicy, TuneController, TuneMode,
 };
 use nnq_geom::{Metric, Point, Rect, Segment};
 use nnq_rtree::{
@@ -198,7 +199,7 @@ fn build_partitioned(
 }
 
 fn open_index(path: &str) -> Result<(RTree<2>, Arc<BufferPool>), CliError> {
-    open_index_tuned(path, 1, 0, PrefetchPolicy::Off)
+    open_index_tuned(path, 1, 0, PrefetchPolicy::Off, TuneMode::Off)
 }
 
 /// Opens a partitioned index built by [`build_partitioned`]: decodes the
@@ -211,6 +212,7 @@ fn open_partitioned(
     shards: usize,
     io_lat_us: u64,
     prefetch: PrefetchPolicy,
+    tune: TuneMode,
 ) -> Result<PartitionedTree<2>, CliError> {
     let manifest_path = manifest_file(index);
     let text = std::fs::read_to_string(&manifest_path)
@@ -234,7 +236,9 @@ fn open_partitioned(
             Box::new(disk)
         };
         let mut pool = BufferPool::with_shards(disk, 4096, shards);
-        if prefetch != PrefetchPolicy::Off {
+        // The adaptive tuner needs the pipeline running even when the
+        // static policy is `off`: it may decide to raise the depth later.
+        if prefetch != PrefetchPolicy::Off || tune == TuneMode::Adaptive {
             pool.start_prefetch(2, 64);
         }
         parts.push(RTree::<2>::open(Arc::new(pool), PageId(0))?);
@@ -251,6 +255,7 @@ fn open_index_tuned(
     shards: usize,
     io_lat_us: u64,
     prefetch: PrefetchPolicy,
+    tune: TuneMode,
 ) -> Result<(RTree<2>, Arc<BufferPool>), CliError> {
     let disk = FileDisk::open(path, PAGE_SIZE)?;
     let disk: Box<dyn DiskManager> = if io_lat_us > 0 {
@@ -262,7 +267,7 @@ fn open_index_tuned(
         Box::new(disk)
     };
     let mut pool = BufferPool::with_shards(disk, 4096, shards);
-    if prefetch != PrefetchPolicy::Off {
+    if prefetch != PrefetchPolicy::Off || tune == TuneMode::Adaptive {
         pool.start_prefetch(2, 64);
     }
     let pool = Arc::new(pool);
@@ -301,6 +306,29 @@ fn parse_prefetch(args: &Args) -> Result<PrefetchPolicy, CliError> {
             .parse()
             .map_err(|e| CliError::Usage(format!("flag `--prefetch`: {e}"))),
     }
+}
+
+/// `--tune <off|adaptive>`: online self-tuning controller (default off).
+/// Adaptive mode resamples the backend counters between query batches and
+/// retunes prefetch depth/workers, node-cache capacity, and claim-block
+/// size — all accounting-neutral knobs, so results and pages/query are
+/// bit-identical to `off`.
+fn parse_tune(args: &Args) -> Result<TuneMode, CliError> {
+    match args.opt("tune") {
+        None => Ok(TuneMode::Off),
+        Some(v) => v
+            .parse()
+            .map_err(|e| CliError::Usage(format!("flag `--tune`: {e}"))),
+    }
+}
+
+/// The tuning summary printed by `query` and `bench` when the controller
+/// is active: the final knob state plus how many observations moved a
+/// knob.
+fn tune_report(controller: &TuneController) -> Option<String> {
+    controller
+        .is_active()
+        .then(|| format!("tune adaptive: {}", controller.report()))
 }
 
 /// The prefetch summary printed by `query` and `bench` when the pipeline
@@ -350,6 +378,7 @@ pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let threads = parse_threads(args)?;
     let pool_shards = parse_pool_shards(args)?;
     let prefetch = parse_prefetch(args)?;
+    let tune = parse_tune(args)?;
     let io_lat_us: u64 = args.num("io-lat-us", 0)?;
     if let Some(partitions) = parse_partitions(args)? {
         return query_partitioned(
@@ -360,9 +389,11 @@ pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             pool_shards,
             io_lat_us,
             prefetch,
+            tune,
         );
     }
-    let (tree, pool) = open_index_tuned(args.req("index")?, pool_shards, io_lat_us, prefetch)?;
+    let (tree, pool) =
+        open_index_tuned(args.req("index")?, pool_shards, io_lat_us, prefetch, tune)?;
     let segments = load_segments_csv(args.req("data")?)?;
     if segments.len() as u64 != tree.len() {
         return Err(CliError::Run(format!(
@@ -371,6 +402,11 @@ pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             segments.len()
         )));
     }
+    // The controller applies its initial knobs up front (one observation)
+    // and re-samples after the query so the report reflects real traffic.
+    let mut controller = TuneController::new(tune);
+    controller.observe_tree(&tree);
+    let prefetch = controller.prefetch_policy().unwrap_or(prefetch);
     let (x, y) = args.coords("at")?;
     let q = Point::new([x, y]);
     let kernel: KernelMode = args.num("kernel", KernelMode::default())?;
@@ -442,6 +478,10 @@ pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(report) = prefetch_report(&pool, prefetch) {
         writeln!(out, "({report})")?;
     }
+    controller.observe_tree(&tree);
+    if let Some(report) = tune_report(&controller) {
+        writeln!(out, "({report})")?;
+    }
     Ok(())
 }
 
@@ -449,6 +489,7 @@ pub fn query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 /// partitioned index. Results are bit-identical to the single-tree
 /// query; the stats line additionally reports how many partitions the
 /// MINDIST-to-partition-MBR schedule visited vs pruned.
+#[allow(clippy::too_many_arguments)]
 fn query_partitioned(
     args: &Args,
     out: &mut dyn Write,
@@ -457,6 +498,7 @@ fn query_partitioned(
     pool_shards: usize,
     io_lat_us: u64,
     prefetch: PrefetchPolicy,
+    tune: TuneMode,
 ) -> Result<(), CliError> {
     if args.opt("metric").is_some() {
         return Err(CliError::Usage(
@@ -471,7 +513,11 @@ fn query_partitioned(
         pool_shards,
         io_lat_us,
         prefetch,
+        tune,
     )?;
+    let mut controller = TuneController::new(tune);
+    controller.observe_partitioned(&tree);
+    let prefetch = controller.prefetch_policy().unwrap_or(prefetch);
     let segments = load_segments_csv(args.req("data")?)?;
     if segments.len() as u64 != tree.len() {
         return Err(CliError::Run(format!(
@@ -531,6 +577,10 @@ fn query_partitioned(
         pool.hit_rate() * 100.0,
         elapsed.as_secs_f64() * 1e6
     )?;
+    controller.observe_partitioned(&tree);
+    if let Some(report) = tune_report(&controller) {
+        writeln!(out, "({report})")?;
+    }
     Ok(())
 }
 
@@ -540,6 +590,7 @@ pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let threads = parse_threads(args)?;
     let pool_shards = parse_pool_shards(args)?;
     let prefetch = parse_prefetch(args)?;
+    let tune = parse_tune(args)?;
     let io_lat_us: u64 = args.num("io-lat-us", 0)?;
     if let Some(partitions) = parse_partitions(args)? {
         return bench_partitioned(
@@ -550,9 +601,11 @@ pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             pool_shards,
             io_lat_us,
             prefetch,
+            tune,
         );
     }
-    let (tree, pool) = open_index_tuned(args.req("index")?, pool_shards, io_lat_us, prefetch)?;
+    let (tree, pool) =
+        open_index_tuned(args.req("index")?, pool_shards, io_lat_us, prefetch, tune)?;
     let segments = load_segments_csv(args.req("data")?)?;
     let n_queries: usize = args.num("queries", 1000)?;
     let k: usize = args.num("k", 10)?;
@@ -563,21 +616,44 @@ pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         segments[rid.0 as usize].dist_sq_to_point(p)
     });
 
-    let opts = NnOptions {
-        prefetch,
-        ..NnOptions::with_kernel(kernel)
+    // With tuning on, the batch runs in sub-batches with a controller
+    // observation between each — the knobs it moves are accounting-
+    // neutral, so pages/query matches the untuned run exactly.
+    let mut controller = TuneController::new(tune);
+    controller.observe_tree(&tree);
+    let chunk = if controller.is_active() {
+        (n_queries / 8).max(1)
+    } else {
+        n_queries.max(1)
     };
     pool.reset_stats();
     let start = Instant::now();
-    if threads == 1 {
-        let search = NnSearch::with_options(&tree, opts);
-        let mut cursor = nnq_core::QueryCursor::new();
-        for q in &queries {
-            search.query_refined_with(&mut cursor, q, k, &refiner)?;
-        }
-    } else {
-        nnq_core::par_knn_batch(&tree, &queries, k, opts, &refiner, threads)
+    for qs in queries.chunks(chunk) {
+        let opts = NnOptions {
+            prefetch: controller.prefetch_policy().unwrap_or(prefetch),
+            ..NnOptions::with_kernel(kernel)
+        };
+        if threads == 1 {
+            let search = NnSearch::with_options(&tree, opts);
+            let mut cursor = nnq_core::QueryCursor::new();
+            for q in qs {
+                search.query_refined_with(&mut cursor, q, k, &refiner)?;
+            }
+        } else {
+            let (_, bstats) = nnq_core::par_knn_batch_with_block(
+                &tree,
+                qs,
+                k,
+                opts,
+                &refiner,
+                threads,
+                JoinOrder::AsGiven,
+                controller.block_override(),
+            )
             .map_err(|e| CliError::Run(e.to_string()))?;
+            controller.observe_batch(&bstats);
+        }
+        controller.observe_tree(&tree);
     }
     let elapsed = start.elapsed();
     // Aggregated over all shards; per-query logical reads (the paper's
@@ -603,7 +679,10 @@ pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         threads,
         pool.shard_count()
     )?;
-    if let Some(report) = prefetch_report(&pool, prefetch) {
+    if let Some(report) = prefetch_report(&pool, controller.prefetch_policy().unwrap_or(prefetch)) {
+        writeln!(out, "{report}")?;
+    }
+    if let Some(report) = tune_report(&controller) {
         writeln!(out, "{report}")?;
     }
     Ok(())
@@ -614,6 +693,7 @@ pub fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 /// scatter-gather pass. Page accesses are summed across every
 /// partition's pool, so pages/query is directly comparable to the
 /// single-tree figure.
+#[allow(clippy::too_many_arguments)]
 fn bench_partitioned(
     args: &Args,
     out: &mut dyn Write,
@@ -622,6 +702,7 @@ fn bench_partitioned(
     pool_shards: usize,
     io_lat_us: u64,
     prefetch: PrefetchPolicy,
+    tune: TuneMode,
 ) -> Result<(), CliError> {
     let tree = open_partitioned(
         args.req("index")?,
@@ -629,6 +710,7 @@ fn bench_partitioned(
         pool_shards,
         io_lat_us,
         prefetch,
+        tune,
     )?;
     let segments = load_segments_csv(args.req("data")?)?;
     let n_queries: usize = args.num("queries", 1000)?;
@@ -639,15 +721,35 @@ fn bench_partitioned(
     let refiner = FnRefiner::new(|rid: RecordId, _: &Rect<2>, p: &Point<2>| {
         segments[rid.0 as usize].dist_sq_to_point(p)
     });
-    let opts = NnOptions {
-        prefetch,
-        ..NnOptions::with_kernel(kernel)
+    let mut controller = TuneController::new(tune);
+    controller.observe_partitioned(&tree);
+    let chunk = if controller.is_active() {
+        (n_queries / 8).max(1)
+    } else {
+        n_queries.max(1)
     };
 
     tree.reset_stats();
     let start = Instant::now();
-    let (_, pstats) = partitioned_knn_batch(&tree, &queries, k, opts, &refiner, threads)
+    let mut pstats = PartitionedStats::default();
+    for qs in queries.chunks(chunk) {
+        let opts = NnOptions {
+            prefetch: controller.prefetch_policy().unwrap_or(prefetch),
+            ..NnOptions::with_kernel(kernel)
+        };
+        let (_, ps) = partitioned_knn_batch_with_block(
+            &tree,
+            qs,
+            k,
+            opts,
+            &refiner,
+            threads,
+            controller.block_override(),
+        )
         .map_err(|e| CliError::Run(e.to_string()))?;
+        pstats.accumulate(&ps);
+        controller.observe_partitioned(&tree);
+    }
     let elapsed = start.elapsed();
     let pool = tree.pool_stats();
     let per_q = |v: u64| v as f64 / n_queries.max(1) as f64;
@@ -671,6 +773,9 @@ fn bench_partitioned(
         threads,
         pool_shards
     )?;
+    if let Some(report) = tune_report(&controller) {
+        writeln!(out, "{report}")?;
+    }
     Ok(())
 }
 

@@ -60,8 +60,8 @@ USAGE:
   nnq ingest --input <FILE> --index <FILE> [--wal <FILE>] [--group-commit-us <N>] [--id-base <N>]
   nnq delete --input <FILE> --index <FILE> [--wal <FILE>] [--group-commit-us <N>] [--id-base <N>]
   nnq stats  --index <FILE>
-  nnq query  --index <FILE> --data <FILE> --at <X,Y> [-k <K>] [--radius <R>] [--metric <l1|l2|linf>] [--kernel <scalar|batch>] [--threads <N>] [--partitions <P>] [--pool-shards <P2>] [--prefetch <off|N|adaptive>] [--io-lat-us <N>]
-  nnq bench  --index <FILE> --data <FILE> [--queries <N>] [-k <K>] [--seed <S>] [--kernel <scalar|batch>] [--threads <N>] [--partitions <P>] [--pool-shards <P2>] [--prefetch <off|N|adaptive>] [--io-lat-us <N>]
+  nnq query  --index <FILE> --data <FILE> --at <X,Y> [-k <K>] [--radius <R>] [--metric <l1|l2|linf>] [--kernel <scalar|batch>] [--threads <N>] [--partitions <P>] [--pool-shards <P2>] [--prefetch <off|N|adaptive>] [--tune <off|adaptive>] [--io-lat-us <N>]
+  nnq bench  --index <FILE> --data <FILE> [--queries <N>] [-k <K>] [--seed <S>] [--kernel <scalar|batch>] [--threads <N>] [--partitions <P>] [--pool-shards <P2>] [--prefetch <off|N|adaptive>] [--tune <off|adaptive>] [--io-lat-us <N>]
   nnq explain --index <FILE> --at <X,Y> [-k <K>]
   nnq join   --index <FILE> --data <FILE> --outer <FILE> [-k <K>]
 

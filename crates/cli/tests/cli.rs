@@ -596,6 +596,165 @@ fn prefetch_and_io_latency_flags() {
 }
 
 #[test]
+fn tune_flag_is_accounting_neutral_and_reports_knobs() {
+    let data = tmp("tune.csv");
+    let index = tmp("tune.rtree");
+    run_ok(&[
+        "gen",
+        "--kind",
+        "clustered",
+        "--n",
+        "4000",
+        "--seed",
+        "13",
+        "--out",
+        &data,
+    ]);
+    run_ok(&[
+        "build", "--input", &data, "--index", &index, "--method", "str",
+    ]);
+
+    // Bench: the controller may move any knob mid-run, but pages/query —
+    // the paper's metric — must match the untuned run exactly.
+    let bench_out = |extra: &[&str]| -> String {
+        let mut args = vec![
+            "bench",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--queries",
+            "80",
+            "-k",
+            "5",
+        ];
+        args.extend_from_slice(extra);
+        run_ok(&args)
+    };
+    let pages = |out: &str| -> String {
+        out.lines()
+            .next()
+            .unwrap()
+            .split(", ")
+            .find(|f| f.ends_with("pages/query"))
+            .unwrap()
+            .to_string()
+    };
+    let off = bench_out(&["--tune", "off"]);
+    assert!(!off.contains("tune adaptive"), "{off}");
+    for extra in [
+        vec!["--tune", "adaptive"],
+        vec!["--tune", "adaptive", "--threads", "4"],
+        vec!["--tune", "adaptive", "--prefetch", "4", "--io-lat-us", "20"],
+    ] {
+        let on = bench_out(&extra);
+        assert_eq!(pages(&on), pages(&off), "{extra:?}: {on}");
+        assert!(on.contains("tune adaptive: depth="), "{on}");
+        assert!(on.contains("adjustments="), "{on}");
+        assert!(on.contains("samples="), "{on}");
+    }
+
+    // Query accepts the flag too and reports the final knob state.
+    let q = run_ok(&[
+        "query",
+        "--index",
+        &index,
+        "--data",
+        &data,
+        "--at",
+        "50000,50000",
+        "-k",
+        "3",
+        "--tune",
+        "adaptive",
+    ]);
+    assert!(q.contains("3 results"), "{q}");
+    assert!(q.contains("tune adaptive: depth="), "{q}");
+
+    // Bad values are usage errors on both commands.
+    let mut sink = Vec::new();
+    for bad in [
+        vec![
+            "bench",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--tune",
+            "sometimes",
+        ],
+        vec![
+            "query", "--index", &index, "--data", &data, "--at", "0,0", "--tune", "on",
+        ],
+    ] {
+        assert!(
+            matches!(run(&argv(&bad), &mut sink), Err(CliError::Usage(_))),
+            "expected usage error for {bad:?}"
+        );
+    }
+
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&index).ok();
+}
+
+#[test]
+fn tune_flag_partitioned_matches_untuned() {
+    let data = tmp("tunep.csv");
+    let index = tmp("tunep.rtree");
+    run_ok(&[
+        "gen", "--kind", "tiger", "--n", "4000", "--seed", "17", "--out", &data,
+    ]);
+    run_ok(&[
+        "build",
+        "--input",
+        &data,
+        "--index",
+        &index,
+        "--method",
+        "hilbert",
+        "--partitions",
+        "4",
+    ]);
+    let bench_out = |extra: &[&str]| -> String {
+        let mut args = vec![
+            "bench",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--queries",
+            "60",
+            "-k",
+            "5",
+            "--partitions",
+            "4",
+        ];
+        args.extend_from_slice(extra);
+        run_ok(&args)
+    };
+    let pages = |out: &str| -> String {
+        out.lines()
+            .next()
+            .unwrap()
+            .split(", ")
+            .find(|f| f.ends_with("pages/query"))
+            .unwrap()
+            .to_string()
+    };
+    let off = bench_out(&[]);
+    for threads in ["1", "4"] {
+        let on = bench_out(&["--tune", "adaptive", "--threads", threads]);
+        assert_eq!(pages(&on), pages(&off), "threads={threads}: {on}");
+        assert!(on.contains("tune adaptive: depth="), "{on}");
+    }
+    std::fs::remove_file(&data).ok();
+    for i in 0..4 {
+        std::fs::remove_file(format!("{index}.p{i}")).ok();
+    }
+    std::fs::remove_file(format!("{index}.manifest")).ok();
+}
+
+#[test]
 fn ingest_and_delete_roundtrip_with_wal() {
     let base = tmp("ing-base.csv");
     let extra = tmp("ing-extra.csv");

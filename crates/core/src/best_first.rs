@@ -68,7 +68,9 @@ pub fn best_first_knn_opts<const D: usize, T: TreeAccess<D> + ?Sized, R: Refiner
 ) -> Result<(Vec<Neighbor<D>>, SearchStats)> {
     assert!(k > 0, "k must be at least 1");
     let batch = opts.kernel == KernelMode::Batch;
-    let prefetch_depth = opts.prefetch.resolve(tree.io_miss_rate());
+    let prefetch_depth = opts
+        .prefetch
+        .resolve_with_activity(tree.io_miss_rate(), tree.io_reads());
     let mut hint_scratch: Vec<(f64, PageId)> = Vec::new();
     let mut mindists: Vec<f64> = Vec::new();
     let mut heap = KnnHeap::new(k);

@@ -208,7 +208,10 @@ impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
         let mut cursor = QueryCursor::new();
         cursor.heap.reset(k);
         let mut trace = Trace::default();
-        let prefetch_depth = self.opts.prefetch.resolve(self.tree.io_miss_rate());
+        let prefetch_depth = self
+            .opts
+            .prefetch
+            .resolve_with_activity(self.tree.io_miss_rate(), self.tree.io_reads());
         let mut ctx = Ctx {
             tree: self.tree,
             opts: self.opts,
@@ -246,7 +249,9 @@ impl<'t, const D: usize, T: TreeAccess<D> + ?Sized> NnSearch<'t, D, T> {
             opts.prune_object = false;
         }
         cursor.heap.reset(k);
-        let prefetch_depth = opts.prefetch.resolve(self.tree.io_miss_rate());
+        let prefetch_depth = opts
+            .prefetch
+            .resolve_with_activity(self.tree.io_miss_rate(), self.tree.io_reads());
         let mut ctx = Ctx {
             tree: self.tree,
             opts,

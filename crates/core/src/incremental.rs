@@ -106,7 +106,9 @@ impl<'t, const D: usize, R: Refiner<D>, T: TreeAccess<D> + ?Sized> IncrementalNn
     /// ABL). Neither knob ever changes the yielded neighbors or statistics;
     /// the prefetch policy is resolved once, at construction.
     pub fn with_options(tree: &'t T, q: Point<D>, refiner: R, opts: NnOptions) -> Self {
-        let prefetch_depth = opts.prefetch.resolve(tree.io_miss_rate());
+        let prefetch_depth = opts
+            .prefetch
+            .resolve_with_activity(tree.io_miss_rate(), tree.io_reads());
         let mut queue = BinaryHeap::new();
         if let Some(root) = tree.access_root() {
             queue.push(Reverse(Keyed {

@@ -76,6 +76,7 @@ mod refine;
 mod scan;
 mod scatter;
 mod spatial_join;
+mod tune;
 
 pub use best_first::{best_first_knn, best_first_knn_opts, best_first_knn_with};
 pub use branch_bound::{NnSearch, QueryCursor};
@@ -85,16 +86,21 @@ pub use heap::KnnHeap;
 pub use incremental::IncrementalNn;
 pub use join::{hilbert_schedule, knn_join, JoinOrder};
 pub use metric_knn::metric_knn;
-pub use options::{AblOrdering, KernelMode, Neighbor, NnOptions, PrefetchPolicy, SearchStats};
-pub use parallel::{par_knn_batch, par_knn_batch_ordered, par_knn_batch_stats, BatchStats};
+pub use options::{
+    AblOrdering, KernelMode, Neighbor, NnOptions, PrefetchPolicy, SearchStats, TuneMode,
+};
+pub use parallel::{
+    par_knn_batch, par_knn_batch_ordered, par_knn_batch_stats, par_knn_batch_with_block, BatchStats,
+};
 pub use radius::{count_within_radius, within_radius, within_radius_with};
 pub use refine::{FnRefiner, MbrRefiner, Refiner};
 pub use scan::{linear_scan_knn, scan_items_knn};
 pub use scatter::{
-    partitioned_knn, partitioned_knn_batch, partitioned_radius, scatter_knn, scatter_radius,
-    PartitionedStats, SharedBound,
+    partitioned_knn, partitioned_knn_batch, partitioned_knn_batch_with_block, partitioned_radius,
+    scatter_knn, scatter_radius, PartitionedStats, SharedBound,
 };
 pub use spatial_join::{intersection_join, intersection_join_with, JoinStats};
+pub use tune::{KnobSettings, TuneBounds, TuneController};
 
 /// Result alias shared with the index layer.
 pub type Result<T> = nnq_rtree::Result<T>;

@@ -94,8 +94,24 @@ pub enum PrefetchPolicy {
 }
 
 impl PrefetchPolicy {
+    /// Hint depth `Adaptive` uses while the backend is still untouched.
+    ///
+    /// The miss-rate signal has a blind spot at cold start: by the
+    /// zero-reads convention (`nnq_storage::PoolStats::miss_rate`), an
+    /// untouched pool reports a miss rate of `0.0` — the same value a
+    /// perfectly warm pool reports — so a naive `resolve` picks depth 0
+    /// for the very first queries, exactly when every access is a device
+    /// read and prefetch helps most. [`PrefetchPolicy::resolve_with_activity`]
+    /// floors the depth at this value until the first logical read lands.
+    pub const COLD_START_DEPTH: usize = 2;
+
     /// Resolves the policy to a concrete hint depth for one query, given
     /// the backend's current miss rate (`TreeAccess::io_miss_rate`).
+    ///
+    /// `Adaptive` cannot distinguish a cold backend from a warm one here
+    /// (both report miss rate `0.0`); traversals use
+    /// [`PrefetchPolicy::resolve_with_activity`], which also sees the
+    /// read counter.
     pub fn resolve(self, miss_rate: f64) -> usize {
         match self {
             PrefetchPolicy::Off => 0,
@@ -110,6 +126,19 @@ impl PrefetchPolicy {
                 }
             }
         }
+    }
+
+    /// Like [`PrefetchPolicy::resolve`], but with the backend's lifetime
+    /// logical-read counter (`TreeAccess::io_reads`) to disambiguate the
+    /// zero-reads convention: an `Adaptive` policy over an untouched
+    /// backend (`logical_reads == 0`) floors the depth at
+    /// [`PrefetchPolicy::COLD_START_DEPTH`] instead of resolving to 0.
+    /// `Off` and `Depth` are unaffected.
+    pub fn resolve_with_activity(self, miss_rate: f64, logical_reads: u64) -> usize {
+        if matches!(self, PrefetchPolicy::Adaptive) && logical_reads == 0 {
+            return Self::COLD_START_DEPTH;
+        }
+        self.resolve(miss_rate)
     }
 
     /// Lower-case label for CLI/bench output (`off`, `adaptive`, or the
@@ -147,6 +176,55 @@ impl std::str::FromStr for PrefetchPolicy {
     }
 }
 
+/// Whether the online self-tuning controller ([`crate::tune`]) retunes the
+/// backend's runtime knobs between query batches.
+///
+/// Like every other knob in [`NnOptions`], tuning is strictly
+/// accounting-neutral: the controller only touches knobs proven not to
+/// affect `logical_reads` or [`SearchStats`] (prefetch depth/workers,
+/// decoded-node cache capacity, batch block size, per-partition cache
+/// budget), so results and the paper's page-access figures are
+/// bit-identical with tuning on, off, or mid-adjustment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TuneMode {
+    /// Knobs stay wherever they were set by hand. The default.
+    #[default]
+    Off,
+    /// The controller samples backend counters at batch granularity and
+    /// retunes the knobs.
+    Adaptive,
+}
+
+impl TuneMode {
+    /// Lower-case label for CLI/bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            TuneMode::Off => "off",
+            TuneMode::Adaptive => "adaptive",
+        }
+    }
+}
+
+impl std::fmt::Display for TuneMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for TuneMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(TuneMode::Off),
+            "adaptive" => Ok(TuneMode::Adaptive),
+            other => Err(format!(
+                "unknown tune mode `{other}` (want off or adaptive)"
+            )),
+        }
+    }
+}
+
 /// Options controlling the branch-and-bound search.
 ///
 /// The defaults enable everything, matching the paper's full algorithm;
@@ -177,6 +255,9 @@ pub struct NnOptions {
     /// Prefetch-hint policy (see [`PrefetchPolicy`]); never changes
     /// results or page-access accounting, only wall-clock under latency.
     pub prefetch: PrefetchPolicy,
+    /// Online self-tuning of backend knobs between batches (see
+    /// [`TuneMode`]); never changes results or page-access accounting.
+    pub tune: TuneMode,
 }
 
 impl Default for NnOptions {
@@ -189,6 +270,7 @@ impl Default for NnOptions {
             epsilon: 0.0,
             kernel: KernelMode::default(),
             prefetch: PrefetchPolicy::default(),
+            tune: TuneMode::default(),
         }
     }
 }
@@ -224,6 +306,14 @@ impl NnOptions {
     pub fn with_prefetch(prefetch: PrefetchPolicy) -> Self {
         Self {
             prefetch,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's full algorithm with an explicit tune mode.
+    pub fn with_tune(tune: TuneMode) -> Self {
+        Self {
+            tune,
             ..Self::default()
         }
     }
@@ -370,6 +460,43 @@ mod tests {
         assert_eq!(PrefetchPolicy::Adaptive.resolve(0.0), 0);
         assert_eq!(PrefetchPolicy::Adaptive.resolve(0.2), 2);
         assert_eq!(PrefetchPolicy::Adaptive.resolve(0.9), 8);
+    }
+
+    #[test]
+    fn adaptive_prefetch_cold_start_floor() {
+        // Regression: an untouched pool reports miss rate 0.0 (zero-reads
+        // convention), which used to resolve Adaptive to depth 0 on the
+        // very first — coldest — queries. With the activity counter the
+        // policy floors at COLD_START_DEPTH until the first read lands.
+        assert_eq!(
+            PrefetchPolicy::Adaptive.resolve_with_activity(0.0, 0),
+            PrefetchPolicy::COLD_START_DEPTH
+        );
+        // After any activity the miss-rate ladder is authoritative again:
+        // a genuinely warm backend drops to 0...
+        assert_eq!(
+            PrefetchPolicy::Adaptive.resolve_with_activity(0.0, 10_000),
+            0
+        );
+        // ...and a missing one keeps its ladder depths.
+        assert_eq!(PrefetchPolicy::Adaptive.resolve_with_activity(0.2, 1), 2);
+        assert_eq!(PrefetchPolicy::Adaptive.resolve_with_activity(0.9, 1), 8);
+        // Off and explicit depths are never floored.
+        assert_eq!(PrefetchPolicy::Off.resolve_with_activity(0.0, 0), 0);
+        assert_eq!(PrefetchPolicy::Depth(5).resolve_with_activity(0.0, 0), 5);
+    }
+
+    #[test]
+    fn tune_mode_parses_and_prints() {
+        assert_eq!("off".parse::<TuneMode>().unwrap(), TuneMode::Off);
+        assert_eq!("adaptive".parse::<TuneMode>().unwrap(), TuneMode::Adaptive);
+        assert!("auto".parse::<TuneMode>().is_err());
+        assert_eq!(TuneMode::Adaptive.to_string(), "adaptive");
+        assert_eq!(NnOptions::default().tune, TuneMode::Off);
+        assert_eq!(
+            NnOptions::with_tune(TuneMode::Adaptive).tune,
+            TuneMode::Adaptive
+        );
     }
 
     #[test]

@@ -110,7 +110,7 @@ where
     T: TreeAccess<D> + Sync + ?Sized,
     R: Refiner<D> + Sync,
 {
-    run_batch(tree, queries, k, opts, refiner, threads, order).map(|(results, _)| results)
+    run_batch(tree, queries, k, opts, refiner, threads, order, None).map(|(results, _)| results)
 }
 
 /// [`par_knn_batch`] plus the scheduling telemetry: how many queries each
@@ -127,9 +127,52 @@ where
     T: TreeAccess<D> + Sync + ?Sized,
     R: Refiner<D> + Sync,
 {
-    run_batch(tree, queries, k, opts, refiner, threads, JoinOrder::AsGiven)
+    run_batch(
+        tree,
+        queries,
+        k,
+        opts,
+        refiner,
+        threads,
+        JoinOrder::AsGiven,
+        None,
+    )
 }
 
+/// [`par_knn_batch_stats`] with an explicit claim-block override for the
+/// shared cursor (`None` uses the [`block_size`] heuristic). This is the
+/// self-tuning controller's batch knob: any block size yields bit-identical
+/// results because every query is computed independently and results are
+/// reassembled in submission order — only claim granularity (and so steal
+/// behavior under imbalance) changes.
+#[allow(clippy::too_many_arguments)]
+pub fn par_knn_batch_with_block<const D: usize, T, R>(
+    tree: &T,
+    queries: &[Point<D>],
+    k: usize,
+    opts: NnOptions,
+    refiner: &R,
+    threads: usize,
+    order: JoinOrder,
+    block_override: Option<usize>,
+) -> Result<(Vec<Vec<Neighbor<D>>>, BatchStats)>
+where
+    T: TreeAccess<D> + Sync + ?Sized,
+    R: Refiner<D> + Sync,
+{
+    run_batch(
+        tree,
+        queries,
+        k,
+        opts,
+        refiner,
+        threads,
+        order,
+        block_override,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_batch<const D: usize, T, R>(
     tree: &T,
     queries: &[Point<D>],
@@ -138,6 +181,7 @@ fn run_batch<const D: usize, T, R>(
     refiner: &R,
     threads: usize,
     order: JoinOrder,
+    block_override: Option<usize>,
 ) -> Result<(Vec<Vec<Neighbor<D>>>, BatchStats)>
 where
     T: TreeAccess<D> + Sync + ?Sized,
@@ -179,7 +223,9 @@ where
     }
 
     let len = queries.len();
-    let block = block_size(len, threads);
+    let block = block_override
+        .map(|b| b.max(1))
+        .unwrap_or_else(|| block_size(len, threads));
     let next = AtomicUsize::new(0);
 
     // Each worker returns its (index, result) pairs; the batch result is
@@ -321,6 +367,33 @@ mod tests {
             );
             if threads > 1 {
                 assert!(stats.block >= 1 && stats.block <= 32);
+            }
+        }
+    }
+
+    #[test]
+    fn block_override_is_bit_identical() {
+        let (tree, queries) = tree_and_queries(3_000, 250);
+        let seq = par_knn_batch(&tree, &queries, 5, NnOptions::default(), &MbrRefiner, 1).unwrap();
+        for block in [1, 3, 17, 64, 1000] {
+            let (out, stats) = par_knn_batch_with_block(
+                &tree,
+                &queries,
+                5,
+                NnOptions::default(),
+                &MbrRefiner,
+                4,
+                JoinOrder::AsGiven,
+                Some(block),
+            )
+            .unwrap();
+            assert_eq!(stats.block, block, "override not applied");
+            for (a, b) in out.iter().zip(&seq) {
+                assert_eq!(
+                    a.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+                    b.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+                    "block={block}"
+                );
             }
         }
     }

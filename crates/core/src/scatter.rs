@@ -431,6 +431,23 @@ pub fn partitioned_knn_batch<const D: usize, R: Refiner<D> + Sync>(
     refiner: &R,
     threads: usize,
 ) -> Result<(Vec<Vec<Neighbor<D>>>, PartitionedStats)> {
+    partitioned_knn_batch_with_block(tree, queries, k, opts, refiner, threads, None)
+}
+
+/// [`partitioned_knn_batch`] with an explicit claim-block override
+/// (`None` uses the shared [`block_size`] heuristic) — the self-tuning
+/// controller's batch knob for partitioned trees. Bit-identical for any
+/// block size, for the same reason as
+/// [`par_knn_batch_with_block`](crate::par_knn_batch_with_block).
+pub fn partitioned_knn_batch_with_block<const D: usize, R: Refiner<D> + Sync>(
+    tree: &PartitionedTree<D>,
+    queries: &[Point<D>],
+    k: usize,
+    opts: NnOptions,
+    refiner: &R,
+    threads: usize,
+    block_override: Option<usize>,
+) -> Result<(Vec<Vec<Neighbor<D>>>, PartitionedStats)> {
     assert!(threads > 0, "need at least one worker");
     let mbrs: Vec<Rect<D>> = tree.manifest().parts.iter().map(|p| p.mbr).collect();
     let parts = tree.partitions();
@@ -447,7 +464,9 @@ pub fn partitioned_knn_batch<const D: usize, R: Refiner<D> + Sync>(
     }
 
     let len = queries.len();
-    let block = block_size(len, threads);
+    let block = block_override
+        .map(|b| b.max(1))
+        .unwrap_or_else(|| block_size(len, threads));
     let next = AtomicUsize::new(0);
     type WorkerOut<const D: usize> = Result<Vec<(usize, Vec<Neighbor<D>>, PartitionedStats)>>;
     let worker_outs: Vec<WorkerOut<D>> = std::thread::scope(|scope| {

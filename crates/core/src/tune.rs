@@ -1,0 +1,537 @@
+//! Online self-tuning of backend performance knobs.
+//!
+//! PRs 1–6 grew a stack of runtime knobs — prefetch depth and worker
+//! count, decoded-node cache capacity, work-stealing claim-block size,
+//! per-partition cache budgets — that were all hand-set constants. This
+//! module closes the feedback loop: a [`TuneController`] samples the
+//! counters the system already maintains ([`BackendSignals`]: pool
+//! hit/miss rates, prefetch useful/wasted classification, node-cache
+//! hit/eviction rates; [`BatchStats`]: work-steal imbalance) at
+//! query-batch granularity, smooths them with an EWMA, and retunes the
+//! knobs between batches.
+//!
+//! # Accounting neutrality
+//!
+//! The controller may only touch knobs that are individually proven not
+//! to change results, `logical_reads` (the paper's "pages accessed"), or
+//! any [`SearchStats`](crate::SearchStats) counter:
+//!
+//! * **prefetch depth** — hints are advisory and accounted outside
+//!   `PoolStats` (PR 4's contract);
+//! * **prefetch workers** — workers only serve hints;
+//! * **node-cache capacity** — `PagedStore::read` fetches the page
+//!   *before* probing the cache, so page accounting never depends on
+//!   cache contents (PR 1's contract, preserved by the in-place CLOCK
+//!   ring resize);
+//! * **claim-block size** — every query is computed independently and
+//!   results are reassembled in submission order (PR 3's contract);
+//! * **per-partition cache budget** — a vector of node-cache capacities.
+//!
+//! Because every knob is individually neutral, any schedule of
+//! adjustments — including mid-run — leaves results and accounting
+//! bit-identical to a run with tuning off. `tests/tests/tuning.rs` pins
+//! exactly this.
+//!
+//! # Signals → knobs
+//!
+//! | signal (EWMA over batch deltas)       | knob                     |
+//! |---------------------------------------|--------------------------|
+//! | pool miss rate                        | prefetch depth (ladder)  |
+//! | prefetch wasted rate                  | prefetch depth (back-off)|
+//! | prefetch depth                        | worker count             |
+//! | node-cache hit rate + evictions       | cache capacity (grow)    |
+//! | node-cache hit rate + occupancy       | cache capacity (shrink)  |
+//! | work-steal imbalance                  | claim-block size         |
+//! | per-partition miss rates              | cache budget shares      |
+
+use crate::options::{PrefetchPolicy, TuneMode};
+use crate::parallel::BatchStats;
+use nnq_rtree::{BackendSignals, PartitionedTree, TreeAccess};
+
+/// Hard bounds the controller keeps every knob inside.
+#[derive(Clone, Copy, Debug)]
+pub struct TuneBounds {
+    /// Largest prefetch-hint depth (the bench sweeps found diminishing
+    /// returns past 8; 16 leaves headroom).
+    pub max_depth: usize,
+    /// Most prefetch workers to keep active (clamped further by how many
+    /// threads the pool actually spawned).
+    pub max_workers: usize,
+    /// Smallest decoded-node cache capacity (also the per-partition
+    /// budget floor); never tune the cache away entirely.
+    pub min_cache: usize,
+    /// Largest decoded-node cache capacity (per partition, for
+    /// partitioned trees).
+    pub max_cache: usize,
+}
+
+impl Default for TuneBounds {
+    fn default() -> Self {
+        Self {
+            max_depth: 16,
+            max_workers: 4,
+            min_cache: 64,
+            max_cache: 8192,
+        }
+    }
+}
+
+/// The knob settings a [`TuneController`] currently recommends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KnobSettings {
+    /// Prefetch-hint depth for the next batch (0 = no hints). Callers
+    /// apply it via [`TuneController::prefetch_policy`].
+    pub prefetch_depth: usize,
+    /// Active prefetch workers (applied through
+    /// `TreeAccess::set_prefetch_workers`).
+    pub prefetch_workers: usize,
+    /// Decoded-node cache capacity, per tree (applied through
+    /// `TreeAccess::set_cache_capacity`; partitioned trees spread
+    /// `capacity × partitions` by miss rate).
+    pub cache_capacity: usize,
+    /// Claim-block override for the work-stealing executor (`None` =
+    /// the static heuristic).
+    pub block_override: Option<usize>,
+}
+
+/// Online controller retuning backend knobs from their own counters.
+///
+/// Drive it at batch granularity: run a batch, then call
+/// [`TuneController::observe_batch`] with the executor's stats and
+/// [`TuneController::observe_tree`] (or
+/// [`TuneController::observe_partitioned`]) with the tree — the latter
+/// samples counters, updates the EWMAs, picks new knob values, and
+/// applies them to the backend. Build the next batch's options with
+/// [`TuneController::prefetch_policy`] and
+/// [`TuneController::block_override`].
+///
+/// In [`TuneMode::Off`] every method is a no-op, so callers can keep one
+/// unconditional code path.
+#[derive(Debug)]
+pub struct TuneController {
+    mode: TuneMode,
+    bounds: TuneBounds,
+    /// EWMA smoothing factor for batch-delta rates: the weight of the
+    /// newest batch. 0.5 reacts within ~2 batches of a workload shift
+    /// while still riding out single-batch noise.
+    alpha: f64,
+    miss: Option<f64>,
+    cache_hit: Option<f64>,
+    wasted: Option<f64>,
+    imbalance: Option<f64>,
+    /// Counter snapshot at the previous observation (deltas are computed
+    /// against it).
+    last: Option<BackendSignals>,
+    knobs: KnobSettings,
+    adjustments: u64,
+    samples: u64,
+}
+
+impl TuneController {
+    /// A controller with default bounds. Initial knobs mirror the
+    /// hand-set defaults the system ships with: cold-start prefetch
+    /// depth, one worker per two depth steps, the `PagedStore` default
+    /// cache capacity, heuristic block size.
+    pub fn new(mode: TuneMode) -> Self {
+        Self::with_bounds(mode, TuneBounds::default())
+    }
+
+    /// A controller with explicit knob bounds.
+    pub fn with_bounds(mode: TuneMode, bounds: TuneBounds) -> Self {
+        Self {
+            mode,
+            bounds,
+            alpha: 0.5,
+            miss: None,
+            cache_hit: None,
+            wasted: None,
+            imbalance: None,
+            last: None,
+            knobs: KnobSettings {
+                prefetch_depth: PrefetchPolicy::COLD_START_DEPTH,
+                prefetch_workers: 2,
+                // `PagedStore::DEFAULT_CACHE_CAPACITY`.
+                cache_capacity: 1024,
+                block_override: None,
+            },
+            adjustments: 0,
+            samples: 0,
+        }
+    }
+
+    /// The controller's mode.
+    pub fn mode(&self) -> TuneMode {
+        self.mode
+    }
+
+    /// Whether the controller is actively tuning.
+    pub fn is_active(&self) -> bool {
+        self.mode == TuneMode::Adaptive
+    }
+
+    /// Current knob recommendations.
+    pub fn settings(&self) -> KnobSettings {
+        self.knobs
+    }
+
+    /// How many observations changed at least one knob.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// How many observations the controller has consumed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The prefetch policy encoding the current depth knob — what callers
+    /// put into `NnOptions.prefetch` for the next batch. Off-mode
+    /// controllers return `None` (keep whatever the caller configured).
+    pub fn prefetch_policy(&self) -> Option<PrefetchPolicy> {
+        if !self.is_active() {
+            return None;
+        }
+        Some(match self.knobs.prefetch_depth {
+            0 => PrefetchPolicy::Off,
+            n => PrefetchPolicy::Depth(n),
+        })
+    }
+
+    /// The claim-block override for the next batch (`None` in off mode or
+    /// when the heuristic is fine).
+    pub fn block_override(&self) -> Option<usize> {
+        if !self.is_active() {
+            return None;
+        }
+        self.knobs.block_override
+    }
+
+    /// One-line report of the final knob state for CLI/bench stats lines.
+    pub fn report(&self) -> String {
+        let block = match self.knobs.block_override {
+            Some(b) => b.to_string(),
+            None => "auto".to_string(),
+        };
+        format!(
+            "depth={} workers={} cache={} block={} adjustments={} samples={}",
+            self.knobs.prefetch_depth,
+            self.knobs.prefetch_workers,
+            self.knobs.cache_capacity,
+            block,
+            self.adjustments,
+            self.samples,
+        )
+    }
+
+    /// Feeds one batch's scheduling telemetry into the imbalance EWMA and
+    /// retunes the claim-block knob. No-op in off mode or for sequential
+    /// batches (one worker has no imbalance to measure).
+    pub fn observe_batch(&mut self, stats: &BatchStats) {
+        if !self.is_active() || stats.threads <= 1 || stats.per_worker_queries.is_empty() {
+            return;
+        }
+        let total: usize = stats.per_worker_queries.iter().sum();
+        if total == 0 {
+            return;
+        }
+        let mean = total as f64 / stats.per_worker_queries.len() as f64;
+        let max = *stats.per_worker_queries.iter().max().expect("non-empty") as f64;
+        let imbalance = max / mean.max(1.0);
+        self.imbalance = Some(ewma(self.imbalance, imbalance, self.alpha));
+
+        // Heavy imbalance means some worker sat on an expensive claim
+        // while others idled: shrink claims to single queries so stealing
+        // is as fine-grained as possible. Near-even split: let the static
+        // heuristic amortize the cursor.
+        let new_block = if self.imbalance.expect("just set") > 1.5 {
+            Some(1)
+        } else {
+            None
+        };
+        if new_block != self.knobs.block_override {
+            self.knobs.block_override = new_block;
+            self.adjustments += 1;
+        }
+    }
+
+    /// Samples the tree's backend counters, updates the EWMAs, picks new
+    /// knob values, and applies the cache-capacity and prefetch-worker
+    /// knobs through [`TreeAccess`]. Call between batches. No-op in off
+    /// mode.
+    pub fn observe_tree<const D: usize, T: TreeAccess<D> + ?Sized>(&mut self, tree: &T) {
+        if !self.is_active() {
+            return;
+        }
+        let now = tree.backend_signals();
+        if self.step(now) {
+            tree.set_cache_capacity(self.knobs.cache_capacity);
+            tree.set_prefetch_workers(self.knobs.prefetch_workers);
+        }
+    }
+
+    /// [`TuneController::observe_tree`] for a [`PartitionedTree`]: the
+    /// EWMAs run on the partition-summed counters, the worker knob is
+    /// applied to every partition's prefetcher, and the cache knob
+    /// becomes a dataset-wide budget of `cache_capacity × partitions`
+    /// nodes redistributed toward the worst-missing partitions
+    /// (`PartitionedTree::rebalance_cache_budget`, floored at
+    /// `min_cache` per partition).
+    pub fn observe_partitioned<const D: usize>(&mut self, tree: &PartitionedTree<D>) {
+        if !self.is_active() {
+            return;
+        }
+        let mut agg = BackendSignals::default();
+        for s in tree.partition_signals() {
+            agg.accumulate(&s);
+        }
+        // The gauges summed across partitions; normalize capacity back to
+        // a per-partition figure so the ladder thresholds keep meaning.
+        let p = tree.partition_count().max(1);
+        agg.cache_len /= p;
+        agg.cache_capacity /= p;
+        if self.step(agg) {
+            tree.rebalance_cache_budget(self.knobs.cache_capacity * p, self.bounds.min_cache);
+            tree.set_prefetch_workers(self.knobs.prefetch_workers);
+        }
+    }
+
+    /// Core decision step: consume one counter snapshot, update EWMAs,
+    /// recompute knobs. Returns whether the caller should (re-)apply the
+    /// backend knobs — true whenever a delta was observed, so a mid-run
+    /// external knob change is corrected even if the decision is
+    /// unchanged.
+    fn step(&mut self, now: BackendSignals) -> bool {
+        let Some(last) = self.last.replace(now) else {
+            // First sighting: nothing to delta against yet. Still apply
+            // the initial knobs so controller and backend agree.
+            self.samples += 1;
+            return true;
+        };
+        let reads = now.logical_reads.saturating_sub(last.logical_reads);
+        if reads == 0 {
+            // No traffic since the last look; leave the EWMAs alone.
+            return false;
+        }
+        self.samples += 1;
+
+        let phys = now.physical_reads.saturating_sub(last.physical_reads);
+        self.miss = Some(ewma(self.miss, phys as f64 / reads as f64, self.alpha));
+
+        let probes =
+            (now.cache_hits + now.cache_misses).saturating_sub(last.cache_hits + last.cache_misses);
+        if probes > 0 {
+            let hits = now.cache_hits.saturating_sub(last.cache_hits);
+            self.cache_hit = Some(ewma(
+                self.cache_hit,
+                hits as f64 / probes as f64,
+                self.alpha,
+            ));
+        }
+
+        let classified = (now.prefetch_useful + now.prefetch_wasted)
+            .saturating_sub(last.prefetch_useful + last.prefetch_wasted);
+        if classified > 0 {
+            let wasted = now.prefetch_wasted.saturating_sub(last.prefetch_wasted);
+            self.wasted = Some(ewma(
+                self.wasted,
+                wasted as f64 / classified as f64,
+                self.alpha,
+            ));
+        }
+
+        let old = self.knobs;
+
+        // Prefetch depth: the Adaptive ladder, on the smoothed miss rate
+        // instead of one query's instantaneous view...
+        let miss = self.miss.expect("set above");
+        let mut depth = if miss >= 0.5 {
+            8
+        } else if miss >= 0.05 {
+            2
+        } else {
+            0
+        };
+        // ...backed off when classification says the hints mostly die
+        // unclaimed (evicted before use: queue too deep for the pool).
+        if self.wasted.unwrap_or(0.0) > 0.5 {
+            depth /= 2;
+        }
+        self.knobs.prefetch_depth = depth.min(self.bounds.max_depth);
+
+        // Workers follow depth: deep hinting under heavy misses wants
+        // I/O overlap; shallow or no hinting needs one worker at most
+        // (the floor set_prefetch_workers enforces anyway).
+        self.knobs.prefetch_workers = match self.knobs.prefetch_depth {
+            0..=1 => 1,
+            2..=4 => 2,
+            _ => self.bounds.max_workers,
+        };
+
+        // Cache capacity: grow ×2 under decode pressure (low hit rate
+        // while evictions prove the ring is too small for the working
+        // set); shrink ×2 when the cache is both comfortable and mostly
+        // empty. Hysteresis between the thresholds prevents flapping.
+        let evictions = now.cache_evictions.saturating_sub(last.cache_evictions);
+        if let Some(hit) = self.cache_hit {
+            if hit < 0.6 && evictions > 0 {
+                self.knobs.cache_capacity =
+                    (self.knobs.cache_capacity * 2).min(self.bounds.max_cache);
+            } else if hit > 0.95 && now.cache_len < now.cache_capacity / 4 {
+                self.knobs.cache_capacity =
+                    (self.knobs.cache_capacity / 2).max(self.bounds.min_cache);
+            }
+        }
+
+        if self.knobs != old {
+            self.adjustments += 1;
+        }
+        true
+    }
+}
+
+/// One EWMA step: `alpha` weights the new sample; a `None` state adopts
+/// the sample outright.
+fn ewma(state: Option<f64>, sample: f64, alpha: f64) -> f64 {
+    match state {
+        None => sample,
+        Some(prev) => alpha * sample + (1.0 - alpha) * prev,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signals(logical: u64, phys: u64, ch: u64, cm: u64, ev: u64) -> BackendSignals {
+        BackendSignals {
+            logical_reads: logical,
+            pool_hits: logical - phys,
+            physical_reads: phys,
+            cache_hits: ch,
+            cache_misses: cm,
+            cache_evictions: ev,
+            cache_len: 0,
+            cache_capacity: 1024,
+            ..BackendSignals::default()
+        }
+    }
+
+    #[test]
+    fn off_mode_never_moves() {
+        let mut c = TuneController::new(TuneMode::Off);
+        assert!(!c.is_active());
+        assert_eq!(c.prefetch_policy(), None);
+        assert_eq!(c.block_override(), None);
+        c.observe_batch(&BatchStats {
+            threads: 8,
+            block: 4,
+            per_worker_queries: vec![100, 0, 0, 0, 0, 0, 0, 0],
+        });
+        assert_eq!(c.adjustments(), 0);
+        assert_eq!(c.samples(), 0);
+    }
+
+    #[test]
+    fn miss_ladder_drives_depth_and_workers() {
+        let mut c = TuneController::new(TuneMode::Adaptive);
+        assert!(c.step(signals(0, 0, 0, 0, 0))); // baseline snapshot
+                                                 // All-miss batch: depth jumps to the cold rung, workers follow.
+        assert!(c.step(signals(1000, 1000, 0, 1000, 0)));
+        assert_eq!(c.settings().prefetch_depth, 8);
+        assert_eq!(c.settings().prefetch_workers, 4);
+        assert_eq!(c.prefetch_policy(), Some(PrefetchPolicy::Depth(8)));
+        // Warm batches: the EWMA decays the miss rate to the bottom rung.
+        for i in 1..=8u64 {
+            c.step(signals(1000 + i * 1000, 1000, 0, 1000, 0));
+        }
+        assert_eq!(c.settings().prefetch_depth, 0);
+        assert_eq!(c.settings().prefetch_workers, 1);
+        assert_eq!(c.prefetch_policy(), Some(PrefetchPolicy::Off));
+    }
+
+    #[test]
+    fn wasted_prefetch_backs_depth_off() {
+        let mut c = TuneController::new(TuneMode::Adaptive);
+        c.step(signals(0, 0, 0, 0, 0));
+        let mut s = signals(1000, 1000, 0, 1000, 0);
+        s.prefetch_useful = 10;
+        s.prefetch_wasted = 990;
+        c.step(s);
+        // Miss rate alone says 8; the wasted rate halves it.
+        assert_eq!(c.settings().prefetch_depth, 4);
+    }
+
+    #[test]
+    fn cache_grows_under_pressure_and_shrinks_when_idle() {
+        let mut c = TuneController::new(TuneMode::Adaptive);
+        c.step(signals(0, 0, 0, 0, 0));
+        let start = c.settings().cache_capacity;
+        // Thrashing: low hit rate with evictions → grow.
+        c.step(signals(1000, 0, 100, 900, 500));
+        assert_eq!(c.settings().cache_capacity, start * 2);
+        // Comfortable and empty → shrink (cache_len 0 < capacity/4); the
+        // EWMA needs a few near-perfect batches to clear the hysteresis
+        // band.
+        for i in 1..=6u64 {
+            c.step(signals(1000 + i * 100_000, 0, i * 100_000, 900, 500));
+        }
+        assert!(c.settings().cache_capacity < start * 2);
+    }
+
+    #[test]
+    fn bounds_are_hard() {
+        let mut c = TuneController::with_bounds(
+            TuneMode::Adaptive,
+            TuneBounds {
+                max_depth: 4,
+                max_workers: 2,
+                min_cache: 256,
+                max_cache: 512,
+            },
+        );
+        c.step(signals(0, 0, 0, 0, 0));
+        for i in 1..=10u64 {
+            // Permanent thrash: everything wants to grow.
+            c.step(signals(i * 1000, i * 1000, i * 100, i * 900, i * 500));
+        }
+        let k = c.settings();
+        assert!(k.prefetch_depth <= 4);
+        assert!(k.prefetch_workers <= 2);
+        assert!((256..=512).contains(&k.cache_capacity));
+    }
+
+    #[test]
+    fn imbalance_shrinks_block_and_recovers() {
+        let mut c = TuneController::new(TuneMode::Adaptive);
+        c.observe_batch(&BatchStats {
+            threads: 4,
+            block: 8,
+            per_worker_queries: vec![97, 1, 1, 1],
+        });
+        assert_eq!(c.block_override(), Some(1));
+        let adj = c.adjustments();
+        // Balanced batches decay the EWMA back under the threshold.
+        for _ in 0..8 {
+            c.observe_batch(&BatchStats {
+                threads: 4,
+                block: 8,
+                per_worker_queries: vec![25, 25, 25, 25],
+            });
+        }
+        assert_eq!(c.block_override(), None);
+        assert!(c.adjustments() > adj);
+    }
+
+    #[test]
+    fn quiet_batches_leave_state_alone() {
+        let mut c = TuneController::new(TuneMode::Adaptive);
+        c.step(signals(1000, 1000, 0, 1000, 0));
+        c.step(signals(2000, 2000, 0, 2000, 0));
+        let before = c.settings();
+        let samples = c.samples();
+        // Identical snapshot: zero reads since last look.
+        assert!(!c.step(signals(2000, 2000, 0, 2000, 0)));
+        assert_eq!(c.settings(), before);
+        assert_eq!(c.samples(), samples);
+    }
+}

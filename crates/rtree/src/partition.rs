@@ -24,7 +24,7 @@
 use crate::bulk::BulkMethod;
 use crate::config::RTreeConfig;
 use crate::entry::RecordId;
-use crate::store::PagedStore;
+use crate::store::{NodeStore, PagedStore};
 use crate::tree::RTree;
 use crate::{RTreeError, Result};
 use nnq_geom::{hilbert_key, Rect};
@@ -397,6 +397,77 @@ impl<const D: usize> PartitionedTree<D> {
         }
         Ok(())
     }
+
+    /// Per-partition tuning signals, in partition order (see
+    /// [`crate::BackendSignals`]).
+    pub fn partition_signals(&self) -> Vec<crate::BackendSignals> {
+        self.parts
+            .iter()
+            .map(|t| t.store().backend_signals())
+            .collect()
+    }
+
+    /// Redistributes a dataset-wide decoded-node cache budget of `total`
+    /// nodes across partitions, proportionally to each partition's pool
+    /// miss rate (lifetime, per the current counters) with an equal-share
+    /// floor of `floor` nodes so no partition is starved. The worst-missing
+    /// partitions get the most decode headroom. With no reads anywhere the
+    /// budget falls back to an even split. Returns the installed
+    /// per-partition capacities.
+    ///
+    /// Accounting-neutral: only [`PagedStore::resize_node_cache`] is
+    /// touched, which never changes page-access counters.
+    pub fn rebalance_cache_budget(&self, total: usize, floor: usize) -> Vec<usize> {
+        let p = self.parts.len();
+        if p == 0 {
+            return Vec::new();
+        }
+        let floor = floor.min(total / p);
+        let spread = total - floor * p;
+        let miss: Vec<f64> = self
+            .parts
+            .iter()
+            .map(|t| t.pool().stats().miss_rate())
+            .collect();
+        let sum: f64 = miss.iter().sum();
+        let caps: Vec<usize> = if sum <= 0.0 {
+            // Nothing measured (or perfectly warm everywhere): even split.
+            let base = total / p;
+            let rem = total % p;
+            (0..p).map(|i| base + usize::from(i < rem)).collect()
+        } else {
+            let mut caps: Vec<usize> = miss
+                .iter()
+                .map(|m| floor + ((m / sum) * spread as f64) as usize)
+                .collect();
+            // Hand rounding leftovers to the worst misser so the budget is
+            // fully spent.
+            let spent: usize = caps.iter().sum();
+            let worst = miss
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("p > 0");
+            caps[worst] += total - spent;
+            caps
+        };
+        for (tree, &cap) in self.parts.iter().zip(&caps) {
+            tree.store().resize_node_cache(cap);
+        }
+        caps
+    }
+
+    /// Sets the active prefetch-worker count on every partition's pool
+    /// (each partition owns an independent prefetcher). Returns the
+    /// per-partition counts after clamping (`0` for partitions without a
+    /// prefetcher).
+    pub fn set_prefetch_workers(&self, n: usize) -> Vec<usize> {
+        self.parts
+            .iter()
+            .map(|t| t.pool().set_prefetch_workers(n))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -605,5 +676,56 @@ mod tests {
         for tree in part.partitions() {
             assert_eq!(tree.root(), PageId::INVALID);
         }
+    }
+
+    #[test]
+    fn cache_budget_rebalance_spends_total_and_favors_missers() {
+        let part = PartitionedTree::bulk_load_in_memory(
+            points(2000, 31),
+            4,
+            RTreeConfig::default(),
+            BulkMethod::Hilbert,
+            1.0,
+            4096,
+            1,
+        )
+        .unwrap();
+
+        // No reads yet: even split, budget fully spent.
+        let caps = part.rebalance_cache_budget(1000, 64);
+        assert_eq!(caps.len(), 4);
+        assert_eq!(caps.iter().sum::<usize>(), 1000);
+        assert!(caps.iter().all(|&c| c == 250));
+        for (tree, &cap) in part.partitions().iter().zip(&caps) {
+            assert_eq!(tree.store().cache_stats().capacity, cap);
+        }
+
+        // Heat up partition 0 (warm: all hits after first pass) and leave
+        // partition 3 cold-missing by clearing its frames between reads.
+        part.reset_stats();
+        let p0 = &part.partitions()[0];
+        let r0 = p0.access_root().unwrap();
+        for _ in 0..64 {
+            p0.read_node(r0).unwrap();
+        }
+        let p3 = &part.partitions()[3];
+        let r3 = p3.access_root().unwrap();
+        for _ in 0..64 {
+            p3.pool().clear_cache().unwrap();
+            p3.read_node(r3).unwrap();
+        }
+        let caps = part.rebalance_cache_budget(1000, 64);
+        assert_eq!(caps.iter().sum::<usize>(), 1000);
+        assert!(caps.iter().all(|&c| c >= 64), "floor violated: {caps:?}");
+        assert!(
+            caps[3] > caps[0],
+            "worst misser must get the biggest share: {caps:?}"
+        );
+
+        // Per-partition signals expose the same counters the budget used.
+        let signals = part.partition_signals();
+        assert_eq!(signals.len(), 4);
+        assert!(signals[3].physical_reads > signals[0].physical_reads);
+        assert_eq!(signals[3].cache_capacity, caps[3]);
     }
 }

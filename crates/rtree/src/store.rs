@@ -22,7 +22,7 @@ use crate::{RTreeError, Result};
 use nnq_storage::{BufferPool, PageId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Storage backend for R-tree nodes and the tree's metadata.
@@ -76,6 +76,96 @@ pub trait NodeStore<const D: usize> {
     /// prefetch policy in `nnq-core` keys on this.
     fn io_miss_rate(&self) -> f64 {
         0.0
+    }
+
+    /// Lifetime logical page reads the backend has served (`0` where the
+    /// notion does not apply). `nnq-core` uses this to tell a genuinely
+    /// cold backend (`io_miss_rate() == 0.0` by the zero-reads convention)
+    /// from a perfectly warm one.
+    fn io_reads(&self) -> u64 {
+        0
+    }
+
+    /// Snapshot of the backend's tuning signals (pool, prefetch, and
+    /// node-cache counters). Backends without such counters return the
+    /// all-zero default, which the controller treats as "nothing to tune".
+    fn backend_signals(&self) -> BackendSignals {
+        BackendSignals::default()
+    }
+
+    /// Retunes the backend's decoded-node cache to hold `cap` nodes, if it
+    /// has one. Must be accounting-neutral (page-access counters cannot
+    /// depend on cache contents). Returns the installed capacity (`0`
+    /// where the knob does not exist).
+    fn set_cache_capacity(&self, _cap: usize) -> usize {
+        0
+    }
+
+    /// Sets how many background prefetch workers actively service hints,
+    /// if the backend has a prefetcher. Returns the active count after
+    /// clamping (`0` where the knob does not exist).
+    fn set_prefetch_workers(&self, _n: usize) -> usize {
+        0
+    }
+}
+
+/// One snapshot of every counter the self-tuning controller reads,
+/// gathered across the storage stack (buffer pool, prefetch pipeline,
+/// decoded-node cache) by [`NodeStore::backend_signals`].
+///
+/// All counters are cumulative since the last stats reset; the controller
+/// works on deltas between successive snapshots. Every one of them lives
+/// *outside* the query result path — they describe how the backend served
+/// reads, never what the reads returned — which is why a controller acting
+/// on them is accounting-neutral by construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BackendSignals {
+    /// Pool page fetches (the paper's "pages accessed").
+    pub logical_reads: u64,
+    /// Pool fetches served from a resident frame.
+    pub pool_hits: u64,
+    /// Pool fetches that went to the device.
+    pub physical_reads: u64,
+    /// Prefetch hints issued (see `PrefetchStats`).
+    pub prefetch_issued: u64,
+    /// Prefetched frames later claimed by a demand fetch.
+    pub prefetch_useful: u64,
+    /// Prefetched frames evicted/cleared untouched.
+    pub prefetch_wasted: u64,
+    /// Hints that never reached the device.
+    pub prefetch_dropped: u64,
+    /// Decoded-node cache probes served without a decode.
+    pub cache_hits: u64,
+    /// Decoded-node cache probes that had to decode.
+    pub cache_misses: u64,
+    /// Decoded nodes dropped to make room (or by a shrinking resize).
+    pub cache_evictions: u64,
+    /// Nodes currently cached.
+    pub cache_len: usize,
+    /// Current decoded-node cache capacity.
+    pub cache_capacity: usize,
+    /// Prefetch workers currently servicing hints.
+    pub prefetch_workers: usize,
+}
+
+impl BackendSignals {
+    /// Adds `other` counter-wise; gauges (`cache_len`, `cache_capacity`,
+    /// `prefetch_workers`) are summed too, giving dataset-wide totals for
+    /// a partitioned tree.
+    pub fn accumulate(&mut self, other: &BackendSignals) {
+        self.logical_reads += other.logical_reads;
+        self.pool_hits += other.pool_hits;
+        self.physical_reads += other.physical_reads;
+        self.prefetch_issued += other.prefetch_issued;
+        self.prefetch_useful += other.prefetch_useful;
+        self.prefetch_wasted += other.prefetch_wasted;
+        self.prefetch_dropped += other.prefetch_dropped;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_len += other.cache_len;
+        self.cache_capacity += other.cache_capacity;
+        self.prefetch_workers += other.prefetch_workers;
     }
 }
 
@@ -139,11 +229,16 @@ impl NodeCacheStats {
 ///
 /// Invalidation empties the slot in place (map entry and ring slot go
 /// together), so repeated write/invalidate cycles leave no residue: the
-/// ring's length is fixed at construction and never grows.
+/// ring's length only changes through an explicit [`NodeCache::resize`]
+/// (stripe count stays fixed; rings grow by appending empty slots and
+/// shrink by popping tail slots, evicting their occupants), never as a
+/// side effect of inserts or invalidations.
 /// Counters live outside the locks so concurrent readers don't
 /// serialize on stats.
 struct NodeCache<const D: usize> {
-    capacity: usize,
+    /// Total slots across stripes. Atomic so [`NodeCache::resize`] can
+    /// retune it through `&self` while readers are active.
+    capacity: AtomicUsize,
     stripe_mask: u64,
     stripes: Vec<Stripe<D>>,
     hits: AtomicU64,
@@ -217,7 +312,7 @@ impl<const D: usize> NodeCache<D> {
             })
             .collect();
         Self {
-            capacity,
+            capacity: AtomicUsize::new(capacity),
             stripe_mask: (stripes - 1) as u64,
             stripes: stripe_vec,
             hits: AtomicU64::new(0),
@@ -233,7 +328,7 @@ impl<const D: usize> NodeCache<D> {
     }
 
     fn get(&self, id: PageId) -> Option<Arc<RawNode<D>>> {
-        if self.capacity == 0 {
+        if self.capacity.load(Ordering::Relaxed) == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
@@ -257,7 +352,7 @@ impl<const D: usize> NodeCache<D> {
     }
 
     fn insert(&self, id: PageId, node: Arc<RawNode<D>>) {
-        if self.capacity == 0 {
+        if self.capacity.load(Ordering::Relaxed) == 0 {
             return;
         }
         let mut inner = self.stripe(id).inner.write();
@@ -273,6 +368,11 @@ impl<const D: usize> NodeCache<D> {
         // hand passes. Terminates within two sweeps (after one full pass
         // every bit is clear).
         let n = inner.slots.len();
+        if n == 0 {
+            // This stripe's ring shrank to nothing (tiny capacity spread
+            // over fixed stripes): nothing to cache here.
+            return;
+        }
         let idx = loop {
             let idx = inner.hand;
             inner.hand = (inner.hand + 1) % n;
@@ -301,7 +401,7 @@ impl<const D: usize> NodeCache<D> {
     }
 
     fn invalidate(&self, id: PageId) {
-        if self.capacity == 0 {
+        if self.capacity.load(Ordering::Relaxed) == 0 {
             return;
         }
         let mut inner = self.stripe(id).inner.write();
@@ -325,7 +425,45 @@ impl<const D: usize> NodeCache<D> {
         }
     }
 
-    /// Total ring slots across stripes — fixed at construction; the
+    /// Retunes the cache to hold `new_capacity` nodes, in place and under
+    /// `&self`. The stripe count (and so the id → stripe mapping) is fixed
+    /// at construction; each stripe's ring grows by appending empty slots
+    /// or shrinks by popping tail slots, evicting any occupants (counted
+    /// as evictions) and clamping the hand. The map always mirrors the
+    /// ring, so the invalidation contract — an id is mapped iff its slot
+    /// holds a node — survives any resize, including mid-query.
+    ///
+    /// Accounting-neutral for the same reason the cache itself is: the
+    /// pool fetch in [`PagedStore::read`] happens before the cache probe,
+    /// so `logical_reads` never depends on what is cached.
+    ///
+    /// Returns the capacity actually installed.
+    fn resize(&self, new_capacity: usize) -> usize {
+        let stripes = self.stripes.len();
+        let base = new_capacity / stripes;
+        let rem = new_capacity % stripes;
+        for (i, stripe) in self.stripes.iter().enumerate() {
+            let target = base + usize::from(i < rem);
+            let mut inner = stripe.inner.write();
+            while inner.slots.len() > target {
+                let slot = inner.slots.pop().expect("len > target >= 0");
+                if slot.node.is_some() {
+                    inner.map.remove(&slot.page);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            while inner.slots.len() < target {
+                inner.slots.push(Slot::empty());
+            }
+            if inner.hand >= inner.slots.len() {
+                inner.hand = 0;
+            }
+        }
+        self.capacity.store(new_capacity, Ordering::Relaxed);
+        new_capacity
+    }
+
+    /// Total ring slots across stripes — changed only by `resize`; the
     /// residue regression test asserts it never drifts from `capacity`.
     #[cfg(test)]
     fn ring_len(&self) -> usize {
@@ -342,7 +480,7 @@ impl<const D: usize> NodeCache<D> {
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             len: self.stripes.iter().map(|s| s.inner.read().map.len()).sum(),
-            capacity: self.capacity,
+            capacity: self.capacity.load(Ordering::Relaxed),
             stripes: self.stripes.len(),
         }
     }
@@ -460,6 +598,16 @@ impl<const D: usize> PagedStore<D> {
     pub fn clear_node_cache(&self) {
         self.cache.clear();
     }
+
+    /// Retunes the decoded-node cache to hold `cap` nodes in place (see
+    /// [`NodeCache::resize`]): shrinking evicts tail occupants, growing
+    /// appends empty slots, and the stripe layout is unchanged. Safe at
+    /// any point — including mid-query — because `read` fetches the page
+    /// from the pool before probing the cache, so page accounting never
+    /// depends on cache contents. Returns the installed capacity.
+    pub fn resize_node_cache(&self, cap: usize) -> usize {
+        self.cache.resize(cap)
+    }
 }
 
 impl<const D: usize> NodeStore<D> for PagedStore<D> {
@@ -546,6 +694,39 @@ impl<const D: usize> NodeStore<D> for PagedStore<D> {
 
     fn io_miss_rate(&self) -> f64 {
         self.pool.stats().miss_rate()
+    }
+
+    fn io_reads(&self) -> u64 {
+        self.pool.stats().logical_reads
+    }
+
+    fn backend_signals(&self) -> BackendSignals {
+        let pool = self.pool.stats();
+        let pf = self.pool.prefetch_stats();
+        let cache = self.cache.stats();
+        BackendSignals {
+            logical_reads: pool.logical_reads,
+            pool_hits: pool.hits,
+            physical_reads: pool.physical_reads,
+            prefetch_issued: pf.issued,
+            prefetch_useful: pf.useful,
+            prefetch_wasted: pf.wasted,
+            prefetch_dropped: pf.dropped,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_len: cache.len,
+            cache_capacity: cache.capacity,
+            prefetch_workers: self.pool.prefetch_workers(),
+        }
+    }
+
+    fn set_cache_capacity(&self, cap: usize) -> usize {
+        self.resize_node_cache(cap)
+    }
+
+    fn set_prefetch_workers(&self, n: usize) -> usize {
+        self.pool.set_prefetch_workers(n)
     }
 }
 
@@ -858,6 +1039,77 @@ mod tests {
                 assert_eq!(raw.entries[0].record(), RecordId(i as u64));
             }
         }
+    }
+
+    #[test]
+    fn node_cache_resize_grows_and_shrinks_in_place() {
+        let store = paged(8);
+        let ids: Vec<_> = (0..8)
+            .map(|i| store.alloc(0, &[entry(i)]).unwrap())
+            .collect();
+        for &id in &ids {
+            NodeStore::read(&store, id).unwrap();
+        }
+        assert_eq!(store.cache_stats().len, 8);
+        let stripes = store.cache_stats().stripes;
+
+        // Shrink: tail occupants are evicted, map mirrors the ring, the
+        // stripe count is untouched.
+        assert_eq!(store.resize_node_cache(2), 2);
+        let cs = store.cache_stats();
+        assert_eq!(cs.capacity, 2);
+        assert_eq!(store.cache.ring_len(), 2);
+        assert!(cs.len <= 2);
+        assert_eq!(cs.evictions, 8 - cs.len as u64);
+        assert_eq!(cs.stripes, stripes);
+
+        // Grow: empty slots appear, everything stays readable and the
+        // cache fills back up.
+        assert_eq!(store.resize_node_cache(16), 16);
+        assert_eq!(store.cache.ring_len(), 16);
+        for (i, &id) in ids.iter().enumerate() {
+            let raw = NodeStore::read(&store, id).unwrap();
+            assert_eq!(raw.entries[0].record(), RecordId(i as u64));
+        }
+        assert_eq!(store.cache_stats().len, 8);
+
+        // Resize to zero empties the cache entirely; inserts become no-ops
+        // (no `% 0` sweep) and reads still work.
+        assert_eq!(store.resize_node_cache(0), 0);
+        assert_eq!(store.cache_stats().len, 0);
+        NodeStore::read(&store, ids[0]).unwrap();
+        assert_eq!(store.cache_stats().len, 0);
+
+        // And back from zero: the fixed stripe layout accepts new slots.
+        assert_eq!(store.resize_node_cache(4), 4);
+        NodeStore::read(&store, ids[0]).unwrap();
+        assert_eq!(store.cache_stats().len, 1);
+    }
+
+    #[test]
+    fn node_cache_resize_is_accounting_neutral() {
+        // Same read sequence, with a resize in the middle: pool counters
+        // must be identical to an untouched-run baseline.
+        let run = |resize_mid: bool| {
+            let store = paged(8);
+            let ids: Vec<_> = (0..16)
+                .map(|i| store.alloc(0, &[entry(i)]).unwrap())
+                .collect();
+            store.pool().reset_stats();
+            for (i, &id) in ids.iter().enumerate() {
+                NodeStore::read(&store, id).unwrap();
+                if resize_mid && i == 7 {
+                    store.resize_node_cache(2);
+                    store.resize_node_cache(64);
+                }
+            }
+            store.pool().stats()
+        };
+        let base = run(false);
+        let tuned = run(true);
+        assert_eq!(base.logical_reads, tuned.logical_reads);
+        assert_eq!(base.hits, tuned.hits);
+        assert_eq!(base.physical_reads, tuned.physical_reads);
     }
 
     #[test]

@@ -121,6 +121,36 @@ pub trait TreeAccess<const D: usize> {
     fn io_miss_rate(&self) -> f64 {
         0.0
     }
+
+    /// Lifetime logical page reads behind this access path (`0` where
+    /// there is no I/O). Distinguishes a cold backend from a perfectly
+    /// warm one when `io_miss_rate` reports `0.0` for both (the zero-reads
+    /// convention).
+    fn io_reads(&self) -> u64 {
+        0
+    }
+
+    /// Snapshot of the backend's tuning counters (all-zero default for
+    /// backends with nothing to tune). See
+    /// [`crate::BackendSignals`].
+    fn backend_signals(&self) -> crate::BackendSignals {
+        crate::BackendSignals::default()
+    }
+
+    /// Retunes the backend's decoded-node cache capacity, returning the
+    /// installed value (`0` where the knob does not exist). Implementations
+    /// must be accounting-neutral: no effect on any `access_node` result or
+    /// page-access counter.
+    fn set_cache_capacity(&self, _cap: usize) -> usize {
+        0
+    }
+
+    /// Sets the number of active prefetch workers behind this access path,
+    /// returning the count after clamping (`0` where the knob does not
+    /// exist). Accounting-neutral for the same reason `prefetch_node` is.
+    fn set_prefetch_workers(&self, _n: usize) -> usize {
+        0
+    }
 }
 
 impl<const D: usize, S: NodeStore<D>> TreeAccess<D> for RTree<D, S> {
@@ -143,6 +173,22 @@ impl<const D: usize, S: NodeStore<D>> TreeAccess<D> for RTree<D, S> {
 
     fn io_miss_rate(&self) -> f64 {
         self.store.io_miss_rate()
+    }
+
+    fn io_reads(&self) -> u64 {
+        self.store.io_reads()
+    }
+
+    fn backend_signals(&self) -> crate::BackendSignals {
+        self.store.backend_signals()
+    }
+
+    fn set_cache_capacity(&self, cap: usize) -> usize {
+        self.store.set_cache_capacity(cap)
+    }
+
+    fn set_prefetch_workers(&self, n: usize) -> usize {
+        self.store.set_prefetch_workers(n)
     }
 }
 
@@ -276,6 +322,22 @@ impl<const D: usize, S: NodeStore<D>> TreeAccess<D> for Snapshot<'_, D, S> {
 
     fn io_miss_rate(&self) -> f64 {
         self.tree.store.io_miss_rate()
+    }
+
+    fn io_reads(&self) -> u64 {
+        self.tree.store.io_reads()
+    }
+
+    fn backend_signals(&self) -> crate::BackendSignals {
+        self.tree.store.backend_signals()
+    }
+
+    fn set_cache_capacity(&self, cap: usize) -> usize {
+        self.tree.store.set_cache_capacity(cap)
+    }
+
+    fn set_prefetch_workers(&self, n: usize) -> usize {
+        self.tree.store.set_prefetch_workers(n)
     }
 }
 

@@ -236,6 +236,15 @@ struct PrefetchState {
     in_flight: HashSet<PageId>,
     cap: usize,
     shutdown: bool,
+    /// Threads spawned by [`BufferPool::start_prefetch`] (their indices are
+    /// `0..spawned`).
+    spawned: usize,
+    /// Workers with index `< active_workers` service the queue; the rest
+    /// park on the condvar. Runtime-adjustable via
+    /// [`BufferPool::set_prefetch_workers`] — never below 1 while spawned
+    /// threads exist, so queued hints always drain and
+    /// [`BufferPool::prefetch_quiesce`] cannot hang.
+    active_workers: usize,
 }
 
 struct PrefetchShared {
@@ -258,6 +267,8 @@ impl PrefetchShared {
                 in_flight: HashSet::new(),
                 cap: 0,
                 shutdown: false,
+                spawned: 0,
+                active_workers: 0,
             }),
             cvar: std::sync::Condvar::new(),
             active: AtomicBool::new(false),
@@ -402,17 +413,21 @@ impl BufferPool {
             if workers == 0 || queue_cap == 0 {
                 return;
             }
-            {
+            let first = {
                 let mut st = self.core.prefetch.state.lock().unwrap();
                 st.cap = queue_cap;
                 st.shutdown = false;
-            }
+                let first = st.spawned;
+                st.spawned += workers;
+                st.active_workers = st.spawned;
+                first
+            };
             self.core.prefetch.active.store(true, Ordering::Relaxed);
-            for i in 0..workers {
+            for i in first..first + workers {
                 let core = Arc::clone(&self.core);
                 let handle = std::thread::Builder::new()
                     .name(format!("nnq-prefetch-{i}"))
-                    .spawn(move || prefetch_worker(core))
+                    .spawn(move || prefetch_worker(core, i))
                     .expect("failed to spawn prefetch worker");
                 self.workers.push(handle);
             }
@@ -446,6 +461,46 @@ impl BufferPool {
     /// classification by [`BufferPool::clear_cache`]).
     pub fn prefetch_quiesce(&self) {
         self.core.quiesce_prefetch();
+    }
+
+    /// Sets how many of the spawned prefetch threads actively service the
+    /// queue; the rest park on the condvar. Clamped to `[1, spawned]` — a
+    /// floor of one keeps queued hints draining so
+    /// [`BufferPool::prefetch_quiesce`] can never hang (prefetch "off" is
+    /// expressed by issuing no hints, i.e. depth 0, not by zero workers).
+    /// Returns the active count after clamping; 0 if no prefetcher was
+    /// ever started (or the `prefetch` feature is compiled out).
+    ///
+    /// Accounting-neutral by construction: workers only serve hints, which
+    /// never touch [`PoolStats`].
+    #[allow(unused_variables)]
+    pub fn set_prefetch_workers(&self, n: usize) -> usize {
+        #[cfg(feature = "prefetch")]
+        {
+            let mut st = self.core.prefetch.state.lock().unwrap();
+            if st.spawned == 0 {
+                return 0;
+            }
+            st.active_workers = n.clamp(1, st.spawned);
+            let active = st.active_workers;
+            drop(st);
+            // Parked workers past the old active count may need waking.
+            self.core.prefetch.cvar.notify_all();
+            active
+        }
+        #[cfg(not(feature = "prefetch"))]
+        0
+    }
+
+    /// Number of prefetch threads currently servicing the queue (0 when no
+    /// prefetcher is attached or the `prefetch` feature is compiled out).
+    pub fn prefetch_workers(&self) -> usize {
+        #[cfg(feature = "prefetch")]
+        {
+            return self.core.prefetch.state.lock().unwrap().active_workers;
+        }
+        #[cfg(not(feature = "prefetch"))]
+        0
     }
 
     /// Journals a page image before it is written back to the device
@@ -750,7 +805,7 @@ impl Drop for BufferPool {
 
 /// Background prefetch worker: pops hints off the shared queue and loads
 /// them into frames until shutdown.
-fn prefetch_worker(core: Arc<PoolCore>) {
+fn prefetch_worker(core: Arc<PoolCore>, index: usize) {
     loop {
         let id = {
             let mut st = core.prefetch.state.lock().unwrap();
@@ -758,10 +813,14 @@ fn prefetch_worker(core: Arc<PoolCore>) {
                 if st.shutdown {
                     return;
                 }
-                if let Some(id) = st.queue.pop_front() {
-                    st.queued.remove(&id);
-                    st.in_flight.insert(id);
-                    break id;
+                // Workers past the active count park until re-enabled by
+                // `set_prefetch_workers` (or shutdown).
+                if index < st.active_workers {
+                    if let Some(id) = st.queue.pop_front() {
+                        st.queued.remove(&id);
+                        st.in_flight.insert(id);
+                        break id;
+                    }
                 }
                 st = core.prefetch.cvar.wait(st).unwrap();
             }

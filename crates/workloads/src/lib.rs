@@ -33,8 +33,8 @@ pub use heap_store::{
     decode_segment, encode_segment, read_segment, segments_to_heap, SEGMENT_BYTES,
 };
 pub use io::{load_segments_csv, save_segments_csv};
-pub use points::{gaussian_clusters, uniform_points};
-pub use queries::{data_queries, uniform_queries};
+pub use points::{cluster_centers, gaussian_clusters, uniform_points};
+pub use queries::{data_queries, uniform_queries, zipf_cluster_queries};
 pub use tiger::{tiger_like_segments, TigerParams};
 
 use nnq_geom::{Point, Rect, Segment};

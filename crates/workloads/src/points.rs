@@ -32,20 +32,34 @@ pub fn gaussian_clusters(
 ) -> Vec<Point<2>> {
     assert!(clusters > 0, "need at least one cluster");
     let mut rng = StdRng::seed_from_u64(seed);
-    let centers: Vec<Point<2>> = (0..clusters)
-        .map(|_| {
-            Point::new([
-                rng.random_range(bounds.lo()[0]..=bounds.hi()[0]),
-                rng.random_range(bounds.lo()[1]..=bounds.hi()[1]),
-            ])
-        })
-        .collect();
+    let centers = draw_centers(&mut rng, clusters, bounds);
     (0..n)
         .map(|_| {
             let c = centers[rng.random_range(0..clusters)];
             let x = (c[0] + sigma * sample_normal(&mut rng)).clamp(bounds.lo()[0], bounds.hi()[0]);
             let y = (c[1] + sigma * sample_normal(&mut rng)).clamp(bounds.lo()[1], bounds.hi()[1]);
             Point::new([x, y])
+        })
+        .collect()
+}
+
+/// The cluster centers [`gaussian_clusters`] draws for `(clusters,
+/// bounds, seed)` — the same RNG stream prefix, so query generators (e.g.
+/// `zipf_cluster_queries`) can target exactly the clusters a generated
+/// dataset actually has.
+pub fn cluster_centers(clusters: usize, bounds: &Rect<2>, seed: u64) -> Vec<Point<2>> {
+    assert!(clusters > 0, "need at least one cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    draw_centers(&mut rng, clusters, bounds)
+}
+
+fn draw_centers(rng: &mut StdRng, clusters: usize, bounds: &Rect<2>) -> Vec<Point<2>> {
+    (0..clusters)
+        .map(|_| {
+            Point::new([
+                rng.random_range(bounds.lo()[0]..=bounds.hi()[0]),
+                rng.random_range(bounds.lo()[1]..=bounds.hi()[1]),
+            ])
         })
         .collect()
 }
@@ -109,6 +123,24 @@ mod tests {
         let avg: f64 =
             pts.windows(2).map(|w| w[0].dist(&w[1])).sum::<f64>() / (pts.len() - 1) as f64;
         assert!(avg < 45_000.0, "avg consecutive distance {avg}");
+    }
+
+    #[test]
+    fn cluster_centers_match_gaussian_clusters() {
+        let b = default_bounds();
+        let centers = cluster_centers(5, &b, 7);
+        assert_eq!(centers.len(), 5);
+        assert_eq!(centers, cluster_centers(5, &b, 7));
+        // With a tiny sigma every generated point sits essentially on one
+        // of the recovered centers — proving both share the RNG prefix.
+        let pts = gaussian_clusters(500, 5, 1.0, &b, 7);
+        for p in &pts {
+            let nearest = centers
+                .iter()
+                .map(|c| c.dist(p))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 10.0, "point {p:?} far from every center");
+        }
     }
 
     #[test]

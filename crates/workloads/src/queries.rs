@@ -35,6 +35,58 @@ pub fn data_queries(
         .collect()
 }
 
+/// `n` query points zipfian-clustered over `centers`: cluster *i* (by the
+/// given order) is chosen with probability ∝ `1 / (i+1)^theta`, then the
+/// query is the center perturbed by Gaussian noise of standard deviation
+/// `sigma`, clamped to `bounds`. With `theta = 0` this degenerates to
+/// uniform cluster choice; `theta ≈ 1` is the classic web-style skew where
+/// the first few clusters absorb most of the traffic — the "popular
+/// neighborhood" query model the adaptive-tuning bench shifts into.
+///
+/// Deterministic for a fixed `(centers, n, theta, sigma, seed)`.
+///
+/// # Panics
+/// Panics if `centers` is empty or `theta` is negative/non-finite.
+pub fn zipf_cluster_queries(
+    n: usize,
+    centers: &[Point<2>],
+    theta: f64,
+    sigma: f64,
+    bounds: &Rect<2>,
+    seed: u64,
+) -> Vec<Point<2>> {
+    assert!(!centers.is_empty(), "need at least one cluster center");
+    assert!(
+        theta.is_finite() && theta >= 0.0,
+        "theta must be finite and nonnegative"
+    );
+    // Cumulative zipf mass over the ranks; one inversion per query.
+    let weights: Vec<f64> = (0..centers.len())
+        .map(|i| 1.0 / ((i + 1) as f64).powf(theta))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cumulative.push(acc);
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5a49_5046); // "ZIPF"
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.random_range(0.0..1.0);
+            let rank = cumulative
+                .partition_point(|&c| c < u)
+                .min(centers.len() - 1);
+            let c = centers[rank];
+            Point::new([
+                (c[0] + sigma * sample_normal(&mut rng)).clamp(bounds.lo()[0], bounds.hi()[0]),
+                (c[1] + sigma * sample_normal(&mut rng)).clamp(bounds.lo()[1], bounds.hi()[1]),
+            ])
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,6 +108,47 @@ mod tests {
             assert!(q.dist(&anchors[0]) < 1_000.0, "query strayed: {q:?}");
             assert!(b.contains_point(q));
         }
+    }
+
+    #[test]
+    fn zipf_queries_are_deterministic_and_skewed() {
+        let b = default_bounds();
+        let centers: Vec<Point<2>> = (0..8)
+            .map(|i| Point::new([10_000.0 * (i + 1) as f64, 50_000.0]))
+            .collect();
+        // Determinism pinned for a fixed seed, including exact values.
+        let a = zipf_cluster_queries(500, &centers, 1.0, 200.0, &b, 42);
+        let c = zipf_cluster_queries(500, &centers, 1.0, 200.0, &b, 42);
+        assert_eq!(a, c);
+        assert_ne!(a, zipf_cluster_queries(500, &centers, 1.0, 200.0, &b, 43));
+        assert_eq!(a.len(), 500);
+        for q in &a {
+            assert!(b.contains_point(q));
+        }
+        // Skew: the rank-0 cluster absorbs the plurality of queries and
+        // strictly more than the last rank.
+        let near = |center: &Point<2>, qs: &[Point<2>]| {
+            qs.iter().filter(|q| q.dist(center) < 2_000.0).count()
+        };
+        let first = near(&centers[0], &a);
+        let last = near(&centers[7], &a);
+        assert!(first > 100, "rank-0 cluster too cold: {first}/500");
+        assert!(first > 2 * last, "skew missing: first={first} last={last}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform_over_clusters() {
+        let b = default_bounds();
+        let centers = vec![
+            Point::new([10_000.0, 10_000.0]),
+            Point::new([90_000.0, 90_000.0]),
+        ];
+        let qs = zipf_cluster_queries(400, &centers, 0.0, 10.0, &b, 7);
+        let near_first = qs.iter().filter(|q| q.dist(&centers[0]) < 1_000.0).count();
+        assert!(
+            near_first > 140 && near_first < 260,
+            "split {near_first}/400"
+        );
     }
 
     #[test]
