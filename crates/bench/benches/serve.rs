@@ -1,0 +1,414 @@
+//! Open-loop load test of `nnq serve`: serving-layer latency under
+//! offered load, measured without coordinated omission.
+//!
+//! Two stages:
+//!
+//! 1. **Saturation calibration (closed loop)** — 4 connections each keep
+//!    a 64-request window pipelined until a fixed request budget drains;
+//!    completed/elapsed is the server's saturation throughput for this
+//!    host and configuration.
+//! 2. **Open-loop runs** at two offered rates (50% and 85% of
+//!    saturation). Each connection's sender fires requests on its own
+//!    Poisson arrival schedule — it does NOT wait for responses, and
+//!    every latency sample is measured from the request's **intended**
+//!    send time, so a stalled server inflates the recorded tail instead
+//!    of silently pausing the load (coordinated-omission-safe). A
+//!    separate receiver thread per connection timestamps responses.
+//!
+//! The workload is the zipfian-clustered query mix (hot neighborhoods)
+//! with one radius query for every two kNN queries. Results go to
+//! `BENCH_SERVE.json`: p50/p95/p99/max latency and achieved qps per
+//! offered rate, plus the calibrated saturation qps, under the shared
+//! config header. Timing assertions only run on hosts with ≥ 2 hardware
+//! threads — with one core the server and the load generator time-slice
+//! each other and tail latency is meaningless.
+//!
+//! Not a criterion harness: the measured unit is a whole run.
+
+use nnq_bench::harness::{config_header_json, host_threads};
+use nnq_core::MbrRefiner;
+use nnq_geom::Point;
+use nnq_rtree::{BulkMethod, RTree, RTreeConfig};
+use nnq_serve::protocol::{read_frame, write_frame, MAX_RESPONSE_FRAME};
+use nnq_serve::{Engine, Request, Response, ServeConfig};
+use nnq_storage::{BufferPool, MemDisk, PAGE_SIZE};
+use nnq_workloads::{default_bounds, points_to_items, uniform_points, zipf_cluster_queries};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N: usize = 20_000;
+const K: u32 = 10;
+const CONNECTIONS: usize = 4;
+/// Closed-loop calibration: per-connection pipeline window and request
+/// budget.
+const CAL_WINDOW: usize = 64;
+const CAL_REQUESTS_PER_CONN: usize = 2_000;
+/// Open-loop request budget per connection per run.
+const RUN_REQUESTS_PER_CONN: usize = 1_500;
+/// Offered rates as fractions of calibrated saturation.
+const OFFERED_FRACTIONS: [f64; 2] = [0.5, 0.85];
+
+fn build_tree() -> (RTree<2>, Arc<BufferPool>) {
+    let pts = uniform_points(N, &default_bounds(), 71);
+    let items = points_to_items(&pts);
+    let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1 << 15));
+    let tree = RTree::<2>::bulk_load(
+        Arc::clone(&pool),
+        RTreeConfig::default(),
+        items,
+        BulkMethod::Hilbert,
+        1.0,
+    )
+    .unwrap();
+    (tree, pool)
+}
+
+/// The query mix: zipfian-clustered points, 2:1 kNN:radius.
+fn requests(n: usize, seed: u64) -> Vec<Request> {
+    let bounds = default_bounds();
+    let centers: Vec<Point<2>> = uniform_points(24, &bounds, seed ^ 0xA5);
+    let queries = zipf_cluster_queries(n, &centers, 0.9, 2_000.0, &bounds, seed);
+    queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let id = i as u64;
+            if i % 3 == 2 {
+                Request::Radius {
+                    id,
+                    x: q[0],
+                    y: q[1],
+                    radius: 800.0 + (i % 5) as f64 * 500.0,
+                }
+            } else {
+                Request::Knn {
+                    id,
+                    x: q[0],
+                    y: q[1],
+                    k: 1 + (K * (i as u32 % 3)) / 2,
+                }
+            }
+        })
+        .collect()
+}
+
+/// The same query with a fresh correlation id (ids are per-connection in
+/// the open-loop runs, indexing into that connection's arrival schedule).
+fn with_id(req: &Request, id: u64) -> Request {
+    match *req {
+        Request::Knn { x, y, k, .. } => Request::Knn { id, x, y, k },
+        Request::Radius { x, y, radius, .. } => Request::Radius { id, x, y, radius },
+        ref other => panic!("not a query: {other:?}"),
+    }
+}
+
+/// Exponential inter-arrival sample for a Poisson process at `rate_qps`.
+fn exp_interarrival(rng: &mut StdRng, rate_qps: f64) -> Duration {
+    let u = ((rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)).max(1e-12);
+    Duration::from_secs_f64(-u.ln() / rate_qps)
+}
+
+/// Closed-loop saturation: every connection keeps `CAL_WINDOW` requests
+/// outstanding until its budget drains. Returns total qps.
+fn calibrate_saturation(addr: SocketAddr, reqs: &[Request]) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CONNECTIONS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    stream.set_nodelay(true).unwrap();
+                    let mut sent = 0usize;
+                    let mut received = 0usize;
+                    while received < CAL_REQUESTS_PER_CONN {
+                        while sent < CAL_REQUESTS_PER_CONN && sent - received < CAL_WINDOW {
+                            let req = &reqs[sent % reqs.len()];
+                            write_frame(&mut stream, &req.encode()).unwrap();
+                            sent += 1;
+                        }
+                        let frame = read_frame(&mut stream, MAX_RESPONSE_FRAME).unwrap();
+                        let resp = Response::decode(&frame).unwrap();
+                        assert!(
+                            matches!(resp, Response::Ok { .. } | Response::Rejected { .. }),
+                            "unexpected {resp:?}"
+                        );
+                        received += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    (CONNECTIONS * CAL_REQUESTS_PER_CONN) as f64 / start.elapsed().as_secs_f64()
+}
+
+struct RunResult {
+    offered_qps: f64,
+    achieved_qps: f64,
+    sent: usize,
+    served: usize,
+    rejected: usize,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    max_us: f64,
+}
+
+/// One open-loop run: Poisson arrivals at `offered_qps` split over the
+/// connections, latency measured from intended send times.
+fn open_loop_run(addr: SocketAddr, reqs: &[Request], offered_qps: f64, seed: u64) -> RunResult {
+    let per_conn_rate = offered_qps / CONNECTIONS as f64;
+    let start = Instant::now();
+    let mut all_latencies: Vec<f64> = Vec::new();
+    let mut served = 0usize;
+    let mut rejected = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CONNECTIONS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let send_half = TcpStream::connect(addr).unwrap();
+                    send_half.set_nodelay(true).unwrap();
+                    let mut recv_half = send_half.try_clone().unwrap();
+                    // Intended arrival schedule, fixed up front: latency
+                    // is measured against these, not actual send times.
+                    let mut rng = StdRng::seed_from_u64(seed ^ (c as u64) << 17);
+                    let mut intended = Vec::with_capacity(RUN_REQUESTS_PER_CONN);
+                    let mut at = Instant::now();
+                    for _ in 0..RUN_REQUESTS_PER_CONN {
+                        at += exp_interarrival(&mut rng, per_conn_rate);
+                        intended.push(at);
+                    }
+                    let receiver = scope.spawn(move || {
+                        // Per-connection responses arrive in admission
+                        // (= send) order; rejections are interleaved but
+                        // carry ids, so match by id against the schedule.
+                        let mut lat = Vec::with_capacity(RUN_REQUESTS_PER_CONN);
+                        let mut ok = 0usize;
+                        let mut rej = 0usize;
+                        for _ in 0..RUN_REQUESTS_PER_CONN {
+                            let frame = read_frame(&mut recv_half, MAX_RESPONSE_FRAME).unwrap();
+                            let now = Instant::now();
+                            match Response::decode(&frame).unwrap() {
+                                Response::Ok { id, .. } => {
+                                    ok += 1;
+                                    lat.push((id, now));
+                                }
+                                Response::Rejected { .. } => rej += 1,
+                                other => panic!("unexpected {other:?}"),
+                            }
+                        }
+                        (lat, ok, rej)
+                    });
+                    // Due-batch pacing: send everything whose intended
+                    // time has passed, then sleep a short slice. A send
+                    // that slips late is still measured from its
+                    // intended time, so pacing jitter shows up as
+                    // latency, never as a paused load.
+                    let mut send_half = send_half;
+                    let mut next = 0usize;
+                    while next < RUN_REQUESTS_PER_CONN {
+                        let now = Instant::now();
+                        while next < RUN_REQUESTS_PER_CONN && intended[next] <= now {
+                            let req = with_id(
+                                &reqs[(c * RUN_REQUESTS_PER_CONN + next) % reqs.len()],
+                                next as u64,
+                            );
+                            write_frame(&mut send_half, &req.encode()).unwrap();
+                            next += 1;
+                        }
+                        if next < RUN_REQUESTS_PER_CONN {
+                            let gap = intended[next]
+                                .saturating_duration_since(Instant::now())
+                                .min(Duration::from_millis(1));
+                            if !gap.is_zero() {
+                                std::thread::sleep(gap);
+                            }
+                        }
+                    }
+                    let (lat, ok, rej) = receiver.join().unwrap();
+                    let latencies: Vec<f64> = lat
+                        .into_iter()
+                        .map(|(id, got_at)| {
+                            got_at.duration_since(intended[id as usize]).as_secs_f64() * 1e6
+                        })
+                        .collect();
+                    (latencies, ok, rej)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lat, ok, rej) = h.join().unwrap();
+            all_latencies.extend(lat);
+            served += ok;
+            rejected += rej;
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let sent = CONNECTIONS * RUN_REQUESTS_PER_CONN;
+    assert_eq!(
+        served + rejected,
+        sent,
+        "every open-loop request must be answered"
+    );
+    all_latencies.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if all_latencies.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((all_latencies.len() - 1) as f64 * p).round() as usize;
+        all_latencies[idx]
+    };
+    RunResult {
+        offered_qps,
+        achieved_qps: served as f64 / elapsed,
+        sent,
+        served,
+        rejected,
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+        max_us: all_latencies.last().copied().unwrap_or(f64::NAN),
+    }
+}
+
+fn main() {
+    let (tree, _pool) = build_tree();
+    let cores = host_threads();
+    let worker_threads = cores.clamp(1, 8);
+    let config = ServeConfig {
+        threads: worker_threads,
+        batch_max: 32,
+        batch_deadline: Duration::from_micros(200),
+        inbox_cap: 8_192,
+        ..ServeConfig::default()
+    };
+    let reqs = requests(1_024, 73);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let (saturation_qps, runs, report) = std::thread::scope(|scope| {
+        let tree = &tree;
+        let config2 = config.clone();
+        let server = scope.spawn(move || {
+            nnq_serve::serve(&Engine::Single(tree), &MbrRefiner, listener, &config2).unwrap()
+        });
+
+        let saturation_qps = calibrate_saturation(addr, &reqs);
+        eprintln!("saturation (closed loop, {CONNECTIONS} conns): {saturation_qps:.0} qps");
+
+        let runs: Vec<RunResult> = OFFERED_FRACTIONS
+            .iter()
+            .enumerate()
+            .map(|(i, frac)| {
+                let run = open_loop_run(addr, &reqs, saturation_qps * frac, 91 + i as u64);
+                eprintln!(
+                    "offered {:.0} qps ({:.0}% of saturation): achieved {:.0} qps, \
+                     p50 {:.0} µs, p95 {:.0} µs, p99 {:.0} µs, max {:.0} µs, {} rejected",
+                    run.offered_qps,
+                    frac * 100.0,
+                    run.achieved_qps,
+                    run.p50_us,
+                    run.p95_us,
+                    run.p99_us,
+                    run.max_us,
+                    run.rejected
+                );
+                run
+            })
+            .collect();
+
+        let mut ctl = nnq_serve::Client::connect(addr).unwrap();
+        assert!(matches!(
+            ctl.call(&Request::Shutdown).unwrap(),
+            Response::Bye
+        ));
+        (saturation_qps, runs, server.join().unwrap())
+    });
+
+    // Conservation: the server's own counters agree with the client side.
+    let client_served: usize =
+        CONNECTIONS * CAL_REQUESTS_PER_CONN + runs.iter().map(|r| r.served).sum::<usize>();
+    let client_rejected: usize = runs.iter().map(|r| r.rejected).sum();
+    assert_eq!(report.served, client_served as u64, "served mismatch");
+    assert_eq!(report.rejected, client_rejected as u64, "rejected mismatch");
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.write_errors, 0);
+
+    if cores >= 2 {
+        // Loose sanity floors, not performance claims: at half the
+        // calibrated saturation an open-loop generator must land in the
+        // same order of magnitude, and the median must stay sub-second.
+        let half = &runs[0];
+        assert!(
+            half.achieved_qps >= half.offered_qps * 0.25,
+            "achieved {:.0} qps is not within 4x of offered {:.0} qps",
+            half.achieved_qps,
+            half.offered_qps
+        );
+        assert!(
+            half.p50_us < 1e6,
+            "p50 {:.0} µs at half saturation",
+            half.p50_us
+        );
+    }
+
+    let mut run_rows = String::new();
+    for (i, r) in runs.iter().enumerate() {
+        let sep = if i + 1 < runs.len() { "," } else { "" };
+        let _ = write!(
+            run_rows,
+            r#"
+    {{ "offered_fraction": {}, "offered_qps": {:.0}, "achieved_qps": {:.0}, "sent": {}, "served": {}, "rejected": {}, "p50_us": {:.1}, "p95_us": {:.1}, "p99_us": {:.1}, "max_us": {:.1} }}{sep}"#,
+            OFFERED_FRACTIONS[i],
+            r.offered_qps,
+            r.achieved_qps,
+            r.sent,
+            r.served,
+            r.rejected,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.max_us,
+        );
+    }
+    let config_json = config_header_json(&[
+        ("dataset", "\"uniform\"".into()),
+        ("n", N.to_string()),
+        ("workload", "\"zipf-clustered 2:1 knn:radius\"".into()),
+        ("k_max", K.to_string()),
+        ("connections", CONNECTIONS.to_string()),
+        ("server_threads", worker_threads.to_string()),
+        ("batch_max", config.batch_max.to_string()),
+        (
+            "batch_deadline_us",
+            config.batch_deadline.as_micros().to_string(),
+        ),
+        ("inbox_cap", config.inbox_cap.to_string()),
+        ("calibration_window", CAL_WINDOW.to_string()),
+        (
+            "requests_per_run",
+            (CONNECTIONS * RUN_REQUESTS_PER_CONN).to_string(),
+        ),
+    ]);
+    let json = format!(
+        r#"{{
+  "bench": "serve",
+  "description": "Open-loop load test of the serving layer (crates/bench/benches/serve.rs). Saturation is calibrated closed-loop: {CONNECTIONS} connections each keep a {CAL_WINDOW}-request window pipelined. Then two open-loop runs offer Poisson arrivals at 50% and 85% of saturation; every latency sample is measured from the request's intended (scheduled) send time, not its actual send time, so server stalls inflate the recorded tail instead of pausing the load (no coordinated omission). Workload: zipfian-clustered query points, one radius query per two kNN. Admission control fast-rejects on overload; rejections are counted, never silently dropped. Timing floors are asserted only on hosts with >= 2 hardware threads.",
+  "config": {config_json},
+  "saturation": {{ "closed_loop_qps": {saturation_qps:.0}, "requests": {} }},
+  "runs": [{run_rows}
+  ]
+}}
+"#,
+        CONNECTIONS * CAL_REQUESTS_PER_CONN,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_SERVE.json");
+    std::fs::write(path, &json).unwrap();
+    eprintln!("wrote {path}");
+}

@@ -1,4 +1,4 @@
-//! The subcommands: gen, build, stats, query, bench, explain, join.
+//! The subcommands: gen, build, stats, query, bench, serve, explain, join.
 
 use crate::args::{Args, CliError};
 use nnq_core::{
@@ -840,6 +840,164 @@ pub fn join(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             pstats.hit_rate() * 100.0,
             cstats.hit_rate() * 100.0
         )?;
+    }
+    Ok(())
+}
+
+/// `nnq serve` — run the long-running query server until a client sends a
+/// shutdown frame, then print the run's counters.
+///
+/// The server answers kNN and radius requests over the length-prefixed
+/// wire protocol (see `nnq-serve`), micro-batching admitted requests on a
+/// deadline-or-size trigger and executing each batch against a fresh tree
+/// snapshot with the work-stealing executor. Overload fast-rejects;
+/// results and per-query logical reads are bit-identical to sequential
+/// `nnq query` invocations.
+pub fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let threads = parse_threads(args)?;
+    let pool_shards = parse_pool_shards(args)?;
+    let prefetch = parse_prefetch(args)?;
+    let tune = parse_tune(args)?;
+    let io_lat_us: u64 = args.num("io-lat-us", 0)?;
+    let kernel: KernelMode = args.num("kernel", KernelMode::default())?;
+    let port: u16 = args.num("port", 0)?;
+    let batch_max: usize = args.num("batch-max", 32)?;
+    if batch_max == 0 {
+        return Err(CliError::Usage(
+            "flag `--batch-max` must be at least 1".into(),
+        ));
+    }
+    let batch_deadline_us: u64 = args.num("batch-deadline-us", 200)?;
+    let inbox_cap: usize = args.num("inbox-cap", 1024)?;
+    if inbox_cap == 0 {
+        return Err(CliError::Usage(
+            "flag `--inbox-cap` must be at least 1 (an inbox that admits \
+             nothing serves nothing)"
+                .into(),
+        ));
+    }
+    let partitions = parse_partitions(args)?;
+    let index = args.req("index")?;
+    let segments = load_segments_csv(args.req("data")?)?;
+    let refiner = FnRefiner::new(|rid: RecordId, _: &Rect<2>, p: &Point<2>| {
+        segments[rid.0 as usize].dist_sq_to_point(p)
+    });
+    let config = nnq_serve::ServeConfig {
+        threads,
+        batch_max,
+        batch_deadline: std::time::Duration::from_micros(batch_deadline_us),
+        inbox_cap,
+        kernel,
+        prefetch,
+        tune,
+    };
+
+    // Bind before opening the index so `--port 0` (ephemeral) reports the
+    // real port immediately; tests discover it through `--port-file`.
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+
+    let check_len = |entries: u64| -> Result<(), CliError> {
+        if segments.len() as u64 != entries {
+            return Err(CliError::Run(format!(
+                "index has {entries} entries but data file has {} segments — wrong pairing?",
+                segments.len()
+            )));
+        }
+        Ok(())
+    };
+    let announce = |out: &mut dyn Write| -> Result<(), CliError> {
+        writeln!(
+            out,
+            "serving {index} on {addr} ({threads} thread(s), batch ≤ {batch_max} \
+             / {batch_deadline_us} µs, inbox {inbox_cap})"
+        )?;
+        out.flush()?;
+        if let Some(path) = args.opt("port-file") {
+            std::fs::write(path, addr.port().to_string())
+                .map_err(|e| CliError::Run(format!("writing {path}: {e}")))?;
+        }
+        Ok(())
+    };
+
+    let report = match partitions {
+        None => {
+            let (tree, pool) = open_index_tuned(index, pool_shards, io_lat_us, prefetch, tune)?;
+            check_len(tree.len())?;
+            announce(out)?;
+            let report = nnq_serve::serve(
+                &nnq_serve::Engine::Single(&tree),
+                &refiner,
+                listener,
+                &config,
+            )?;
+            let pstats = pool.stats();
+            let cstats = tree.store().cache_stats();
+            writeln!(
+                out,
+                "pool: hit rate {:.1}%, {} logical reads, {} physical reads, {} shard(s)",
+                pstats.hit_rate() * 100.0,
+                pstats.logical_reads,
+                pstats.physical_reads,
+                pool.shard_count()
+            )?;
+            writeln!(
+                out,
+                "node cache: {} hits / {} reads ({:.1}% decode-free), {} nodes cached",
+                cstats.hits,
+                cstats.hits + cstats.misses,
+                cstats.hit_rate() * 100.0,
+                cstats.len
+            )?;
+            if let Some(r) = prefetch_report(&pool, prefetch) {
+                writeln!(out, "{r}")?;
+            }
+            report
+        }
+        Some(partitions) => {
+            let tree = open_partitioned(index, partitions, pool_shards, io_lat_us, prefetch, tune)?;
+            check_len(tree.len())?;
+            announce(out)?;
+            let report = nnq_serve::serve(
+                &nnq_serve::Engine::Partitioned(&tree),
+                &refiner,
+                listener,
+                &config,
+            )?;
+            let pstats = tree.pool_stats();
+            writeln!(
+                out,
+                "pool: hit rate {:.1}%, {} logical reads, {} physical reads, \
+                 {partitions} partition(s) × {pool_shards} shard(s)",
+                pstats.hit_rate() * 100.0,
+                pstats.logical_reads,
+                pstats.physical_reads
+            )?;
+            report
+        }
+    };
+    writeln!(
+        out,
+        "serve done: {} served, {} rejected ({} at shutdown), {} errors, \
+         {} batches (max {}, avg {:.1}), {} connection(s)",
+        report.served,
+        report.rejected,
+        report.rejected_shutdown,
+        report.errors,
+        report.batches,
+        report.max_batch,
+        report.avg_batch(),
+        report.connections
+    )?;
+    if report.write_errors > 0 {
+        writeln!(
+            out,
+            "({} response(s) undeliverable: client disconnected before its reply)",
+            report.write_errors
+        )?;
+    }
+    if let Some(r) = &report.tune_report {
+        writeln!(out, "tune adaptive: {r}")?;
     }
     Ok(())
 }

@@ -38,6 +38,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "stats" => commands::stats(&args, out),
         "query" => commands::query(&args, out),
         "bench" => commands::bench(&args, out),
+        "serve" => commands::serve(&args, out),
         "explain" => commands::explain(&args, out),
         "join" => commands::join(&args, out),
         "help" | "--help" | "-h" => {
@@ -62,6 +63,7 @@ USAGE:
   nnq stats  --index <FILE>
   nnq query  --index <FILE> --data <FILE> --at <X,Y> [-k <K>] [--radius <R>] [--metric <l1|l2|linf>] [--kernel <scalar|batch>] [--threads <N>] [--partitions <P>] [--pool-shards <P2>] [--prefetch <off|N|adaptive>] [--tune <off|adaptive>] [--io-lat-us <N>]
   nnq bench  --index <FILE> --data <FILE> [--queries <N>] [-k <K>] [--seed <S>] [--kernel <scalar|batch>] [--threads <N>] [--partitions <P>] [--pool-shards <P2>] [--prefetch <off|N|adaptive>] [--tune <off|adaptive>] [--io-lat-us <N>]
+  nnq serve  --index <FILE> --data <FILE> [--port <P>] [--port-file <FILE>] [--threads <N>] [--batch-max <N>] [--batch-deadline-us <N>] [--inbox-cap <N>] [--partitions <P>] [--pool-shards <P2>] [--prefetch <off|N|adaptive>] [--tune <off|adaptive>] [--kernel <scalar|batch>] [--io-lat-us <N>]
   nnq explain --index <FILE> --at <X,Y> [-k <K>]
   nnq join   --index <FILE> --data <FILE> --outer <FILE> [-k <K>]
 
@@ -70,4 +72,6 @@ degenerate segments. Indexes are page files created by `build` (the meta
 page is page 0). `build --partitions P` needs a bulk method and splits the
 dataset into P Hilbert-key-range trees (`<index>.p<i>` + `<index>.manifest`);
 `query`/`bench --partitions P` run scatter-gather over them with one shared
-k-th-distance bound.";
+k-th-distance bound. `serve` runs until a client sends a shutdown frame
+(see the `nnq-serve` crate for the wire protocol); `--port 0` binds an
+ephemeral port, written to `--port-file` for scripts.";

@@ -1148,6 +1148,299 @@ fn ingest_groups_records_into_batched_txns() {
     std::fs::remove_file(&index).ok();
 }
 
+/// Polls a `--port-file` until the serving thread writes the bound port.
+fn wait_port(path: &str) -> u16 {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        if let Ok(s) = std::fs::read_to_string(path) {
+            if let Ok(p) = s.trim().parse() {
+                return p;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never reported its port in {path}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn serve_flag_validation() {
+    // Every flag is validated before the listener binds or the index
+    // opens, so bad values fail fast as usage errors with no index file
+    // present at all.
+    let mut sink = Vec::new();
+    for bad in [
+        vec!["serve", "--threads", "0"],
+        vec!["serve", "--threads", "two"],
+        vec!["serve", "--batch-max", "0"],
+        vec!["serve", "--batch-max", "lots"],
+        vec!["serve", "--inbox-cap", "0"],
+        vec!["serve", "--batch-deadline-us", "soon"],
+        vec!["serve", "--port", "notaport"],
+        vec!["serve", "--port", "70000"], // > u16::MAX
+        vec!["serve", "--pool-shards", "3"],
+        vec!["serve", "--prefetch", "sometimes"],
+        vec!["serve", "--tune", "maybe"],
+        vec!["serve", "--partitions", "0"],
+        vec!["serve"], // missing --index
+    ] {
+        assert!(
+            matches!(run(&argv(&bad), &mut sink), Err(CliError::Usage(_))),
+            "expected usage error for {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn serve_answers_like_query_and_reports_stats_on_shutdown() {
+    use nnq_serve::{Client, Request, Response};
+
+    let data = tmp("srv.csv");
+    let index = tmp("srv.rtree");
+    let port_file = tmp("srv.port");
+    std::fs::remove_file(&port_file).ok();
+    run_ok(&[
+        "gen", "--kind", "uniform", "--n", "3000", "--seed", "21", "--out", &data,
+    ]);
+    run_ok(&[
+        "build", "--input", &data, "--index", &index, "--method", "str",
+    ]);
+
+    // Sequential baseline for the same query point.
+    let seq = run_ok(&[
+        "query",
+        "--index",
+        &index,
+        "--data",
+        &data,
+        "--at",
+        "50000,50000",
+        "-k",
+        "5",
+    ]);
+    let seq_ids: Vec<u64> = seq
+        .lines()
+        .filter_map(|l| l.split("segment #").nth(1))
+        .map(|rest| rest.split_whitespace().next().unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(seq_ids.len(), 5, "{seq}");
+    let seq_reads: u64 = seq
+        .lines()
+        .find(|l| l.contains("nodes read"))
+        .and_then(|l| l.split(" results, ").nth(1))
+        .and_then(|r| r.split(" nodes read").next())
+        .unwrap()
+        .parse()
+        .unwrap();
+
+    let server = {
+        let args = argv(&[
+            "serve",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--port",
+            "0",
+            "--port-file",
+            &port_file,
+            "--threads",
+            "2",
+            "--batch-max",
+            "8",
+            "--batch-deadline-us",
+            "100",
+        ]);
+        std::thread::spawn(move || -> Result<String, CliError> {
+            let mut out = Vec::new();
+            run(&args, &mut out)?;
+            Ok(String::from_utf8(out).unwrap())
+        })
+    };
+    let port = wait_port(&port_file);
+    let mut client = Client::connect(("127.0.0.1", port)).unwrap();
+
+    // Liveness check.
+    match client.call(&Request::Ping { id: 7 }).unwrap() {
+        Response::Pong { id } => assert_eq!(id, 7),
+        other => panic!("expected pong, got {other:?}"),
+    }
+
+    // kNN over the wire returns the same neighbors — and the same
+    // logical reads (the paper's pages-accessed metric) — as `nnq query`.
+    let resp = client
+        .call(&Request::Knn {
+            id: 1,
+            x: 50000.0,
+            y: 50000.0,
+            k: 5,
+        })
+        .unwrap();
+    let Response::Ok {
+        id,
+        logical_reads,
+        hits,
+    } = resp
+    else {
+        panic!("expected ok, got {resp:?}");
+    };
+    assert_eq!(id, 1);
+    let got_ids: Vec<u64> = hits.iter().map(|h| h.record).collect();
+    assert_eq!(got_ids, seq_ids);
+    assert_eq!(logical_reads, seq_reads);
+    assert!(
+        hits.windows(2).all(|w| w[0].dist_sq <= w[1].dist_sq),
+        "{hits:?}"
+    );
+
+    // Radius query works over the same connection.
+    let resp = client
+        .call(&Request::Radius {
+            id: 2,
+            x: 50000.0,
+            y: 50000.0,
+            radius: 3000.0,
+        })
+        .unwrap();
+    let Response::Ok { id, .. } = resp else {
+        panic!("expected ok, got {resp:?}");
+    };
+    assert_eq!(id, 2);
+
+    // A negative radius is answered with an error response (not a hang,
+    // not a dropped connection) and the connection stays usable.
+    let resp = client
+        .call(&Request::Radius {
+            id: 3,
+            x: 0.0,
+            y: 0.0,
+            radius: -1.0,
+        })
+        .unwrap();
+    assert!(
+        matches!(resp, Response::Error { id: 3, .. }),
+        "expected error, got {resp:?}"
+    );
+    match client.call(&Request::Ping { id: 8 }).unwrap() {
+        Response::Pong { id } => assert_eq!(id, 8),
+        other => panic!("expected pong, got {other:?}"),
+    }
+
+    // Shutdown drains and acknowledges, then the command returns with
+    // the stats lines.
+    let resp = client.call(&Request::Shutdown).unwrap();
+    assert!(matches!(resp, Response::Bye), "got {resp:?}");
+    let out = server.join().unwrap().unwrap();
+    assert!(out.contains("serving"), "{out}");
+    assert!(out.contains("serve done: 2 served"), "{out}");
+    assert!(out.contains("1 errors"), "{out}");
+    assert!(out.contains("0 rejected"), "{out}");
+    assert!(out.contains("1 connection(s)"), "{out}");
+    assert!(out.contains("batches"), "{out}");
+    assert!(out.contains("pool: hit rate"), "{out}");
+    assert!(out.contains("node cache:"), "{out}");
+
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&index).ok();
+    std::fs::remove_file(&port_file).ok();
+}
+
+#[test]
+fn serve_partitioned_engine_smoke() {
+    use nnq_serve::{Client, Request, Response};
+
+    let data = tmp("srvp.csv");
+    let index = tmp("srvp.rtree");
+    let port_file = tmp("srvp.port");
+    std::fs::remove_file(&port_file).ok();
+    run_ok(&[
+        "gen", "--kind", "tiger", "--n", "3000", "--seed", "23", "--out", &data,
+    ]);
+    run_ok(&[
+        "build",
+        "--input",
+        &data,
+        "--index",
+        &index,
+        "--method",
+        "hilbert",
+        "--partitions",
+        "4",
+    ]);
+    let seq = run_ok(&[
+        "query",
+        "--index",
+        &index,
+        "--data",
+        &data,
+        "--at",
+        "50000,50000",
+        "-k",
+        "5",
+        "--partitions",
+        "4",
+    ]);
+    let seq_ids: Vec<u64> = seq
+        .lines()
+        .filter_map(|l| l.split("segment #").nth(1))
+        .map(|rest| rest.split_whitespace().next().unwrap().parse().unwrap())
+        .collect();
+
+    let server = {
+        let args = argv(&[
+            "serve",
+            "--index",
+            &index,
+            "--data",
+            &data,
+            "--port",
+            "0",
+            "--port-file",
+            &port_file,
+            "--partitions",
+            "4",
+            "--threads",
+            "2",
+        ]);
+        std::thread::spawn(move || -> Result<String, CliError> {
+            let mut out = Vec::new();
+            run(&args, &mut out)?;
+            Ok(String::from_utf8(out).unwrap())
+        })
+    };
+    let port = wait_port(&port_file);
+    let mut client = Client::connect(("127.0.0.1", port)).unwrap();
+    let resp = client
+        .call(&Request::Knn {
+            id: 1,
+            x: 50000.0,
+            y: 50000.0,
+            k: 5,
+        })
+        .unwrap();
+    let Response::Ok { hits, .. } = resp else {
+        panic!("expected ok, got {resp:?}");
+    };
+    let got: Vec<u64> = hits.iter().map(|h| h.record).collect();
+    assert_eq!(got, seq_ids);
+    assert!(matches!(
+        client.call(&Request::Shutdown).unwrap(),
+        Response::Bye
+    ));
+    let out = server.join().unwrap().unwrap();
+    assert!(out.contains("serve done: 1 served"), "{out}");
+    assert!(out.contains("4 partition(s)"), "{out}");
+
+    std::fs::remove_file(&data).ok();
+    for i in 0..4 {
+        std::fs::remove_file(format!("{index}.p{i}")).ok();
+    }
+    std::fs::remove_file(format!("{index}.manifest")).ok();
+    std::fs::remove_file(&port_file).ok();
+}
+
 #[test]
 fn ingest_without_wal_and_unjournaled_flags() {
     let data = tmp("plain.csv");

@@ -90,7 +90,8 @@ pub use options::{
     AblOrdering, KernelMode, Neighbor, NnOptions, PrefetchPolicy, SearchStats, TuneMode,
 };
 pub use parallel::{
-    par_knn_batch, par_knn_batch_ordered, par_knn_batch_stats, par_knn_batch_with_block, BatchStats,
+    par_knn_batch, par_knn_batch_ordered, par_knn_batch_stats, par_knn_batch_with_block,
+    par_mixed_batch, BatchQuery, BatchStats,
 };
 pub use radius::{count_within_radius, within_radius, within_radius_with};
 pub use refine::{FnRefiner, MbrRefiner, Refiner};

@@ -26,12 +26,45 @@
 
 use crate::branch_bound::{NnSearch, QueryCursor};
 use crate::join::{hilbert_schedule, JoinOrder};
-use crate::options::{Neighbor, NnOptions};
+use crate::options::{Neighbor, NnOptions, SearchStats};
+use crate::radius::within_radius_with;
 use crate::refine::Refiner;
 use crate::Result;
 use nnq_geom::Point;
 use nnq_rtree::TreeAccess;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One request in a mixed query batch — the serving layer's unit of work.
+///
+/// kNN and radius queries ride the same micro-batch: both are point
+/// queries against the same tree snapshot, so they share the Hilbert
+/// claim schedule and the per-worker [`QueryCursor`] scratch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BatchQuery<const D: usize> {
+    /// k-nearest-neighbor query at `q`.
+    Knn {
+        /// The query point.
+        q: Point<D>,
+        /// Neighbors requested.
+        k: usize,
+    },
+    /// Distance-range query at `q` (linear radius, not squared).
+    Radius {
+        /// The query point.
+        q: Point<D>,
+        /// Inclusive distance cutoff; must be nonnegative.
+        radius: f64,
+    },
+}
+
+impl<const D: usize> BatchQuery<D> {
+    /// The query point (the coordinate the Hilbert schedule orders by).
+    pub fn point(&self) -> &Point<D> {
+        match self {
+            BatchQuery::Knn { q, .. } | BatchQuery::Radius { q, .. } => q,
+        }
+    }
+}
 
 /// How a [`par_knn_batch_stats`] run distributed its queries.
 #[derive(Clone, Debug, Default)]
@@ -283,6 +316,136 @@ where
     Ok((results, stats))
 }
 
+/// Runs a mixed batch of kNN and radius queries (the `nnq serve` drain
+/// path), fanning the batch out over `threads` workers claiming blocks
+/// from a shared cursor, optionally in Hilbert claim order. Returns, in
+/// submission order, each request's results **and** its per-query
+/// [`SearchStats`] — the serving layer reports `nodes_visited` back to
+/// the client as the query's logical page reads, the paper's cost unit.
+///
+/// Every request is computed independently from the shared tree (or
+/// snapshot), so results and per-query stats are bit-identical to a
+/// sequential loop regardless of thread count, claim-block size, or
+/// schedule — the same contract as [`par_knn_batch`].
+#[allow(clippy::type_complexity)]
+pub fn par_mixed_batch<const D: usize, T, R>(
+    tree: &T,
+    requests: &[BatchQuery<D>],
+    opts: NnOptions,
+    refiner: &R,
+    threads: usize,
+    order: JoinOrder,
+    block_override: Option<usize>,
+) -> Result<(Vec<(Vec<Neighbor<D>>, SearchStats)>, BatchStats)>
+where
+    T: TreeAccess<D> + Sync + ?Sized,
+    R: Refiner<D> + Sync,
+{
+    assert!(threads > 0, "need at least one worker");
+    if requests.is_empty() {
+        return Ok((
+            Vec::new(),
+            BatchStats {
+                threads: 1,
+                block: 0,
+                per_worker_queries: vec![0],
+            },
+        ));
+    }
+    let schedule: Vec<usize> = match order {
+        JoinOrder::AsGiven => (0..requests.len()).collect(),
+        JoinOrder::Hilbert => {
+            let points: Vec<Point<D>> = requests.iter().map(|r| *r.point()).collect();
+            hilbert_schedule(&points)
+        }
+    };
+
+    // One request, one worker-local execution. Radius queries take the
+    // standalone traversal (no cursor state), kNN reuses the worker's
+    // cursor scratch; both are deterministic per request.
+    let execute = |cursor: &mut QueryCursor<D>,
+                   search: &NnSearch<'_, D, T>,
+                   req: &BatchQuery<D>|
+     -> Result<(Vec<Neighbor<D>>, SearchStats)> {
+        match *req {
+            BatchQuery::Knn { q, k } => search.query_refined_with(cursor, &q, k, refiner),
+            BatchQuery::Radius { q, radius } => {
+                within_radius_with(tree, &q, radius, refiner, opts.kernel)
+            }
+        }
+    };
+
+    if threads == 1 || requests.len() == 1 {
+        let search = NnSearch::with_options(tree, opts);
+        let mut cursor = QueryCursor::new();
+        let mut results: Vec<(Vec<Neighbor<D>>, SearchStats)> =
+            vec![(Vec::new(), SearchStats::default()); requests.len()];
+        for &idx in &schedule {
+            results[idx] = execute(&mut cursor, &search, &requests[idx])?;
+        }
+        let stats = BatchStats {
+            threads: 1,
+            block: requests.len(),
+            per_worker_queries: vec![requests.len()],
+        };
+        return Ok((results, stats));
+    }
+
+    let len = requests.len();
+    let block = block_override
+        .map(|b| b.max(1))
+        .unwrap_or_else(|| block_size(len, threads));
+    let next = AtomicUsize::new(0);
+
+    type MixedOut<const D: usize> = Result<Vec<(usize, (Vec<Neighbor<D>>, SearchStats))>>;
+    let worker_outs: Vec<MixedOut<D>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let schedule = &schedule;
+                let execute = &execute;
+                scope.spawn(move || -> MixedOut<D> {
+                    let search = NnSearch::with_options(tree, opts);
+                    let mut cursor = QueryCursor::new();
+                    let mut out = Vec::new();
+                    loop {
+                        let start = next.fetch_add(block, Ordering::Relaxed);
+                        if start >= len {
+                            break;
+                        }
+                        let end = (start + block).min(len);
+                        for &i in &schedule[start..end] {
+                            out.push((i, execute(&mut cursor, &search, &requests[i])?));
+                        }
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let mut results: Vec<(Vec<Neighbor<D>>, SearchStats)> =
+        vec![(Vec::new(), SearchStats::default()); len];
+    let mut per_worker_queries = Vec::with_capacity(threads);
+    for worker_out in worker_outs {
+        let pairs = worker_out?;
+        per_worker_queries.push(pairs.len());
+        for (i, found) in pairs {
+            results[i] = found;
+        }
+    }
+    let stats = BatchStats {
+        threads,
+        block,
+        per_worker_queries,
+    };
+    Ok((results, stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,5 +567,115 @@ mod tests {
         assert_eq!(block_size(1_000, 4), 31);
         assert_eq!(block_size(100_000, 8), 32);
         assert_eq!(block_size(2, 8), 1);
+    }
+
+    fn mixed_requests(queries: &[Point<2>]) -> Vec<BatchQuery<2>> {
+        queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                if i % 3 == 0 {
+                    BatchQuery::Radius {
+                        q: *q,
+                        radius: 2.0 + (i % 7) as f64,
+                    }
+                } else {
+                    BatchQuery::Knn {
+                        q: *q,
+                        k: 1 + i % 5,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mixed_batch_bit_identical_across_threads_blocks_and_order() {
+        let (tree, queries) = tree_and_queries(4_000, 180);
+        let reqs = mixed_requests(&queries);
+        let (seq, _) = par_mixed_batch(
+            &tree,
+            &reqs,
+            NnOptions::default(),
+            &MbrRefiner,
+            1,
+            JoinOrder::AsGiven,
+            None,
+        )
+        .unwrap();
+        assert_eq!(seq.len(), reqs.len());
+        for (threads, order, block) in [
+            (2, JoinOrder::AsGiven, None),
+            (4, JoinOrder::Hilbert, None),
+            (8, JoinOrder::Hilbert, Some(1)),
+            (3, JoinOrder::AsGiven, Some(64)),
+        ] {
+            let (par, bstats) = par_mixed_batch(
+                &tree,
+                &reqs,
+                NnOptions::default(),
+                &MbrRefiner,
+                threads,
+                order,
+                block,
+            )
+            .unwrap();
+            assert_eq!(bstats.per_worker_queries.iter().sum::<usize>(), reqs.len());
+            for (i, ((a, sa), (b, sb))) in par.iter().zip(&seq).enumerate() {
+                assert_eq!(sa, sb, "stats diverge at request {i} (threads={threads})");
+                assert_eq!(a.len(), b.len(), "request {i}");
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.record, y.record, "request {i}");
+                    assert_eq!(x.dist_sq.to_bits(), y.dist_sq.to_bits(), "request {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_batch_matches_standalone_queries() {
+        let (tree, queries) = tree_and_queries(2_000, 60);
+        let reqs = mixed_requests(&queries);
+        let (got, _) = par_mixed_batch(
+            &tree,
+            &reqs,
+            NnOptions::default(),
+            &MbrRefiner,
+            4,
+            JoinOrder::Hilbert,
+            None,
+        )
+        .unwrap();
+        let search = NnSearch::new(&tree);
+        for (req, (hits, stats)) in reqs.iter().zip(&got) {
+            let (want, want_stats) = match *req {
+                BatchQuery::Knn { q, k } => search.query_refined(&q, k, &MbrRefiner).unwrap(),
+                BatchQuery::Radius { q, radius } => {
+                    crate::within_radius(&tree, &q, radius, &MbrRefiner).unwrap()
+                }
+            };
+            assert_eq!(stats, &want_stats);
+            assert_eq!(hits.len(), want.len());
+            for (x, y) in hits.iter().zip(&want) {
+                assert_eq!(x.record, y.record);
+                assert_eq!(x.dist_sq.to_bits(), y.dist_sq.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_batch_empty_is_fine() {
+        let (tree, _) = tree_and_queries(100, 0);
+        let (out, _) = par_mixed_batch(
+            &tree,
+            &[],
+            NnOptions::default(),
+            &MbrRefiner,
+            4,
+            JoinOrder::Hilbert,
+            None,
+        )
+        .unwrap();
+        assert!(out.is_empty());
     }
 }

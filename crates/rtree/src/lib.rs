@@ -66,7 +66,7 @@ pub use iter::WindowIter;
 pub use partition::{hilbert_split, PartitionManifest, PartitionMeta, PartitionedTree};
 pub use store::{BackendSignals, NodeCacheStats};
 pub use store::{MemStore, NodeStore, PagedStore};
-pub use tree::{MemRTree, NodeView, RTree, TreeAccess};
+pub use tree::{MemRTree, NodeView, RTree, Snapshot, TreeAccess};
 pub use validate::TreeStats;
 
 /// Errors produced by R-tree operations.

@@ -1,0 +1,53 @@
+//! A minimal blocking client for the wire protocol — used by the CLI,
+//! the integration tests, and the load generator. One `Client` wraps one
+//! TCP connection; requests may be pipelined (send several, then recv
+//! each response) since the server answers admitted requests in
+//! admission order and writes rejections immediately.
+
+use crate::protocol::{read_frame, write_frame, Request, Response, MAX_RESPONSE_FRAME};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to an `nnq serve` server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one request frame. Does not wait for the response — pair
+    /// with [`recv`](Client::recv), or use [`call`](Client::call) for the
+    /// one-outstanding pattern.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        write_frame(&mut self.stream, &req.encode())
+    }
+
+    /// Blocks for the next response frame.
+    ///
+    /// Responses to *admitted* requests arrive in the order the server
+    /// admitted them, but rejections and errors are written immediately
+    /// from the reader thread, so a pipelining caller must correlate by
+    /// response id rather than assume strict send order.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let payload = read_frame(&mut self.stream, MAX_RESPONSE_FRAME)?;
+        Ok(Response::decode(&payload)?)
+    }
+
+    /// One request, one response: send and block for the reply. With a
+    /// single outstanding request there is nothing to correlate.
+    pub fn call(&mut self, req: &Request) -> io::Result<Response> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// The underlying stream (e.g. to set timeouts in tests).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}

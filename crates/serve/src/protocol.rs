@@ -1,0 +1,583 @@
+//! The `nnq serve` wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame is a little-endian `u32` payload length followed by that
+//! many payload bytes; the first payload byte is the message opcode. All
+//! multi-byte integers are little-endian, and distances travel as raw
+//! `f64` bits (`to_bits`/`from_bits`), so a response is **byte-identical**
+//! across server configurations whenever the underlying query results are
+//! bit-identical — the repo-wide accounting contract extends over the
+//! wire.
+//!
+//! Responses carry the request's client-chosen `id`; correlation is by id,
+//! not arrival order, because overload rejections are written from the
+//! connection's reader thread the moment admission fails, while accepted
+//! requests answer later from the batcher. Within the accepted stream,
+//! responses preserve admission order.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a request frame (bad input must not allocate a page's
+/// worth of RAM, let alone gigabytes).
+pub const MAX_REQUEST_FRAME: usize = 4 * 1024;
+
+/// Upper bound on a response frame (a radius query can legitimately
+/// return the whole dataset; 64 MiB ≈ 4M hits).
+pub const MAX_RESPONSE_FRAME: usize = 64 * 1024 * 1024;
+
+const OP_KNN: u8 = 0x01;
+const OP_RADIUS: u8 = 0x02;
+const OP_PING: u8 = 0x03;
+const OP_SHUTDOWN: u8 = 0x04;
+
+const OP_OK: u8 = 0x81;
+const OP_REJECTED: u8 = 0x82;
+const OP_REJECTED_SHUTDOWN: u8 = 0x83;
+const OP_ERROR: u8 = 0x84;
+const OP_PONG: u8 = 0x85;
+const OP_BYE: u8 = 0x86;
+
+/// A client→server message. Queries are 2-D (the CLI's index format);
+/// `id` is chosen by the client and echoed verbatim in the response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// k-nearest-neighbor query.
+    Knn {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// Query point x.
+        x: f64,
+        /// Query point y.
+        y: f64,
+        /// Neighbors requested.
+        k: u32,
+    },
+    /// Distance-range query (linear radius).
+    Radius {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// Query point x.
+        x: f64,
+        /// Query point y.
+        y: f64,
+        /// Inclusive distance cutoff; must be finite and nonnegative.
+        radius: f64,
+    },
+    /// Liveness probe; answered immediately with [`Response::Pong`].
+    Ping {
+        /// Client-chosen correlation id.
+        id: u64,
+    },
+    /// Graceful shutdown: the server stops admitting, drains every
+    /// in-flight batch (all admitted requests still get responses),
+    /// quiesces its I/O pipelines, and answers [`Response::Bye`].
+    Shutdown,
+}
+
+/// One result row of an OK response.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Hit {
+    /// The matched record id.
+    pub record: u64,
+    /// Its exact squared distance from the query point.
+    pub dist_sq: f64,
+}
+
+/// A server→client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The query ran; hits are sorted exactly as the sequential query
+    /// sorts them.
+    Ok {
+        /// Echo of the request id.
+        id: u64,
+        /// Tree nodes this query read — its logical page accesses, the
+        /// paper's cost unit, bit-identical to a sequential run.
+        logical_reads: u64,
+        /// Result rows.
+        hits: Vec<Hit>,
+    },
+    /// Admission control turned the request away; nothing was queued.
+    Rejected {
+        /// Echo of the request id.
+        id: u64,
+        /// Hint: how long to back off before retrying. Zero when the
+        /// server is shutting down (don't retry this endpoint).
+        retry_after_us: u32,
+        /// `true` when the rejection is the shutdown gate rather than a
+        /// full inbox.
+        shutting_down: bool,
+    },
+    /// The request was malformed or failed during execution.
+    Error {
+        /// Echo of the request id.
+        id: u64,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// Echo of the request id.
+        id: u64,
+    },
+    /// Answer to [`Request::Shutdown`], sent after the drain completes.
+    Bye,
+}
+
+/// Protocol-level failures (distinct from transport `io::Error`s).
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Frame length prefix exceeded the allowed maximum.
+    FrameTooLarge(usize),
+    /// Payload was empty, truncated, or had trailing bytes.
+    Malformed(&'static str),
+    /// Unknown opcode byte.
+    UnknownOpcode(u8),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds maximum"),
+            ProtocolError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            ProtocolError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<ProtocolError> for io::Error {
+    fn from(e: ProtocolError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// Writes one frame: length prefix + payload, in a single `write_all`
+/// (frames from concurrent writers must not interleave, so the caller
+/// serializes on a per-connection lock and we hand the OS one buffer).
+pub fn write_frame(w: &mut dyn Write, payload: &[u8]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)
+}
+
+/// Reads one frame's payload, enforcing `max` on the length prefix.
+pub fn read_frame(r: &mut dyn Read, max: usize) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > max {
+        return Err(ProtocolError::FrameTooLarge(len).into());
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], ProtocolError> {
+        let end = self.pos + N;
+        if end > self.buf.len() {
+            return Err(ProtocolError::Malformed("truncated payload"));
+        }
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.buf[self.pos..end]);
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take::<1>()?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_bits(u64::from_le_bytes(self.take()?)))
+    }
+
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.pos != self.buf.len() {
+            return Err(ProtocolError::Malformed("trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+impl Request {
+    /// Serializes the request payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(33);
+        match *self {
+            Request::Knn { id, x, y, k } => {
+                out.push(OP_KNN);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&k.to_le_bytes());
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+                out.extend_from_slice(&y.to_bits().to_le_bytes());
+            }
+            Request::Radius { id, x, y, radius } => {
+                out.push(OP_RADIUS);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&radius.to_bits().to_le_bytes());
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+                out.extend_from_slice(&y.to_bits().to_le_bytes());
+            }
+            Request::Ping { id } => {
+                out.push(OP_PING);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+            Request::Shutdown => out.push(OP_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Parses a request payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtocolError> {
+        let mut c = Cursor::new(payload);
+        let op = c.u8()?;
+        let req = match op {
+            OP_KNN => {
+                let id = c.u64()?;
+                let k = c.u32()?;
+                let x = c.f64()?;
+                let y = c.f64()?;
+                Request::Knn { id, x, y, k }
+            }
+            OP_RADIUS => {
+                let id = c.u64()?;
+                let radius = c.f64()?;
+                let x = c.f64()?;
+                let y = c.f64()?;
+                Request::Radius { id, x, y, radius }
+            }
+            OP_PING => Request::Ping { id: c.u64()? },
+            OP_SHUTDOWN => Request::Shutdown,
+            other => return Err(ProtocolError::UnknownOpcode(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+
+    /// The request's correlation id (`None` for [`Request::Shutdown`]).
+    pub fn id(&self) -> Option<u64> {
+        match *self {
+            Request::Knn { id, .. } | Request::Radius { id, .. } | Request::Ping { id } => Some(id),
+            Request::Shutdown => None,
+        }
+    }
+
+    /// Validates query parameters before admission: coordinates must be
+    /// finite (the Hilbert schedule orders by them) and a radius must be
+    /// finite and nonnegative. Returns the rejection message on failure.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        match *self {
+            Request::Knn { x, y, .. } => {
+                if !(x.is_finite() && y.is_finite()) {
+                    return Err("non-finite query coordinates");
+                }
+            }
+            Request::Radius { x, y, radius, .. } => {
+                if !(x.is_finite() && y.is_finite()) {
+                    return Err("non-finite query coordinates");
+                }
+                if !radius.is_finite() || radius < 0.0 {
+                    return Err("radius must be finite and nonnegative");
+                }
+            }
+            Request::Ping { .. } | Request::Shutdown => {}
+        }
+        Ok(())
+    }
+}
+
+impl Response {
+    /// Serializes the response payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Ok {
+                id,
+                logical_reads,
+                hits,
+            } => {
+                let mut out = Vec::with_capacity(21 + 16 * hits.len());
+                out.push(OP_OK);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&logical_reads.to_le_bytes());
+                out.extend_from_slice(&(hits.len() as u32).to_le_bytes());
+                for h in hits {
+                    out.extend_from_slice(&h.record.to_le_bytes());
+                    out.extend_from_slice(&h.dist_sq.to_bits().to_le_bytes());
+                }
+                out
+            }
+            Response::Rejected {
+                id,
+                retry_after_us,
+                shutting_down,
+            } => {
+                let mut out = Vec::with_capacity(13);
+                out.push(if *shutting_down {
+                    OP_REJECTED_SHUTDOWN
+                } else {
+                    OP_REJECTED
+                });
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&retry_after_us.to_le_bytes());
+                out
+            }
+            Response::Error { id, message } => {
+                let msg = message.as_bytes();
+                let mut out = Vec::with_capacity(13 + msg.len());
+                out.push(OP_ERROR);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+                out.extend_from_slice(msg);
+                out
+            }
+            Response::Pong { id } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(OP_PONG);
+                out.extend_from_slice(&id.to_le_bytes());
+                out
+            }
+            Response::Bye => vec![OP_BYE],
+        }
+    }
+
+    /// Parses a response payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtocolError> {
+        let mut c = Cursor::new(payload);
+        let op = c.u8()?;
+        let resp = match op {
+            OP_OK => {
+                let id = c.u64()?;
+                let logical_reads = c.u64()?;
+                let n = c.u32()? as usize;
+                // Cheap sanity bound: each hit is 16 payload bytes.
+                if n > payload.len() / 16 + 1 {
+                    return Err(ProtocolError::Malformed("hit count exceeds payload"));
+                }
+                let mut hits = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let record = c.u64()?;
+                    let dist_sq = c.f64()?;
+                    hits.push(Hit { record, dist_sq });
+                }
+                Response::Ok {
+                    id,
+                    logical_reads,
+                    hits,
+                }
+            }
+            OP_REJECTED | OP_REJECTED_SHUTDOWN => Response::Rejected {
+                id: c.u64()?,
+                retry_after_us: c.u32()?,
+                shutting_down: op == OP_REJECTED_SHUTDOWN,
+            },
+            OP_ERROR => {
+                let id = c.u64()?;
+                let len = c.u32()? as usize;
+                if c.pos + len != payload.len() {
+                    return Err(ProtocolError::Malformed("error message length"));
+                }
+                let message = String::from_utf8(payload[c.pos..].to_vec())
+                    .map_err(|_| ProtocolError::Malformed("error message not utf-8"))?;
+                return Ok(Response::Error { id, message });
+            }
+            OP_PONG => Response::Pong { id: c.u64()? },
+            OP_BYE => Response::Bye,
+            other => return Err(ProtocolError::UnknownOpcode(other)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = [
+            Request::Knn {
+                id: 7,
+                x: 1.5,
+                y: -2.25,
+                k: 10,
+            },
+            Request::Radius {
+                id: u64::MAX,
+                x: 0.0,
+                y: f64::MIN_POSITIVE,
+                radius: 123.456,
+            },
+            Request::Ping { id: 0 },
+            Request::Shutdown,
+        ];
+        for req in cases {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = [
+            Response::Ok {
+                id: 3,
+                logical_reads: 42,
+                hits: vec![
+                    Hit {
+                        record: 9,
+                        dist_sq: 0.0,
+                    },
+                    Hit {
+                        record: 1,
+                        dist_sq: 7.25,
+                    },
+                ],
+            },
+            Response::Ok {
+                id: 4,
+                logical_reads: 0,
+                hits: vec![],
+            },
+            Response::Rejected {
+                id: 5,
+                retry_after_us: 200,
+                shutting_down: false,
+            },
+            Response::Rejected {
+                id: 6,
+                retry_after_us: 0,
+                shutting_down: true,
+            },
+            Response::Error {
+                id: 7,
+                message: "radius must be finite and nonnegative".into(),
+            },
+            Response::Pong { id: 8 },
+            Response::Bye,
+        ];
+        for resp in cases {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn dist_sq_travels_bit_exactly() {
+        for v in [0.0, -0.0, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300] {
+            let resp = Response::Ok {
+                id: 1,
+                logical_reads: 1,
+                hits: vec![Hit {
+                    record: 1,
+                    dist_sq: v,
+                }],
+            };
+            let Response::Ok { hits, .. } = Response::decode(&resp.encode()).unwrap() else {
+                panic!("wrong variant");
+            };
+            assert_eq!(hits[0].dist_sq.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        // Truncated.
+        assert!(Request::decode(&[OP_KNN, 1, 2]).is_err());
+        // Trailing garbage.
+        let mut bytes = Request::Ping { id: 1 }.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err());
+        // Unknown opcode.
+        assert!(Request::decode(&[0x7f]).is_err());
+        assert!(Response::decode(&[0x02]).is_err());
+        // Empty payload.
+        assert!(Request::decode(&[]).is_err());
+        // Hit count larger than payload could hold.
+        let mut ok = Response::Ok {
+            id: 1,
+            logical_reads: 1,
+            hits: vec![],
+        }
+        .encode();
+        let n = ok.len();
+        ok[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Response::decode(&ok).is_err());
+    }
+
+    #[test]
+    fn frame_io_round_trips_and_enforces_max() {
+        let payload = Request::Knn {
+            id: 1,
+            x: 2.0,
+            y: 3.0,
+            k: 4,
+        }
+        .encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        assert_eq!(wire.len(), 4 + payload.len());
+        let got = read_frame(&mut wire.as_slice(), MAX_REQUEST_FRAME).unwrap();
+        assert_eq!(got, payload);
+        // A length prefix over the cap is refused before allocation.
+        let huge = (MAX_REQUEST_FRAME as u32 + 1).to_le_bytes();
+        assert!(read_frame(&mut huge.as_slice(), MAX_REQUEST_FRAME).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        assert!(Request::Knn {
+            id: 1,
+            x: f64::NAN,
+            y: 0.0,
+            k: 1
+        }
+        .validate()
+        .is_err());
+        assert!(Request::Radius {
+            id: 1,
+            x: 0.0,
+            y: 0.0,
+            radius: -1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Request::Radius {
+            id: 1,
+            x: 0.0,
+            y: 0.0,
+            radius: f64::INFINITY
+        }
+        .validate()
+        .is_err());
+        assert!(Request::Knn {
+            id: 1,
+            x: 1.0,
+            y: 2.0,
+            k: 0
+        }
+        .validate()
+        .is_ok());
+    }
+}

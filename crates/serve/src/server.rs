@@ -1,0 +1,606 @@
+//! The `nnq serve` server: thread-per-connection framed readers feeding a
+//! bounded inbox, one batcher thread draining deadline-or-size
+//! micro-batches through the work-stealing mixed-query executor, and
+//! responses written back in admission order.
+//!
+//! Threading layout (all scoped, all joined before [`serve`] returns):
+//!
+//! ```text
+//!            accept loop ──spawns──▶ reader (1 per connection)
+//!                                      │ decode → validate → try_admit
+//!                                      │   full/closed → fast-reject
+//!                                      ▼
+//!                              bounded Inbox<Job>
+//!                                      │ deadline-or-size drain
+//!                                      ▼
+//!            batcher (caller's thread): tree.snapshot() per batch,
+//!            Hilbert claim order over `threads` workers, responses
+//!            written back in admission order, TuneController observes
+//!            every drained batch
+//! ```
+//!
+//! Shutdown protocol (graceful, drain-everything): a [`Request::Shutdown`]
+//! frame closes the inbox — admission now fast-rejects with
+//! `shutting_down` — the batcher drains every already-admitted request
+//! (each still gets its response), signals the drain, quiesces every
+//! pool's prefetch pipeline, flushes the WAL group-commit window (or the
+//! plain dirty set), and [`serve`] returns its [`ServeReport`]. The
+//! shutdown requester receives [`Response::Bye`] only after the drain, so
+//! "my earlier request was answered" is ordered before "the server is
+//! gone".
+
+use crate::inbox::{Admit, Inbox};
+use crate::protocol::{Hit, Request, Response, MAX_REQUEST_FRAME};
+use nnq_core::{
+    hilbert_schedule, par_mixed_batch, partitioned_knn, partitioned_radius, BatchQuery, JoinOrder,
+    KernelMode, Neighbor, NnOptions, PrefetchPolicy, Refiner, TuneController, TuneMode,
+};
+use nnq_geom::Point;
+use nnq_rtree::{PartitionedTree, RTree};
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Knobs for one [`serve`] run. All sizes are hard bounds: the inbox
+/// never queues more than `inbox_cap`, a batch never exceeds `batch_max`,
+/// and an admitted request never waits in the batcher longer than
+/// `batch_deadline`.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads the batch executor fans each micro-batch over.
+    pub threads: usize,
+    /// Micro-batch size trigger.
+    pub batch_max: usize,
+    /// Micro-batch deadline trigger, anchored to the oldest queued
+    /// request's arrival.
+    pub batch_deadline: Duration,
+    /// Inbox capacity; admission fast-rejects beyond it.
+    pub inbox_cap: usize,
+    /// Distance-kernel mode for every query.
+    pub kernel: KernelMode,
+    /// Static prefetch policy (the tune controller may override).
+    pub prefetch: PrefetchPolicy,
+    /// Online self-tuning of backend knobs, observed per drained batch.
+    pub tune: TuneMode,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            batch_max: 32,
+            batch_deadline: Duration::from_micros(200),
+            inbox_cap: 1024,
+            kernel: KernelMode::default(),
+            prefetch: PrefetchPolicy::Off,
+            tune: TuneMode::Off,
+        }
+    }
+}
+
+/// What the server serves: one R-tree, or a Hilbert-range partitioned
+/// forest behind scatter-gather.
+pub enum Engine<'a> {
+    /// A single paged R-tree. Each micro-batch runs against one
+    /// [`snapshot`](RTree::snapshot), so reads proceed concurrently with
+    /// the copy-on-write writer.
+    Single(&'a RTree<2>),
+    /// A partitioned tree; each request runs its own scatter-gather pass,
+    /// requests fan out across the batch executor's workers.
+    Partitioned(&'a PartitionedTree<2>),
+}
+
+/// Counters accumulated over one [`serve`] run, returned at shutdown.
+#[derive(Clone, Debug, Default)]
+pub struct ServeReport {
+    /// Query responses successfully written.
+    pub served: u64,
+    /// Overload fast-rejections (inbox full).
+    pub rejected: u64,
+    /// Rejections after the shutdown gate closed.
+    pub rejected_shutdown: u64,
+    /// Error responses (malformed parameters or execution failure).
+    pub errors: u64,
+    /// Micro-batches drained.
+    pub batches: u64,
+    /// Requests drained into micro-batches (excludes pings and
+    /// validation errors, which the readers answer directly).
+    pub batched: u64,
+    /// Largest micro-batch drained.
+    pub max_batch: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Responses that could not be written (client went away); these
+    /// requests were executed, not dropped by the server.
+    pub write_errors: u64,
+    /// Final self-tuning report, when the controller was active.
+    pub tune_report: Option<String>,
+}
+
+impl ServeReport {
+    /// Average requests per drained batch.
+    pub fn avg_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched as f64 / self.batches as f64
+        }
+    }
+}
+
+/// One admitted request: what to run and where to write the answer.
+struct Job {
+    id: u64,
+    query: BatchQuery<2>,
+    conn: Arc<Conn>,
+}
+
+/// The write half of a connection. Both the reader thread (fast
+/// rejections, pongs) and the batcher (query responses) write here; the
+/// mutex keeps frames whole.
+struct Conn {
+    stream: Mutex<TcpStream>,
+}
+
+impl Conn {
+    fn send(&self, resp: &Response) -> io::Result<()> {
+        let payload = resp.encode();
+        let mut stream = self.stream.lock().unwrap();
+        crate::protocol::write_frame(&mut *stream, &payload)
+    }
+}
+
+struct Shared {
+    inbox: Inbox<Job>,
+    /// Set once the drain has finished: acceptor and readers wind down.
+    stop: AtomicBool,
+    drained: Mutex<bool>,
+    drained_cv: Condvar,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    errors: AtomicU64,
+    batches: AtomicU64,
+    batched: AtomicU64,
+    max_batch: AtomicU64,
+    connections: AtomicU64,
+    write_errors: AtomicU64,
+    retry_after_us: u32,
+}
+
+impl Shared {
+    fn mark_drained(&self) {
+        *self.drained.lock().unwrap() = true;
+        self.drained_cv.notify_all();
+    }
+
+    fn wait_drained(&self) {
+        let mut done = self.drained.lock().unwrap();
+        while !*done {
+            done = self.drained_cv.wait(done).unwrap();
+        }
+    }
+}
+
+/// How often blocked readers and the acceptor re-check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Runs the server until a [`Request::Shutdown`] frame arrives, then
+/// drains, quiesces, flushes, and returns the run's [`ServeReport`].
+///
+/// The caller supplies a bound listener (so it can report the ephemeral
+/// port before the server blocks) and keeps ownership of the engine's
+/// pools — print their stats after this returns for the shutdown line.
+pub fn serve<R: Refiner<2> + Sync>(
+    engine: &Engine<'_>,
+    refiner: &R,
+    listener: TcpListener,
+    config: &ServeConfig,
+) -> io::Result<ServeReport> {
+    assert!(config.threads > 0, "need at least one worker thread");
+    assert!(
+        config.batch_max > 0,
+        "batch size trigger must be at least 1"
+    );
+    listener.set_nonblocking(true)?;
+    let shared = Shared {
+        inbox: Inbox::new(config.inbox_cap),
+        stop: AtomicBool::new(false),
+        drained: Mutex::new(false),
+        drained_cv: Condvar::new(),
+        served: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        rejected_shutdown: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        batches: AtomicU64::new(0),
+        batched: AtomicU64::new(0),
+        max_batch: AtomicU64::new(0),
+        connections: AtomicU64::new(0),
+        write_errors: AtomicU64::new(0),
+        retry_after_us: config.batch_deadline.as_micros().min(u128::from(u32::MAX)) as u32,
+    };
+
+    let tune_report = std::thread::scope(|scope| {
+        let shared = &shared;
+        scope.spawn(move || {
+            loop {
+                if shared.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        shared.connections.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.set_nodelay(true);
+                        // Readers poll with a timeout so shutdown never
+                        // waits on an idle connection.
+                        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+                        let Ok(write_half) = stream.try_clone() else {
+                            continue;
+                        };
+                        let conn = Arc::new(Conn {
+                            stream: Mutex::new(write_half),
+                        });
+                        scope.spawn(move || reader_loop(stream, conn, shared));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        batch_loop(engine, refiner, config, shared)
+    });
+
+    // Every reader and the acceptor joined: quiesce the I/O pipelines and
+    // make the committed state durable before reporting.
+    quiesce_and_flush(engine)?;
+
+    Ok(ServeReport {
+        served: shared.served.load(Ordering::Relaxed),
+        rejected: shared.rejected.load(Ordering::Relaxed),
+        rejected_shutdown: shared.rejected_shutdown.load(Ordering::Relaxed),
+        errors: shared.errors.load(Ordering::Relaxed),
+        batches: shared.batches.load(Ordering::Relaxed),
+        batched: shared.batched.load(Ordering::Relaxed),
+        max_batch: shared.max_batch.load(Ordering::Relaxed),
+        connections: shared.connections.load(Ordering::Relaxed),
+        write_errors: shared.write_errors.load(Ordering::Relaxed),
+        tune_report,
+    })
+}
+
+/// Shutdown's durability step: stop the background prefetchers (every
+/// in-flight hint classified, nothing racing the flush) and push the
+/// committed state down — through the WAL group-commit window when the
+/// pool journals, a plain flush otherwise.
+fn quiesce_and_flush(engine: &Engine<'_>) -> io::Result<()> {
+    let flush = |pool: &nnq_storage::BufferPool| -> io::Result<()> {
+        pool.prefetch_quiesce();
+        let res = if pool.wal().is_some() {
+            pool.checkpoint()
+        } else {
+            pool.flush_all()
+        };
+        res.map_err(|e| io::Error::other(e.to_string()))
+    };
+    match engine {
+        Engine::Single(tree) => flush(tree.pool()),
+        Engine::Partitioned(tree) => {
+            for part in tree.partitions() {
+                flush(part.pool())?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Incremental frame parser over a read-timeout socket: partial reads
+/// accumulate across poll attempts, so a frame split by a timeout
+/// boundary is never torn.
+struct FramedReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+enum Poll {
+    Frame(Vec<u8>),
+    Timeout,
+    Closed,
+}
+
+impl FramedReader {
+    fn poll_frame(&mut self) -> io::Result<Poll> {
+        loop {
+            if self.buf.len() >= 4 {
+                let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+                if len > MAX_REQUEST_FRAME {
+                    return Err(crate::protocol::ProtocolError::FrameTooLarge(len).into());
+                }
+                if self.buf.len() >= 4 + len {
+                    let frame = self.buf[4..4 + len].to_vec();
+                    self.buf.drain(..4 + len);
+                    return Ok(Poll::Frame(frame));
+                }
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(Poll::Closed),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Poll::Timeout)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn reader_loop(stream: TcpStream, conn: Arc<Conn>, shared: &Shared) {
+    let mut reader = FramedReader {
+        stream,
+        buf: Vec::new(),
+    };
+    loop {
+        let payload = match reader.poll_frame() {
+            Ok(Poll::Frame(payload)) => payload,
+            Ok(Poll::Timeout) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            // Peer closed, transport error, or an unframeable byte
+            // stream: nothing sensible can be answered.
+            Ok(Poll::Closed) | Err(_) => return,
+        };
+        let req = match Request::decode(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                // Can't know the id of a frame that didn't parse; answer
+                // on id 0 and drop the connection (framing may be lost).
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = conn.send(&Response::Error {
+                    id: 0,
+                    message: e.to_string(),
+                });
+                return;
+            }
+        };
+        match req {
+            Request::Ping { id } => {
+                let _ = conn.send(&Response::Pong { id });
+            }
+            Request::Shutdown => {
+                // Gate admission now; answer only after the drain so the
+                // requester observes all of its earlier responses first.
+                shared.inbox.close();
+                shared.wait_drained();
+                let _ = conn.send(&Response::Bye);
+            }
+            Request::Knn { .. } | Request::Radius { .. } => {
+                let id = req.id().unwrap_or(0);
+                if let Err(why) = req.validate() {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = conn.send(&Response::Error {
+                        id,
+                        message: why.into(),
+                    });
+                    continue;
+                }
+                let query = match req {
+                    Request::Knn { x, y, k, .. } => BatchQuery::Knn {
+                        q: Point::new([x, y]),
+                        k: k as usize,
+                    },
+                    Request::Radius { x, y, radius, .. } => BatchQuery::Radius {
+                        q: Point::new([x, y]),
+                        radius,
+                    },
+                    _ => unreachable!(),
+                };
+                let job = Job {
+                    id,
+                    query,
+                    conn: Arc::clone(&conn),
+                };
+                match shared.inbox.try_admit(job) {
+                    Admit::Admitted => {}
+                    Admit::Full => {
+                        shared.rejected.fetch_add(1, Ordering::Relaxed);
+                        let _ = conn.send(&Response::Rejected {
+                            id,
+                            retry_after_us: shared.retry_after_us.max(1),
+                            shutting_down: false,
+                        });
+                    }
+                    Admit::Closed => {
+                        shared.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                        let _ = conn.send(&Response::Rejected {
+                            id,
+                            retry_after_us: 0,
+                            shutting_down: true,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Drains micro-batches until the inbox closes and empties, executing
+/// each through the mixed-query executor and writing responses back in
+/// admission order. Runs on the caller's thread; returns the tune
+/// controller's final report.
+fn batch_loop<R: Refiner<2> + Sync>(
+    engine: &Engine<'_>,
+    refiner: &R,
+    config: &ServeConfig,
+    shared: &Shared,
+) -> Option<String> {
+    let mut controller = TuneController::new(config.tune);
+    match engine {
+        Engine::Single(tree) => controller.observe_tree(*tree),
+        Engine::Partitioned(tree) => controller.observe_partitioned(tree),
+    }
+    while let Some(batch) = shared
+        .inbox
+        .drain_batch(config.batch_max, config.batch_deadline)
+    {
+        if batch.is_empty() {
+            continue;
+        }
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .batched
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        shared
+            .max_batch
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        let requests: Vec<BatchQuery<2>> = batch.iter().map(|j| j.query).collect();
+        let opts = NnOptions {
+            kernel: config.kernel,
+            prefetch: controller.prefetch_policy().unwrap_or(config.prefetch),
+            ..NnOptions::default()
+        };
+        let outcome: nnq_core::Result<Vec<(Vec<Neighbor<2>>, u64)>> = match engine {
+            Engine::Single(tree) => {
+                // One snapshot per micro-batch: every query in the batch
+                // sees the same committed root, and a concurrent COW
+                // writer can publish freely underneath.
+                let snap = tree.snapshot();
+                par_mixed_batch(
+                    &snap,
+                    &requests,
+                    opts,
+                    refiner,
+                    config.threads,
+                    JoinOrder::Hilbert,
+                    controller.block_override(),
+                )
+                .map(|(results, bstats)| {
+                    controller.observe_batch(&bstats);
+                    results
+                        .into_iter()
+                        .map(|(hits, stats)| (hits, stats.nodes_visited))
+                        .collect()
+                })
+            }
+            Engine::Partitioned(tree) => {
+                run_partitioned_batch(tree, &requests, opts, refiner, config.threads)
+            }
+        };
+        match outcome {
+            Ok(results) => {
+                for (job, (hits, logical_reads)) in batch.iter().zip(results) {
+                    let resp = Response::Ok {
+                        id: job.id,
+                        logical_reads,
+                        hits: hits
+                            .iter()
+                            .map(|n| Hit {
+                                record: n.record.0,
+                                dist_sq: n.dist_sq,
+                            })
+                            .collect(),
+                    };
+                    if job.conn.send(&resp).is_ok() {
+                        shared.served.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        shared.write_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) => {
+                let message = e.to_string();
+                for job in &batch {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.conn.send(&Response::Error {
+                        id: job.id,
+                        message: message.clone(),
+                    });
+                }
+            }
+        }
+        match engine {
+            Engine::Single(tree) => controller.observe_tree(*tree),
+            Engine::Partitioned(tree) => controller.observe_partitioned(tree),
+        }
+    }
+    // Inbox closed and fully drained: release waiting shutdown
+    // requesters, then stop the acceptor and readers.
+    shared.mark_drained();
+    shared.stop.store(true, Ordering::Release);
+    controller.is_active().then(|| controller.report())
+}
+
+/// Mixed batch over a partitioned tree: requests fan out over `threads`
+/// workers claiming from a shared cursor in Hilbert order, each request
+/// running its own sequential scatter-gather pass (partition-level
+/// parallelism would nest threads). Deterministic per request, so
+/// results are bit-identical to a sequential loop.
+fn run_partitioned_batch<R: Refiner<2> + Sync>(
+    tree: &PartitionedTree<2>,
+    requests: &[BatchQuery<2>],
+    opts: NnOptions,
+    refiner: &R,
+    threads: usize,
+) -> nnq_core::Result<Vec<(Vec<Neighbor<2>>, u64)>> {
+    let points: Vec<Point<2>> = requests.iter().map(|r| *r.point()).collect();
+    let schedule = hilbert_schedule(&points);
+    let execute = |req: &BatchQuery<2>| -> nnq_core::Result<(Vec<Neighbor<2>>, u64)> {
+        let (hits, pstats) = match *req {
+            BatchQuery::Knn { q, k } => partitioned_knn(tree, &q, k, opts, refiner, 1)?,
+            BatchQuery::Radius { q, radius } => {
+                partitioned_radius(tree, &q, radius, opts, refiner, 1)?
+            }
+        };
+        Ok((hits, pstats.search.nodes_visited))
+    };
+    let mut results: Vec<(Vec<Neighbor<2>>, u64)> = vec![(Vec::new(), 0); requests.len()];
+    if threads == 1 || requests.len() == 1 {
+        for &i in &schedule {
+            results[i] = execute(&requests[i])?;
+        }
+        return Ok(results);
+    }
+    let next = AtomicUsize::new(0);
+    type Out<'a> = nnq_core::Result<Vec<(usize, (Vec<Neighbor<2>>, u64))>>;
+    let worker_outs: Vec<Out<'_>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let schedule = &schedule;
+                let execute = &execute;
+                scope.spawn(move || -> Out<'_> {
+                    let mut out = Vec::new();
+                    loop {
+                        let at = next.fetch_add(1, Ordering::Relaxed);
+                        if at >= schedule.len() {
+                            break;
+                        }
+                        let i = schedule[at];
+                        out.push((i, execute(&requests[i])?));
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    for worker_out in worker_outs {
+        for (i, r) in worker_out? {
+            results[i] = r;
+        }
+    }
+    Ok(results)
+}

@@ -1,0 +1,118 @@
+//! The serving layer's accounting contract, at the wire level: the
+//! byte-for-byte encoded responses — neighbor records, exact distance
+//! bits, and per-query logical reads — must be identical across every
+//! (batch size, worker count) configuration, because micro-batching and
+//! work-stealing are throughput knobs, not semantics.
+
+use nnq_core::MbrRefiner;
+use nnq_geom::Point;
+use nnq_rtree::{BulkMethod, RTree, RTreeConfig};
+use nnq_serve::{Client, Engine, Request, Response, ServeConfig};
+use nnq_storage::{BufferPool, MemDisk, PAGE_SIZE};
+use nnq_workloads::{default_bounds, points_to_items, uniform_points, zipf_cluster_queries};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Runs one server configuration over a fixed request sequence on a
+/// single pipelined connection and returns each response's encoded
+/// bytes, in request order.
+fn serve_responses(tree: &RTree<2>, requests: &[Request], config: &ServeConfig) -> Vec<Vec<u8>> {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(move || {
+            nnq_serve::serve(&Engine::Single(tree), &MbrRefiner, listener, config).unwrap()
+        });
+        let mut client = Client::connect(addr).unwrap();
+        for req in requests {
+            client.send(req).unwrap();
+        }
+        let responses: Vec<Vec<u8>> = (0..requests.len())
+            .map(|i| {
+                let resp = client.recv().unwrap();
+                assert!(
+                    matches!(&resp, Response::Ok { id, .. } if *id == requests[i].id().unwrap()),
+                    "request {i}: unexpected response {resp:?}"
+                );
+                resp.encode()
+            })
+            .collect();
+        assert!(matches!(
+            client.call(&Request::Shutdown).unwrap(),
+            Response::Bye
+        ));
+        let report = server.join().unwrap();
+        assert_eq!(report.served, requests.len() as u64);
+        assert_eq!(report.rejected + report.errors + report.write_errors, 0);
+        responses
+    })
+}
+
+#[test]
+fn responses_are_byte_identical_across_batch_sizes_and_threads() {
+    let pts = uniform_points(15_000, &default_bounds(), 61);
+    let items = points_to_items(&pts);
+    let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new(PAGE_SIZE)), 1 << 15));
+    let tree = RTree::<2>::bulk_load(
+        Arc::clone(&pool),
+        RTreeConfig::default(),
+        items,
+        BulkMethod::Str,
+        1.0,
+    )
+    .unwrap();
+
+    // Zipf-clustered query points (hot neighborhoods make work stealing
+    // uneven — the stress case for ordering bugs), mixed kNN and radius.
+    let centers: Vec<Point<2>> = uniform_points(32, &default_bounds(), 62);
+    let queries = zipf_cluster_queries(200, &centers, 0.9, 2_000.0, &default_bounds(), 63);
+    let requests: Vec<Request> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let id = i as u64;
+            if i % 3 == 2 {
+                Request::Radius {
+                    id,
+                    x: q[0],
+                    y: q[1],
+                    radius: 800.0 + (i % 5) as f64 * 600.0,
+                }
+            } else {
+                Request::Knn {
+                    id,
+                    x: q[0],
+                    y: q[1],
+                    k: 1 + (i % 8) as u32,
+                }
+            }
+        })
+        .collect();
+
+    let mut baseline: Option<Vec<Vec<u8>>> = None;
+    for batch_max in [1usize, 32] {
+        for threads in [1usize, 8] {
+            let config = ServeConfig {
+                threads,
+                batch_max,
+                batch_deadline: Duration::from_micros(100),
+                inbox_cap: 1024,
+                ..ServeConfig::default()
+            };
+            let got = serve_responses(&tree, &requests, &config);
+            match &baseline {
+                None => baseline = Some(got),
+                Some(want) => {
+                    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+                        assert_eq!(
+                            g, w,
+                            "batch={batch_max} threads={threads}: response {i} \
+                             not byte-identical to batch=1 threads=1"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
