@@ -996,6 +996,13 @@ pub fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             report.write_errors
         )?;
     }
+    if report.accept_errors > 0 {
+        writeln!(
+            out,
+            "({} transient accept failure(s) retried)",
+            report.accept_errors
+        )?;
+    }
     if let Some(r) = &report.tune_report {
         writeln!(out, "tune adaptive: {r}")?;
     }

@@ -28,5 +28,5 @@ pub mod server;
 
 pub use client::Client;
 pub use inbox::{Admit, Inbox};
-pub use protocol::{Hit, ProtocolError, Request, Response};
+pub use protocol::{Hit, ProtocolError, Request, Response, MAX_K, MAX_RESULT_HITS};
 pub use server::{serve, Engine, ServeConfig, ServeReport};

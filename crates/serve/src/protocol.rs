@@ -24,6 +24,22 @@ pub const MAX_REQUEST_FRAME: usize = 4 * 1024;
 /// return the whole dataset; 64 MiB ≈ 4M hits).
 pub const MAX_RESPONSE_FRAME: usize = 64 * 1024 * 1024;
 
+/// Fixed bytes of an OK response before the hit rows: opcode + id +
+/// logical reads + hit count.
+const OK_HEADER_BYTES: usize = 1 + 8 + 8 + 4;
+
+/// Bytes per hit row: record id + distance bits.
+const HIT_BYTES: usize = 8 + 8;
+
+/// Most hit rows an OK response can carry within [`MAX_RESPONSE_FRAME`].
+pub const MAX_RESULT_HITS: usize = (MAX_RESPONSE_FRAME - OK_HEADER_BYTES) / HIT_BYTES;
+
+/// Largest admissible `k`: a kNN answer with more hits could not be
+/// framed, and the executor preallocates its result heap from `k`, so an
+/// unbounded `k` is also an unbounded allocation. Enforced by
+/// [`Request::validate`] before admission.
+pub const MAX_K: u32 = MAX_RESULT_HITS as u32;
+
 const OP_KNN: u8 = 0x01;
 const OP_RADIUS: u8 = 0x02;
 const OP_PING: u8 = 0x03;
@@ -155,7 +171,12 @@ impl From<ProtocolError> for io::Error {
 /// Writes one frame: length prefix + payload, in a single `write_all`
 /// (frames from concurrent writers must not interleave, so the caller
 /// serializes on a per-connection lock and we hand the OS one buffer).
+/// A payload too large for the `u32` prefix is refused — truncating the
+/// length would corrupt the framing for every later message.
 pub fn write_frame(w: &mut dyn Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > u32::MAX as usize {
+        return Err(ProtocolError::FrameTooLarge(payload.len()).into());
+    }
     let mut buf = Vec::with_capacity(4 + payload.len());
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     buf.extend_from_slice(payload);
@@ -284,13 +305,22 @@ impl Request {
     }
 
     /// Validates query parameters before admission: coordinates must be
-    /// finite (the Hilbert schedule orders by them) and a radius must be
-    /// finite and nonnegative. Returns the rejection message on failure.
+    /// finite (the Hilbert schedule orders by them), `k` must be in
+    /// `1..=MAX_K` (the executor asserts `k > 0` and preallocates from
+    /// `k`, so both bounds must hold before a request reaches it), and a
+    /// radius must be finite and nonnegative. Returns the rejection
+    /// message on failure.
     pub fn validate(&self) -> Result<(), &'static str> {
         match *self {
-            Request::Knn { x, y, .. } => {
+            Request::Knn { x, y, k, .. } => {
                 if !(x.is_finite() && y.is_finite()) {
                     return Err("non-finite query coordinates");
+                }
+                if k == 0 {
+                    return Err("k must be at least 1");
+                }
+                if k > MAX_K {
+                    return Err("k exceeds the maximum response size");
                 }
             }
             Request::Radius { x, y, radius, .. } => {
@@ -571,6 +601,9 @@ mod tests {
         }
         .validate()
         .is_err());
+        // k = 0 would trip the executor's `k > 0` assertion; k beyond
+        // MAX_K could neither be framed nor safely preallocated. Both
+        // must be turned into Error responses before admission.
         assert!(Request::Knn {
             id: 1,
             x: 1.0,
@@ -578,6 +611,32 @@ mod tests {
             k: 0
         }
         .validate()
+        .is_err());
+        assert!(Request::Knn {
+            id: 1,
+            x: 1.0,
+            y: 2.0,
+            k: MAX_K + 1
+        }
+        .validate()
+        .is_err());
+        assert!(Request::Knn {
+            id: 1,
+            x: 1.0,
+            y: 2.0,
+            k: MAX_K
+        }
+        .validate()
         .is_ok());
+    }
+
+    #[test]
+    fn max_k_saturates_the_response_frame() {
+        // MAX_K is exactly the largest hit count whose OK response still
+        // fits: one more row would overflow MAX_RESPONSE_FRAME.
+        let encoded = |hits: usize| OK_HEADER_BYTES + hits * HIT_BYTES;
+        assert!(encoded(MAX_K as usize) <= MAX_RESPONSE_FRAME);
+        assert!(encoded(MAX_K as usize + 1) > MAX_RESPONSE_FRAME);
+        assert_eq!(MAX_K as usize, MAX_RESULT_HITS);
     }
 }

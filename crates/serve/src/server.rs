@@ -30,7 +30,9 @@
 //! gone".
 
 use crate::inbox::{Admit, Inbox};
-use crate::protocol::{Hit, Request, Response, MAX_REQUEST_FRAME};
+use crate::protocol::{
+    Hit, Request, Response, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME, MAX_RESULT_HITS,
+};
 use nnq_core::{
     hilbert_schedule, par_mixed_batch, partitioned_knn, partitioned_radius, BatchQuery, JoinOrder,
     KernelMode, Neighbor, NnOptions, PrefetchPolicy, Refiner, TuneController, TuneMode,
@@ -112,9 +114,13 @@ pub struct ServeReport {
     pub max_batch: u64,
     /// Connections accepted.
     pub connections: u64,
-    /// Responses that could not be written (client went away); these
-    /// requests were executed, not dropped by the server.
+    /// Responses that could not be written (client went away, or its
+    /// socket stayed unwritable past the write timeout); these requests
+    /// were executed, not dropped by the server.
     pub write_errors: u64,
+    /// Transient `accept(2)` failures (e.g. `ECONNABORTED`, fd
+    /// exhaustion) the acceptor retried past instead of dying.
+    pub accept_errors: u64,
     /// Final self-tuning report, when the controller was active.
     pub tune_report: Option<String>,
 }
@@ -140,15 +146,42 @@ struct Job {
 /// The write half of a connection. Both the reader thread (fast
 /// rejections, pongs) and the batcher (query responses) write here; the
 /// mutex keeps frames whole.
+///
+/// Writes carry a timeout (set at accept), and the first failed or
+/// timed-out write marks the connection dead: a partial write tears the
+/// framing, so nothing sent afterwards could be parsed — and more
+/// importantly the single batcher thread must never pay the write
+/// timeout again and again for one client that stopped reading.
 struct Conn {
     stream: Mutex<TcpStream>,
+    dead: AtomicBool,
 }
 
 impl Conn {
     fn send(&self, resp: &Response) -> io::Result<()> {
         let payload = resp.encode();
+        if payload.len() > MAX_RESPONSE_FRAME {
+            // Backstop: callers bound responses (validate caps k, the
+            // batcher downgrades oversize radius answers), so an
+            // overflowing frame here is a bug — but sending it would
+            // desync the client, which is worse than dropping it.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response exceeds the maximum frame size",
+            ));
+        }
         let mut stream = self.stream.lock().unwrap();
-        crate::protocol::write_frame(&mut *stream, &payload)
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "connection marked dead after an earlier write failure",
+            ));
+        }
+        let res = crate::protocol::write_frame(&mut *stream, &payload);
+        if res.is_err() {
+            self.dead.store(true, Ordering::Relaxed);
+        }
+        res
     }
 }
 
@@ -167,6 +200,7 @@ struct Shared {
     max_batch: AtomicU64,
     connections: AtomicU64,
     write_errors: AtomicU64,
+    accept_errors: AtomicU64,
     retry_after_us: u32,
 }
 
@@ -186,6 +220,12 @@ impl Shared {
 
 /// How often blocked readers and the acceptor re-check the stop flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// How long a response write may block on a full socket buffer before
+/// the connection is declared dead. The batcher writes responses
+/// inline, so without this bound one client that stops reading stalls
+/// every other connection's responses indefinitely.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Runs the server until a [`Request::Shutdown`] frame arrives, then
 /// drains, quiesces, flushes, and returns the run's [`ServeReport`].
@@ -219,6 +259,7 @@ pub fn serve<R: Refiner<2> + Sync>(
         max_batch: AtomicU64::new(0),
         connections: AtomicU64::new(0),
         write_errors: AtomicU64::new(0),
+        accept_errors: AtomicU64::new(0),
         retry_after_us: config.batch_deadline.as_micros().min(u128::from(u32::MAX)) as u32,
     };
 
@@ -239,15 +280,25 @@ pub fn serve<R: Refiner<2> + Sync>(
                         let Ok(write_half) = stream.try_clone() else {
                             continue;
                         };
+                        let _ = write_half.set_write_timeout(Some(WRITE_TIMEOUT));
                         let conn = Arc::new(Conn {
                             stream: Mutex::new(write_half),
+                            dead: AtomicBool::new(false),
                         });
                         scope.spawn(move || reader_loop(stream, conn, shared));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(2));
                     }
-                    Err(_) => break,
+                    Err(_) => {
+                        // Accept failures (ECONNABORTED, transient fd
+                        // exhaustion, ...) are retryable: a server that
+                        // silently stops accepting while appearing alive
+                        // is worse than one that rides out the spike.
+                        // The stop flag remains the only exit.
+                        shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
                 }
             }
         });
@@ -268,6 +319,7 @@ pub fn serve<R: Refiner<2> + Sync>(
         max_batch: shared.max_batch.load(Ordering::Relaxed),
         connections: shared.connections.load(Ordering::Relaxed),
         write_errors: shared.write_errors.load(Ordering::Relaxed),
+        accept_errors: shared.accept_errors.load(Ordering::Relaxed),
         tune_report,
     })
 }
@@ -469,36 +521,60 @@ fn batch_loop<R: Refiner<2> + Sync>(
             prefetch: controller.prefetch_policy().unwrap_or(config.prefetch),
             ..NnOptions::default()
         };
-        let outcome: nnq_core::Result<Vec<(Vec<Neighbor<2>>, u64)>> = match engine {
-            Engine::Single(tree) => {
-                // One snapshot per micro-batch: every query in the batch
-                // sees the same committed root, and a concurrent COW
-                // writer can publish freely underneath.
-                let snap = tree.snapshot();
-                par_mixed_batch(
-                    &snap,
-                    &requests,
-                    opts,
-                    refiner,
-                    config.threads,
-                    JoinOrder::Hilbert,
-                    controller.block_override(),
-                )
-                .map(|(results, bstats)| {
-                    controller.observe_batch(&bstats);
-                    results
-                        .into_iter()
-                        .map(|(hits, stats)| (hits, stats.nodes_visited))
-                        .collect()
-                })
-            }
-            Engine::Partitioned(tree) => {
-                run_partitioned_batch(tree, &requests, opts, refiner, config.threads)
-            }
-        };
+        // The batcher is the server's single drain: if it dies, admitted
+        // requests are never answered and shutdown waiters block
+        // forever. So a panicking worker (unexpected by construction —
+        // validate() bounds every parameter — but fatal if it escapes)
+        // is caught and converted into Error responses for the batch,
+        // and the loop keeps draining.
+        let outcome: Result<Vec<(Vec<Neighbor<2>>, u64)>, String> =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                match engine {
+                    Engine::Single(tree) => {
+                        // One snapshot per micro-batch: every query in the
+                        // batch sees the same committed root, and a
+                        // concurrent COW writer can publish freely
+                        // underneath.
+                        let snap = tree.snapshot();
+                        par_mixed_batch(
+                            &snap,
+                            &requests,
+                            opts,
+                            refiner,
+                            config.threads,
+                            JoinOrder::Hilbert,
+                            controller.block_override(),
+                        )
+                        .map(|(results, bstats)| {
+                            controller.observe_batch(&bstats);
+                            results
+                                .into_iter()
+                                .map(|(hits, stats)| (hits, stats.nodes_visited))
+                                .collect()
+                        })
+                    }
+                    Engine::Partitioned(tree) => {
+                        run_partitioned_batch(tree, &requests, opts, refiner, config.threads)
+                    }
+                }
+                .map_err(|e| e.to_string())
+            }))
+            .unwrap_or_else(|panic| Err(panic_message(&panic)));
         match outcome {
             Ok(results) => {
                 for (job, (hits, logical_reads)) in batch.iter().zip(results) {
+                    if hits.len() > MAX_RESULT_HITS {
+                        // An answer that cannot be framed (a radius query
+                        // matching more than MAX_RESULT_HITS records) is
+                        // reported as an error; sending the oversize
+                        // frame would desync the client instead.
+                        shared.errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = job.conn.send(&Response::Error {
+                            id: job.id,
+                            message: "result set exceeds the maximum response frame".into(),
+                        });
+                        continue;
+                    }
                     let resp = Response::Ok {
                         id: job.id,
                         logical_reads,
@@ -517,8 +593,7 @@ fn batch_loop<R: Refiner<2> + Sync>(
                     }
                 }
             }
-            Err(e) => {
-                let message = e.to_string();
+            Err(message) => {
                 for job in &batch {
                     shared.errors.fetch_add(1, Ordering::Relaxed);
                     let _ = job.conn.send(&Response::Error {
@@ -538,6 +613,17 @@ fn batch_loop<R: Refiner<2> + Sync>(
     shared.mark_drained();
     shared.stop.store(true, Ordering::Release);
     controller.is_active().then(|| controller.report())
+}
+
+/// Renders a caught panic payload into an error message for the
+/// affected batch's Error responses.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    let what = panic
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("unknown panic");
+    format!("query execution panicked: {what}")
 }
 
 /// Mixed batch over a partitioned tree: requests fan out over `threads`

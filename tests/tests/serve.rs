@@ -349,8 +349,11 @@ fn pings_and_invalid_parameters_answer_immediately() {
             Response::Pong { id } => assert_eq!(id, 11),
             other => panic!("expected pong, got {other:?}"),
         }
-        // Negative radius and non-finite coordinates never reach the
-        // query engine (the radius kernel would panic on them).
+        // Negative radius, non-finite coordinates, and out-of-range k
+        // never reach the query engine (the radius kernel would panic on
+        // non-finite input, the kNN heap asserts k > 0, and an unbounded
+        // k is an unbounded preallocation) — each gets an immediate
+        // Error, and crucially the batcher stays alive to keep serving.
         for (id, bad) in [
             (
                 20u64,
@@ -377,6 +380,24 @@ fn pings_and_invalid_parameters_answer_immediately() {
                     x: 0.0,
                     y: f64::INFINITY,
                     radius: 1.0,
+                },
+            ),
+            (
+                23,
+                Request::Knn {
+                    id: 23,
+                    x: 0.0,
+                    y: 0.0,
+                    k: 0,
+                },
+            ),
+            (
+                24,
+                Request::Knn {
+                    id: 24,
+                    x: 0.0,
+                    y: 0.0,
+                    k: u32::MAX,
                 },
             ),
         ] {
@@ -412,5 +433,5 @@ fn pings_and_invalid_parameters_answer_immediately() {
         server.join().unwrap()
     });
     assert_eq!(report.served, 1);
-    assert_eq!(report.errors, 3);
+    assert_eq!(report.errors, 5);
 }
